@@ -1,0 +1,60 @@
+"""Ablation A1 — hierarchical vs flat task allocation (paper §III-C).
+
+The paper's claim: hierarchical allocation is faster because the
+submitter only contacts coordinators; reservation and subtask sending
+happen in parallel per group, and results funnel through coordinators
+instead of swamping the submitter.  The flat baseline reserves every
+peer serially from the submitter.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.p2pdc import TaskSpec, WorkloadSpec, deploy_overlay
+from repro.platforms import build_cluster
+
+PEER_COUNTS = (8, 16, 32)
+
+
+def tiny_workload():
+    return WorkloadSpec(
+        name="alloc-probe", nit=1, halo_bytes=256,
+        iteration_time=lambda r, n: 1e-4, check_every=0, noise_frac=0.0,
+        subtask_bytes=65536,  # a real executable payload to dispatch
+    )
+
+
+def allocation_time(n_peers: int, flat: bool) -> float:
+    platform = build_cluster(n_peers + 1)
+    dep = deploy_overlay(platform, n_peers=n_peers, n_zones=4)
+    spec = TaskSpec(workload=tiny_workload(), n_peers=n_peers, spares=0)
+    sig = dep.submitter.submit_flat(spec) if flat else dep.submitter.submit(spec)
+    dep.overlay.run_until(sig, limit=1e6)
+    outcome = sig.value
+    assert outcome.ok, outcome.reason
+    return outcome.timings.allocation_time
+
+
+def run_sweep():
+    rows = []
+    for n in PEER_COUNTS:
+        hier = allocation_time(n, flat=False)
+        flat = allocation_time(n, flat=True)
+        rows.append((n, hier, flat, flat / hier))
+    return rows
+
+
+def test_ablation_hierarchical_vs_flat_allocation(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    emit("ablation_allocation", format_table(
+        ["peers", "hierarchical alloc [s]", "flat alloc [s]", "flat/hier"],
+        [[n, f"{h:.4f}", f"{f:.4f}", f"{r:.1f}x"] for n, h, f, r in rows],
+    ))
+
+    for n, hier, flat, ratio in rows:
+        assert hier < flat, f"hierarchy not faster at {n} peers"
+    # the gap widens with the peer count (the submitter bottleneck)
+    ratios = [r for _n, _h, _f, r in rows]
+    assert ratios[-1] > ratios[0]

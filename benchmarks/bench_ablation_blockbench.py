@@ -1,0 +1,65 @@
+"""Ablation A3 — block-benchmark scale-up vs direct interpretation.
+
+dPerf's block benchmarking lets "results be scaled-up while
+maintaining accuracy" (§III-D2).  We quantify both halves of that
+claim: the wall-clock speedup of generating a target-size trace by
+scaling a small calibration run, and the compute-time error against a
+trace obtained by actually executing the target size.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.apps import obstacle
+from repro.dperf import DPerfPredictor, ScalePlan
+
+CAL_N, TARGET_NS = 16, (32, 64, 128)
+NIT, CHECK = 20, 10
+
+
+def run_comparison():
+    predictor = DPerfPredictor(obstacle.obstacle_source(), obstacle.ENTRY)
+    t0 = time.perf_counter()
+    cal_runs = predictor.execute(2, args=[CAL_N, NIT, CHECK])
+    cal_wall = time.perf_counter() - t0
+
+    rows = []
+    for n in TARGET_NS:
+        plan = ScalePlan(
+            env_cal=obstacle.scale_env(CAL_N, 2),
+            env_target=obstacle.scale_env(n, 2),
+            nit_target=NIT, cycle_len=CHECK, warmup_cycles=1,
+        )
+        t0 = time.perf_counter()
+        scaled = predictor.traces_for(cal_runs, "O0", scale=plan)
+        scale_wall = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        direct_runs = predictor.execute(2, args=[n, NIT, CHECK])
+        direct = predictor.traces_for(direct_runs, "O0")
+        direct_wall = time.perf_counter() - t0
+
+        err = abs(
+            scaled[0].total_compute_ns - direct[0].total_compute_ns
+        ) / direct[0].total_compute_ns
+        rows.append((n, cal_wall + scale_wall, direct_wall, err))
+    return rows
+
+
+def test_ablation_blockbench_scaleup(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    emit("ablation_blockbench", format_table(
+        ["target n", "scale-up wall [s]", "direct wall [s]",
+         "compute-ns error"],
+        [[n, f"{s:.2f}", f"{d:.2f}", f"{e * 100:.2f}%"]
+         for n, s, d, e in rows],
+    ))
+
+    for n, _s, _d, err in rows:
+        assert err < 0.10, f"scale-up error {err:.1%} at n={n}"
+    # the bigger the target, the bigger the win
+    biggest = rows[-1]
+    assert biggest[1] < biggest[2], "scale-up not cheaper at largest n"

@@ -1,0 +1,77 @@
+"""Ablation A4 — tracker-line maintenance cost vs overlay size.
+
+The decentralization claim (§III-A): join and crash-repair touch only
+the neighbour sets around the affected position, so the control
+traffic per membership event stays O(|N|) — flat as the tracker count
+grows — instead of scaling with the overlay like a centralized
+directory would.
+
+We count the protocol's own message types (join routing/welcome/
+neighbour updates; repair notifications) rather than wall traffic, so
+steady-state heartbeats don't pollute the measurement.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.p2pdc import deploy_overlay
+from repro.platforms import build_cluster
+
+TRACKER_COUNTS = (4, 8, 16)
+
+_JOIN_TYPES = ("TrackerJoin", "TrackerWelcome", "NeighborAdd",
+               "TrackerConnect")
+_REPAIR_TYPES = ("NeighborsRepair", "TrackerDisconnect")
+
+
+def _count(stats, types) -> int:
+    return sum(stats.get(f"msg:{t}") for t in types)
+
+
+def membership_cost(n_trackers: int):
+    platform = build_cluster(4 * n_trackers)
+    dep = deploy_overlay(platform, n_zones=n_trackers, with_submitter=False)
+    overlay = dep.overlay
+
+    # -- join cost ----------------------------------------------------------
+    join_before = _count(overlay.stats, _JOIN_TYPES)
+    newcomer = overlay.create_tracker(
+        platform.hosts[1], f"10.{n_trackers // 2}.0.99", name="tracker-new"
+    )
+    newcomer.join_overlay([dep.trackers[0].ref])
+    overlay.run(until=overlay.now + 30)
+    join_msgs = _count(overlay.stats, _JOIN_TYPES) - join_before
+    assert newcomer.joined
+
+    # -- crash-repair cost ----------------------------------------------------
+    victim = dep.trackers[n_trackers // 2]
+    victim.crash()
+    repair_before = _count(overlay.stats, _REPAIR_TYPES)
+    overlay.run(until=overlay.now + 90)
+    repair_msgs = _count(overlay.stats, _REPAIR_TYPES) - repair_before
+    assert all(
+        all(r.ip != victim.ip for r in t.neighbors)
+        for t in overlay.live_trackers()
+    ), "line not fully repaired"
+    return join_msgs, repair_msgs
+
+
+def run_sweep():
+    return [(n, *membership_cost(n)) for n in TRACKER_COUNTS]
+
+
+def test_ablation_overlay_maintenance(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    emit("ablation_overlay", format_table(
+        ["trackers", "join protocol messages", "crash-repair messages"],
+        [[n, j, r] for n, j, r in rows],
+    ))
+
+    # O(|N|), not O(trackers): quadrupling the overlay must not even
+    # double the per-event traffic
+    joins = [j for _n, j, _r in rows]
+    repairs = [r for _n, _j, r in rows]
+    assert joins[-1] < 2 * joins[0]
+    assert repairs[-1] < 2 * max(repairs[0], 1)
+    assert all(r > 0 for r in repairs), "repairs must actually happen"

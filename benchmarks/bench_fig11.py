@@ -1,0 +1,42 @@
+"""Fig. 11 — reference vs predictions for Grid5000, xDSL and LAN (O0).
+
+Paper: the same traces replayed on three platform descriptions.  The
+xDSL desktop grid is far slower and degrades as peers are added ("the
+necessary time to exchange data tends to increase ... with the number
+of peers"), the LAN sits slightly above the cluster.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_series
+from repro.experiments import Stage2Config, run_stage2
+
+
+def test_fig11_three_platforms(benchmark):
+    config = Stage2Config()  # full peer counts, level O0
+
+    result = benchmark.pedantic(run_stage2, args=(config,),
+                                rounds=1, iterations=1)
+
+    emit("fig11", format_series(
+        "Fig. 11 — reference vs predicted time, Grid5000 / xDSL / LAN, O0 [s]",
+        "number of peers", result.series(),
+    ))
+
+    g5k = result.predicted["grid5000"]
+    lan = result.predicted["lan"]
+    xdsl = result.predicted["xdsl"]
+    for n in config.peer_counts:
+        # ordering: xDSL ≫ LAN ≥ Grid5000
+        assert xdsl[n] > 1.3 * lan[n]
+        assert lan[n] >= g5k[n] * 0.999
+    # "the necessary time to exchange data tends to increase with the
+    # number of peers, while the computation load per peer decreases":
+    # exchange time ≈ t_xdsl − t_cluster (compute is platform-invariant)
+    comm = {n: xdsl[n] - g5k[n] for n in config.peer_counts}
+    assert comm[32] > comm[2]
+    # scaling on xDSL is hopeless: 16× more peers buy < 3× speedup
+    assert xdsl[2] / xdsl[32] < 3.0
+    # reference (cluster) tracks the Grid5000 prediction
+    for n in config.peer_counts:
+        assert abs(result.reference[n] - g5k[n]) / result.reference[n] < 0.05

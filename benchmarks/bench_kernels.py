@@ -1,0 +1,84 @@
+"""K1 — microbenchmarks of the simulation substrates.
+
+Not a paper artifact: these keep the infrastructure honest (event-loop
+throughput, max-min solver, trace replay rate) so regressions in the
+substrates are visible independently of the experiment numbers.
+"""
+
+from repro.desim import Simulator
+from repro.net import FluidNetwork, Host, Link, Topology, maxmin_allocation
+from repro.platforms import build_cluster
+from repro.simx import Compute, ISend, Recv, Trace, replay_traces
+
+
+def test_event_loop_throughput(benchmark):
+    def run():
+        sim = Simulator()
+        for i in range(20_000):
+            sim.schedule(float(i % 97), lambda: None)
+        sim.run()
+        return sim.event_count
+
+    count = benchmark(run)
+    assert count == 20_000
+
+
+def test_process_switching(benchmark):
+    def run():
+        sim = Simulator()
+
+        def proc():
+            for _ in range(500):
+                yield sim.timeout(1.0)
+
+        for _ in range(20):
+            sim.process(proc())
+        sim.run()
+        return sim.now
+
+    assert benchmark(run) == 500.0
+
+
+def test_maxmin_solver(benchmark):
+    links = [Link(f"l{i}", 1e9, 0.0) for i in range(50)]
+    flows = {
+        f"f{i}": [links[i % 50], links[(i * 7 + 3) % 50]] for i in range(200)
+    }
+
+    alloc = benchmark(maxmin_allocation, flows)
+    assert len(alloc) == 200
+
+
+def test_fluid_many_transfers(benchmark):
+    def run():
+        sim = Simulator()
+        topo = Topology()
+        hosts = [topo.add_node(Host(f"h{i}")) for i in range(16)]
+        hub = topo.add_node(Host("hub"))
+        for h in hosts:
+            topo.add_link(h, hub, 1e8, 1e-4)
+        net = FluidNetwork(sim, topo)
+        for i in range(400):
+            net.send(hosts[i % 16], hosts[(i + 1) % 16], 1e5)
+        sim.run()
+        return net.transfers_completed
+
+    assert benchmark(run) == 400
+
+
+def test_trace_replay_rate(benchmark):
+    platform = build_cluster(4)
+    events_per_rank = 600
+    traces = []
+    for r in range(4):
+        events = []
+        peer = (r + 1) % 4
+        back = (r - 1) % 4
+        for _ in range(events_per_rank // 3):
+            events.append(Compute(10_000))
+            events.append(ISend(peer, 1024, "m"))
+            events.append(Recv(back, "m"))
+        traces.append(Trace(rank=r, nprocs=4, events=events))
+
+    result = benchmark(replay_traces, traces, platform)
+    assert result.events_replayed == 4 * (events_per_rank // 3) * 3

@@ -1,0 +1,16 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper table/figure.  The paper-style data
+tables are printed to stdout *and* written under
+``benchmarks/results/`` so they survive pytest's output capture.
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n")

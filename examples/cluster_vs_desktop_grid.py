@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The paper's headline question: how many desktop-grid peers over
+xDSL or LAN match a Grid5000 cluster?
+
+Runs a reduced version of the full evaluation (Stage-1 reference +
+prediction on the cluster, Stage-2 predictions on the Daisy xDSL and
+LAN platforms, Table-I classification).
+
+Run:  python examples/cluster_vs_desktop_grid.py        (~2 minutes)
+"""
+
+from repro.analysis import (
+    classify,
+    format_equivalence_table,
+    format_series,
+)
+from repro.analysis.plot import ascii_chart
+from repro.experiments import (
+    Stage1Config,
+    Stage2Config,
+    run_stage1,
+    run_stage2,
+    run_table1,
+)
+
+PEERS = (2, 4, 8)
+
+
+def main() -> None:
+    print("Stage-1: obstacle problem on the cluster (reference vs dPerf)\n")
+    stage1 = run_stage1(Stage1Config(peer_counts=PEERS, levels=("O0", "O3")))
+    print(format_series(
+        "reference execution time [s]", "peers",
+        {f"level {lvl}": stage1.reference_series(lvl) for lvl in ("O0", "O3")},
+    ))
+    for lvl in ("O0", "O3"):
+        print(f"prediction accuracy at {lvl}: {stage1.accuracy(lvl)}")
+
+    print("\nStage-2: the same traces on xDSL and LAN platforms\n")
+    stage2 = run_stage2(Stage2Config(peer_counts=PEERS))
+    print(format_series("predicted time at O0 [s]", "peers",
+                        stage2.predicted))
+    print("\nFig. 11 shape (terminal rendition):\n")
+    print(ascii_chart(stage2.predicted, x_label="peers", y_label="t [s]"))
+
+    print("\nEquivalent computing power (Table I):\n")
+    table1 = run_table1(Stage2Config(peer_counts=(2, 4, 8, 32)))
+    print(format_equivalence_table(table1.rows))
+
+    g5k = stage2.predicted["grid5000"]
+    xdsl = stage2.predicted["xdsl"]
+    verdict = classify(xdsl[4], g5k[2])
+    print(
+        f"\nConclusion: 4 peers over xDSL are '{verdict}' 2 Grid5000 nodes "
+        f"({xdsl[4]:.1f}s vs {g5k[2]:.1f}s) — you may prefer deploying on "
+        "the desktop grid instead of waiting for cluster nodes."
+    )
+
+
+if __name__ == "__main__":
+    main()

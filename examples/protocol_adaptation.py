@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""P2PSAP self-adaptation in action.
+
+The same peer pair exchanges the same messages under three contexts;
+the protocol picks a different stack each time (paper §I / [3]):
+
+* synchronous scheme, same zone, cluster link  → TCP without
+  congestion control;
+* synchronous scheme, different zones          → full TCP;
+* asynchronous scheme                          → unacked UDP-like mode
+  that drops stale iterates.
+
+Run:  python examples/protocol_adaptation.py
+"""
+
+from repro.desim import Simulator
+from repro.net import FluidNetwork, Host, Topology
+from repro.p2psap import (
+    Channel,
+    ChannelContext,
+    LinkClass,
+    Locality,
+    Scheme,
+    select_mode,
+)
+
+CONTEXTS = {
+    "sync / same zone / cluster": ChannelContext(
+        Scheme.SYNC, Locality.SAME_ZONE, LinkClass.CLUSTER
+    ),
+    "sync / inter zone / cluster": ChannelContext(
+        Scheme.SYNC, Locality.INTER_ZONE, LinkClass.CLUSTER
+    ),
+    "async / same zone / WAN": ChannelContext(
+        Scheme.ASYNC, Locality.SAME_ZONE, LinkClass.WAN
+    ),
+}
+
+
+def exchange_under(context: ChannelContext, n_messages: int = 50):
+    sim = Simulator()
+    topo = Topology()
+    a = topo.add_node(Host("peer-a"))
+    b = topo.add_node(Host("peer-b"))
+    topo.add_link(a, b, 12.5e6, 500e-6)  # 100 Mbps, 0.5 ms
+    net = FluidNetwork(sim, topo)
+    chan = Channel(sim, net, a, b, context)
+
+    def producer():
+        for i in range(n_messages):
+            done = chan.a.send(8192, data=("iterate", i))
+            yield done  # blocking send: waits for the ack in acked modes
+
+    def consumer():
+        # a slow consumer, as in asynchronous iterations: it relaxes
+        # between receives, so stale iterates pile up (and get dropped
+        # by the udp-async stack)
+        while True:
+            yield sim.timeout(5e-3)  # compute burst
+            _payload, (_tag, i) = yield chan.b.recv()
+            if i == n_messages - 1:
+                return
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    return chan, sim.now
+
+
+def main() -> None:
+    print(f"{'context':32s} {'chosen mode':12s} {'time':>9s} "
+          f"{'dropped stale':>14s}")
+    for name, context in CONTEXTS.items():
+        mode = select_mode(context)
+        chan, elapsed = exchange_under(context)
+        print(
+            f"{name:32s} {mode.name:12s} {elapsed * 1e3:7.1f}ms "
+            f"{chan.stats.messages_dropped_stale:14d}"
+        )
+    print(
+        "\nasync mode releases the sender immediately and keeps only the "
+        "freshest iterate — exactly what asynchronous iterative schemes "
+        "need; sync modes deliver everything, reliably, at ack cost."
+    )
+
+    # live reconfiguration: the same channel switches mode mid-session
+    sim = Simulator()
+    topo = Topology()
+    a = topo.add_node(Host("a"))
+    b = topo.add_node(Host("b"))
+    topo.add_link(a, b, 12.5e6, 500e-6)
+    chan = Channel(sim, FluidNetwork(sim, topo), a, b,
+                   ChannelContext(Scheme.SYNC))
+    print(f"\nchannel starts in {chan.mode.name}")
+    done = chan.adapt(ChannelContext(Scheme.ASYNC))
+    sim.run_until_triggered(done)
+    print(f"application switched to asynchronous iterations → "
+          f"channel renegotiated to {chan.mode.name} "
+          f"in {sim.now * 1e3:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

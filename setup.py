@@ -1,0 +1,7 @@
+"""Shim for offline editable installs (no `wheel` available):
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""repro — reproduction of *Performance Prediction in a Decentralized
+Environment for Peer-to-Peer Computing* (Cornea, Bourgeois, Nguyen,
+El-Baz; IEEE IPDPS 2011).
+
+Subpackages
+-----------
+``repro.desim``
+    Discrete-event simulation kernel (processes, signals, mailboxes).
+``repro.net``
+    Flow-level network substrate: max-min fair fluid model, topologies.
+``repro.platforms``
+    The paper's platforms: Grid5000-like cluster, Daisy xDSL, LAN —
+    plus a multi-site grid and a platform-description file dialect.
+``repro.simx``
+    Trace events, trace files, and the MSG-like replay engine.
+``repro.p2psap``
+    The self-adaptive communication protocol (modes + adaptation).
+``repro.p2pdc``
+    The decentralized environment: server/trackers/peers, IP-proximity
+    zones, peers collection, hierarchical allocation, computation.
+``repro.dperf``
+    The prediction tool: mini-C frontend, instrumentation, virtual
+    PAPI counters, GCC-level cost model, block benchmarking, the
+    end-to-end :class:`~repro.dperf.DPerfPredictor`.
+``repro.apps``
+    Workloads: the obstacle problem (mini-C + numpy reference), heat.
+``repro.experiments`` / ``repro.analysis``
+    Stage-1/Stage-2/Table-I runners and result handling.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "apps",
+    "desim",
+    "dperf",
+    "experiments",
+    "net",
+    "p2pdc",
+    "p2psap",
+    "platforms",
+    "simx",
+]

@@ -1,0 +1,35 @@
+"""Result handling: accuracy metrics, Table-I classification, reports."""
+
+from .compare import AccuracyReport, accuracy, relative_error, series_accuracy, speedup_series
+from .equivalence import (
+    BETTER,
+    LOWER,
+    SAME,
+    SLIGHTLY_LOWER,
+    EquivalenceRow,
+    classify,
+    compare_configs,
+    equivalence_search,
+    find_equivalent_config,
+)
+from .report import format_equivalence_table, format_series, format_table
+
+__all__ = [
+    "AccuracyReport",
+    "BETTER",
+    "EquivalenceRow",
+    "LOWER",
+    "SAME",
+    "SLIGHTLY_LOWER",
+    "accuracy",
+    "classify",
+    "compare_configs",
+    "equivalence_search",
+    "find_equivalent_config",
+    "format_equivalence_table",
+    "format_series",
+    "format_table",
+    "relative_error",
+    "series_accuracy",
+    "speedup_series",
+]

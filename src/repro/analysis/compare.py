@@ -1,0 +1,58 @@
+"""Reference-vs-prediction error metrics (Fig. 10's accuracy claim)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+
+def relative_error(predicted: float, reference: float) -> float:
+    """Signed relative error (positive = over-prediction)."""
+    if reference == 0:
+        raise ValueError("reference time is zero")
+    return (predicted - reference) / reference
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Aggregate accuracy over a series of (reference, predicted) pairs."""
+
+    mape: float           # mean absolute percentage error
+    max_abs_pct: float
+    n_points: int
+
+    def __str__(self) -> str:
+        return (
+            f"MAPE {self.mape * 100:.2f}% over {self.n_points} points "
+            f"(worst {self.max_abs_pct * 100:.2f}%)"
+        )
+
+
+def accuracy(pairs: Sequence[Tuple[float, float]]) -> AccuracyReport:
+    """``pairs`` holds (reference, predicted)."""
+    if not pairs:
+        raise ValueError("no data points")
+    errors = [abs(relative_error(p, r)) for r, p in pairs]
+    return AccuracyReport(
+        mape=sum(errors) / len(errors),
+        max_abs_pct=max(errors),
+        n_points=len(errors),
+    )
+
+
+def series_accuracy(
+    reference: Mapping, predicted: Mapping
+) -> AccuracyReport:
+    """Accuracy over the common keys of two result dictionaries."""
+    keys = sorted(set(reference) & set(predicted))
+    if not keys:
+        raise ValueError("no common keys between reference and prediction")
+    return accuracy([(reference[k], predicted[k]) for k in keys])
+
+
+def speedup_series(times: Mapping[int, float]) -> Dict[int, float]:
+    """Strong-scaling speedups relative to the smallest peer count."""
+    if not times:
+        return {}
+    base = times[min(times)]
+    return {n: base / t for n, t in times.items()}

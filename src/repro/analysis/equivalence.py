@@ -1,0 +1,115 @@
+"""Equivalent-computing-power classification (Table I).
+
+The paper compares predicted P2P configurations against cluster
+configurations with verdicts like "slightly lower (than)" and "same
+as".  We classify by the runtime ratio ``t_candidate / t_reference``
+(candidate slower → performance lower):
+
+===========  ======================
+ratio r      verdict
+===========  ======================
+r ≤ 0.95     better than
+0.95–1.02    same as
+1.02–1.60    slightly lower than
+> 1.60       lower than
+===========  ======================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+BETTER = "better than"
+SAME = "same as"
+SLIGHTLY_LOWER = "slightly lower than"
+LOWER = "lower than"
+
+_SAME_LOW, _SAME_HIGH, _SLIGHT_HIGH = 0.95, 1.02, 1.60
+
+
+def classify(t_candidate: float, t_reference: float) -> str:
+    """Verdict for a candidate platform time vs a reference time."""
+    if t_candidate <= 0 or t_reference <= 0:
+        raise ValueError("times must be positive")
+    ratio = t_candidate / t_reference
+    if ratio <= _SAME_LOW:
+        return BETTER
+    if ratio <= _SAME_HIGH:
+        return SAME
+    if ratio <= _SLIGHT_HIGH:
+        return SLIGHTLY_LOWER
+    return LOWER
+
+
+@dataclass(frozen=True)
+class EquivalenceRow:
+    """One Table-I row: candidate config vs reference config."""
+
+    candidate_peers: int
+    candidate_platform: str
+    verdict: str
+    reference_peers: int
+    reference_platform: str
+    candidate_time: float
+    reference_time: float
+
+    @property
+    def ratio(self) -> float:
+        return self.candidate_time / self.reference_time
+
+    def as_tuple(self):
+        return (
+            self.candidate_peers, self.candidate_platform, self.verdict,
+            self.reference_peers, self.reference_platform,
+        )
+
+
+def compare_configs(
+    candidate_times: Mapping[int, float],
+    reference_times: Mapping[int, float],
+    candidate_platform: str,
+    reference_platform: str,
+    pairs: Sequence[tuple],
+) -> List[EquivalenceRow]:
+    """Build Table-I style rows for explicit (candidate_n, reference_n)
+    pairings."""
+    rows = []
+    for cand_n, ref_n in pairs:
+        rows.append(
+            EquivalenceRow(
+                candidate_peers=cand_n,
+                candidate_platform=candidate_platform,
+                verdict=classify(candidate_times[cand_n], reference_times[ref_n]),
+                reference_peers=ref_n,
+                reference_platform=reference_platform,
+                candidate_time=candidate_times[cand_n],
+                reference_time=reference_times[ref_n],
+            )
+        )
+    return rows
+
+
+def find_equivalent_config(
+    candidate_times: Mapping[int, float],
+    reference_time: float,
+    tolerance: float = 1.60,
+) -> Optional[int]:
+    """Smallest candidate peer count whose predicted time is within
+    ``tolerance``× of (or better than) the reference time — "how many
+    LAN peers replace this cluster?"."""
+    for n in sorted(candidate_times):
+        if candidate_times[n] / reference_time <= tolerance:
+            return n
+    return None
+
+
+def equivalence_search(
+    candidate_times: Mapping[int, float],
+    reference_times: Mapping[int, float],
+) -> Dict[int, Optional[int]]:
+    """For every reference config, the smallest matching candidate."""
+    return {
+        ref_n: find_equivalent_config(candidate_times, ref_t)
+        for ref_n, ref_t in sorted(reference_times.items())
+    }

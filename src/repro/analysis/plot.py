@@ -1,0 +1,82 @@
+"""ASCII charts for figure-style series (terminal-first artifacts).
+
+The paper's figures are runtime-vs-peer-count curves; this renders the
+same series as a monospace chart so a terminal session can *see* the
+crossovers, not only read the tables.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Mapping[int, float]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "peers",
+    y_label: str = "seconds",
+) -> str:
+    """Render curves as a scatter chart.
+
+    X positions are the sorted union of the series' keys, evenly
+    spaced (peer counts are powers of two, so even spacing reads as a
+    log axis).  Y is linear from 0 to the maximum value.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    xs: List[int] = sorted({x for curve in series.values() for x in curve})
+    if not xs:
+        raise ValueError("series contain no points")
+    y_max = max(v for curve in series.values() for v in curve.values())
+    if y_max <= 0:
+        raise ValueError("all values are non-positive")
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (_name, curve) in enumerate(series.items()):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for x, value in curve.items():
+            col = _x_col(xs.index(x), len(xs), width)
+            row = _y_row(value, y_max, height)
+            # later series win collisions; the legend disambiguates
+            grid[row][col] = marker
+
+    axis_width = len(f"{y_max:.1f}")
+    lines: List[str] = []
+    for r, row in enumerate(grid):
+        y_here = y_max * (height - r - 0.5) / height
+        label = (
+            f"{y_here:>{axis_width}.1f} |"
+            if r % 4 == 1 or height <= 4
+            else " " * axis_width + " |"
+        )
+        lines.append(label + "".join(row))
+    lines.append(" " * axis_width + " +" + "-" * width)
+    tick_line = [" "] * width
+    for i, x in enumerate(xs):
+        col = _x_col(i, len(xs), width)
+        text = str(x)
+        start = min(max(0, col - len(text) // 2), width - len(text))
+        for j, ch in enumerate(text):
+            tick_line[start + j] = ch
+    lines.append(" " * axis_width + "  " + "".join(tick_line))
+    lines.append(" " * axis_width + f"  ({x_label} → ; {y_label} ↑)")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append("  " + legend)
+    return "\n".join(lines)
+
+
+def _x_col(index: int, n: int, width: int) -> int:
+    if n == 1:
+        return width // 2
+    return round(index * (width - 1) / (n - 1))
+
+
+def _y_row(value: float, y_max: float, height: int) -> int:
+    frac = min(max(value / y_max, 0.0), 1.0)
+    return min(height - 1, int(round((1.0 - frac) * (height - 1))))

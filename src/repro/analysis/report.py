@@ -1,0 +1,58 @@
+"""ASCII rendering of paper-style tables and series."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned ASCII table."""
+    rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in rows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    series: Mapping[str, Mapping[int, float]],
+    unit: str = "s",
+) -> str:
+    """Fig.-style output: one column per x value, one row per curve."""
+    xs: List[int] = sorted({x for curve in series.values() for x in curve})
+    headers = [x_label] + [str(x) for x in xs]
+    rows = []
+    for name, curve in series.items():
+        rows.append(
+            [name] + [f"{curve[x]:.3f}{unit}" if x in curve else "-" for x in xs]
+        )
+    return f"{title}\n{format_table(headers, rows)}"
+
+
+def format_equivalence_table(rows) -> str:
+    """Render Table I with the paper's column layout."""
+    headers = [
+        "Processes number", "topology", "Performance (than)",
+        "Processes number", "topology", "ratio",
+    ]
+    body = [
+        [
+            r.candidate_peers, r.candidate_platform, r.verdict,
+            r.reference_peers, r.reference_platform, f"{r.ratio:.2f}",
+        ]
+        for r in rows
+    ]
+    return format_table(headers, body)

@@ -1,0 +1,26 @@
+"""Workloads: the paper's obstacle problem plus companion kernels."""
+
+from . import heat, obstacle
+from .heat import HEAT_SOURCE, heat_source, solve_heat_numpy
+from .obstacle import (
+    OBSTACLE_SOURCE,
+    contact_region_fraction,
+    obstacle_source,
+    psi_grid,
+    residual_model,
+    solve_obstacle_numpy,
+)
+
+__all__ = [
+    "HEAT_SOURCE",
+    "OBSTACLE_SOURCE",
+    "contact_region_fraction",
+    "heat",
+    "heat_source",
+    "obstacle",
+    "obstacle_source",
+    "psi_grid",
+    "residual_model",
+    "solve_heat_numpy",
+    "solve_obstacle_numpy",
+]

@@ -1,0 +1,93 @@
+"""1-D heat diffusion — the second domain workload.
+
+A Jacobi time-stepper for u_t = α u_xx with a 1-D block decomposition,
+written against the **MPI flavour** of the communication API to
+exercise dPerf's multi-API recognition (§III-D2: "dPerf is
+customizable for recognizing multiple communication methods such as
+MPI or P2PSAP").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+ENTRY = "heat_main"
+APP_NAME = "heat"
+
+HEAT_SOURCE = r"""
+/* 1-D heat equation, explicit Jacobi steps, MPI halo exchange. */
+
+double heat_main(int n, int nit) {
+    int rank = p2psap_rank();
+    int size = p2psap_size();
+    int cells = n / size;
+    double u[cells + 2];
+    double v[cells + 2];
+    int base = rank * cells;
+    for (int i = 0; i <= cells + 1; i++) {
+        double x = (double)(base + i) / (double)(n + 1);
+        u[i] = x * (1.0 - x);
+        v[i] = 0.0;
+    }
+    double r = 0.25;  /* alpha dt / dx^2, stable */
+    double sleft[1];
+    double sright[1];
+    double rbuf[1];
+    for (int it = 0; it < nit; it++) {
+        dperf_region_begin("iter");
+        /* post both halo sends before blocking on either receive */
+        if (rank > 0) {
+            sleft[0] = u[1];
+            MPI_Isend(rank - 1, sleft, 1);
+        }
+        if (rank < size - 1) {
+            sright[0] = u[cells];
+            MPI_Isend(rank + 1, sright, 1);
+        }
+        if (rank > 0) {
+            MPI_Recv(rank - 1, rbuf, 1);
+            u[0] = rbuf[0];
+        }
+        if (rank < size - 1) {
+            MPI_Recv(rank + 1, rbuf, 1);
+            u[cells + 1] = rbuf[0];
+        }
+        for (int i = 1; i <= cells; i++) {
+            v[i] = u[i] + r * (u[i - 1] - 2.0 * u[i] + u[i + 1]);
+        }
+        for (int i = 1; i <= cells; i++) {
+            u[i] = v[i];
+        }
+        dperf_region_end("iter");
+    }
+    double total = 0.0;
+    for (int i = 1; i <= cells; i++) {
+        total += u[i];
+    }
+    return total;
+}
+"""
+
+
+def heat_source() -> str:
+    """The heat-diffusion mini-C source (MPI-flavoured comm calls)."""
+    return HEAT_SOURCE
+
+
+def scale_env(n: int, nranks: int) -> Dict[str, float]:
+    if n % nranks != 0:
+        raise ValueError(f"n={n} not divisible by {nranks}")
+    return {"n": float(n), "cells": float(n // nranks), "size": float(nranks)}
+
+
+def solve_heat_numpy(n: int, nit: int, r: float = 0.25) -> np.ndarray:
+    """Sequential reference (boundary handling identical to mini-C:
+    end-point values stay at their initial profile values, as the
+    distributed code never refreshes its outermost ghost cells)."""
+    x = np.arange(n + 2, dtype=np.float64) / (n + 1)
+    u = x * (1.0 - x)
+    for _ in range(nit):
+        u[1:-1] = u[1:-1] + r * (u[:-2] - 2.0 * u[1:-1] + u[2:])
+    return u

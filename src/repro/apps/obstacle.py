@@ -1,0 +1,184 @@
+"""The obstacle problem (paper §IV-A1).
+
+The evaluation workload: a 2-D obstacle problem solved by the
+projected Richardson method (Spitéri & Chau), written in C for the
+P2PDC environment with P2PSAP communication, using a 1-D block-row
+domain decomposition with ghost-row halo exchange and a periodic
+convergence check via ``p2psap_allreduce_max``.
+
+The sweep is Jacobi-style (new iterate written to a second array),
+which makes the distributed run bit-identical to the sequential numpy
+reference below — the interpreter's numerics are validated against it
+in the tests.
+
+Problem: find u ≥ ψ with -Δu = f on the unit square, u = 0 on the
+boundary; one damped-Richardson projected step per iteration::
+
+    u_new = max(ψ, u + 0.25·ω·(Δh u + h²·f))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+OMEGA = 0.8       # damping parameter (convergent for ω ≤ 1)
+LOAD = 16.0       # constant source term f
+ENTRY = "obstacle_main"
+APP_NAME = "obstacle"
+
+#: The C source analyzed/instrumented/executed by dPerf.
+OBSTACLE_SOURCE = r"""
+/* Obstacle problem, projected Richardson method (ANR CIP code,
+   adapted to the P2PDC environment; P2PSAP communication). */
+
+double psi_at(int gi, int j, int n) {
+    double x = (double)gi / (double)(n + 1);
+    double y = (double)j / (double)(n + 1);
+    return 32.0 * x * (1.0 - x) * y * (1.0 - y) - 0.5;
+}
+
+double obstacle_main(int n, int nit, int check_every) {
+    int rank = p2psap_rank();
+    int size = p2psap_size();
+    int rows = n / size;
+    double u[rows + 2][n + 2];
+    double v[rows + 2][n + 2];
+    double psi[rows + 2][n + 2];
+    int base = rank * rows;
+    for (int i = 0; i <= rows + 1; i++) {
+        for (int j = 0; j <= n + 1; j++) {
+            u[i][j] = 0.0;
+            v[i][j] = 0.0;
+            psi[i][j] = psi_at(base + i, j, n);
+        }
+    }
+    double h2 = 1.0 / ((double)(n + 1) * (double)(n + 1));
+    double comega = 0.25 * 0.8;
+    double res = 0.0;
+    for (int it = 0; it < nit; it++) {
+        dperf_region_begin("iter");
+        /* post both halo sends before blocking on either receive */
+        if (rank > 0) {
+            p2psap_isend(rank - 1, u[1], n + 2);
+        }
+        if (rank < size - 1) {
+            p2psap_isend(rank + 1, u[rows], n + 2);
+        }
+        if (rank > 0) {
+            p2psap_recv(rank - 1, u[0], n + 2);
+        }
+        if (rank < size - 1) {
+            p2psap_recv(rank + 1, u[rows + 1], n + 2);
+        }
+        res = 0.0;
+        for (int i = 1; i <= rows; i++) {
+            for (int j = 1; j <= n; j++) {
+                double lap = u[i - 1][j] + u[i + 1][j] + u[i][j - 1]
+                           + u[i][j + 1] - 4.0 * u[i][j];
+                double unew = u[i][j] + comega * (lap + h2 * 16.0);
+                unew = fmax(unew, psi[i][j]);
+                res = fmax(res, fabs(unew - u[i][j]));
+                v[i][j] = unew;
+            }
+        }
+        for (int i = 1; i <= rows; i++) {
+            for (int j = 1; j <= n; j++) {
+                u[i][j] = v[i][j];
+            }
+        }
+        if (check_every > 0) {
+            if ((it + 1) % check_every == 0) {
+                res = p2psap_allreduce_max(res);
+            }
+        }
+        dperf_region_end("iter");
+    }
+    return res;
+}
+"""
+
+
+def obstacle_source() -> str:
+    """The obstacle-problem mini-C source (P2PSAP comm calls)."""
+    return OBSTACLE_SOURCE
+
+
+def scale_env(n: int, nranks: int) -> Dict[str, float]:
+    """Parameter bindings for block-benchmark scale-up.
+
+    The sweep loops are bounded by ``rows`` and ``n``; both must be
+    resolvable when re-evaluating trip counts and message sizes.
+    """
+    if n % nranks != 0:
+        raise ValueError(f"grid n={n} not divisible by {nranks} ranks")
+    return {"n": float(n), "rows": float(n // nranks), "size": float(nranks)}
+
+
+def entry_args(n: int, nit: int, check_every: int) -> List[int]:
+    return [n, nit, check_every]
+
+
+# --------------------------------------------------------------------------
+# Sequential numpy reference (ground truth for the numerics)
+# --------------------------------------------------------------------------
+
+def psi_grid(n: int) -> np.ndarray:
+    """Obstacle surface on the (n+2)×(n+2) grid including boundary."""
+    coords = np.arange(n + 2, dtype=np.float64) / (n + 1)
+    x = coords[:, None]
+    y = coords[None, :]
+    return 32.0 * x * (1.0 - x) * y * (1.0 - y) - 0.5
+
+
+def solve_obstacle_numpy(
+    n: int, nit: int, omega: float = OMEGA, load: float = LOAD
+) -> Tuple[np.ndarray, List[float]]:
+    """Projected Richardson on the full grid; returns (u, residuals).
+
+    Performs exactly the same floating-point operations per element as
+    the mini-C kernel, so results match the distributed interpreter run
+    bit-for-bit.
+    """
+    u = np.zeros((n + 2, n + 2), dtype=np.float64)
+    psi = psi_grid(n)
+    h2 = 1.0 / ((n + 1) * (n + 1))
+    comega = 0.25 * omega
+    residuals: List[float] = []
+    for _ in range(nit):
+        interior = u[1:-1, 1:-1]
+        lap = (
+            u[:-2, 1:-1] + u[2:, 1:-1] + u[1:-1, :-2] + u[1:-1, 2:]
+            - 4.0 * interior
+        )
+        unew = np.maximum(interior + comega * (lap + h2 * load),
+                          psi[1:-1, 1:-1])
+        res = float(np.max(np.abs(unew - interior))) if n > 0 else 0.0
+        u[1:-1, 1:-1] = unew
+        residuals.append(res)
+    return u, residuals
+
+
+def residual_model(n: int) -> "callable":
+    """Residual-vs-iteration model handed to WorkloadSpec (from the
+    numpy reference, so P2PDC convergence checks see realistic decay)."""
+    _, residuals = solve_obstacle_numpy(min(n, 64), 200)
+
+    def residual(it: int) -> float:
+        if it < len(residuals):
+            return residuals[it]
+        # geometric tail extrapolation
+        if len(residuals) >= 2 and residuals[-2] > 0:
+            ratio = residuals[-1] / residuals[-2]
+            return residuals[-1] * ratio ** (it - len(residuals) + 1)
+        return residuals[-1]
+
+    return residual
+
+
+def contact_region_fraction(u: np.ndarray, n: int) -> float:
+    """Fraction of interior points where the constraint is active."""
+    psi = psi_grid(n)
+    active = np.isclose(u[1:-1, 1:-1], psi[1:-1, 1:-1])
+    return float(np.mean(active))

@@ -1,0 +1,31 @@
+"""Discrete-event simulation kernel (simpy-like, from scratch).
+
+Public surface::
+
+    sim = Simulator()
+    def proc():
+        yield sim.timeout(1.0)
+        ...
+    p = sim.process(proc())
+    sim.run()
+"""
+
+from .events import AllOf, AnyOf, Signal, Waitable
+from .mailbox import Mailbox
+from .process import Interrupt, Process
+from .rng import RngRegistry, derive_seed
+from .simulator import ScheduledCall, Simulator
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Mailbox",
+    "Process",
+    "RngRegistry",
+    "ScheduledCall",
+    "Signal",
+    "Simulator",
+    "Waitable",
+    "derive_seed",
+]

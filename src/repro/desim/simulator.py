@@ -1,0 +1,147 @@
+"""The desim event loop: a monotonic clock plus a binary-heap agenda.
+
+Time is a ``float`` in **seconds**.  Determinism: events scheduled for
+the same instant fire in scheduling order (a monotone sequence number
+breaks ties), so a seeded simulation replays identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Generator, Optional
+
+from .events import Signal, Waitable
+
+
+class ScheduledCall:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledCall") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """Discrete-event simulator.
+
+    >>> sim = Simulator()
+    >>> def hello():
+    ...     yield sim.timeout(3.0)
+    ...     return sim.now
+    >>> p = sim.process(hello())
+    >>> sim.run()
+    3.0
+    >>> p.value
+    3.0
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._agenda: list[ScheduledCall] = []
+        self._seq: int = 0
+        self._running = False
+        self.event_count: int = 0  # executed callbacks, for microbenches
+
+    # -- scheduling -------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> ScheduledCall:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        if math.isnan(delay):
+            raise ValueError("NaN delay")
+        self._seq += 1
+        call = ScheduledCall(self.now + delay, self._seq, fn, args)
+        heapq.heappush(self._agenda, call)
+        return call
+
+    def schedule_at(self, time: float, fn: Callable, *args: Any) -> ScheduledCall:
+        """Run ``fn(*args)`` at absolute simulated ``time`` (>= now)."""
+        return self.schedule(time - self.now, fn, *args)
+
+    # -- waitable factories ------------------------------------------------
+    def timeout(self, delay: float, value: Any = None) -> Signal:
+        """A signal that succeeds ``delay`` seconds from now."""
+        sig = Signal(f"timeout({delay:g})")
+        self.schedule(delay, sig.succeed, value)
+        return sig
+
+    def event(self, name: str = "") -> Signal:
+        """An untriggered signal for manual triggering."""
+        return Signal(name)
+
+    def process(self, gen: Generator, name: str = "") -> "Process":
+        """Start a new process from a generator (begins at current time)."""
+        from .process import Process  # local import to avoid cycle
+
+        return Process(self, gen, name=name)
+
+    # -- main loop ---------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` when agenda is empty."""
+        while self._agenda and self._agenda[0].cancelled:
+            heapq.heappop(self._agenda)
+        return self._agenda[0].time if self._agenda else math.inf
+
+    def step(self) -> None:
+        """Execute the single next event."""
+        while True:
+            call = heapq.heappop(self._agenda)
+            if not call.cancelled:
+                break
+        if call.time < self.now - 1e-12:
+            raise RuntimeError("time went backwards")  # pragma: no cover
+        self.now = max(self.now, call.time)
+        self.event_count += 1
+        call.fn(*call.args)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the agenda empties or the clock passes ``until``.
+
+        Returns the final simulated time.  When ``until`` is given the
+        clock is advanced exactly to it even if no event fires there.
+        """
+        if self._running:
+            raise RuntimeError("run() is not reentrant")
+        self._running = True
+        try:
+            while self._agenda:
+                nxt = self.peek()
+                if nxt is math.inf:
+                    break
+                if until is not None and nxt > until:
+                    break
+                self.step()
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def run_until_triggered(self, waitable: Waitable, limit: float = math.inf) -> Any:
+        """Run until ``waitable`` triggers; returns its value.
+
+        Raises ``RuntimeError`` if the agenda drains (deadlock) or the
+        ``limit`` is passed first.
+        """
+        while not waitable.triggered:
+            nxt = self.peek()
+            if nxt is math.inf:
+                raise RuntimeError(
+                    f"deadlock: agenda empty at t={self.now:g} while waiting"
+                )
+            if nxt > limit:
+                raise RuntimeError(f"time limit {limit:g}s exceeded")
+            self.step()
+        return waitable.value

@@ -1,0 +1,146 @@
+"""Command-line interface to dPerf.
+
+Mirrors the real tool's workflow — analyze a C source, run the
+instrumented code, emit trace files, and predict on a platform
+description::
+
+    python -m repro.dperf program.c --entry main --peers 4 \
+        --platform lan --level O3 --args 512 100
+
+    # inspect the instrumented source only
+    python -m repro.dperf program.c --entry main --dump-instrumented
+
+    # write traces + the platform description file
+    python -m repro.dperf program.c --peers 4 --trace-dir out/ \
+        --platform-file out/platform.xml
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..platforms import (
+    build_cluster,
+    build_daisy,
+    build_lan,
+    build_multisite,
+    parse_platform_xml,
+    write_platform_xml,
+)
+from ..simx import write_trace_files
+from .gcc import OPT_LEVELS, parse_level
+from .predictor import DPerfPredictor
+
+_BUILDERS = {
+    "cluster": lambda n: build_cluster(max(n, 1)),
+    "grid5000": lambda n: build_cluster(max(n, 1)),
+    "lan": lambda n: build_lan(max(n, 2)),
+    "xdsl": lambda n: build_daisy(petals=2, routers_per_petal=3,
+                                  dslams_per_router=2, nodes_per_dslam=3,
+                                  extra_nodes=max(0, n - 36)),
+    "multisite": lambda n: build_multisite(
+        n_sites=4, peers_per_site=max(1, (n + 3) // 4)
+    ),
+}
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.dperf",
+        description="dPerf: performance prediction for distributed C programs",
+    )
+    parser.add_argument("source", help="C or Fortran source file")
+    parser.add_argument("--entry", default="main",
+                        help="per-rank entry function (default: main)")
+    parser.add_argument("--language", default=None, choices=("c", "fortran"),
+                        help="source language (default: by file extension)")
+    parser.add_argument("--peers", type=int, default=1,
+                        help="number of ranks to execute/predict")
+    parser.add_argument("--args", type=int, nargs="*", default=[],
+                        help="integer arguments passed to the entry function")
+    parser.add_argument("--level", default="O0",
+                        help=f"GCC optimization level {OPT_LEVELS}")
+    parser.add_argument("--platform", default="cluster",
+                        choices=sorted(_BUILDERS),
+                        help="built-in platform to predict on")
+    parser.add_argument("--platform-xml", metavar="FILE",
+                        help="predict on a platform description file instead")
+    parser.add_argument("--trace-dir", metavar="DIR",
+                        help="write per-rank trace files here")
+    parser.add_argument("--platform-file", metavar="FILE",
+                        help="write the platform description file here")
+    parser.add_argument("--dump-instrumented", action="store_true",
+                        help="print the instrumented source and exit")
+    parser.add_argument("--app", default=None,
+                        help="application name used in trace files")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    source_path = Path(args.source)
+    try:
+        source = source_path.read_text()
+    except OSError as err:
+        print(f"error: cannot read {args.source}: {err}", file=sys.stderr)
+        return 2
+
+    language = args.language
+    if language is None:
+        language = (
+            "fortran"
+            if source_path.suffix.lower() in (".f", ".f90", ".f95", ".for")
+            else "c"
+        )
+    try:
+        predictor = DPerfPredictor(source, entry=args.entry,
+                                   language=language)
+    except Exception as err:  # parse/semantic errors are user errors
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    if args.dump_instrumented:
+        print(predictor.instrumented_source)
+        return 0
+
+    level = parse_level(args.level)
+    app = args.app or source_path.stem
+
+    if args.platform_xml:
+        platform = parse_platform_xml(Path(args.platform_xml).read_text())
+    else:
+        platform = _BUILDERS[args.platform](args.peers)
+    if len(platform.hosts) < args.peers:
+        print(f"error: platform has {len(platform.hosts)} hosts, "
+              f"need {args.peers}", file=sys.stderr)
+        return 2
+
+    print(f"dPerf: executing {args.peers} rank(s) of "
+          f"{source_path.name}:{args.entry}{tuple(args.args)} ...")
+    runs = predictor.execute(args.peers, args=list(args.args))
+    traces = predictor.traces_for(runs, level, app=app)
+
+    if args.trace_dir:
+        paths = write_trace_files(traces, args.trace_dir)
+        print(f"wrote {len(paths)} trace file(s) to {args.trace_dir}/")
+    if args.platform_file:
+        Path(args.platform_file).write_text(write_platform_xml(platform))
+        print(f"wrote platform description to {args.platform_file}")
+
+    result = predictor.predict(traces, platform,
+                               hosts=platform.take_hosts(args.peers))
+    replay = result.replay
+    print(f"platform          : {platform.name} ({len(platform.hosts)} hosts)")
+    print(f"optimization level: {level}")
+    print(f"t_predicted       : {result.t_predicted:.6f} s")
+    print(f"  max compute     : {max(replay.compute_time):.6f} s")
+    print(f"  max comm-blocked: {max(replay.blocked_time):.6f} s")
+    print(f"  bytes on wire   : {replay.bytes_sent:.0f}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

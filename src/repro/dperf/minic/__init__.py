@@ -1,0 +1,55 @@
+"""Mini-C frontend: lexer, parser, AST, CFG, and static analyses.
+
+This subpackage plays the role of the Rose compiler infrastructure in
+dPerf (paper Fig. 7): it turns C source text into an AST, decomposes
+it into basic blocks, discovers communication calls, and unparses
+transformed ASTs back to source.
+"""
+
+from . import cast
+from .analysis import (
+    CommCallSite,
+    analyze_function,
+    call_graph,
+    count_operations,
+    def_use,
+    estimate_trip_count,
+    find_comm_calls,
+    loop_depth_map,
+)
+from .cfg import BasicBlock, Cfg, build_cfg
+from .fortran import FortranError, parse_fortran
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, parse, parse_expr
+from .semantics import BUILTINS, COMM_APIS, PAPI_APIS, SemanticError, check
+from .unparser import expr_text, unparse
+
+__all__ = [
+    "BUILTINS",
+    "BasicBlock",
+    "COMM_APIS",
+    "Cfg",
+    "CommCallSite",
+    "FortranError",
+    "LexError",
+    "PAPI_APIS",
+    "ParseError",
+    "SemanticError",
+    "Token",
+    "analyze_function",
+    "build_cfg",
+    "call_graph",
+    "cast",
+    "check",
+    "count_operations",
+    "def_use",
+    "estimate_trip_count",
+    "expr_text",
+    "find_comm_calls",
+    "loop_depth_map",
+    "parse",
+    "parse_expr",
+    "parse_fortran",
+    "tokenize",
+    "unparse",
+]

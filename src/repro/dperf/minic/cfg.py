@@ -1,0 +1,195 @@
+"""Control-flow graph and basic-block decomposition.
+
+This is the analysis dPerf performs on the Rose AST (paper Fig. 7):
+function bodies are decomposed into *basic blocks* — maximal
+straight-line statement runs — which are the unit of both block
+benchmarking and instrumentation.  Loop headers/bodies are separate
+blocks, and each block records its loop depth (needed by the GCC
+optimization model and the scale-up analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from . import cast as A
+
+#: Statement types that live inside a basic block.
+SIMPLE_STMTS = (A.DeclStmt, A.ExprStmt, A.Empty)
+
+
+@dataclass
+class BasicBlock:
+    bid: int
+    label: str
+    stmts: List[A.Stmt] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+    loop_depth: int = 0
+    cond: Optional[A.Expr] = None  # branch condition terminating the block
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.stmts and self.cond is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<BB{self.bid} {self.label} stmts={len(self.stmts)}"
+            f" depth={self.loop_depth} succs={self.succs}>"
+        )
+
+
+@dataclass
+class Cfg:
+    func_name: str
+    blocks: List[BasicBlock] = field(default_factory=list)
+    entry: int = 0
+    exit: int = 1
+
+    def block(self, bid: int) -> BasicBlock:
+        return self.blocks[bid]
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    def max_loop_depth(self) -> int:
+        return max((b.loop_depth for b in self.blocks), default=0)
+
+    def reachable(self) -> List[int]:
+        """Block ids reachable from entry (DFS order)."""
+        seen: List[int] = []
+        seen_set = set()
+        stack = [self.entry]
+        while stack:
+            bid = stack.pop()
+            if bid in seen_set:
+                continue
+            seen_set.add(bid)
+            seen.append(bid)
+            stack.extend(reversed(self.blocks[bid].succs))
+        return seen
+
+
+class _CfgBuilder:
+    def __init__(self, func: A.FuncDef) -> None:
+        self.func = func
+        self.cfg = Cfg(func.name)
+        self._entry = self._new_block("entry", 0)
+        self._exit = self._new_block("exit", 0)
+        self.cfg.entry = self._entry.bid
+        self.cfg.exit = self._exit.bid
+        # stack of (continue_target_bid, break_target_bid)
+        self._loop_stack: List[tuple[int, int]] = []
+
+    def _new_block(self, label: str, depth: int) -> BasicBlock:
+        block = BasicBlock(len(self.cfg.blocks), label, loop_depth=depth)
+        self.cfg.blocks.append(block)
+        return block
+
+    def _edge(self, src: BasicBlock, dst: BasicBlock) -> None:
+        if dst.bid not in src.succs:
+            src.succs.append(dst.bid)
+            dst.preds.append(src.bid)
+
+    def build(self) -> Cfg:
+        last = self._stmts(self.func.body.stmts, self._entry, 0)
+        if last is not None:
+            self._edge(last, self._exit)
+        return self.cfg
+
+    def _stmts(
+        self, stmts: List[A.Stmt], current: Optional[BasicBlock], depth: int
+    ) -> Optional[BasicBlock]:
+        """Thread statements through the CFG; returns the live tail block
+        (``None`` when control cannot fall through)."""
+        for stmt in stmts:
+            if current is None:
+                # unreachable code after return/break; still build blocks
+                current = self._new_block("unreachable", depth)
+            current = self._stmt(stmt, current, depth)
+        return current
+
+    def _stmt(
+        self, stmt: A.Stmt, current: BasicBlock, depth: int
+    ) -> Optional[BasicBlock]:
+        if isinstance(stmt, SIMPLE_STMTS):
+            current.stmts.append(stmt)
+            return current
+        if isinstance(stmt, A.Block):
+            return self._stmts(stmt.stmts, current, depth)
+        if isinstance(stmt, A.Return):
+            current.stmts.append(stmt)
+            self._edge(current, self.cfg.blocks[self.cfg.exit])
+            return None
+        if isinstance(stmt, A.Break):
+            current.stmts.append(stmt)
+            if self._loop_stack:
+                _cont, brk = self._loop_stack[-1]
+                self._edge(current, self.cfg.blocks[brk])
+            return None
+        if isinstance(stmt, A.Continue):
+            current.stmts.append(stmt)
+            if self._loop_stack:
+                cont, _brk = self._loop_stack[-1]
+                self._edge(current, self.cfg.blocks[cont])
+            return None
+        if isinstance(stmt, A.If):
+            current.cond = stmt.cond
+            then_entry = self._new_block("then", depth)
+            self._edge(current, then_entry)
+            then_tail = self._stmt(stmt.then, then_entry, depth)
+            join = self._new_block("join", depth)
+            if stmt.other is not None:
+                else_entry = self._new_block("else", depth)
+                self._edge(current, else_entry)
+                else_tail = self._stmt(stmt.other, else_entry, depth)
+                if else_tail is not None:
+                    self._edge(else_tail, join)
+            else:
+                self._edge(current, join)
+            if then_tail is not None:
+                self._edge(then_tail, join)
+            return join
+        if isinstance(stmt, A.While):
+            header = self._new_block("while-header", depth + 1)
+            header.cond = stmt.cond
+            self._edge(current, header)
+            exit_block = self._new_block("while-exit", depth)
+            body_entry = self._new_block("while-body", depth + 1)
+            self._edge(header, body_entry)
+            self._edge(header, exit_block)
+            self._loop_stack.append((header.bid, exit_block.bid))
+            body_tail = self._stmt(stmt.body, body_entry, depth + 1)
+            self._loop_stack.pop()
+            if body_tail is not None:
+                self._edge(body_tail, header)
+            return exit_block
+        if isinstance(stmt, A.For):
+            if stmt.init is not None:
+                current = self._stmt(stmt.init, current, depth) or current
+            header = self._new_block("for-header", depth + 1)
+            header.cond = stmt.cond
+            self._edge(current, header)
+            exit_block = self._new_block("for-exit", depth)
+            body_entry = self._new_block("for-body", depth + 1)
+            self._edge(header, body_entry)
+            self._edge(header, exit_block)
+            # continue jumps to the step block
+            step_block = self._new_block("for-step", depth + 1)
+            if stmt.step is not None:
+                step_block.stmts.append(A.ExprStmt(stmt.line, stmt.col, stmt.step))
+            self._loop_stack.append((step_block.bid, exit_block.bid))
+            body_tail = self._stmt(stmt.body, body_entry, depth + 1)
+            self._loop_stack.pop()
+            if body_tail is not None:
+                self._edge(body_tail, step_block)
+            self._edge(step_block, header)
+            return exit_block
+        raise TypeError(f"unsupported statement {type(stmt).__name__}")
+
+
+def build_cfg(func: A.FuncDef) -> Cfg:
+    """Construct the control-flow graph of one function."""
+    return _CfgBuilder(func).build()

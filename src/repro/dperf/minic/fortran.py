@@ -1,0 +1,582 @@
+"""Fortran frontend: a second language lowering onto the same AST.
+
+The paper (§II-B, §III-D): "the dPerf prediction environment evaluates
+distributed applications written in C, C++, or Fortran".  This module
+parses a free-form Fortran 90-ish subset — the dialect iterative
+numerical codes of the era actually use — and lowers it onto the
+mini-C AST, so instrumentation, interpretation, block benchmarking and
+prediction all work unchanged.
+
+Supported subset
+----------------
+* ``subroutine name(a, b)`` / ``function name(a, b) result(r)`` … ``end``
+* declarations: ``integer``, ``real*8`` / ``double precision``, with
+  ``::`` or classic form; array declarators ``u(n)``, ``m(n, k)``
+* ``do v = lo, hi [, step]`` … ``end do``; ``exit`` / ``cycle``
+* ``if (cond) then`` … ``else`` … ``end if``; one-line ``if (c) stmt``
+* assignments, arithmetic (incl. ``**`` → ``pow``), comparisons in
+  both ``.lt.`` and ``<`` spellings, ``.and./.or./.not.``
+* ``call sub(args)`` — including the P2PSAP/MPI communication calls
+* intrinsics: ``max``, ``min``, ``abs``, ``sqrt``, ``exp``, ``log``,
+  ``mod``, ``dble``
+* ``!`` comments and ``&`` continuation lines; case-insensitive
+
+Fortran arrays are 1-based and indexed with parentheses; indexing is
+lowered to 0-based element access by subtracting one — the extra
+integer op per access is exactly what a naive compiler pays, so the
+cost model sees it too.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from . import cast as A
+from .lexer import Token
+from .semantics import BUILTINS, COMM_APIS, DPERF_APIS
+
+_INTRINSIC_MAP = {
+    "max": "fmax",
+    "min": "fmin",
+    "abs": "fabs",
+    "dabs": "fabs",
+    "sqrt": "sqrt",
+    "dsqrt": "sqrt",
+    "exp": "exp",
+    "log": "log",
+    "dble": None,  # handled as a cast
+}
+
+_DOTOP_MAP = {
+    ".lt.": "<", ".le.": "<=", ".gt.": ">", ".ge.": ">=",
+    ".eq.": "==", ".ne.": "!=", ".and.": "&&", ".or.": "||",
+}
+
+_TYPE_MAP = {
+    "integer": "int",
+    "real": "double",        # promote: numerical codes want real*8 anyway
+    "real*8": "double",
+    "doubleprecision": "double",
+}
+
+
+class FortranError(SyntaxError):
+    """Raised on source outside the supported subset."""
+
+
+# --------------------------------------------------------------------------
+# Line preparation
+# --------------------------------------------------------------------------
+
+def _logical_lines(source: str) -> List[Tuple[int, str]]:
+    """Strip comments, join ``&`` continuations; returns (lineno, text)."""
+    out: List[Tuple[int, str]] = []
+    pending = ""
+    pending_line = 0
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        if pending:
+            line = pending + " " + line
+            lineno = pending_line
+            pending = ""
+        if line.endswith("&"):
+            pending = line[:-1].rstrip()
+            pending_line = lineno
+            continue
+        out.append((lineno, line))
+    if pending:
+        out.append((pending_line, pending))
+    return out
+
+
+def _strip_comment(line: str) -> str:
+    in_string = False
+    for i, ch in enumerate(line):
+        if ch == "'":
+            in_string = not in_string
+        elif ch == "!" and not in_string:
+            return line[:i]
+    return line
+
+
+# --------------------------------------------------------------------------
+# Expression parsing (recursive descent over a token list)
+# --------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<string>'[^']*')"
+    r"|(?P<dotop>\.[a-zA-Z]+\.)"
+    r"|(?P<float>\d+\.\d*(?:[dDeE][+-]?\d+)?|\d+[dDeE][+-]?\d+|\.\d+(?:[dDeE][+-]?\d+)?)"
+    r"|(?P<int>\d+)"
+    r"|(?P<name>[a-zA-Z_][a-zA-Z_0-9]*)"
+    r"|(?P<op>\*\*|==|/=|<=|>=|<|>|[-+*/(),=])"
+    r")"
+)
+
+
+def _tokenize_expr(text: str, line: int) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            rest = text[pos:].strip()
+            if not rest:
+                break
+            raise FortranError(f"line {line}: cannot tokenize {rest!r}")
+        pos = match.end()
+        if match.group("string"):
+            tokens.append(("string", match.group("string")[1:-1]))
+        elif match.group("dotop"):
+            dotop = match.group("dotop").lower()
+            if dotop == ".not.":
+                tokens.append(("op", "!"))
+            elif dotop in _DOTOP_MAP:
+                tokens.append(("op", _DOTOP_MAP[dotop]))
+            elif dotop in (".true.", ".false."):
+                tokens.append(("int", "1" if dotop == ".true." else "0"))
+            else:
+                raise FortranError(f"line {line}: unknown operator {dotop}")
+        elif match.group("float"):
+            tokens.append(
+                ("float", match.group("float").lower().replace("d", "e"))
+            )
+        elif match.group("int"):
+            tokens.append(("int", match.group("int")))
+        elif match.group("name"):
+            tokens.append(("name", match.group("name").lower()))
+        else:
+            op = match.group("op")
+            tokens.append(("op", "!=" if op == "/=" else op))
+    return tokens
+
+
+class _ExprParser:
+    """Precedence-climbing parser over Fortran expression tokens."""
+
+    _PREC = {
+        "||": 1, "&&": 2,
+        "==": 3, "!=": 3, "<": 4, "<=": 4, ">": 4, ">=": 4,
+        "+": 5, "-": 5, "*": 6, "/": 6, "**": 7,
+    }
+
+    def __init__(self, tokens: List[Tuple[str, str]], line: int,
+                 arrays: Dict[str, int]) -> None:
+        self.tokens = tokens
+        self.line = line
+        self.pos = 0
+        self.arrays = arrays  # known array names → rank
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> Tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise FortranError(f"line {self.line}: unexpected end of expression")
+        self.pos += 1
+        return tok
+
+    def expect_op(self, text: str) -> None:
+        tok = self.next()
+        if tok != ("op", text):
+            raise FortranError(
+                f"line {self.line}: expected {text!r}, found {tok[1]!r}"
+            )
+
+    def parse(self) -> A.Expr:
+        expr = self.parse_binary(1)
+        if self.peek() is not None:
+            raise FortranError(
+                f"line {self.line}: trailing tokens {self.tokens[self.pos:]}"
+            )
+        return expr
+
+    def parse_binary(self, min_prec: int) -> A.Expr:
+        left = self.parse_unary()
+        while True:
+            tok = self.peek()
+            if tok is None or tok[0] != "op":
+                return left
+            prec = self._PREC.get(tok[1])
+            if prec is None or prec < min_prec:
+                return left
+            self.next()
+            if tok[1] == "**":
+                # right-associative, lowered to pow()
+                right = self.parse_binary(prec)
+                left = A.Call(self.line, 0, "pow", [left, right])
+                continue
+            right = self.parse_binary(prec + 1)
+            left = A.BinOp(self.line, 0, tok[1], left, right)
+
+    def parse_unary(self) -> A.Expr:
+        tok = self.peek()
+        if tok == ("op", "-"):
+            self.next()
+            return A.UnOp(self.line, 0, "-", self.parse_unary())
+        if tok == ("op", "+"):
+            self.next()
+            return self.parse_unary()
+        if tok == ("op", "!"):
+            self.next()
+            return A.UnOp(self.line, 0, "!", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> A.Expr:
+        tok = self.next()
+        kind, text = tok
+        if kind == "int":
+            return A.IntLit(self.line, 0, int(text))
+        if kind == "float":
+            return A.FloatLit(self.line, 0, float(text))
+        if kind == "string":
+            return A.StringLit(self.line, 0, text)
+        if kind == "op" and text == "(":
+            inner = self.parse_binary(1)
+            self.expect_op(")")
+            return inner
+        if kind == "name":
+            if self.peek() == ("op", "("):
+                self.next()
+                args: List[A.Expr] = []
+                if self.peek() != ("op", ")"):
+                    while True:
+                        args.append(self.parse_binary(1))
+                        if self.peek() == ("op", ","):
+                            self.next()
+                            continue
+                        break
+                self.expect_op(")")
+                return self._name_with_args(text, args)
+            return A.Ident(self.line, 0, text)
+        raise FortranError(f"line {self.line}: unexpected token {text!r}")
+
+    def _name_with_args(self, name: str, args: List[A.Expr]) -> A.Expr:
+        if name in self.arrays:
+            # 1-based Fortran indexing → 0-based element access
+            indices = [
+                A.BinOp(self.line, 0, "-", a, A.IntLit(self.line, 0, 1))
+                for a in args
+            ]
+            return A.Index(self.line, 0, A.Ident(self.line, 0, name), indices)
+        if name == "mod":
+            if len(args) != 2:
+                raise FortranError(f"line {self.line}: mod takes 2 args")
+            return A.BinOp(self.line, 0, "%", args[0], args[1])
+        if name == "dble":
+            return A.Cast(self.line, 0, A.CType(self.line, 0, "double"),
+                          args[0])
+        mapped = _INTRINSIC_MAP.get(name)
+        if mapped:
+            return A.Call(self.line, 0, mapped, args)
+        return A.Call(self.line, 0, _external_name(name), args)
+
+
+def _external_name(name: str) -> str:
+    """Map lowercase Fortran names onto the comm-API spellings."""
+    for table in (COMM_APIS, DPERF_APIS, BUILTINS):
+        for known in table:
+            if known.lower() == name:
+                return known
+    return name
+
+
+# --------------------------------------------------------------------------
+# Statement-level parsing
+# --------------------------------------------------------------------------
+
+_UNIT_RE = re.compile(
+    r"^(subroutine|function)\s+([a-zA-Z_][\w]*)\s*(?:\(([^)]*)\))?"
+    r"(?:\s+result\s*\(\s*([a-zA-Z_][\w]*)\s*\))?\s*$",
+    re.IGNORECASE,
+)
+_DECL_RE = re.compile(
+    r"^(integer|real\s*\*\s*8|real|double\s+precision)\s*(::)?\s*(.+)$",
+    re.IGNORECASE,
+)
+_DO_RE = re.compile(
+    r"^do\s+([a-zA-Z_][\w]*)\s*=\s*(.+)$", re.IGNORECASE
+)
+_IF_THEN_RE = re.compile(r"^if\s*\((.*)\)\s*then$", re.IGNORECASE)
+_IF_ONELINE_RE = re.compile(r"^if\s*\((.*)\)\s*(\S.*)$", re.IGNORECASE)
+_CALL_RE = re.compile(r"^call\s+([a-zA-Z_][\w]*)\s*(?:\((.*)\))?\s*$",
+                      re.IGNORECASE)
+
+
+class _FortranParser:
+    def __init__(self, source: str) -> None:
+        self.lines = _logical_lines(source)
+        self.pos = 0
+
+    def peek(self) -> Optional[Tuple[int, str]]:
+        return self.lines[self.pos] if self.pos < len(self.lines) else None
+
+    def next(self) -> Tuple[int, str]:
+        item = self.peek()
+        if item is None:
+            raise FortranError("unexpected end of source")
+        self.pos += 1
+        return item
+
+    # -- program --------------------------------------------------------------
+    def parse_program(self) -> A.Program:
+        program = A.Program()
+        while self.peek() is not None:
+            program.funcs.append(self.parse_unit())
+        return program
+
+    def parse_unit(self) -> A.FuncDef:
+        lineno, line = self.next()
+        match = _UNIT_RE.match(line)
+        if match is None:
+            raise FortranError(
+                f"line {lineno}: expected subroutine/function, got {line!r}"
+            )
+        kind, name, arg_text, result_name = match.groups()
+        name = name.lower()
+        arg_names = [a.strip().lower() for a in (arg_text or "").split(",")
+                     if a.strip()]
+        is_function = kind.lower() == "function"
+        result_var = (result_name or name).lower() if is_function else None
+
+        unit = _UnitBuilder(name, arg_names, result_var)
+        body = self.parse_block(unit, terminators=("end",))
+        self.next()  # consume the `end`
+        return unit.build(body, lineno, is_function)
+
+    # -- statements --------------------------------------------------------------
+    def parse_block(self, unit: "_UnitBuilder",
+                    terminators: Tuple[str, ...]) -> List[A.Stmt]:
+        stmts: List[A.Stmt] = []
+        while True:
+            item = self.peek()
+            if item is None:
+                raise FortranError(
+                    f"missing terminator {terminators} at end of source"
+                )
+            _lineno, line = item
+            lowered = re.sub(r"\s+", " ", line.lower()).strip()
+            if lowered in terminators or lowered.split(" ")[0] in terminators:
+                return stmts
+            self.next()
+            stmt = self.parse_stmt(_lineno, line, unit)
+            if stmt is not None:
+                stmts.append(stmt)
+
+    def parse_stmt(self, lineno: int, line: str,
+                   unit: "_UnitBuilder") -> Optional[A.Stmt]:
+        lowered = line.lower()
+
+        decl = _DECL_RE.match(line)
+        if decl is not None and "=" not in decl.group(3).split("(")[0]:
+            unit.add_declarations(decl, lineno)
+            return None  # declarations materialize in the prologue
+
+        if lowered == "return":
+            return self._return_stmt(lineno, unit)
+        if lowered == "exit":
+            return A.Break(lineno, 0)
+        if lowered == "cycle":
+            return A.Continue(lineno, 0)
+        if lowered in ("continue",):
+            return A.Empty(lineno, 0)
+
+        match = _IF_THEN_RE.match(line)
+        if match is not None:
+            return self.parse_if_block(lineno, match.group(1), unit)
+
+        match = _DO_RE.match(line)
+        if match is not None:
+            return self.parse_do(lineno, match, unit)
+
+        match = _CALL_RE.match(line)
+        if match is not None:
+            name = match.group(1).lower()
+            args_text = match.group(2) or ""
+            args = _split_args(args_text, lineno)
+            call = A.Call(lineno, 0, _external_name(name), [
+                self._expr(a, lineno, unit) for a in args
+            ])
+            return A.ExprStmt(lineno, 0, call)
+
+        match = _IF_ONELINE_RE.match(line)
+        if match is not None and not _IF_THEN_RE.match(line):
+            cond = self._expr(match.group(1), lineno, unit)
+            inner = self.parse_stmt(lineno, match.group(2), unit)
+            if inner is None:
+                raise FortranError(f"line {lineno}: bad one-line if body")
+            return A.If(lineno, 0, cond, inner, None)
+
+        if "=" in line:
+            lhs_text, rhs_text = _split_assignment(line, lineno)
+            target = self._expr(lhs_text, lineno, unit)
+            if not isinstance(target, (A.Ident, A.Index)):
+                raise FortranError(
+                    f"line {lineno}: invalid assignment target {lhs_text!r}"
+                )
+            value = self._expr(rhs_text, lineno, unit)
+            return A.ExprStmt(
+                lineno, 0, A.Assign(lineno, 0, "=", target, value)
+            )
+
+        raise FortranError(f"line {lineno}: unsupported statement {line!r}")
+
+    def parse_if_block(self, lineno: int, cond_text: str,
+                       unit: "_UnitBuilder") -> A.If:
+        cond = self._expr(cond_text, lineno, unit)
+        then_stmts = self.parse_block(unit, ("else", "end if", "endif"))
+        _l, terminator = self.next()
+        other: Optional[A.Stmt] = None
+        if terminator.lower().startswith("else"):
+            else_stmts = self.parse_block(unit, ("end if", "endif"))
+            self.next()
+            other = A.Block(lineno, 0, else_stmts)
+        return A.If(lineno, 0, cond, A.Block(lineno, 0, then_stmts), other)
+
+    def parse_do(self, lineno: int, match: re.Match,
+                 unit: "_UnitBuilder") -> A.For:
+        var = match.group(1).lower()
+        bounds = _split_args(match.group(2), lineno)
+        if len(bounds) not in (2, 3):
+            raise FortranError(f"line {lineno}: do needs lo, hi[, step]")
+        lo = self._expr(bounds[0], lineno, unit)
+        hi = self._expr(bounds[1], lineno, unit)
+        step = self._expr(bounds[2], lineno, unit) if len(bounds) == 3 \
+            else A.IntLit(lineno, 0, 1)
+        body_stmts = self.parse_block(unit, ("end do", "enddo"))
+        self.next()
+        ident = A.Ident(lineno, 0, var)
+        init = A.ExprStmt(lineno, 0, A.Assign(lineno, 0, "=", ident, lo))
+        descending = isinstance(step, A.IntLit) and step.value < 0
+        cond_op = ">=" if descending else "<="
+        cond = A.BinOp(lineno, 0, cond_op, A.Ident(lineno, 0, var), hi)
+        incr = A.Assign(lineno, 0, "+=", A.Ident(lineno, 0, var), step)
+        return A.For(lineno, 0, init, cond, incr,
+                     A.Block(lineno, 0, body_stmts))
+
+    def _return_stmt(self, lineno: int, unit: "_UnitBuilder") -> A.Return:
+        if unit.result_var is not None:
+            return A.Return(lineno, 0, A.Ident(lineno, 0, unit.result_var))
+        return A.Return(lineno, 0, None)
+
+    def _expr(self, text: str, lineno: int, unit: "_UnitBuilder") -> A.Expr:
+        return _ExprParser(
+            _tokenize_expr(text, lineno), lineno, unit.arrays
+        ).parse()
+
+
+def _split_args(text: str, lineno: int) -> List[str]:
+    """Split on top-level commas."""
+    parts, depth, current = [], 0, []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise FortranError(f"line {lineno}: unbalanced parentheses")
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return [p.strip() for p in parts if p.strip()]
+
+
+def _split_assignment(line: str, lineno: int) -> Tuple[str, str]:
+    depth = 0
+    for i, ch in enumerate(line):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif ch == "=" and depth == 0:
+            before = line[i - 1] if i else ""
+            after = line[i + 1] if i + 1 < len(line) else ""
+            if before in "<>=!" or after == "=":
+                continue  # comparison, not assignment
+            return line[:i].strip(), line[i + 1:].strip()
+    raise FortranError(f"line {lineno}: expected assignment in {line!r}")
+
+
+class _UnitBuilder:
+    """Collects declarations while a unit's body is parsed."""
+
+    def __init__(self, name: str, arg_names: List[str],
+                 result_var: Optional[str]) -> None:
+        self.name = name
+        self.arg_names = arg_names
+        self.result_var = result_var
+        self.types: Dict[str, str] = {}
+        self.dims: Dict[str, List[A.Expr]] = {}
+        self.arrays: Dict[str, int] = {}
+        self.order: List[str] = []
+
+    def add_declarations(self, match: re.Match, lineno: int) -> None:
+        ctype = _TYPE_MAP[re.sub(r"\s+", "", match.group(1).lower())]
+        for declarator in _split_args(match.group(3), lineno):
+            dmatch = re.match(r"^([a-zA-Z_][\w]*)\s*(?:\((.*)\))?$", declarator)
+            if dmatch is None:
+                raise FortranError(
+                    f"line {lineno}: bad declarator {declarator!r}"
+                )
+            var = dmatch.group(1).lower()
+            self.types[var] = ctype
+            self.order.append(var)
+            if dmatch.group(2):
+                dim_texts = _split_args(dmatch.group(2), lineno)
+                self.arrays[var] = len(dim_texts)
+                # dims reference scalars declared earlier; parse lazily
+                self.dims[var] = [
+                    _ExprParser(_tokenize_expr(d, lineno), lineno,
+                                self.arrays).parse()
+                    for d in dim_texts
+                ]
+
+    def build(self, body: List[A.Stmt], lineno: int,
+              is_function: bool) -> A.FuncDef:
+        params: List[A.Param] = []
+        for arg in self.arg_names:
+            ctype = A.CType(lineno, 0, self.types.get(arg, "double"))
+            dims: List[Optional[A.Expr]] = []
+            if arg in self.arrays:
+                dims = [None] * self.arrays[arg]
+            params.append(A.Param(lineno, 0, arg, ctype, dims))
+        prologue: List[A.Stmt] = []
+        for var in self.order:
+            if var in self.arg_names:
+                continue
+            ctype = A.CType(lineno, 0, self.types[var])
+            decl = A.VarDecl(lineno, 0, var, ctype,
+                             self.dims.get(var, []), None)
+            prologue.append(A.DeclStmt(lineno, 0, [decl]))
+        if is_function and self.result_var is not None \
+                and self.result_var not in self.arg_names \
+                and self.result_var not in self.types:
+            # implicit result variable defaults to double
+            decl = A.VarDecl(lineno, 0, self.result_var,
+                             A.CType(lineno, 0, "double"), [], None)
+            prologue.append(A.DeclStmt(lineno, 0, [decl]))
+        stmts = prologue + body
+        if is_function:
+            stmts = stmts + [A.Return(lineno, 0,
+                                      A.Ident(lineno, 0, self.result_var))]
+        return_type = "double" if is_function else "void"
+        if is_function and self.result_var in self.types:
+            return_type = self.types[self.result_var]
+        return A.FuncDef(
+            lineno, 0, self.name, A.CType(lineno, 0, return_type),
+            params, A.Block(lineno, 0, stmts),
+        )
+
+
+def parse_fortran(source: str) -> A.Program:
+    """Parse Fortran source into the shared AST."""
+    return _FortranParser(source).parse_program()

@@ -1,0 +1,205 @@
+"""Tokenizer for the mini-C dialect dPerf analyzes.
+
+The dialect covers the subset of C99 the obstacle-problem code uses:
+scalar types, (variable-length) arrays, the usual operators and
+control flow, function definitions, and calls into the P2PSAP / MPI /
+PAPI APIs.  Preprocessor lines are skipped (recorded for fidelity, not
+interpreted — the analyzed sources are single-file).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = {
+    "void", "int", "long", "float", "double", "char",
+    "if", "else", "while", "for", "return", "break", "continue",
+    "const",
+}
+
+# Longest first so the scanner is greedy.
+OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+    "+=", "-=", "*=", "/=", "%=",
+    "<<", ">>",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "(", ")", "[", "]", "{", "}", ",", ";", "?", ":",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'keyword' | 'int' | 'float' | 'string' | 'op' | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+class LexError(SyntaxError):
+    pass
+
+
+class Lexer:
+    def __init__(self, source: str, filename: str = "<source>") -> None:
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+        self.preprocessor_lines: List[str] = []
+
+    def error(self, msg: str) -> LexError:
+        return LexError(f"{self.filename}:{self.line}:{self.col}: {msg}")
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.source[i] if i < len(self.source) else ""
+
+    def tokens(self) -> Iterator[Token]:
+        src = self.source
+        while self.pos < len(src):
+            ch = src[self.pos]
+            # whitespace
+            if ch in " \t\r\n":
+                self._advance()
+                continue
+            # preprocessor line: record and skip to EOL
+            if ch == "#" and self.col == 1:
+                start = self.pos
+                while self.pos < len(src) and src[self.pos] != "\n":
+                    self._advance()
+                self.preprocessor_lines.append(src[start:self.pos])
+                continue
+            # comments
+            if ch == "/" and self._peek(1) == "/":
+                while self.pos < len(src) and src[self.pos] != "\n":
+                    self._advance()
+                continue
+            if ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(src) and not (
+                    src[self.pos] == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(src):
+                    raise self.error("unterminated block comment")
+                self._advance(2)
+                continue
+            line, col = self.line, self.col
+            # identifiers / keywords
+            if ch.isalpha() or ch == "_":
+                start = self.pos
+                while self.pos < len(src) and (
+                    src[self.pos].isalnum() or src[self.pos] == "_"
+                ):
+                    self._advance()
+                text = src[start:self.pos]
+                kind = "keyword" if text in KEYWORDS else "ident"
+                yield Token(kind, text, line, col)
+                continue
+            # numbers
+            if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                yield self._number(line, col)
+                continue
+            # strings
+            if ch == '"':
+                yield self._string(line, col)
+                continue
+            if ch == "'":
+                yield self._char(line, col)
+                continue
+            # operators / punctuation
+            for op in OPERATORS:
+                if src.startswith(op, self.pos):
+                    self._advance(len(op))
+                    yield Token("op", op, line, col)
+                    break
+            else:
+                raise self.error(f"unexpected character {ch!r}")
+        yield Token("eof", "", self.line, self.col)
+
+    def _number(self, line: int, col: int) -> Token:
+        src = self.source
+        start = self.pos
+        is_float = False
+        while self.pos < len(src) and src[self.pos].isdigit():
+            self._advance()
+        if self._peek() == "." :
+            is_float = True
+            self._advance()
+            while self.pos < len(src) and src[self.pos].isdigit():
+                self._advance()
+        if self._peek() in ("e", "E"):
+            is_float = True
+            self._advance()
+            if self._peek() in ("+", "-"):
+                self._advance()
+            if not self._peek().isdigit():
+                raise self.error("malformed exponent")
+            while self.pos < len(src) and src[self.pos].isdigit():
+                self._advance()
+        text = src[start:self.pos]
+        # suffixes (f, L, u) tolerated and dropped
+        while self._peek() in ("f", "F", "l", "L", "u", "U"):
+            if self._peek() in ("f", "F"):
+                is_float = True
+            self._advance()
+        return Token("float" if is_float else "int", text, line, col)
+
+    def _string(self, line: int, col: int) -> Token:
+        src = self.source
+        self._advance()  # opening quote
+        out = []
+        while True:
+            if self.pos >= len(src):
+                raise self.error("unterminated string literal")
+            ch = src[self.pos]
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                esc = self._peek()
+                mapping = {"n": "\n", "t": "\t", "\\": "\\", '"': '"', "0": "\0"}
+                out.append(mapping.get(esc, esc))
+                self._advance()
+                continue
+            out.append(ch)
+            self._advance()
+        return Token("string", "".join(out), line, col)
+
+    def _char(self, line: int, col: int) -> Token:
+        src = self.source
+        self._advance()
+        if self.pos >= len(src):
+            raise self.error("unterminated char literal")
+        ch = src[self.pos]
+        if ch == "\\":
+            self._advance()
+            esc = self._peek()
+            mapping = {"n": "\n", "t": "\t", "\\": "\\", "'": "'", "0": "\0"}
+            ch = mapping.get(esc, esc)
+        self._advance()
+        if self._peek() != "'":
+            raise self.error("unterminated char literal")
+        self._advance()
+        return Token("int", str(ord(ch)), line, col)
+
+
+def tokenize(source: str, filename: str = "<source>") -> List[Token]:
+    """Tokenize the full source; raises :class:`LexError` on bad input."""
+    return list(Lexer(source, filename).tokens())

@@ -1,0 +1,385 @@
+"""Recursive-descent parser for the mini-C dialect.
+
+Produces the AST defined in :mod:`repro.dperf.minic.cast`.  Operator
+precedence follows C.  Function prototypes are accepted and recorded
+but produce no definition node.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import cast as A
+from .lexer import Lexer, Token
+
+TYPE_NAMES = {"void", "int", "long", "float", "double", "char"}
+
+ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%="}
+
+# binary precedence, higher binds tighter
+_BIN_PREC = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class ParseError(SyntaxError):
+    pass
+
+
+class Parser:
+    def __init__(self, source: str, filename: str = "<source>") -> None:
+        lexer = Lexer(source, filename)
+        self.tokens: List[Token] = list(lexer.tokens())
+        self.preprocessor = lexer.preprocessor_lines
+        self.filename = filename
+        self.pos = 0
+        self.prototypes: List[str] = []
+
+    # -- token helpers ------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def at_op(self, *texts: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "op" and tok.text in texts
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text or kind
+            raise self.error(f"expected {want!r}, found {tok.text or tok.kind!r}")
+        return self.next()
+
+    def error(self, msg: str) -> ParseError:
+        tok = self.peek()
+        return ParseError(f"{self.filename}:{tok.line}:{tok.col}: {msg}")
+
+    def _at_type(self) -> bool:
+        tok = self.peek()
+        if tok.kind == "keyword" and tok.text == "const":
+            tok = self.peek(1)
+        return tok.kind == "keyword" and tok.text in TYPE_NAMES
+
+    # -- top level ------------------------------------------------------------
+    def parse_program(self) -> A.Program:
+        prog = A.Program(preprocessor=self.preprocessor)
+        while not self.at("eof"):
+            if not self._at_type():
+                raise self.error("expected a declaration or function definition")
+            ctype = self._parse_type()
+            name_tok = self.expect("ident")
+            if self.at_op("("):
+                item = self._parse_func_rest(ctype, name_tok)
+                if item is not None:
+                    prog.funcs.append(item)
+            else:
+                prog.globals.append(self._parse_decl_rest(ctype, name_tok))
+        return prog
+
+    def _parse_type(self) -> A.CType:
+        if self.at("keyword", "const"):
+            self.next()  # const is accepted and ignored (no mutation check)
+        tok = self.expect("keyword")
+        if tok.text not in TYPE_NAMES:
+            raise self.error(f"unknown type {tok.text!r}")
+        return A.CType(tok.line, tok.col, tok.text)
+
+    def _parse_func_rest(self, ctype: A.CType, name_tok: Token) -> Optional[A.FuncDef]:
+        self.expect("op", "(")
+        params: List[A.Param] = []
+        if not self.at_op(")"):
+            if self.at("keyword", "void") and self.peek(1).text == ")":
+                self.next()
+            else:
+                while True:
+                    params.append(self._parse_param())
+                    if self.at_op(","):
+                        self.next()
+                        continue
+                    break
+        self.expect("op", ")")
+        if self.at_op(";"):  # prototype
+            self.next()
+            self.prototypes.append(name_tok.text)
+            return None
+        body = self._parse_block()
+        return A.FuncDef(
+            name_tok.line, name_tok.col, name_tok.text, ctype, params, body
+        )
+
+    def _parse_param(self) -> A.Param:
+        ctype = self._parse_type()
+        pointer = False
+        if self.at_op("*"):  # ``double *u`` treated as 1-D array param
+            self.next()
+            pointer = True
+        tok = self.expect("ident")
+        dims: List[Optional[A.Expr]] = [None] if pointer else []
+        while self.at_op("["):
+            self.next()
+            if self.at_op("]"):
+                dims.append(None)
+            else:
+                dims.append(self._parse_expr())
+            self.expect("op", "]")
+        return A.Param(tok.line, tok.col, tok.text, ctype, dims)
+
+    def _parse_decl_rest(self, ctype: A.CType, name_tok: Token) -> A.DeclStmt:
+        """Parse declarators after ``type name`` (name already consumed)."""
+        decls = [self._parse_declarator(ctype, name_tok)]
+        while self.at_op(","):
+            self.next()
+            tok = self.expect("ident")
+            decls.append(self._parse_declarator(ctype, tok))
+        self.expect("op", ";")
+        return A.DeclStmt(name_tok.line, name_tok.col, decls)
+
+    def _parse_declarator(self, ctype: A.CType, name_tok: Token) -> A.VarDecl:
+        dims: List[A.Expr] = []
+        while self.at_op("["):
+            self.next()
+            dims.append(self._parse_expr())
+            self.expect("op", "]")
+        init = None
+        if self.at_op("="):
+            self.next()
+            init = self._parse_assignment()
+        return A.VarDecl(name_tok.line, name_tok.col, name_tok.text, ctype, dims, init)
+
+    # -- statements --------------------------------------------------------------
+    def _parse_block(self) -> A.Block:
+        open_tok = self.expect("op", "{")
+        stmts: List[A.Stmt] = []
+        while not self.at_op("}"):
+            if self.at("eof"):
+                raise self.error("unterminated block")
+            stmts.append(self._parse_stmt())
+        self.expect("op", "}")
+        return A.Block(open_tok.line, open_tok.col, stmts)
+
+    def _parse_stmt(self) -> A.Stmt:
+        tok = self.peek()
+        if self.at_op("{"):
+            return self._parse_block()
+        if self.at_op(";"):
+            self.next()
+            return A.Empty(tok.line, tok.col)
+        if self._at_type():
+            ctype = self._parse_type()
+            name_tok = self.expect("ident")
+            return self._parse_decl_rest(ctype, name_tok)
+        if self.at("keyword", "if"):
+            return self._parse_if()
+        if self.at("keyword", "while"):
+            return self._parse_while()
+        if self.at("keyword", "for"):
+            return self._parse_for()
+        if self.at("keyword", "return"):
+            self.next()
+            value = None if self.at_op(";") else self._parse_expr()
+            self.expect("op", ";")
+            return A.Return(tok.line, tok.col, value)
+        if self.at("keyword", "break"):
+            self.next()
+            self.expect("op", ";")
+            return A.Break(tok.line, tok.col)
+        if self.at("keyword", "continue"):
+            self.next()
+            self.expect("op", ";")
+            return A.Continue(tok.line, tok.col)
+        expr = self._parse_expr()
+        self.expect("op", ";")
+        return A.ExprStmt(tok.line, tok.col, expr)
+
+    def _parse_if(self) -> A.If:
+        tok = self.expect("keyword", "if")
+        self.expect("op", "(")
+        cond = self._parse_expr()
+        self.expect("op", ")")
+        then = self._parse_stmt()
+        other = None
+        if self.at("keyword", "else"):
+            self.next()
+            other = self._parse_stmt()
+        return A.If(tok.line, tok.col, cond, then, other)
+
+    def _parse_while(self) -> A.While:
+        tok = self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self._parse_expr()
+        self.expect("op", ")")
+        body = self._parse_stmt()
+        return A.While(tok.line, tok.col, cond, body)
+
+    def _parse_for(self) -> A.For:
+        tok = self.expect("keyword", "for")
+        self.expect("op", "(")
+        init: Optional[A.Stmt] = None
+        if not self.at_op(";"):
+            if self._at_type():
+                ctype = self._parse_type()
+                name_tok = self.expect("ident")
+                init = self._parse_decl_rest(ctype, name_tok)  # consumes ';'
+            else:
+                expr = self._parse_expr()
+                self.expect("op", ";")
+                init = A.ExprStmt(expr.line, expr.col, expr)
+        else:
+            self.next()
+        cond = None
+        if not self.at_op(";"):
+            cond = self._parse_expr()
+        self.expect("op", ";")
+        step = None
+        if not self.at_op(")"):
+            step = self._parse_expr()
+        self.expect("op", ")")
+        body = self._parse_stmt()
+        return A.For(tok.line, tok.col, init, cond, step, body)
+
+    # -- expressions -----------------------------------------------------------
+    def _parse_expr(self) -> A.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> A.Expr:
+        left = self._parse_ternary()
+        if self.at("op") and self.peek().text in ASSIGN_OPS:
+            op_tok = self.next()
+            if not isinstance(left, (A.Ident, A.Index)):
+                raise self.error("assignment target must be a variable or element")
+            value = self._parse_assignment()  # right-associative
+            return A.Assign(op_tok.line, op_tok.col, op_tok.text, left, value)
+        return left
+
+    def _parse_ternary(self) -> A.Expr:
+        cond = self._parse_binary(1)
+        if self.at_op("?"):
+            tok = self.next()
+            then = self._parse_assignment()
+            self.expect("op", ":")
+            other = self._parse_assignment()
+            return A.Cond(tok.line, tok.col, cond, then, other)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> A.Expr:
+        left = self._parse_unary()
+        while True:
+            tok = self.peek()
+            prec = _BIN_PREC.get(tok.text) if tok.kind == "op" else None
+            if prec is None or prec < min_prec:
+                return left
+            self.next()
+            right = self._parse_binary(prec + 1)
+            left = A.BinOp(tok.line, tok.col, tok.text, left, right)
+
+    def _parse_unary(self) -> A.Expr:
+        tok = self.peek()
+        if self.at_op("-", "!", "~", "+"):
+            self.next()
+            operand = self._parse_unary()
+            if tok.text == "+":
+                return operand
+            return A.UnOp(tok.line, tok.col, tok.text, operand)
+        if self.at_op("++", "--"):
+            self.next()
+            operand = self._parse_unary()
+            return A.UnOp(tok.line, tok.col, tok.text, operand, postfix=False)
+        # cast: '(' type ')' unary
+        if self.at_op("(") and self.peek(1).kind == "keyword" \
+                and self.peek(1).text in TYPE_NAMES and self.peek(2).text == ")":
+            self.next()
+            ctype = self._parse_type()
+            self.expect("op", ")")
+            expr = self._parse_unary()
+            return A.Cast(tok.line, tok.col, ctype, expr)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> A.Expr:
+        expr = self._parse_primary()
+        while True:
+            tok = self.peek()
+            if self.at_op("("):
+                if not isinstance(expr, A.Ident):
+                    raise self.error("only direct calls are supported")
+                self.next()
+                args: List[A.Expr] = []
+                if not self.at_op(")"):
+                    while True:
+                        args.append(self._parse_assignment())
+                        if self.at_op(","):
+                            self.next()
+                            continue
+                        break
+                self.expect("op", ")")
+                expr = A.Call(expr.line, expr.col, expr.name, args)
+            elif self.at_op("["):
+                if isinstance(expr, A.Index):
+                    self.next()
+                    expr.indices.append(self._parse_expr())
+                    self.expect("op", "]")
+                elif isinstance(expr, A.Ident):
+                    self.next()
+                    idx = self._parse_expr()
+                    self.expect("op", "]")
+                    expr = A.Index(expr.line, expr.col, expr, [idx])
+                else:
+                    raise self.error("cannot index this expression")
+            elif self.at_op("++", "--"):
+                self.next()
+                expr = A.UnOp(tok.line, tok.col, tok.text, expr, postfix=True)
+            else:
+                return expr
+
+    def _parse_primary(self) -> A.Expr:
+        tok = self.peek()
+        if tok.kind == "int":
+            self.next()
+            return A.IntLit(tok.line, tok.col, int(tok.text, 0))
+        if tok.kind == "float":
+            self.next()
+            return A.FloatLit(tok.line, tok.col, float(tok.text))
+        if tok.kind == "string":
+            self.next()
+            return A.StringLit(tok.line, tok.col, tok.text)
+        if tok.kind == "ident":
+            self.next()
+            return A.Ident(tok.line, tok.col, tok.text)
+        if self.at_op("("):
+            self.next()
+            expr = self._parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise self.error(f"unexpected token {tok.text or tok.kind!r}")
+
+
+def parse(source: str, filename: str = "<source>") -> A.Program:
+    """Parse mini-C source text into a :class:`~cast.Program`."""
+    return Parser(source, filename).parse_program()
+
+
+def parse_expr(source: str) -> A.Expr:
+    """Parse a single expression (testing convenience)."""
+    parser = Parser(source)
+    expr = parser._parse_expr()
+    parser.expect("eof")
+    return expr

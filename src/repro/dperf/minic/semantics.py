@@ -1,0 +1,218 @@
+"""Light semantic checks over the mini-C AST.
+
+dPerf only needs the program to be well-formed enough to instrument
+and execute: every identifier resolves, calls hit known functions (or
+builtins/comm APIs) with the right arity, and ``break``/``continue``
+appear inside loops.  Full C type checking is out of scope — the
+interpreter coerces numerics like C does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from . import cast as A
+
+#: Builtin math/runtime functions and their arity.
+BUILTINS: Dict[str, int] = {
+    "fabs": 1,
+    "sqrt": 1,
+    "exp": 1,
+    "log": 1,
+    "pow": 2,
+    "fmax": 2,
+    "fmin": 2,
+    "floor": 1,
+    "ceil": 1,
+    "abs": 1,
+    "printf": -1,  # variadic
+}
+
+#: Communication APIs recognized by dPerf (§III-D: "customizable for
+#: recognizing multiple communication methods such as MPI or P2PSAP").
+COMM_APIS: Dict[str, int] = {
+    # P2PSAP flavour
+    "p2psap_init": 0,
+    "p2psap_finalize": 0,
+    "p2psap_rank": 0,
+    "p2psap_size": 0,
+    "p2psap_send": 3,      # (dst, buf, count)
+    "p2psap_isend": 3,
+    "p2psap_recv": 3,      # (src, buf, count)
+    "p2psap_barrier": 0,
+    "p2psap_allreduce_max": 1,
+    # MPI flavour (aliases with the same shapes)
+    "MPI_Send": 3,
+    "MPI_Isend": 3,
+    "MPI_Recv": 3,
+    "MPI_Barrier": 0,
+    "MPI_Allreduce_max": 1,
+}
+
+#: Instrumentation intrinsics inserted by repro.dperf.instrument.
+PAPI_APIS: Dict[str, int] = {
+    "papi_block_begin": 1,
+    "papi_block_end": 1,
+}
+
+#: Iteration-structure hints an application may place around its time
+#: loop; dPerf uses them to scale block benchmarks up to long runs.
+DPERF_APIS: Dict[str, int] = {
+    "dperf_region_begin": 1,
+    "dperf_region_end": 1,
+}
+
+KNOWN_ARITY = {**BUILTINS, **COMM_APIS, **PAPI_APIS, **DPERF_APIS}
+
+
+class SemanticError(Exception):
+    def __init__(self, messages: List[str]):
+        super().__init__("; ".join(messages))
+        self.messages = messages
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None) -> None:
+        self.parent = parent
+        self.names: Set[str] = set()
+
+    def declare(self, name: str) -> bool:
+        if name in self.names:
+            return False
+        self.names.add(name)
+        return True
+
+    def resolves(self, name: str) -> bool:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return True
+            scope = scope.parent
+        return False
+
+
+class Checker:
+    def __init__(self, program: A.Program) -> None:
+        self.program = program
+        self.errors: List[str] = []
+        self.func_arity: Dict[str, int] = {
+            f.name: len(f.params) for f in program.funcs
+        }
+
+    def err(self, node: A.Node, msg: str) -> None:
+        self.errors.append(f"line {node.line}: {msg}")
+
+    def check(self) -> None:
+        global_scope = _Scope()
+        for decl_stmt in self.program.globals:
+            for d in decl_stmt.decls:
+                if not global_scope.declare(d.name):
+                    self.err(d, f"redeclaration of global {d.name!r}")
+        seen_funcs: Set[str] = set()
+        for func in self.program.funcs:
+            if func.name in seen_funcs:
+                self.err(func, f"redefinition of function {func.name!r}")
+            seen_funcs.add(func.name)
+        for func in self.program.funcs:
+            self._check_func(func, global_scope)
+        if self.errors:
+            raise SemanticError(self.errors)
+
+    def _check_func(self, func: A.FuncDef, global_scope: _Scope) -> None:
+        scope = _Scope(global_scope)
+        for p in func.params:
+            if not scope.declare(p.name):
+                self.err(p, f"duplicate parameter {p.name!r}")
+            for dim in p.dims:
+                if dim is not None:
+                    self._check_expr(dim, scope)
+        self._check_block(func.body, _Scope(scope), loop_depth=0)
+
+    def _check_block(self, block: A.Block, scope: _Scope, loop_depth: int) -> None:
+        for stmt in block.stmts:
+            self._check_stmt(stmt, scope, loop_depth)
+
+    def _check_stmt(self, stmt: A.Stmt, scope: _Scope, loop_depth: int) -> None:
+        if isinstance(stmt, A.DeclStmt):
+            for d in stmt.decls:
+                for dim in d.dims:
+                    self._check_expr(dim, scope)
+                if d.init is not None:
+                    self._check_expr(d.init, scope)
+                if not scope.declare(d.name):
+                    self.err(d, f"redeclaration of {d.name!r} in the same scope")
+        elif isinstance(stmt, A.ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, A.Block):
+            self._check_block(stmt, _Scope(scope), loop_depth)
+        elif isinstance(stmt, A.If):
+            self._check_expr(stmt.cond, scope)
+            self._check_stmt(stmt.then, _Scope(scope), loop_depth)
+            if stmt.other is not None:
+                self._check_stmt(stmt.other, _Scope(scope), loop_depth)
+        elif isinstance(stmt, A.While):
+            self._check_expr(stmt.cond, scope)
+            self._check_stmt(stmt.body, _Scope(scope), loop_depth + 1)
+        elif isinstance(stmt, A.For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner, loop_depth)
+            if stmt.cond is not None:
+                self._check_expr(stmt.cond, inner)
+            if stmt.step is not None:
+                self._check_expr(stmt.step, inner)
+            self._check_stmt(stmt.body, _Scope(inner), loop_depth + 1)
+        elif isinstance(stmt, A.Return):
+            if stmt.value is not None:
+                self._check_expr(stmt.value, scope)
+        elif isinstance(stmt, (A.Break, A.Continue)):
+            if loop_depth == 0:
+                kind = "break" if isinstance(stmt, A.Break) else "continue"
+                self.err(stmt, f"{kind!r} outside of a loop")
+        elif isinstance(stmt, A.Empty):
+            pass
+        else:  # pragma: no cover - defensive
+            self.err(stmt, f"unknown statement {type(stmt).__name__}")
+
+    def _check_expr(self, expr: A.Expr, scope: _Scope) -> None:
+        if isinstance(expr, A.Ident):
+            if not scope.resolves(expr.name):
+                self.err(expr, f"use of undeclared identifier {expr.name!r}")
+        elif isinstance(expr, A.Call):
+            arity = self.func_arity.get(expr.name, KNOWN_ARITY.get(expr.name))
+            if arity is None:
+                self.err(expr, f"call to unknown function {expr.name!r}")
+            elif arity >= 0 and len(expr.args) != arity:
+                self.err(
+                    expr,
+                    f"{expr.name}() expects {arity} args, got {len(expr.args)}",
+                )
+            for a in expr.args:
+                self._check_expr(a, scope)
+        elif isinstance(expr, A.Index):
+            self._check_expr(expr.base, scope)
+            for i in expr.indices:
+                self._check_expr(i, scope)
+        elif isinstance(expr, A.BinOp):
+            self._check_expr(expr.left, scope)
+            self._check_expr(expr.right, scope)
+        elif isinstance(expr, A.UnOp):
+            self._check_expr(expr.operand, scope)
+        elif isinstance(expr, A.Assign):
+            self._check_expr(expr.target, scope)
+            self._check_expr(expr.value, scope)
+        elif isinstance(expr, A.Cond):
+            self._check_expr(expr.cond, scope)
+            self._check_expr(expr.then, scope)
+            self._check_expr(expr.other, scope)
+        elif isinstance(expr, A.Cast):
+            self._check_expr(expr.expr, scope)
+        elif isinstance(expr, (A.IntLit, A.FloatLit, A.StringLit)):
+            pass
+        else:  # pragma: no cover - defensive
+            self.err(expr, f"unknown expression {type(expr).__name__}")
+
+
+def check(program: A.Program) -> None:
+    """Raise :class:`SemanticError` when the program is ill-formed."""
+    Checker(program).check()

@@ -1,0 +1,125 @@
+"""Unparse the AST back to C text (Rose's "unparser" stage).
+
+dPerf unparses the instrumented AST into compilable source; we keep
+the same artifact so tests can round-trip ``parse(unparse(ast))`` and
+users can inspect the instrumented program.
+"""
+
+from __future__ import annotations
+
+from . import cast as A
+
+_INDENT = "    "
+
+
+def unparse(node: A.Node, indent: int = 0) -> str:
+    """Render an AST subtree back to C source text."""
+    if isinstance(node, A.Program):
+        parts = [unparse(g, indent) for g in node.globals]
+        parts += [unparse(f, indent) for f in node.funcs]
+        return "\n".join(parts) + "\n"
+    if isinstance(node, A.FuncDef):
+        params = ", ".join(_param(p) for p in node.params)
+        head = f"{node.return_type.name} {node.name}({params or 'void'})"
+        return f"{head}\n{unparse(node.body, indent)}"
+    if isinstance(node, A.Block):
+        pad = _INDENT * indent
+        inner = "\n".join(unparse(s, indent + 1) for s in node.stmts)
+        return f"{pad}{{\n{inner}\n{pad}}}" if inner else f"{pad}{{\n{pad}}}"
+    if isinstance(node, A.DeclStmt):
+        pad = _INDENT * indent
+        decls = ", ".join(_declarator(d) for d in node.decls)
+        return f"{pad}{node.decls[0].type.name} {decls};"
+    if isinstance(node, A.ExprStmt):
+        return f"{_INDENT * indent}{expr_text(node.expr)};"
+    if isinstance(node, A.If):
+        pad = _INDENT * indent
+        out = f"{pad}if ({expr_text(node.cond)})\n{_stmt_body(node.then, indent)}"
+        if node.other is not None:
+            out += f"\n{pad}else\n{_stmt_body(node.other, indent)}"
+        return out
+    if isinstance(node, A.While):
+        pad = _INDENT * indent
+        return f"{pad}while ({expr_text(node.cond)})\n{_stmt_body(node.body, indent)}"
+    if isinstance(node, A.For):
+        pad = _INDENT * indent
+        init = ""
+        if isinstance(node.init, A.DeclStmt):
+            decls = ", ".join(_declarator(d) for d in node.init.decls)
+            init = f"{node.init.decls[0].type.name} {decls}"
+        elif isinstance(node.init, A.ExprStmt):
+            init = expr_text(node.init.expr)
+        cond = expr_text(node.cond) if node.cond else ""
+        step = expr_text(node.step) if node.step else ""
+        return (
+            f"{pad}for ({init}; {cond}; {step})\n{_stmt_body(node.body, indent)}"
+        )
+    if isinstance(node, A.Return):
+        pad = _INDENT * indent
+        if node.value is None:
+            return f"{pad}return;"
+        return f"{pad}return {expr_text(node.value)};"
+    if isinstance(node, A.Break):
+        return f"{_INDENT * indent}break;"
+    if isinstance(node, A.Continue):
+        return f"{_INDENT * indent}continue;"
+    if isinstance(node, A.Empty):
+        return f"{_INDENT * indent};"
+    raise TypeError(f"cannot unparse {type(node).__name__}")
+
+
+def _stmt_body(stmt: A.Stmt, indent: int) -> str:
+    if isinstance(stmt, A.Block):
+        return unparse(stmt, indent)
+    return unparse(stmt, indent + 1)
+
+
+def _param(p: A.Param) -> str:
+    dims = "".join("[]" if d is None else f"[{expr_text(d)}]" for d in p.dims)
+    return f"{p.type.name} {p.name}{dims}"
+
+
+def _declarator(d: A.VarDecl) -> str:
+    dims = "".join(f"[{expr_text(e)}]" for e in d.dims)
+    out = f"{d.name}{dims}"
+    if d.init is not None:
+        out += f" = {expr_text(d.init)}"
+    return out
+
+
+def expr_text(expr: A.Expr) -> str:
+    """Render an expression (fully parenthesized where precedence matters)."""
+    if isinstance(expr, A.IntLit):
+        return str(expr.value)
+    if isinstance(expr, A.FloatLit):
+        text = repr(expr.value)
+        return text
+    if isinstance(expr, A.StringLit):
+        escaped = (
+            expr.value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        )
+        return f'"{escaped}"'
+    if isinstance(expr, A.Ident):
+        return expr.name
+    if isinstance(expr, A.BinOp):
+        return f"({expr_text(expr.left)} {expr.op} {expr_text(expr.right)})"
+    if isinstance(expr, A.UnOp):
+        if expr.postfix:
+            return f"({expr_text(expr.operand)}{expr.op})"
+        return f"({expr.op}{expr_text(expr.operand)})"
+    if isinstance(expr, A.Assign):
+        return f"{expr_text(expr.target)} {expr.op} {expr_text(expr.value)}"
+    if isinstance(expr, A.Cond):
+        return (
+            f"({expr_text(expr.cond)} ? {expr_text(expr.then)}"
+            f" : {expr_text(expr.other)})"
+        )
+    if isinstance(expr, A.Call):
+        args = ", ".join(expr_text(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, A.Index):
+        idx = "".join(f"[{expr_text(i)}]" for i in expr.indices)
+        return f"{expr.base.name}{idx}"
+    if isinstance(expr, A.Cast):
+        return f"(({expr.type.name}){expr_text(expr.expr)})"
+    raise TypeError(f"cannot unparse expression {type(expr).__name__}")

@@ -1,0 +1,25 @@
+"""Experiment runners for the paper's evaluation (shared by the
+benchmarks in ``benchmarks/`` and the runnable examples)."""
+
+from . import calibration, heterogeneous
+from .stage1 import Stage1Config, Stage1Result, predicted_time, reference_time, run_stage1
+from .stage2 import Stage2Config, Stage2Result, predict_on, run_stage2
+from .table1 import PAPER_PAIRINGS, PAPER_VERDICTS, Table1Result, run_table1
+
+__all__ = [
+    "PAPER_PAIRINGS",
+    "PAPER_VERDICTS",
+    "Stage1Config",
+    "Stage1Result",
+    "Stage2Config",
+    "Stage2Result",
+    "Table1Result",
+    "calibration",
+    "heterogeneous",
+    "predict_on",
+    "predicted_time",
+    "reference_time",
+    "run_stage1",
+    "run_stage2",
+    "run_table1",
+]

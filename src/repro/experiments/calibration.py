@@ -1,0 +1,158 @@
+"""Calibration constants mapping the models onto the paper's scale.
+
+Everything instance-specific lives here: the obstacle-problem size that
+makes the 2-peer O0 reference land near the paper's ≈40 s (Fig. 9),
+the calibration instance dPerf actually interprets, and the shared
+caches that let every benchmark reuse one calibration execution.
+
+Paper targets (Bordeplage cluster, Intel Xeon EM64T 3 GHz):
+
+* Fig. 9 — t(2 peers, O0) ≈ 40–45 s, strong scaling to 32 peers,
+  O0 far above the O1/O2/Os cluster;
+* Fig. 10 — t(2 peers, O3) ≈ 14 s, prediction ≈ reference;
+* Fig. 11 — xDSL ≫ LAN ≳ Grid5000 at O0.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Sequence
+
+from ..apps import obstacle
+from ..dperf import DPerfPredictor, ScalePlan
+from ..dperf.blockbench import split_by_region
+from ..platforms import PlatformSpec, build_cluster, build_daisy, build_lan
+from ..p2psap import Scheme
+from ..p2pdc import WorkloadSpec
+
+#: Target instance (what the paper "ran"): 2-D grid, fixed iterations.
+#: n=1024 puts the 2-peer O0 reference at ≈40 s on the 3 GHz model —
+#: the top of the paper's Fig. 9.
+GRID_N = 1024
+NIT = 400
+CHECK_EVERY = 10
+
+#: Calibration instance dPerf interprets (block benchmarking input).
+CAL_N = 32
+CAL_NIT = 2 * CHECK_EVERY  # 1 warm-up cycle + 1 template cycle
+
+#: Peer counts evaluated in all figures (2^1 .. 2^5).
+PEER_COUNTS = (2, 4, 8, 16, 32)
+OPT_LEVELS = ("O0", "O1", "O2", "O3", "Os")
+
+#: Reference-run timing jitter (hardware-counter noise).
+REFERENCE_NOISE = 0.003
+
+
+@lru_cache(maxsize=1)
+def obstacle_predictor() -> DPerfPredictor:
+    return DPerfPredictor(obstacle.obstacle_source(), obstacle.ENTRY)
+
+
+@lru_cache(maxsize=16)
+def calibration_runs(nprocs: int):
+    """One instrumented execution per peer count (reused everywhere)."""
+    return obstacle_predictor().execute(
+        nprocs, args=obstacle.entry_args(CAL_N, CAL_NIT, CHECK_EVERY)
+    )
+
+
+def scale_plan(nprocs: int, n: int = GRID_N, nit: int = NIT) -> ScalePlan:
+    return ScalePlan(
+        env_cal=obstacle.scale_env(CAL_N, nprocs),
+        env_target=obstacle.scale_env(n, nprocs),
+        nit_target=nit,
+        region="iter",
+        cycle_len=CHECK_EVERY,
+        warmup_cycles=1,
+    )
+
+
+@lru_cache(maxsize=64)
+def obstacle_traces(nprocs: int, level: str, n: int = GRID_N, nit: int = NIT):
+    """Scaled traces of the target instance at one GCC level."""
+    return obstacle_predictor().traces_for(
+        calibration_runs(nprocs), level, scale=scale_plan(nprocs, n, nit),
+        app="obstacle", extra_meta={"n": str(n), "nit": str(nit)},
+    )
+
+
+def iteration_compute_seconds(nprocs: int, level: str) -> List[float]:
+    """Per-rank compute seconds per iteration of the *target* instance
+    (drives the reference run's compute bursts — in our universe the
+    machine behaves exactly as the cost model says)."""
+    traces = obstacle_traces(nprocs, level)
+    return [t.total_compute_ns * 1e-9 / NIT for t in traces]
+
+
+def halo_bytes(n: int = GRID_N) -> float:
+    return (n + 2) * 8.0
+
+
+def obstacle_workload(
+    nprocs: int,
+    level: str,
+    scheme: Scheme = Scheme.SYNC,
+    noise_frac: float = REFERENCE_NOISE,
+) -> WorkloadSpec:
+    """WorkloadSpec for the P2PDC reference execution of the target
+    obstacle instance at one optimization level."""
+    per_rank = iteration_compute_seconds(nprocs, level)
+
+    def iteration_time(rank: int, nranks: int) -> float:
+        return per_rank[min(rank, len(per_rank) - 1)]
+
+    return WorkloadSpec(
+        name=f"obstacle-{level}-{nprocs}p",
+        nit=NIT,
+        halo_bytes=halo_bytes(),
+        iteration_time=iteration_time,
+        check_every=CHECK_EVERY,
+        scheme=scheme,
+        noise_frac=noise_frac,
+        residual=obstacle.residual_model(CAL_N),
+        tol=0.0,  # fixed-iteration run, as in the paper's measurements
+        result_bytes=4096,
+        subtask_bytes=8192,
+    )
+
+
+# -- platforms ---------------------------------------------------------------
+
+@lru_cache(maxsize=4)
+def grid5000_platform(n_hosts: int = 33) -> PlatformSpec:
+    # one extra host beyond the largest peer count: the submitter/server
+    # side of the overlay lives on hosts too.
+    return build_cluster(n_hosts)
+
+
+@lru_cache(maxsize=2)
+def xdsl_platform() -> PlatformSpec:
+    return build_daisy()
+
+
+@lru_cache(maxsize=2)
+def lan_platform() -> PlatformSpec:
+    return build_lan(1024)
+
+
+def spread_hosts(platform: PlatformSpec, n: int) -> list:
+    """Evenly spaced host selection — a desktop grid's peers are
+    scattered across the access network, not packed on one DSLAM."""
+    hosts = platform.hosts
+    if n > len(hosts):
+        raise ValueError(f"need {n} hosts, platform has {len(hosts)}")
+    stride = len(hosts) // n
+    return [hosts[i * stride] for i in range(n)]
+
+
+def sanity_check_calibration() -> Dict[str, float]:
+    """Quick numbers for tests: per-cell O0 cost and the projected
+    2-peer O0 runtime."""
+    traces = obstacle_traces(2, "O0")
+    total_cells = (GRID_N // 2) * GRID_N * NIT
+    per_cell_ns = traces[0].total_compute_ns / total_cells
+    return {
+        "per_cell_ns_O0": per_cell_ns,
+        "t2_O0_compute_estimate": traces[0].total_compute_ns * 1e-9,
+    }

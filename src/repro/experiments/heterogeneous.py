@@ -1,0 +1,104 @@
+"""Future-work experiment (paper §V): equivalent computing power of a
+homogeneous cluster in a *completely heterogeneous* P2P grid connected
+over a heterogeneous network.
+
+The paper leaves this as ongoing research; the machinery built here
+supports it directly: the trace replayer rescales every computation
+burst by the target host's speed (traces carry reference-machine
+nanoseconds), and the multi-site platform provides the heterogeneous
+network.  The one modelling caveat is inherent to halo-coupled SPMD
+codes: with a uniform decomposition the *slowest selected peer* paces
+every iteration, so peer selection policy matters — which is exactly
+what the experiment quantifies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from ..desim.rng import derive_seed
+from ..net import Host
+from ..platforms import PlatformSpec, build_multisite
+from ..platforms.cluster import DEFAULT_NODE_SPEED
+from . import calibration as C
+
+#: Node speed range of the heterogeneous grid (GHz-class spread of a
+#: 2011 desktop population), relative to the 3 GHz reference.
+SPEED_RANGE = (0.5, 1.2)
+
+
+@lru_cache(maxsize=4)
+def heterogeneous_grid(
+    n_sites: int = 8, peers_per_site: int = 8, seed: int = 2011
+) -> PlatformSpec:
+    """A multi-site grid whose nodes have mixed clock speeds."""
+    spec = build_multisite(
+        n_sites=n_sites, peers_per_site=peers_per_site, name="hetero-grid"
+    )
+    rng = random.Random(derive_seed(seed, "hetero-speeds"))
+    for host in spec.hosts:
+        factor = rng.uniform(*SPEED_RANGE)
+        host.speed = DEFAULT_NODE_SPEED * factor
+    spec.attrs["speed_range"] = SPEED_RANGE
+    spec.attrs["seed"] = seed
+    return spec
+
+
+def select_hosts(
+    platform: PlatformSpec, n: int, policy: str = "fastest"
+) -> List[Host]:
+    """Peer-selection policies over the heterogeneous pool."""
+    if policy == "fastest":
+        return sorted(platform.hosts, key=lambda h: -h.speed)[:n]
+    if policy == "slowest":
+        return sorted(platform.hosts, key=lambda h: h.speed)[:n]
+    if policy == "spread":
+        return C.spread_hosts(platform, n)
+    raise ValueError(f"unknown selection policy {policy!r}")
+
+
+def predict_heterogeneous(
+    nprocs: int, level: str = "O0", policy: str = "fastest",
+) -> float:
+    """dPerf prediction of the obstacle instance on the hetero grid."""
+    platform = heterogeneous_grid()
+    traces = C.obstacle_traces(nprocs, level)
+    hosts = select_hosts(platform, nprocs, policy)
+    return C.obstacle_predictor().predict(
+        traces, platform, hosts=hosts
+    ).t_predicted
+
+
+@dataclass
+class HeteroResult:
+    level: str
+    grid_times: Dict[str, Dict[int, float]] = field(default_factory=dict)
+    cluster_times: Dict[int, float] = field(default_factory=dict)
+    equivalents: Dict[str, Dict[int, Optional[int]]] = field(
+        default_factory=dict
+    )
+
+
+def run_heterogeneous(
+    peer_counts: Tuple[int, ...] = (2, 4, 8, 16, 32),
+    level: str = "O0",
+    policies: Tuple[str, ...] = ("fastest", "spread"),
+) -> HeteroResult:
+    from ..analysis import equivalence_search
+    from .stage2 import predict_on
+
+    result = HeteroResult(level=level)
+    result.cluster_times = {
+        n: predict_on("grid5000", n, level) for n in peer_counts
+    }
+    for policy in policies:
+        result.grid_times[policy] = {
+            n: predict_heterogeneous(n, level, policy) for n in peer_counts
+        }
+        result.equivalents[policy] = equivalence_search(
+            result.grid_times[policy], result.cluster_times
+        )
+    return result

@@ -1,0 +1,72 @@
+"""Stage-2 (paper §IV-B4, Fig. 11): the same traces on xDSL and LAN.
+
+The point of dPerf's decoupling: the traces collected once on the
+reference platform are replayed on *different* platform description
+files — the Daisy xDSL topology (Stage-2A) and a campus LAN
+(Stage-2B) — to find what desktop-grid configuration matches the
+cluster.  Peers of a desktop grid are scattered across the access
+network, so hosts are picked evenly spread over the platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from . import calibration as C
+from .stage1 import Stage1Config, run_stage1
+
+
+@dataclass(frozen=True)
+class Stage2Config:
+    peer_counts: Tuple[int, ...] = C.PEER_COUNTS
+    level: str = "O0"   # the paper presents Stage-2 at optimization level 0
+    seed: int = 2011
+
+
+@dataclass
+class Stage2Result:
+    config: Stage2Config
+    reference: Dict[int, float] = field(default_factory=dict)
+    predicted: Dict[str, Dict[int, float]] = field(default_factory=dict)
+
+    def series(self) -> Dict[str, Dict[int, float]]:
+        out = {"reference time": self.reference}
+        for platform, curve in self.predicted.items():
+            out[f"dPerf prediction for {platform}"] = curve
+        return out
+
+
+def predict_on(platform_name: str, nprocs: int, level: str) -> float:
+    """Replay the cluster-collected traces on a Stage-2 platform."""
+    predictor = C.obstacle_predictor()
+    traces = C.obstacle_traces(nprocs, level)
+    if platform_name == "grid5000":
+        platform = C.grid5000_platform()
+        hosts = platform.take_hosts(nprocs)
+    elif platform_name == "xdsl":
+        platform = C.xdsl_platform()
+        hosts = C.spread_hosts(platform, nprocs)
+    elif platform_name == "lan":
+        platform = C.lan_platform()
+        hosts = C.spread_hosts(platform, nprocs)
+    else:
+        raise ValueError(f"unknown platform {platform_name!r}")
+    return predictor.predict(traces, platform, hosts=hosts).t_predicted
+
+
+@lru_cache(maxsize=4)
+def run_stage2(config: Stage2Config = Stage2Config()) -> Stage2Result:
+    result = Stage2Result(config)
+    stage1 = run_stage1(
+        Stage1Config(peer_counts=config.peer_counts, levels=(config.level,),
+                     seed=config.seed)
+    )
+    result.reference = stage1.reference_series(config.level)
+    for platform_name in ("grid5000", "xdsl", "lan"):
+        result.predicted[platform_name] = {
+            n: predict_on(platform_name, n, config.level)
+            for n in config.peer_counts
+        }
+    return result

@@ -1,0 +1,77 @@
+"""Table I: equivalent computing power of P2P configurations.
+
+The paper pairs predicted desktop-grid configurations against
+predicted Grid5000 configurations:
+
+    4  xDSL  slightly lower than  2  Grid5000
+    2  LAN   slightly lower than  2  Grid5000
+    4  LAN   slightly lower than  4  Grid5000
+    8  LAN   same as              4  Grid5000
+    32 LAN   slightly lower than  8  Grid5000
+
+We reproduce the same pairings (classifying with our measured times)
+plus a general equivalence search: for every Grid5000 size, the
+smallest LAN/xDSL configuration that matches it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis import EquivalenceRow, compare_configs, equivalence_search
+from .stage2 import Stage2Config, Stage2Result, run_stage2
+
+#: (candidate platform, candidate peers, reference Grid5000 peers)
+PAPER_PAIRINGS: Tuple[Tuple[str, int, int], ...] = (
+    ("xdsl", 4, 2),
+    ("lan", 2, 2),
+    ("lan", 4, 4),
+    ("lan", 8, 4),
+    ("lan", 32, 8),
+)
+
+#: The verdicts printed in the paper, for side-by-side reporting.
+PAPER_VERDICTS: Dict[Tuple[str, int, int], str] = {
+    ("xdsl", 4, 2): "slightly lower than",
+    ("lan", 2, 2): "slightly lower than",
+    ("lan", 4, 4): "slightly lower than",
+    ("lan", 8, 4): "same as",
+    ("lan", 32, 8): "slightly lower than",
+}
+
+
+@dataclass
+class Table1Result:
+    rows: List[EquivalenceRow] = field(default_factory=list)
+    paper_verdicts: List[str] = field(default_factory=list)
+    lan_equivalents: Dict[int, Optional[int]] = field(default_factory=dict)
+    xdsl_equivalents: Dict[int, Optional[int]] = field(default_factory=dict)
+
+    def agreement(self) -> float:
+        """Fraction of rows whose verdict matches the paper's."""
+        hits = sum(
+            1 for row, paper in zip(self.rows, self.paper_verdicts)
+            if row.verdict == paper
+        )
+        return hits / len(self.rows) if self.rows else 0.0
+
+
+@lru_cache(maxsize=2)
+def run_table1(config: Stage2Config = Stage2Config()) -> Table1Result:
+    stage2: Stage2Result = run_stage2(config)
+    g5k = stage2.predicted["grid5000"]
+    result = Table1Result()
+    for platform, cand_n, ref_n in PAPER_PAIRINGS:
+        rows = compare_configs(
+            stage2.predicted[platform], g5k, platform, "Grid5000",
+            [(cand_n, ref_n)],
+        )
+        result.rows.extend(rows)
+        result.paper_verdicts.append(
+            PAPER_VERDICTS[(platform, cand_n, ref_n)]
+        )
+    result.lan_equivalents = equivalence_search(stage2.predicted["lan"], g5k)
+    result.xdsl_equivalents = equivalence_search(stage2.predicted["xdsl"], g5k)
+    return result

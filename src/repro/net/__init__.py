@@ -1,0 +1,26 @@
+"""Flow-level network substrate (SimGrid-style fluid model)."""
+
+from .engine import FluidNetwork, TransferInfo
+from .links import GBPS, KBPS, MBPS, MS, US, Link, TcpModel
+from .nodes import Dslam, Host, NetNode, Router
+from .sharing import maxmin_allocation, validate_allocation
+from .topology import Topology
+
+__all__ = [
+    "Dslam",
+    "FluidNetwork",
+    "GBPS",
+    "Host",
+    "KBPS",
+    "Link",
+    "MBPS",
+    "MS",
+    "NetNode",
+    "Router",
+    "TcpModel",
+    "Topology",
+    "TransferInfo",
+    "US",
+    "maxmin_allocation",
+    "validate_allocation",
+]

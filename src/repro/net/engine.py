@@ -1,0 +1,201 @@
+"""The fluid network engine: flows over a topology on the desim clock.
+
+A transfer is modelled in two phases, as in SimGrid's LV08 model:
+
+1. a *latency phase* — the sum of link latencies along the route;
+2. a *data phase* — the flow joins the active set and receives a
+   max-min fair share of every link it crosses; shares are recomputed
+   whenever any flow starts or finishes.
+
+The engine exposes one call, :meth:`FluidNetwork.send`, returning a
+signal that fires when the last byte arrives.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..desim import Signal, Simulator
+from ..desim.simulator import ScheduledCall
+from .links import Link, TcpModel
+from .nodes import Host, NetNode
+from .sharing import maxmin_allocation
+from .topology import Topology
+
+
+@dataclass(frozen=True)
+class TransferInfo:
+    """Completion record handed to the sender's done-signal."""
+
+    src: str
+    dst: str
+    size: float
+    start: float
+    end: float
+    tag: Optional[str] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class _Flow:
+    __slots__ = (
+        "fid",
+        "src",
+        "dst",
+        "size",
+        "remaining",
+        "route",
+        "latency",
+        "done",
+        "rate",
+        "start",
+        "tag",
+        "completion",
+    )
+
+    def __init__(self, fid, src, dst, size, route, latency, done, start, tag):
+        self.fid = fid
+        self.src = src
+        self.dst = dst
+        self.size = float(size)
+        self.remaining = float(size)
+        self.route = route
+        self.latency = latency
+        self.done = done
+        self.rate = 0.0
+        self.start = start
+        self.tag = tag
+        self.completion: Optional[ScheduledCall] = None
+
+
+class FluidNetwork:
+    """Flow-level network simulation bound to a :class:`Simulator`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        tcp: TcpModel = TcpModel(),
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.tcp = tcp
+        self._active: Dict[int, _Flow] = {}
+        self._ids = itertools.count()
+        self._last_update = 0.0
+        # cumulative statistics
+        self.bytes_delivered = 0.0
+        self.transfers_completed = 0
+        self.reshare_count = 0
+
+    # -- public API ----------------------------------------------------------
+    def send(
+        self,
+        src: NetNode,
+        dst: NetNode,
+        nbytes: float,
+        tag: Optional[str] = None,
+    ) -> Signal:
+        """Start a transfer; returns a signal succeeding with TransferInfo."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        fid = next(self._ids)
+        done = Signal(f"xfer:{src.name}->{dst.name}#{fid}")
+        route = self.topology.route(src, dst)
+        latency = sum(l.latency for l in route)
+        flow = _Flow(fid, src, dst, nbytes, route, latency, done, self.sim.now, tag)
+        # Phase 1: latency, then the flow starts consuming bandwidth.
+        self.sim.schedule(latency, self._activate, flow)
+        return done
+
+    def transfer_time_estimate(
+        self, src: NetNode, dst: NetNode, nbytes: float
+    ) -> float:
+        """Uncontended analytic estimate: latency + size / min-capacity.
+
+        Used by P2PDC actors for quick decisions (never for results).
+        """
+        route = self.topology.route(src, dst)
+        if not route:
+            return 0.0
+        latency = sum(l.latency for l in route)
+        cap = min(l.bandwidth for l in route) * self.tcp.bandwidth_factor
+        cap = min(cap, self.tcp.rate_cap(latency))
+        return latency + nbytes / cap
+
+    @property
+    def active_flow_count(self) -> int:
+        return len(self._active)
+
+    # -- engine internals ------------------------------------------------------
+    def _activate(self, flow: _Flow) -> None:
+        if not flow.route or flow.remaining <= 0.0:
+            # Same-host or zero-byte message: latency-only.
+            self._finish(flow)
+            return
+        self._advance_progress()
+        self._active[flow.fid] = flow
+        self._reshare()
+
+    def _advance_progress(self) -> None:
+        """Account bytes moved since the last rate change."""
+        dt = self.sim.now - self._last_update
+        if dt > 0.0:
+            for flow in self._active.values():
+                if math.isfinite(flow.rate):
+                    flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+                else:
+                    flow.remaining = 0.0
+        self._last_update = self.sim.now
+
+    def _reshare(self) -> None:
+        self.reshare_count += 1
+        routes = {f.fid: f.route for f in self._active.values()}
+        caps = {
+            f.fid: self.tcp.rate_cap(f.latency) for f in self._active.values()
+        }
+        alloc = maxmin_allocation(
+            routes, caps, bandwidth_factor=self.tcp.bandwidth_factor
+        )
+        for flow in self._active.values():
+            new_rate = alloc[flow.fid]
+            if flow.completion is not None and not flow.completion.cancelled:
+                if new_rate == flow.rate:
+                    # unchanged rate: the previously scheduled completion
+                    # time is still exact — skip the heap churn (flows on
+                    # disjoint links are the common case in halo phases)
+                    continue
+                flow.completion.cancel()
+            flow.rate = new_rate
+            if flow.rate <= 0.0:
+                flow.completion = None  # starved; will reshare on next change
+                continue
+            eta = flow.remaining / flow.rate if math.isfinite(flow.rate) else 0.0
+            flow.completion = self.sim.schedule(eta, self._complete, flow)
+
+    def _complete(self, flow: _Flow) -> None:
+        self._advance_progress()
+        flow.remaining = 0.0
+        del self._active[flow.fid]
+        self._finish(flow)
+        if self._active:
+            self._reshare()
+
+    def _finish(self, flow: _Flow) -> None:
+        self.bytes_delivered += flow.size
+        self.transfers_completed += 1
+        flow.done.succeed(
+            TransferInfo(
+                src=flow.src.name,
+                dst=flow.dst.name,
+                size=flow.size,
+                start=flow.start,
+                end=self.sim.now,
+                tag=flow.tag,
+            )
+        )

@@ -1,0 +1,75 @@
+"""Directed network links with bandwidth and latency.
+
+A physical full-duplex cable is modelled as *two* :class:`Link`
+objects, one per direction, so that simultaneous transfers in opposite
+directions do not contend (the paper's platforms are all full-duplex:
+"All connections are full-duplex", §IV-A4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# Convenience unit constants (bytes/s and seconds).
+KBPS = 1e3 / 8
+MBPS = 1e6 / 8
+GBPS = 1e9 / 8
+US = 1e-6
+MS = 1e-3
+
+
+@dataclass(eq=False)
+class Link:
+    """One direction of a network link.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier, conventionally ``"<a>--<b>"`` for the
+        direction a→b.
+    bandwidth:
+        Capacity in **bytes per second**.
+    latency:
+        Propagation + store-and-forward delay in seconds.
+    """
+
+    name: str
+    bandwidth: float
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"link {self.name!r}: bandwidth must be > 0")
+        if self.latency < 0:
+            raise ValueError(f"link {self.name!r}: negative latency")
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Link({self.name!r}, bw={self.bandwidth / MBPS:.3g} Mbps,"
+            f" lat={self.latency * 1e3:.3g} ms)"
+        )
+
+
+@dataclass(frozen=True)
+class TcpModel:
+    """Fluid-model TCP parameters (SimGrid-flavoured).
+
+    ``bandwidth_factor`` accounts for protocol overhead (SimGrid uses
+    0.92 for TCP); ``window`` caps a single flow's rate at
+    ``window / (2 * route_latency)`` — the classic window/RTT ceiling,
+    which is what makes high-latency xDSL paths slow even for medium
+    messages.
+    """
+
+    bandwidth_factor: float = 0.92
+    window: float = 4194304.0  # bytes, SimGrid's default TCP gamma
+
+    def rate_cap(self, route_latency: float) -> float:
+        """Maximum achievable rate on a route of the given one-way latency."""
+        if route_latency <= 0:
+            return float("inf")
+        return self.window / (2.0 * route_latency)

@@ -1,0 +1,125 @@
+"""Max-min fair bandwidth allocation (progressive filling).
+
+Given a set of flows, each crossing an ordered list of directed links
+and optionally capped at a per-flow maximum rate (TCP window / NIC),
+compute the max-min fair rate vector:
+
+* no link carries more than its capacity;
+* every flow is *bottlenecked*: it is either at its rate cap, or it
+  crosses some saturated link on which no other flow gets more.
+
+This is the sharing model used by SimGrid's fluid network engine and
+is what dPerf relies on for communication-time estimation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Mapping, Sequence
+
+from .links import Link
+
+FlowId = Hashable
+
+
+def maxmin_allocation(
+    flow_routes: Mapping[FlowId, Sequence[Link]],
+    rate_caps: Mapping[FlowId, float] | None = None,
+    bandwidth_factor: float = 1.0,
+) -> Dict[FlowId, float]:
+    """Return the max-min fair rate (bytes/s) for every flow.
+
+    ``bandwidth_factor`` scales every link capacity (protocol
+    efficiency, e.g. 0.92 for TCP).  Flows with an empty route (same
+    host) get ``inf`` — the caller treats those as latency-only.
+    """
+    caps: Dict[FlowId, float] = dict(rate_caps or {})
+    allocation: Dict[FlowId, float] = {}
+
+    remaining_cap: Dict[Link, float] = {}
+    link_flows: Dict[Link, List[FlowId]] = {}
+    unassigned: Dict[FlowId, Sequence[Link]] = {}
+
+    for fid, route in flow_routes.items():
+        if not route:
+            allocation[fid] = math.inf
+            continue
+        unassigned[fid] = route
+        for link in route:
+            if link not in remaining_cap:
+                remaining_cap[link] = link.bandwidth * bandwidth_factor
+                link_flows[link] = []
+            link_flows[link].append(fid)
+
+    # Progressive filling: repeatedly find the tightest constraint —
+    # either a link's fair share or a flow's own cap — freeze the flows
+    # it binds, and subtract their rates from the links they cross.
+    while unassigned:
+        bottleneck_link: Link | None = None
+        bottleneck_share = math.inf
+        for link, fids in link_flows.items():
+            n = sum(1 for f in fids if f in unassigned)
+            if n == 0:
+                continue
+            share = remaining_cap[link] / n
+            if share < bottleneck_share - 1e-15:
+                bottleneck_share = share
+                bottleneck_link = link
+
+        # Tightest flow cap below the link bottleneck?
+        cap_flow: FlowId | None = None
+        cap_rate = bottleneck_share
+        for fid in unassigned:
+            c = caps.get(fid, math.inf)
+            if c < cap_rate - 1e-15:
+                cap_rate = c
+                cap_flow = fid
+
+        if cap_flow is not None:
+            # Freeze the single capped flow at its cap.
+            rate = max(0.0, cap_rate)
+            allocation[cap_flow] = rate
+            for link in unassigned[cap_flow]:
+                remaining_cap[link] = max(0.0, remaining_cap[link] - rate)
+            del unassigned[cap_flow]
+            continue
+
+        if bottleneck_link is None:  # pragma: no cover - defensive
+            for fid in list(unassigned):
+                allocation[fid] = math.inf
+            break
+
+        rate = max(0.0, bottleneck_share)
+        bound = [f for f in link_flows[bottleneck_link] if f in unassigned]
+        for fid in bound:
+            allocation[fid] = rate
+            for link in unassigned[fid]:
+                remaining_cap[link] = max(0.0, remaining_cap[link] - rate)
+            del unassigned[fid]
+
+    return allocation
+
+
+def validate_allocation(
+    flow_routes: Mapping[FlowId, Sequence[Link]],
+    allocation: Mapping[FlowId, float],
+    bandwidth_factor: float = 1.0,
+    tol: float = 1e-6,
+) -> None:
+    """Raise ``AssertionError`` if the allocation oversubscribes a link.
+
+    Used by property-based tests and available for debugging.
+    """
+    load: Dict[Link, float] = {}
+    for fid, route in flow_routes.items():
+        rate = allocation[fid]
+        if math.isinf(rate):
+            continue
+        for link in route:
+            load[link] = load.get(link, 0.0) + rate
+    for link, used in load.items():
+        cap = link.bandwidth * bandwidth_factor
+        if used > cap * (1 + tol):
+            raise AssertionError(
+                f"link {link.name} oversubscribed: {used:.6g} > {cap:.6g}"
+            )

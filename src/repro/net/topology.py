@@ -1,0 +1,120 @@
+"""Network topology: a directed multigraph of nodes and links.
+
+Routing is static shortest-path (by hop count, then latency), computed
+with :mod:`networkx` and cached per (src, dst) pair — the platforms in
+the paper are trees/rings where shortest paths are unique, and static
+routing matches SimGrid's ``Full``/``Floyd`` routing modes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from .links import Link
+from .nodes import Host, NetNode
+
+
+class Topology:
+    """Container for nodes + directed links, with route computation."""
+
+    def __init__(self, name: str = "net") -> None:
+        self.name = name
+        self.graph = nx.DiGraph()
+        self._nodes: Dict[str, NetNode] = {}
+        self._route_cache: Dict[Tuple[str, str], List[Link]] = {}
+        self._latency_cache: Dict[Tuple[str, str], float] = {}
+
+    # -- construction ------------------------------------------------------
+    def add_node(self, node: NetNode) -> NetNode:
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+        self.graph.add_node(node.name)
+        return node
+
+    def add_link(
+        self,
+        a: NetNode,
+        b: NetNode,
+        bandwidth: float,
+        latency: float,
+        duplex: bool = True,
+    ) -> Tuple[Link, Optional[Link]]:
+        """Connect ``a`` and ``b``.
+
+        Returns ``(forward, backward)`` links; ``backward`` is ``None``
+        for a simplex link.  Each direction gets its own capacity
+        (full-duplex semantics).
+        """
+        self._require(a)
+        self._require(b)
+        fwd = Link(f"{a.name}--{b.name}", bandwidth, latency)
+        self.graph.add_edge(a.name, b.name, link=fwd)
+        back: Optional[Link] = None
+        if duplex:
+            back = Link(f"{b.name}--{a.name}", bandwidth, latency)
+            self.graph.add_edge(b.name, a.name, link=back)
+        self._route_cache.clear()
+        self._latency_cache.clear()
+        return fwd, back
+
+    def _require(self, node: NetNode) -> None:
+        if self._nodes.get(node.name) is not node:
+            raise KeyError(f"node {node.name!r} not registered in topology")
+
+    # -- lookup -------------------------------------------------------------
+    def node(self, name: str) -> NetNode:
+        return self._nodes[name]
+
+    @property
+    def nodes(self) -> Iterable[NetNode]:
+        return self._nodes.values()
+
+    @property
+    def hosts(self) -> List[Host]:
+        """Compute endpoints in deterministic insertion order."""
+        return [n for n in self._nodes.values() if isinstance(n, Host)]
+
+    def links(self) -> List[Link]:
+        return [data["link"] for _u, _v, data in self.graph.edges(data=True)]
+
+    # -- routing --------------------------------------------------------------
+    def route(self, src: NetNode, dst: NetNode) -> List[Link]:
+        """Ordered directed links from ``src`` to ``dst``."""
+        if src is dst:
+            return []
+        key = (src.name, dst.name)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        try:
+            path = nx.shortest_path(self.graph, src.name, dst.name)
+        except nx.NetworkXNoPath:
+            raise ValueError(f"no route {src.name!r} → {dst.name!r}") from None
+        links = [
+            self.graph.edges[u, v]["link"] for u, v in zip(path[:-1], path[1:])
+        ]
+        self._route_cache[key] = links
+        return links
+
+    def route_latency(self, src: NetNode, dst: NetNode) -> float:
+        key = (src.name, dst.name)
+        lat = self._latency_cache.get(key)
+        if lat is None:
+            lat = sum(l.latency for l in self.route(src, dst))
+            self._latency_cache[key] = lat
+        return lat
+
+    def route_min_bandwidth(self, src: NetNode, dst: NetNode) -> float:
+        route = self.route(src, dst)
+        if not route:
+            return float("inf")
+        return min(l.bandwidth for l in route)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Topology {self.name!r}: {len(self._nodes)} nodes,"
+            f" {self.graph.number_of_edges()} directed links>"
+        )

@@ -1,0 +1,70 @@
+"""P2PDC: the decentralized environment for peer-to-peer computing.
+
+Implements the paper's §III: hybrid topology manager (server /
+trackers / peers, IP-proximity zones, tracker line with neighbour
+sets), peers collection, hierarchical task allocation with
+coordinators (Cmax = 32), the distributed iterative computation over
+P2PSAP channels, and failure handling.
+"""
+
+from .allocation import Submitter, TaskOutcome, TaskSpec
+from .churn import ChurnEvent, ChurnPlan
+from .collection import CollectionLog, collect_peers
+from .computation import (
+    PeerComputeError,
+    SubtaskExecution,
+    WorkAssignment,
+    WorkloadSpec,
+    channel_context_for,
+)
+from .deploy import Deployment, deploy_overlay
+from .groups import (
+    assign_ranks,
+    group_by_proximity,
+    group_randomly,
+    pick_coordinator,
+)
+from .ip import IPv4, closest, common_prefix_len, proximity
+from .messages import NodeRef
+from .node import NodeActor
+from .overlay import Overlay, OverlayConfig
+from .peer import GroupDuty, Peer
+from .server import Server
+from .stats import OverlayStats, TaskTimings
+from .tracker import PeerRecord, Tracker
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnPlan",
+    "CollectionLog",
+    "Deployment",
+    "GroupDuty",
+    "IPv4",
+    "NodeActor",
+    "NodeRef",
+    "Overlay",
+    "OverlayConfig",
+    "OverlayStats",
+    "Peer",
+    "PeerComputeError",
+    "PeerRecord",
+    "Server",
+    "SubtaskExecution",
+    "Submitter",
+    "TaskOutcome",
+    "TaskSpec",
+    "TaskTimings",
+    "Tracker",
+    "WorkAssignment",
+    "WorkloadSpec",
+    "assign_ranks",
+    "channel_context_for",
+    "closest",
+    "collect_peers",
+    "common_prefix_len",
+    "deploy_overlay",
+    "group_by_proximity",
+    "group_randomly",
+    "pick_coordinator",
+    "proximity",
+]

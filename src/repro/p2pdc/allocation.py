@@ -1,0 +1,358 @@
+"""Task submission and hierarchical allocation (paper §III-C).
+
+The :class:`Submitter` drives the full task lifecycle:
+
+1. join the overlay;
+2. collect peers zone-by-zone along the tracker line (§III-B);
+3. group them by proximity (≤ Cmax per group) and appoint one
+   coordinator per group;
+4. coordinators reserve their peers in parallel ("reverse" messages)
+   while subtasks flow submitter → coordinator → peer;
+5. the computation runs with convergence checks through the
+   hierarchy; results flow back peer → coordinator → submitter.
+
+A *flat* allocation baseline (submitter talks to every peer directly,
+the pre-decentralization behaviour) is provided for the ablation
+benchmarks: it exhibits exactly the serialization and submitter
+bottleneck the hierarchy removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..desim import AnyOf, Signal
+from .collection import CollectionLog, collect_peers
+from .computation import WorkAssignment, WorkloadSpec
+from .groups import assign_ranks, group_by_proximity, pick_coordinator
+from .messages import (
+    ConvergenceDecision,
+    GroupAssign,
+    GroupConvergence,
+    GroupReady,
+    NodeRef,
+    Reserve,
+    ResultBatch,
+    SubtaskMsg,
+    SubtaskResult,
+)
+from .peer import Peer
+from .stats import TaskTimings
+
+_task_ids = iter(range(1, 1_000_000))
+
+
+@dataclass
+class TaskSpec:
+    """A computation to submit to the environment."""
+
+    workload: WorkloadSpec
+    n_peers: int
+    requirements: Dict[str, float] = field(default_factory=dict)
+    spares: int = 2
+    task_timeout: float = 1e6
+
+
+@dataclass
+class TaskOutcome:
+    task_id: int
+    ok: bool
+    reason: str = ""
+    ranks: List[NodeRef] = field(default_factory=list)
+    groups: List[List[NodeRef]] = field(default_factory=list)
+    coordinators: List[NodeRef] = field(default_factory=list)
+    results: List[SubtaskResult] = field(default_factory=list)
+    timings: TaskTimings = field(default_factory=TaskTimings)
+    collection: CollectionLog = field(default_factory=CollectionLog)
+
+    @property
+    def makespan(self) -> Optional[float]:
+        return self.timings.total_time
+
+
+class Submitter(Peer):
+    """A peer that can submit tasks."""
+
+    role = "peer"
+
+    def __init__(self, overlay, name, ip, host, resources=None) -> None:
+        super().__init__(overlay, name, ip, host, resources)
+        self._group_ready: Dict[tuple, Signal] = {}
+        self._task_results: Dict[int, Signal] = {}
+        self._batches: Dict[int, List[ResultBatch]] = {}
+        self._expected_groups: Dict[int, int] = {}
+        self._convergence: Dict[tuple, Dict[int, float]] = {}
+        self._task_coordinators: Dict[int, List[NodeRef]] = {}
+        self._task_tol: Dict[int, float] = {}
+
+    # -- public API -----------------------------------------------------------
+    def submit(self, task: TaskSpec) -> Signal:
+        """Submit a task; the returned signal yields a TaskOutcome."""
+        done = Signal(f"{self.name}:task-outcome")
+        self.start()
+        self.sim.process(self._submit_process(task, done),
+                         name=f"{self.name}:submit")
+        return done
+
+    def submit_flat(self, task: TaskSpec) -> Signal:
+        """Baseline without coordinators (ablation A1)."""
+        done = Signal(f"{self.name}:task-outcome-flat")
+        self.start()
+        self.sim.process(self._submit_flat_process(task, done),
+                         name=f"{self.name}:submit-flat")
+        return done
+
+    # -- hierarchical path ------------------------------------------------------
+    def _submit_process(self, task: TaskSpec, done: Signal):
+        task_id = next(_task_ids)
+        timings = TaskTimings(submitted_at=self.sim.now)
+        outcome = TaskOutcome(task_id=task_id, ok=False, timings=timings)
+
+        if not self.joined:
+            yield self.join_overlay()
+
+        # Phase 1: peers collection
+        collected = yield from collect_peers(
+            self, task.n_peers + task.spares, task.requirements, task_id,
+            outcome.collection,
+        )
+        if len(collected) < task.n_peers:
+            outcome.reason = (
+                f"collected only {len(collected)}/{task.n_peers} peers"
+            )
+            done.succeed(outcome)
+            return
+        timings.collected_at = self.sim.now
+        chosen = collected[:task.n_peers]
+        spares = collected[task.n_peers:]
+
+        # Phase 2: proximity groups + coordinators
+        groups = group_by_proximity(chosen, self.overlay.config.cmax)
+        coordinators = [pick_coordinator(g) for g in groups]
+        outcome.groups = groups
+        outcome.coordinators = coordinators
+        self._task_coordinators[task_id] = coordinators
+        self._task_tol[task_id] = task.workload.tol
+        self._expected_groups[task_id] = len(groups)
+        self._batches[task_id] = []
+        results_sig = Signal(f"{self.name}:results:{task_id}")
+        self._task_results[task_id] = results_sig
+
+        # Phase 3: parallel reservation through coordinators; on
+        # failures, patch the groups with spares and re-assign (the
+        # coordinator re-reserves — already-reserved peers re-ack).
+        reserved_groups: List[List[NodeRef]] = []
+        assign_lists = [list(g) for g in groups]
+        for attempt in range(3):
+            ready_sigs = []
+            for gi, (group, coord) in enumerate(zip(assign_lists, coordinators)):
+                sig = Signal(f"{self.name}:ready:{task_id}:{gi}:{attempt}")
+                self._group_ready[(task_id, gi)] = sig
+                ready_sigs.append(sig)
+                self.send(coord, GroupAssign(self.ref, task_id=task_id,
+                                             group_index=gi, peers=group))
+            readies = yield _all_of_with_timeout(
+                self.sim, ready_sigs, self.overlay.config.reserve_timeout * 3
+            )
+            if readies == "timeout":
+                outcome.reason = "group reservation timed out"
+                done.succeed(outcome)
+                return
+            readies = sorted(readies, key=lambda m: m.group_index)
+            failed = [ref for msg in readies for ref in msg.failed]
+            reserved_groups = [list(msg.reserved) for msg in readies]
+            if not failed:
+                break
+            if len(spares) < len(failed) or attempt == 2:
+                outcome.reason = (
+                    f"{len(failed)} peers failed reservation, "
+                    f"{len(spares)} spares available"
+                )
+                done.succeed(outcome)
+                return
+            # patch: reserved members + one spare per failure, rebalanced
+            self.overlay.stats.count("reservation_replacements", len(failed))
+            replacements = spares[:len(failed)]
+            spares = spares[len(failed):]
+            assign_lists = [list(g) for g in reserved_groups]
+            for ref in replacements:
+                min(assign_lists, key=len).append(ref)
+            for g in assign_lists:
+                g.sort(key=lambda r: int(r.ip))
+        timings.allocated_at = self.sim.now
+
+        # Phase 4: rank assignment + subtask dispatch via coordinators
+        ranks = assign_ranks(reserved_groups)
+        outcome.ranks = ranks
+        n = len(ranks)
+        rank_of = {ref.name: i for i, ref in enumerate(ranks)}
+        timings.compute_started_at = self.sim.now
+        for gi, (group, coord) in enumerate(zip(reserved_groups, coordinators)):
+            for ref in group:
+                r = rank_of[ref.name]
+                assignment = WorkAssignment(
+                    task_id=task_id, rank=r, nranks=n, workload=task.workload,
+                    coordinator=coord, submitter=self.ref,
+                    left=ranks[r - 1] if r > 0 else None,
+                    right=ranks[r + 1] if r < n - 1 else None,
+                )
+                self.send(
+                    coord,
+                    SubtaskMsg(
+                        self.ref, task_id=task_id, rank=r, final_dst=ref,
+                        payload_bytes=task.workload.subtask_bytes,
+                        spec=assignment,
+                    ),
+                )
+
+        # Phase 5: await all result batches (convergence handled by handlers)
+        res = yield AnyOf([results_sig,
+                           self.sim.timeout(task.task_timeout, "timeout")])
+        if res[1] == "timeout":
+            outcome.reason = "computation timed out"
+            done.succeed(outcome)
+            return
+        outcome.results = sorted(
+            (r for batch in self._batches.pop(task_id) for r in batch.results),
+            key=lambda r: r.rank,
+        )
+        timings.completed_at = self.sim.now
+        outcome.ok = len(outcome.results) == n
+        if not outcome.ok:
+            outcome.reason = f"{n - len(outcome.results)} results missing"
+        done.succeed(outcome)
+
+    # -- flat baseline -------------------------------------------------------------
+    def _submit_flat_process(self, task: TaskSpec, done: Signal):
+        task_id = next(_task_ids)
+        timings = TaskTimings(submitted_at=self.sim.now)
+        outcome = TaskOutcome(task_id=task_id, ok=False, timings=timings)
+        if not self.joined:
+            yield self.join_overlay()
+        collected = yield from collect_peers(
+            self, task.n_peers, task.requirements, task_id, outcome.collection
+        )
+        if len(collected) < task.n_peers:
+            outcome.reason = "not enough peers"
+            done.succeed(outcome)
+            return
+        timings.collected_at = self.sim.now
+        ranks = sorted(collected[:task.n_peers], key=lambda r: int(r.ip))
+        outcome.ranks = ranks
+        n = len(ranks)
+        # serial reservation: connect to every peer in succession
+        for ref in ranks:
+            sig = Signal(f"{self.name}:flatrsv:{ref.name}")
+            self._reserve_sigs[(task_id, ref.name)] = sig
+            self.send(ref, Reserve(self.ref, task_id=task_id,
+                                   coordinator=self.ref))
+            result = yield AnyOf([
+                sig,
+                self.sim.timeout(self.overlay.config.reserve_timeout, "t/o"),
+            ])
+            if result[1] is not True:
+                outcome.reason = f"peer {ref.name} failed reservation"
+                done.succeed(outcome)
+                return
+        timings.allocated_at = self.sim.now
+        # submitter is the single coordinator for everything
+        self._expected_groups[task_id] = 1
+        self._batches[task_id] = []
+        results_sig = Signal(f"{self.name}:results:{task_id}")
+        self._task_results[task_id] = results_sig
+        self._task_coordinators[task_id] = [self.ref]
+        self._task_tol[task_id] = task.workload.tol
+        from .peer import GroupDuty
+
+        duty = GroupDuty(task_id=task_id, group_index=0, submitter=self.ref,
+                         peers=list(ranks), reserved=list(ranks),
+                         expected_results=n)
+        self._duties[task_id] = duty
+        timings.compute_started_at = self.sim.now
+        for r, ref in enumerate(ranks):
+            assignment = WorkAssignment(
+                task_id=task_id, rank=r, nranks=n, workload=task.workload,
+                coordinator=self.ref, submitter=self.ref,
+                left=ranks[r - 1] if r > 0 else None,
+                right=ranks[r + 1] if r < n - 1 else None,
+            )
+            self.send(ref, SubtaskMsg(self.ref, task_id=task_id, rank=r,
+                                      final_dst=ref,
+                                      payload_bytes=task.workload.subtask_bytes,
+                                      spec=assignment))
+        res = yield AnyOf([results_sig,
+                           self.sim.timeout(task.task_timeout, "timeout")])
+        if res[1] == "timeout":
+            outcome.reason = "computation timed out"
+            done.succeed(outcome)
+            return
+        outcome.results = sorted(
+            (r for batch in self._batches.pop(task_id) for r in batch.results),
+            key=lambda r: r.rank,
+        )
+        timings.completed_at = self.sim.now
+        outcome.ok = len(outcome.results) == n
+        done.succeed(outcome)
+
+    # -- handlers -------------------------------------------------------------------
+    def handle_PeerListReply(self, msg) -> None:
+        self.resolve_request(msg.req_id, msg)
+
+    def handle_MoreTrackersReply(self, msg) -> None:
+        self.resolve_request(msg.req_id, msg)
+
+    def handle_GroupReady(self, msg: GroupReady) -> None:
+        sig = self._group_ready.pop((msg.task_id, msg.group_index), None)
+        if sig is not None and not sig.triggered:
+            sig.succeed(msg)
+
+    def handle_GroupConvergence(self, msg: GroupConvergence) -> None:
+        key = (msg.task_id, msg.check_index)
+        bucket = self._convergence.setdefault(key, {})
+        bucket[msg.group_index] = msg.residual
+        if len(bucket) < self._expected_groups.get(msg.task_id, 0):
+            return
+        del self._convergence[key]
+        tol = self._task_tol.get(msg.task_id, 0.0)
+        stop = tol > 0.0 and max(bucket.values()) <= tol
+        for coord in self._task_coordinators.get(msg.task_id, []):
+            if coord.name == self.name:
+                # flat mode: we are the coordinator — fan out directly
+                duty = self._duties.get(msg.task_id)
+                if duty is not None:
+                    for ref in duty.reserved:
+                        self.send(ref, ConvergenceDecision(
+                            self.ref, task_id=msg.task_id,
+                            check_index=msg.check_index, stop=stop,
+                            final_dst=ref,
+                        ))
+            else:
+                self.send(coord, ConvergenceDecision(
+                    self.ref, task_id=msg.task_id,
+                    check_index=msg.check_index, stop=stop, final_dst=None,
+                ))
+
+    def handle_ResultBatch(self, msg: ResultBatch) -> None:
+        batches = self._batches.get(msg.task_id)
+        if batches is None:
+            return
+        batches.append(msg)
+        if len(batches) >= self._expected_groups.get(msg.task_id, 0):
+            sig = self._task_results.pop(msg.task_id, None)
+            if sig is not None and not sig.triggered:
+                sig.succeed(True)
+
+
+def _all_of_with_timeout(sim, signals, timeout):
+    """Process helper: yields the list of signal values, or "timeout"."""
+    from ..desim import AllOf
+
+    done = Signal("allof-timeout")
+    all_of = AllOf(signals)
+    all_of._subscribe(
+        lambda s: done.succeed(s._value) if not done.triggered else None
+    )
+    sim.schedule(timeout, lambda: done.succeed("timeout")
+                 if not done.triggered else None)
+    return done

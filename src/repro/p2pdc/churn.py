@@ -1,0 +1,58 @@
+"""Failure injection for robustness experiments.
+
+P2PDC's decentralization claims are about surviving exactly these
+events: a tracker crash (line repair + peer failover), a peer crash
+(expiry + reservation replacement), and a server outage (the overlay
+keeps running; statistics are buffered until it returns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .overlay import Overlay
+
+
+@dataclass
+class ChurnEvent:
+    time: float
+    kind: str   # "peer" | "tracker" | "server-down" | "server-up"
+    target: str = ""
+
+
+@dataclass
+class ChurnPlan:
+    events: List[ChurnEvent] = field(default_factory=list)
+
+    def crash_peer(self, time: float, name: str) -> "ChurnPlan":
+        self.events.append(ChurnEvent(time, "peer", name))
+        return self
+
+    def crash_tracker(self, time: float, name: str) -> "ChurnPlan":
+        self.events.append(ChurnEvent(time, "tracker", name))
+        return self
+
+    def server_outage(self, down_at: float, up_at: float) -> "ChurnPlan":
+        if up_at <= down_at:
+            raise ValueError("outage must end after it starts")
+        self.events.append(ChurnEvent(down_at, "server-down"))
+        self.events.append(ChurnEvent(up_at, "server-up"))
+        return self
+
+    def arm(self, overlay: Overlay) -> None:
+        """Schedule every event on the overlay's simulator."""
+        for event in self.events:
+            overlay.sim.schedule_at(event.time, self._fire, overlay, event)
+
+    @staticmethod
+    def _fire(overlay: Overlay, event: ChurnEvent) -> None:
+        if event.kind == "server-down":
+            overlay.server.crash()
+        elif event.kind == "server-up":
+            overlay.server.revive()
+        else:
+            actor = overlay.registry.get(event.target)
+            if actor is None:
+                raise KeyError(f"churn target {event.target!r} not found")
+            actor.crash()

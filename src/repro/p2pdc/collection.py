@@ -1,0 +1,106 @@
+"""Peers collection for a task (paper §III-B).
+
+The submitter asks its own tracker first, then every tracker in its
+local tracker list, and finally expands outward by asking the two
+farthest known trackers (one per side) for the trackers beyond them —
+repeating until enough peers are collected or the line is exhausted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..desim import AnyOf
+from .messages import MoreTrackersRequest, NodeRef, PeerRequest
+
+#: How long the submitter waits for any single tracker reply.
+REPLY_TIMEOUT = 8.0
+
+
+class CollectionLog:
+    """Records how the collection proceeded (for tests/reports)."""
+
+    def __init__(self) -> None:
+        self.trackers_queried: List[str] = []
+        self.expansions: int = 0
+        self.timeouts: int = 0
+
+
+def collect_peers(submitter, need: int, requirements: Dict[str, float],
+                  task_id: int, log: Optional[CollectionLog] = None):
+    """Generator process: returns collected peer refs (may exceed
+    ``need`` — extras serve as spares)."""
+    log = log if log is not None else CollectionLog()
+    collected: Dict[str, NodeRef] = {}
+    queried: set = set()
+    known: List[NodeRef] = []
+
+    def learn(trackers) -> bool:
+        fresh = False
+        for ref in trackers:
+            if ref.name not in {t.name for t in known}:
+                known.append(ref)
+                fresh = True
+        return fresh
+
+    if submitter.tracker is not None:
+        learn([submitter.tracker])
+    learn(submitter.tracker_list)
+
+    while len(collected) < need:
+        target = next((t for t in known if t.name not in queried), None)
+        if target is None:
+            # expansion: ask the two farthest known trackers for more
+            if not known:
+                break
+            by_ip = sorted(known, key=lambda r: int(r.ip))
+            expanded = False
+            log.expansions += 1
+            for side, tracker in (("left", by_ip[0]), ("right", by_ip[-1])):
+                reply = yield from _ask_more_trackers(submitter, tracker, side)
+                if reply and learn(reply):
+                    expanded = True
+            if not expanded:
+                break
+            continue
+        queried.add(target.name)
+        log.trackers_queried.append(target.name)
+        peers = yield from _request_peers(
+            submitter, target, need - len(collected), requirements, task_id, log
+        )
+        for ref in peers:
+            if ref.name != submitter.name:
+                collected.setdefault(ref.name, ref)
+    return list(collected.values())
+
+
+def _request_peers(submitter, tracker: NodeRef, want: int,
+                   requirements: Dict[str, float], task_id: int,
+                   log: CollectionLog):
+    req_id, sig = submitter.new_request()
+    submitter.send(
+        tracker,
+        PeerRequest(
+            submitter.ref, req_id=req_id, requirements=dict(requirements),
+            max_peers=want, task_id=task_id,
+        ),
+    )
+    outcome = yield AnyOf([sig, submitter.sim.timeout(REPLY_TIMEOUT, "timeout")])
+    if outcome[1] == "timeout":
+        submitter.drop_request(req_id)
+        log.timeouts += 1
+        return []
+    return outcome[1].peers
+
+
+def _ask_more_trackers(submitter, tracker: NodeRef, side: str):
+    req_id, sig = submitter.new_request()
+    submitter.send(
+        tracker,
+        MoreTrackersRequest(submitter.ref, req_id=req_id, side=side),
+    )
+    outcome = yield AnyOf([sig, submitter.sim.timeout(REPLY_TIMEOUT, "timeout")])
+    if outcome[1] == "timeout":
+        submitter.drop_request(req_id)
+        return []
+    return outcome[1].trackers

@@ -1,0 +1,180 @@
+"""Distributed iterative computation on reserved peers.
+
+This is the data-plane half of the reference execution: once a peer
+holds a subtask, it iterates — compute burst, halo exchange with its
+rank neighbours over direct P2PSAP channels, and a periodic
+convergence check routed through the coordinator hierarchy (peers →
+coordinator → submitter → decision broadcast back down).
+
+Synchronous scheme: each iteration blocks on both halo receives.
+Asynchronous scheme: receives are non-blocking (freshest iterate
+wins, courtesy of P2PSAP's drop-stale mode) at the price of more
+iterations to converge (``async_penalty``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+from ..desim import AnyOf, Signal
+from ..p2psap import ChannelContext, Scheme, classify_link
+from .ip import proximity
+from .messages import ConvergenceReport, NodeRef, SubtaskResult
+
+#: Common-prefix bits at or above which two peers count as same-zone
+#: for protocol adaptation.
+SAME_ZONE_PREFIX_BITS = 16
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of an iterative SPMD workload."""
+
+    name: str
+    nit: int
+    halo_bytes: float
+    iteration_time: Callable[[int, int], float]  # (rank, nranks) -> seconds
+    check_every: int = 10
+    scheme: Scheme = Scheme.SYNC
+    noise_frac: float = 0.003          # reference-run timing jitter
+    async_penalty: float = 1.25        # extra iterations for async scheme
+    residual: Callable[[int], float] = field(
+        default=lambda it: 1.0 / (1 + it)
+    )
+    tol: float = 0.0                   # 0 → never stop early (fixed nit)
+    halo_timeout: Optional[float] = None
+    result_bytes: int = 1024
+    subtask_bytes: int = 8192
+
+    def effective_nit(self) -> int:
+        if self.scheme is Scheme.ASYNC:
+            return int(round(self.nit * self.async_penalty))
+        return self.nit
+
+
+@dataclass
+class WorkAssignment:
+    """Everything a peer needs to execute its subtask."""
+
+    task_id: int
+    rank: int
+    nranks: int
+    workload: WorkloadSpec
+    coordinator: NodeRef
+    submitter: NodeRef
+    left: Optional[NodeRef] = None   # rank - 1
+    right: Optional[NodeRef] = None  # rank + 1
+
+
+def channel_context_for(peer_a, peer_b, scheme: Scheme) -> ChannelContext:
+    """Derive the P2PSAP adaptation context for a peer pair."""
+    from ..p2psap import Locality
+
+    prefix = proximity(peer_a.ip, peer_b.ip)
+    locality = (
+        Locality.SAME_ZONE if prefix >= SAME_ZONE_PREFIX_BITS
+        else Locality.INTER_ZONE
+    )
+    latency = peer_a.net.topology.route_latency(peer_a.host, peer_b.host)
+    return ChannelContext(scheme, locality, classify_link(latency))
+
+
+class SubtaskExecution:
+    """One peer's execution of one subtask (runs as a desim process)."""
+
+    def __init__(self, peer, assignment: WorkAssignment) -> None:
+        self.peer = peer
+        self.assignment = assignment
+        self.sim = peer.sim
+        self.rng = peer.overlay.rng.stream(f"compute:{peer.name}")
+        self.iterations_done = 0
+        self.stopped_early = False
+
+    # -- helpers ------------------------------------------------------------
+    def _endpoint(self, neighbor: NodeRef):
+        scheme = self.assignment.workload.scheme
+        channel = self.peer.overlay.data_channel(self.peer, neighbor, scheme)
+        return channel.endpoint_for(self.peer.host)
+
+    def _noisy(self, seconds: float) -> float:
+        frac = self.assignment.workload.noise_frac
+        if frac <= 0:
+            return seconds
+        return max(0.0, seconds * (1.0 + self.rng.gauss(0.0, frac)))
+
+    # -- the process ------------------------------------------------------------
+    def run(self):
+        a = self.assignment
+        w = a.workload
+        neighbors = [n for n in (a.left, a.right) if n is not None]
+        endpoints = {n.name: self._endpoint(n) for n in neighbors}
+        base_time = w.iteration_time(a.rank, a.nranks)
+        nit = w.effective_nit()
+        for it in range(nit):
+            # compute burst
+            yield self.sim.timeout(self._noisy(base_time))
+            # halo exchange with both neighbours (sends first, then
+            # receives — full duplex, both directions overlap)
+            for n in neighbors:
+                endpoints[n.name].send(w.halo_bytes, data=("halo", a.rank, it))
+            if w.scheme is Scheme.SYNC:
+                for n in neighbors:
+                    yield from self._recv_halo(endpoints[n.name], n)
+            else:
+                for n in neighbors:
+                    endpoints[n.name].try_recv()  # freshest iterate, if any
+            self.iterations_done = it + 1
+            # periodic convergence check through the hierarchy
+            if w.check_every > 0 and (it + 1) % w.check_every == 0:
+                check_index = (it + 1) // w.check_every
+                decision = yield from self._convergence_check(check_index, it)
+                if decision:
+                    self.stopped_early = True
+                    break
+        return self._result()
+
+    def _recv_halo(self, endpoint, neighbor: NodeRef):
+        w = self.assignment.workload
+        recv = endpoint.recv()
+        if w.halo_timeout is None:
+            yield recv
+            return
+        timed = AnyOf([recv, self.sim.timeout(w.halo_timeout, "timeout")])
+        result = yield timed
+        if result[1] == "timeout":
+            raise PeerComputeError(
+                f"{self.peer.name}: halo from {neighbor.name} timed out "
+                f"(rank {self.assignment.rank})"
+            )
+
+    def _convergence_check(self, check_index: int, it: int):
+        a = self.assignment
+        sig = self.peer.register_decision(a.task_id, check_index)
+        self.peer.send(
+            a.coordinator,
+            ConvergenceReport(
+                self.peer.ref,
+                task_id=a.task_id,
+                rank=a.rank,
+                check_index=check_index,
+                residual=a.workload.residual(it),
+            ),
+        )
+        decision = yield sig
+        return bool(decision)
+
+    def _result(self) -> SubtaskResult:
+        a = self.assignment
+        return SubtaskResult(
+            self.peer.ref,
+            task_id=a.task_id,
+            rank=a.rank,
+            result_bytes=a.workload.result_bytes,
+            checksum=float(a.rank),
+            iterations_done=self.iterations_done,
+        )
+
+
+class PeerComputeError(Exception):
+    pass

@@ -1,0 +1,115 @@
+"""Standard overlay deployments for experiments and tests.
+
+Maps a simulated platform onto a P2PDC overlay: one server, a core of
+administrator-chosen trackers spread over the IP range (§III-A3), and
+one peer per compute host.  IP addresses are assigned so that network
+proximity correlates with IP proximity — peers of one zone share a
+``10.<zone>.0.0/16`` prefix — which is the assumption behind the
+longest-common-prefix metric (peers behind the same DSLAM or access
+switch get adjacent addresses).
+
+Trackers are co-located on peer hosts: in P2PDC trackers *are* trusted
+volunteer peers, not dedicated machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..net import TcpModel
+from ..platforms import PlatformSpec
+from .allocation import Submitter
+from .overlay import Overlay, OverlayConfig
+from .peer import Peer
+from .server import Server
+from .tracker import Tracker
+
+
+@dataclass
+class Deployment:
+    overlay: Overlay
+    server: Server
+    trackers: List[Tracker]
+    peers: List[Peer]
+    submitter: Optional[Submitter] = None
+
+    @property
+    def sim(self):
+        return self.overlay.sim
+
+
+def deploy_overlay(
+    platform: PlatformSpec,
+    n_peers: Optional[int] = None,
+    n_zones: int = 4,
+    config: OverlayConfig = OverlayConfig(),
+    seed: int = 0,
+    tcp: TcpModel = TcpModel(),
+    with_submitter: bool = True,
+    join_peers: bool = True,
+    settle: bool = True,
+) -> Deployment:
+    """Deploy server + core trackers + peers over a platform.
+
+    ``n_peers`` compute peers are placed on the first hosts (default:
+    all hosts).  When ``join_peers`` the peers join the overlay through
+    the protocol, and when ``settle`` the simulation runs until every
+    peer is accepted into a zone.
+    """
+    hosts = platform.hosts if n_peers is None else platform.take_hosts(n_peers)
+    if not hosts:
+        raise ValueError("platform has no hosts for the overlay")
+    n_zones = max(1, min(n_zones, len(hosts)))
+    overlay = Overlay(platform, config, seed=seed, tcp=tcp)
+
+    server = overlay.create_server(hosts[0], "10.255.0.1")
+
+    # contiguous host chunks become zones (host order correlates with
+    # physical locality in all three platform builders)
+    base, extra = divmod(len(hosts), n_zones)
+    zones, start = [], 0
+    for z in range(n_zones):
+        size = base + (1 if z < extra else 0)
+        zones.append(hosts[start:start + size])
+        start += size
+
+    trackers: List[Tracker] = []
+    peers: List[Peer] = []
+    for z, zone_hosts in enumerate(zones):
+        tracker = overlay.create_tracker(
+            zone_hosts[0], f"10.{z}.0.1", name=f"tracker-{z}"
+        )
+        trackers.append(tracker)
+        for k, host in enumerate(zone_hosts):
+            ip = f"10.{z}.{1 + k // 250}.{k % 250 + 2}"
+            peers.append(overlay.create_peer(host, ip, name=f"p-{z}-{k}"))
+
+    overlay.bootstrap_core()
+
+    submitter = None
+    if with_submitter:
+        submitter = Submitter(
+            overlay, "submitter", _submitter_ip(n_zones), hosts[0]
+        )
+        overlay.peers.append(submitter)
+
+    install_list = [t.ref for t in trackers]
+    if join_peers:
+        join_signals = [p.join_overlay(install_list) for p in peers]
+        if with_submitter:
+            join_signals.append(submitter.join_overlay(install_list))
+        if settle:
+            from ..desim import AllOf
+
+            overlay.run_until(AllOf(join_signals), limit=1e5)
+    elif with_submitter:
+        submitter.tracker_list = install_list
+
+    return Deployment(overlay, server, trackers, peers, submitter)
+
+
+def _submitter_ip(n_zones: int):
+    from .ip import IPv4
+
+    return IPv4.parse(f"10.{max(0, n_zones - 1)}.250.250")

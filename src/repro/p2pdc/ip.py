@@ -1,0 +1,84 @@
+"""IPv4 addresses and the IP-based proximity metric (paper §III-A2).
+
+P2PDC measures peer proximity as the *longest common IP prefix
+length*: it needs only local information, consumes no network
+resource, and is faster to evaluate than RTT-style metrics.  The
+paper's example: 145.82.1.1 and 145.82.1.129 share a 24-bit prefix,
+while 145.82.1.1 and 145.83.56.74 share only 15 bits, so the first
+pair is considered closer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+
+@total_ordering
+@dataclass(frozen=True)
+class IPv4:
+    """An IPv4 address stored as a 32-bit integer."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.value <= 0xFFFFFFFF):
+            raise ValueError(f"IPv4 value out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4":
+        parts = text.strip().split(".")
+        if len(parts) != 4:
+            raise ValueError(f"malformed IPv4 {text!r}")
+        value = 0
+        for part in parts:
+            octet = int(part)
+            if not (0 <= octet <= 255):
+                raise ValueError(f"malformed IPv4 {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    def __str__(self) -> str:
+        v = self.value
+        return f"{(v >> 24) & 255}.{(v >> 16) & 255}.{(v >> 8) & 255}.{v & 255}"
+
+    def __lt__(self, other: "IPv4") -> bool:
+        return self.value < other.value
+
+    def __int__(self) -> int:
+        return self.value
+
+
+def common_prefix_len(a: IPv4, b: IPv4) -> int:
+    """Longest common prefix length in bits (0–32)."""
+    diff = a.value ^ b.value
+    if diff == 0:
+        return 32
+    return 32 - diff.bit_length()
+
+
+def proximity(a: IPv4, b: IPv4) -> int:
+    """The P2PDC proximity metric: larger = closer."""
+    return common_prefix_len(a, b)
+
+
+def closest(target: IPv4, candidates) -> object:
+    """The candidate closest to ``target``.
+
+    Candidates expose an ``ip`` attribute.  Ties break toward the
+    numerically closest address (then lowest), keeping the choice
+    deterministic across the overlay.
+    """
+    best = None
+    best_key = None
+    for cand in candidates:
+        key = (
+            -proximity(target, cand.ip),
+            abs(int(cand.ip) - int(target)),
+            int(cand.ip),
+        )
+        if best_key is None or key < best_key:
+            best, best_key = cand, key
+    if best is None:
+        raise ValueError("no candidates")
+    return best

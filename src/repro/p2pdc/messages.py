@@ -1,0 +1,317 @@
+"""P2PDC control-plane message vocabulary.
+
+Each message carries an estimated wire size so the control plane has a
+real cost on the simulated network.  ``req_id`` fields implement the
+request/reply correlation used by blocking actor workflows
+(collection, allocation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .ip import IPv4
+
+
+@dataclass(frozen=True)
+class NodeRef:
+    """A lightweight handle on an overlay node (what peers exchange)."""
+
+    name: str
+    ip: IPv4
+    host_name: str
+    role: str = "peer"  # peer | tracker | server
+
+    def __repr__(self) -> str:
+        return f"<{self.role} {self.name}@{self.ip}>"
+
+
+@dataclass
+class Message:
+    sender: NodeRef
+    SIZE = 128  # default control-message wire size (bytes)
+
+    @property
+    def size_bytes(self) -> int:
+        return type(self).SIZE
+
+
+@dataclass
+class TimerFire(Message):
+    tag: str = ""
+    payload: object = None
+    SIZE = 0  # local, never hits the network
+
+
+# -- bootstrap / server ------------------------------------------------------
+
+@dataclass
+class GetTrackers(Message):
+    req_id: int = 0
+    SIZE = 96
+
+
+@dataclass
+class TrackersReply(Message):
+    req_id: int = 0
+    trackers: List[NodeRef] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return 64 + 32 * len(self.trackers)
+
+
+@dataclass
+class TrackerConnect(Message):
+    tracker: NodeRef = None  # type: ignore[assignment]
+    SIZE = 96
+
+
+@dataclass
+class TrackerDisconnect(Message):
+    ip: IPv4 = None  # type: ignore[assignment]
+    SIZE = 96
+
+
+@dataclass
+class StatsReport(Message):
+    zone_size: int = 0
+    donated: float = 0.0
+    consumed: float = 0.0
+
+    @property
+    def size_bytes(self) -> int:
+        return 160
+
+
+# -- tracker line maintenance --------------------------------------------------
+
+@dataclass
+class TrackerJoin(Message):
+    new_tracker: NodeRef = None  # type: ignore[assignment]
+    SIZE = 128
+
+
+@dataclass
+class TrackerWelcome(Message):
+    neighbors: List[NodeRef] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return 64 + 32 * len(self.neighbors)
+
+
+@dataclass
+class NeighborAdd(Message):
+    new_tracker: NodeRef = None  # type: ignore[assignment]
+    SIZE = 128
+
+
+@dataclass
+class NeighborsRepair(Message):
+    lost_ip: IPv4 = None  # type: ignore[assignment]
+    replacements: List[NodeRef] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return 96 + 32 * len(self.replacements)
+
+
+@dataclass
+class AdjacencyPing(Message):
+    seq: int = 0
+    SIZE = 64
+
+
+@dataclass
+class AdjacencyPong(Message):
+    seq: int = 0
+    SIZE = 64
+
+
+# -- peer membership ------------------------------------------------------------
+
+@dataclass
+class PeerJoin(Message):
+    peer: NodeRef = None  # type: ignore[assignment]
+    resources: Dict[str, float] = field(default_factory=dict)
+    SIZE = 256
+
+
+@dataclass
+class PeerAccept(Message):
+    tracker: NodeRef = None  # type: ignore[assignment]
+    tracker_list: List[NodeRef] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return 96 + 32 * len(self.tracker_list)
+
+
+@dataclass
+class StateUpdate(Message):
+    usage: float = 0.0
+    busy: bool = False
+    SIZE = 128
+
+
+@dataclass
+class UpdateAck(Message):
+    SIZE = 64
+
+
+@dataclass
+class PeerBusy(Message):
+    task_id: int = 0
+    SIZE = 96
+
+
+@dataclass
+class PeerFree(Message):
+    SIZE = 96
+
+
+# -- peers collection -------------------------------------------------------------
+
+@dataclass
+class PeerRequest(Message):
+    req_id: int = 0
+    requirements: Dict[str, float] = field(default_factory=dict)
+    max_peers: int = 0
+    task_id: int = 0
+    SIZE = 256
+
+
+@dataclass
+class PeerListReply(Message):
+    req_id: int = 0
+    peers: List[NodeRef] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return 64 + 48 * len(self.peers)
+
+
+@dataclass
+class MoreTrackersRequest(Message):
+    req_id: int = 0
+    side: str = "right"  # relative to the requester's IP
+    SIZE = 128
+
+
+@dataclass
+class MoreTrackersReply(Message):
+    req_id: int = 0
+    trackers: List[NodeRef] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return 64 + 32 * len(self.trackers)
+
+
+# -- hierarchical allocation ---------------------------------------------------------
+
+@dataclass
+class GroupAssign(Message):
+    task_id: int = 0
+    group_index: int = 0
+    peers: List[NodeRef] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return 128 + 48 * len(self.peers)
+
+
+@dataclass
+class Reserve(Message):
+    """The paper's "reverse" message: coordinator reserves a peer."""
+
+    task_id: int = 0
+    coordinator: NodeRef = None  # type: ignore[assignment]
+    SIZE = 160
+
+
+@dataclass
+class ReserveAck(Message):
+    task_id: int = 0
+    accepted: bool = True
+    SIZE = 96
+
+
+@dataclass
+class GroupReady(Message):
+    task_id: int = 0
+    group_index: int = 0
+    reserved: List[NodeRef] = field(default_factory=list)
+    failed: List[NodeRef] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return 128 + 48 * (len(self.reserved) + len(self.failed))
+
+
+@dataclass
+class SubtaskMsg(Message):
+    task_id: int = 0
+    rank: int = 0
+    final_dst: Optional[NodeRef] = None  # set while in transit via coordinator
+    payload_bytes: int = 0
+    spec: object = None  # WorkAssignment (opaque to the transport)
+
+    @property
+    def size_bytes(self) -> int:
+        return 256 + self.payload_bytes
+
+
+@dataclass
+class SubtaskResult(Message):
+    task_id: int = 0
+    rank: int = 0
+    result_bytes: int = 0
+    checksum: float = 0.0
+    iterations_done: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return 128 + self.result_bytes
+
+
+@dataclass
+class ResultBatch(Message):
+    task_id: int = 0
+    group_index: int = 0
+    results: List[SubtaskResult] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return 128 + sum(r.size_bytes for r in self.results)
+
+
+# -- convergence control (through the coordinator hierarchy) ----------------------------
+
+@dataclass
+class ConvergenceReport(Message):
+    task_id: int = 0
+    rank: int = 0
+    check_index: int = 0
+    residual: float = 0.0
+    SIZE = 96
+
+
+@dataclass
+class GroupConvergence(Message):
+    task_id: int = 0
+    group_index: int = 0
+    check_index: int = 0
+    residual: float = 0.0
+    SIZE = 96
+
+
+@dataclass
+class ConvergenceDecision(Message):
+    task_id: int = 0
+    check_index: int = 0
+    stop: bool = False
+    final_dst: Optional[NodeRef] = None
+    SIZE = 96

@@ -1,0 +1,138 @@
+"""Base actor for P2PDC overlay nodes.
+
+Every node owns a mailbox and a main-loop process that dispatches
+messages to ``handle_<MessageType>`` methods.  Control-plane sends
+travel over the fluid network (so the control plane has real latency
+and bandwidth cost); delivery to a crashed node is silently dropped —
+exactly the failure surface the paper's timeout protocols deal with.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..desim import Interrupt, Mailbox, Signal
+from ..net import Host
+from .ip import IPv4
+from .messages import Message, NodeRef, TimerFire
+
+
+class NodeActor:
+    """An overlay node: mailbox, timers, request/reply bookkeeping."""
+    role = "node"
+
+    def __init__(self, overlay, name: str, ip: IPv4, host: Host) -> None:
+        self.overlay = overlay
+        self.sim = overlay.sim
+        self.net = overlay.net
+        self.name = name
+        self.ip = ip
+        self.host = host
+        self.mailbox = Mailbox(name)
+        self.alive = True
+        self.process = None
+        self._req_counter = 0
+        self._pending: Dict[int, Signal] = {}
+        overlay.register(self)
+
+    # -- identity ------------------------------------------------------------
+    @property
+    def ref(self) -> NodeRef:
+        return NodeRef(self.name, self.ip, self.host.name, self.role)
+
+    def __repr__(self) -> str:
+        status = "up" if self.alive else "down"
+        return f"<{type(self).__name__} {self.name}@{self.ip} {status}>"
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        if self.process is None:
+            self.process = self.sim.process(self._main_loop(), name=self.name)
+            self.on_start()
+
+    def on_start(self) -> None:
+        """Hook for subclasses (timers, bootstrap)."""
+
+    def crash(self) -> None:
+        """Fail-stop: the node stops handling and receiving messages."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.mailbox.clear()
+        if self.process is not None:
+            self.process.interrupt("crash")
+        self.overlay.stats.count("crashes")
+
+    def revive(self) -> None:
+        """Restart after an outage (used for the server come-back)."""
+        if self.alive:
+            return
+        self.alive = True
+        self.process = self.sim.process(self._main_loop(), name=self.name)
+        self.on_revive()
+
+    def on_revive(self) -> None:
+        """Hook for subclasses."""
+
+    # -- main loop ------------------------------------------------------------
+    def _main_loop(self):
+        try:
+            while True:
+                msg = yield self.mailbox.get()
+                if not self.alive:
+                    return
+                self._dispatch(msg)
+        except Interrupt:
+            return
+
+    def _dispatch(self, msg: Message) -> None:
+        if isinstance(msg, TimerFire):
+            handler = getattr(self, f"timer_{msg.tag}", None)
+            if handler is None:
+                raise RuntimeError(f"{self.name}: no timer handler {msg.tag!r}")
+            handler(msg.payload)
+            return
+        handler = getattr(self, f"handle_{type(msg).__name__}", None)
+        if handler is None:
+            self.overlay.stats.count("unhandled_messages")
+            return
+        handler(msg)
+
+    # -- messaging ------------------------------------------------------------
+    def send(self, dst: NodeRef, msg: Message) -> None:
+        """Asynchronous control-plane send over the network."""
+        self.overlay.transport(self, dst, msg)
+
+    def set_timer(self, delay: float, tag: str, payload: Any = None) -> None:
+        def fire() -> None:
+            if self.alive:
+                self.mailbox.put(TimerFire(self.ref, tag, payload))
+
+        self.sim.schedule(delay, fire)
+
+    def every(self, interval: float, tag: str) -> None:
+        """Start a periodic timer (stops when the node dies)."""
+
+        def fire() -> None:
+            if not self.alive:
+                return
+            self.mailbox.put(TimerFire(self.ref, tag, None))
+            self.sim.schedule(interval, fire)
+
+        self.sim.schedule(interval, fire)
+
+    # -- request/reply correlation ------------------------------------------------
+    def new_request(self) -> tuple[int, Signal]:
+        self._req_counter += 1
+        req_id = self._req_counter
+        sig = Signal(f"{self.name}:req{req_id}")
+        self._pending[req_id] = sig
+        return req_id, sig
+
+    def resolve_request(self, req_id: int, value: Any) -> None:
+        sig = self._pending.pop(req_id, None)
+        if sig is not None and not sig.triggered:
+            sig.succeed(value)
+
+    def drop_request(self, req_id: int) -> None:
+        self._pending.pop(req_id, None)

@@ -1,0 +1,163 @@
+"""Overlay bootstrap and message transport for P2PDC actors.
+
+The :class:`Overlay` owns the simulator, the fluid network, the actor
+registry, and the protocol configuration (timer intervals, timeouts,
+neighbour-set size).  Initial deployment follows the paper §III-A3:
+the administrator starts a server plus a set of core trackers spread
+over the IP range; their line topology is configured directly (they
+are "cores of the system and are on-line permanently"), while every
+later tracker/peer joins through the protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..desim import RngRegistry, Simulator
+from ..net import FluidNetwork, Host, TcpModel
+from ..platforms import PlatformSpec
+from .ip import IPv4
+from .messages import Message, NodeRef
+from .node import NodeActor
+from .stats import OverlayStats
+
+
+@dataclass(frozen=True)
+class OverlayConfig:
+    """Protocol constants (paper values where given)."""
+
+    neighbor_set_size: int = 6        # |N|, half per side
+    cmax: int = 32                    # max peers per group (paper: 32)
+    state_update_interval: float = 30.0
+    peer_expiry: float = 75.0         # tracker drops silent peers after T
+    update_ack_timeout: float = 10.0  # peer declares tracker dead after T
+    adjacency_ping_interval: float = 10.0
+    adjacency_ping_timeout: float = 25.0
+    reserve_timeout: float = 15.0
+    stats_report_interval: float = 60.0
+    bootstrap_tracker_count: int = 4  # trackers handed out by the server
+
+
+class Overlay:
+    """The shared fabric all P2PDC actors live in."""
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        config: OverlayConfig = OverlayConfig(),
+        seed: int = 0,
+        tcp: TcpModel = TcpModel(),
+    ) -> None:
+        self.platform = platform
+        self.sim = Simulator()
+        self.net = FluidNetwork(self.sim, platform.topology, tcp=tcp)
+        self.config = config
+        self.rng = RngRegistry(seed)
+        self.stats = OverlayStats()
+        self.registry: Dict[str, NodeActor] = {}
+        self.server = None
+        self.trackers: List = []
+        self.peers: List = []
+        self._data_channels: Dict[tuple, object] = {}
+
+    # -- registry -------------------------------------------------------------
+    def register(self, actor: NodeActor) -> None:
+        if actor.name in self.registry:
+            raise ValueError(f"duplicate node name {actor.name!r}")
+        self.registry[actor.name] = actor
+
+    def actor(self, ref: NodeRef) -> Optional[NodeActor]:
+        return self.registry.get(ref.name)
+
+    # -- transport -------------------------------------------------------------
+    def transport(self, src: NodeActor, dst: NodeRef, msg: Message) -> None:
+        """Send a control message over the network; drop if dst is dead."""
+        target = self.registry.get(dst.name)
+        if target is None:
+            raise KeyError(f"unknown destination {dst.name!r}")
+        size = msg.size_bytes
+        self.stats.message(type(msg).__name__, size)
+        done = self.net.send(src.host, target.host, size,
+                             tag=type(msg).__name__)
+
+        def deliver(_sig) -> None:
+            if target.alive:
+                target.mailbox.put(msg)
+            else:
+                self.stats.count("dropped_to_dead")
+
+        done._subscribe(deliver)
+
+    # -- factories ---------------------------------------------------------------
+    def create_server(self, host: Host, ip: str | IPv4, name: str = "server"):
+        from .server import Server
+
+        self.server = Server(self, name, _ip(ip), host)
+        return self.server
+
+    def create_tracker(self, host: Host, ip: str | IPv4, name: Optional[str] = None):
+        from .tracker import Tracker
+
+        name = name or f"tracker-{len(self.trackers)}"
+        tracker = Tracker(self, name, _ip(ip), host)
+        self.trackers.append(tracker)
+        return tracker
+
+    def create_peer(self, host: Host, ip: str | IPv4, name: Optional[str] = None,
+                    resources: Optional[dict] = None):
+        from .peer import Peer
+
+        name = name or f"peer-{len(self.peers)}"
+        peer = Peer(self, name, _ip(ip), host, resources=resources or {})
+        self.peers.append(peer)
+        return peer
+
+    # -- bootstrap ------------------------------------------------------------------
+    def bootstrap_core(self) -> None:
+        """Wire the administrator-deployed core: server knows all core
+        trackers; each core tracker gets its line neighbours and starts."""
+        if self.server is None:
+            raise RuntimeError("create the server before bootstrap_core()")
+        core = sorted(self.trackers, key=lambda t: int(t.ip))
+        self.server.seed_trackers([t.ref for t in core])
+        half = self.config.neighbor_set_size // 2
+        for i, tracker in enumerate(core):
+            below = [t.ref for t in core[max(0, i - half):i]]
+            above = [t.ref for t in core[i + 1:i + 1 + half]]
+            tracker.seed_neighbors(below + above)
+        self.server.start()
+        for tracker in core:
+            tracker.start()
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.sim.run(until=until)
+
+    def run_until(self, waitable, limit: float = 1e6):
+        return self.sim.run_until_triggered(waitable, limit=limit)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def live_trackers(self) -> List:
+        return [t for t in self.trackers if t.alive]
+
+    # -- data plane ---------------------------------------------------------------
+    def data_channel(self, peer: NodeActor, neighbor: NodeRef, scheme):
+        """P2PSAP channel between two peers (cached per pair+scheme)."""
+        from ..p2psap import Channel
+        from .computation import channel_context_for
+
+        key = (frozenset((peer.name, neighbor.name)), scheme)
+        channel = self._data_channels.get(key)
+        if channel is None:
+            other = self.registry[neighbor.name]
+            context = channel_context_for(peer, other, scheme)
+            channel = Channel(self.sim, self.net, peer.host, other.host, context)
+            self._data_channels[key] = channel
+        return channel
+
+
+def _ip(value: str | IPv4) -> IPv4:
+    return value if isinstance(value, IPv4) else IPv4.parse(value)

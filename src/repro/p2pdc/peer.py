@@ -1,0 +1,348 @@
+"""The P2PDC peer (paper §III-A6/7 and §III-C).
+
+A peer donates resources: it joins the zone of its closest tracker,
+publishes its resources, heartbeats state updates (and re-joins via
+its local tracker list when the tracker dies), and waits for work.
+
+Peers also carry the *coordinator* role: when a submitter assigns it a
+group, the peer reserves the group members in parallel (the paper's
+"reverse" message), relays subtasks downward and results upward, and
+aggregates convergence reports — the hierarchical mechanism that
+avoids the submitter bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..desim import AnyOf, Signal
+from .computation import PeerComputeError, SubtaskExecution, WorkAssignment
+from .ip import proximity
+from .messages import (
+    ConvergenceDecision,
+    ConvergenceReport,
+    GetTrackers,
+    GroupAssign,
+    GroupConvergence,
+    GroupReady,
+    NodeRef,
+    PeerAccept,
+    PeerBusy,
+    PeerFree,
+    PeerJoin,
+    Reserve,
+    ReserveAck,
+    ResultBatch,
+    StateUpdate,
+    SubtaskMsg,
+    SubtaskResult,
+    TrackersReply,
+    UpdateAck,
+)
+from .node import NodeActor
+
+
+@dataclass
+class GroupDuty:
+    """Coordinator-side state for one assigned group."""
+
+    task_id: int
+    group_index: int
+    submitter: NodeRef
+    peers: List[NodeRef]
+    reserved: List[NodeRef] = field(default_factory=list)
+    failed: List[NodeRef] = field(default_factory=list)
+    results: List[SubtaskResult] = field(default_factory=list)
+    expected_results: int = 0
+    reports: Dict[int, Dict[int, float]] = field(default_factory=dict)
+    batch_sent: bool = False
+
+
+class Peer(NodeActor):
+    """A resource-donating peer; also carries the coordinator role."""
+    role = "peer"
+
+    def __init__(self, overlay, name, ip, host, resources=None) -> None:
+        super().__init__(overlay, name, ip, host)
+        self.resources: Dict[str, float] = dict(resources or {})
+        self.resources.setdefault("speed", host.speed)
+        self.tracker: Optional[NodeRef] = None
+        self.tracker_list: List[NodeRef] = []
+        self.joined = False
+        self.busy = False
+        self.current_task: Optional[int] = None
+        self.current_coordinator: Optional[NodeRef] = None
+        self._join_signal: Optional[Signal] = None
+        self._join_candidates: List[NodeRef] = []
+        self._join_attempt = 0
+        self._last_ack = 0.0
+        self._decisions: Dict[Tuple[int, int], Signal] = {}
+        self._duties: Dict[int, GroupDuty] = {}
+        self._reserve_sigs: Dict[Tuple[int, str], Signal] = {}
+        self._compute_procs: list = []
+        self.completed_subtasks: List[SubtaskResult] = []
+        self.rejoin_count = 0
+
+    # -- membership ---------------------------------------------------------------
+    def join_overlay(self, tracker_list: Optional[List[NodeRef]] = None) -> Signal:
+        """Join through the closest tracker in the local list (stored at
+        install time, §III-A3); falls back to the server when empty."""
+        self.start()
+        if self._join_signal is None or self._join_signal.triggered:
+            self._join_signal = Signal(f"{self.name}:joined")
+        if tracker_list:
+            self.tracker_list = list(tracker_list)
+        self._join_candidates = self._ranked_trackers()
+        self._join_attempt = 0
+        self._try_join()
+        return self._join_signal
+
+    def _ranked_trackers(self) -> List[NodeRef]:
+        return sorted(
+            self.tracker_list,
+            key=lambda r: (-proximity(self.ip, r.ip), abs(int(r.ip) - int(self.ip))),
+        )
+
+    def _try_join(self) -> None:
+        if self.joined:
+            return
+        if self._join_attempt < len(self._join_candidates):
+            target = self._join_candidates[self._join_attempt]
+            self._join_attempt += 1
+            self.send(
+                target,
+                PeerJoin(self.ref, peer=self.ref, resources=self.resources),
+            )
+        else:
+            server = self.overlay.server
+            if server is not None:
+                req_id, _ = self.new_request()
+                self.send(server.ref, GetTrackers(self.ref, req_id=req_id))
+        self.set_timer(self.overlay.config.update_ack_timeout, "join_retry")
+
+    def timer_join_retry(self, _payload) -> None:
+        if not self.joined:
+            self._try_join()
+
+    def handle_TrackersReply(self, msg: TrackersReply) -> None:
+        self.drop_request(msg.req_id)
+        if not self.joined:
+            self._join_candidates = list(msg.trackers)
+            self._join_attempt = 0
+            self._try_join()
+
+    def handle_PeerAccept(self, msg: PeerAccept) -> None:
+        first_join = not self.joined
+        self.tracker = msg.tracker
+        self.tracker_list = list(msg.tracker_list)
+        self.joined = True
+        self._last_ack = self.sim.now
+        if first_join:
+            self.every(self.overlay.config.state_update_interval, "state_update")
+        if self._join_signal is not None and not self._join_signal.triggered:
+            self._join_signal.succeed(msg.tracker)
+
+    # -- heartbeats / tracker-failure recovery -----------------------------------------
+    def timer_state_update(self, _payload) -> None:
+        if not self.joined or self.tracker is None:
+            return
+        self.send(self.tracker, StateUpdate(self.ref, usage=0.0, busy=self.busy))
+        self.set_timer(
+            self.overlay.config.update_ack_timeout, "ack_check", self.sim.now
+        )
+
+    def timer_ack_check(self, sent_at) -> None:
+        if not self.joined or self.tracker is None:
+            return
+        if self._last_ack < sent_at:
+            # tracker considered disconnected → join a neighbour zone
+            dead = self.tracker
+            self.overlay.stats.count("peer_tracker_failovers")
+            self.rejoin_count += 1
+            self.tracker = None
+            self.joined = False
+            self.tracker_list = [r for r in self.tracker_list if r.ip != dead.ip]
+            self._join_candidates = self._ranked_trackers()
+            self._join_attempt = 0
+            self._try_join()
+
+    def handle_UpdateAck(self, _msg: UpdateAck) -> None:
+        self._last_ack = self.sim.now
+
+    # -- reservation ("reverse") ----------------------------------------------------------
+    def handle_Reserve(self, msg: Reserve) -> None:
+        if self.busy and self.current_task != msg.task_id:
+            self.send(msg.sender, ReserveAck(self.ref, task_id=msg.task_id,
+                                             accepted=False))
+            return
+        self.busy = True
+        self.current_task = msg.task_id
+        self.current_coordinator = msg.coordinator
+        if self.tracker is not None:
+            self.send(self.tracker, PeerBusy(self.ref, task_id=msg.task_id))
+        self.send(msg.sender, ReserveAck(self.ref, task_id=msg.task_id,
+                                         accepted=True))
+
+    def _release(self) -> None:
+        self.busy = False
+        self.current_task = None
+        self.current_coordinator = None
+        if self.tracker is not None:
+            self.send(self.tracker, PeerFree(self.ref))
+
+    # -- subtask execution ---------------------------------------------------------------
+    def handle_SubtaskMsg(self, msg: SubtaskMsg) -> None:
+        if msg.final_dst is not None and msg.final_dst.name != self.name:
+            # coordinator relay toward the computing peer
+            self.send(msg.final_dst, msg)
+            return
+        assignment: WorkAssignment = msg.spec
+        proc = self.sim.process(
+            self._execute(assignment), name=f"{self.name}:task{msg.task_id}"
+        )
+        self._compute_procs.append(proc)
+
+    def _execute(self, assignment: WorkAssignment):
+        execution = SubtaskExecution(self, assignment)
+        try:
+            result = yield from execution.run()
+        except PeerComputeError:
+            self.overlay.stats.count("subtask_failures")
+            self._release()
+            return
+        self.completed_subtasks.append(result)
+        self.send(assignment.coordinator, result)
+        self._release()
+
+    def register_decision(self, task_id: int, check_index: int) -> Signal:
+        sig = Signal(f"{self.name}:decision:{task_id}:{check_index}")
+        self._decisions[(task_id, check_index)] = sig
+        return sig
+
+    def handle_ConvergenceDecision(self, msg: ConvergenceDecision) -> None:
+        duty = self._duties.get(msg.task_id)
+        if duty is not None and msg.final_dst is None:
+            # coordinator: fan the decision out to the group
+            for ref in duty.reserved:
+                if ref.name != self.name:
+                    self.send(
+                        ref,
+                        ConvergenceDecision(
+                            self.ref, task_id=msg.task_id,
+                            check_index=msg.check_index, stop=msg.stop,
+                            final_dst=ref,
+                        ),
+                    )
+        sig = self._decisions.pop((msg.task_id, msg.check_index), None)
+        if sig is not None and not sig.triggered:
+            sig.succeed(msg.stop)
+
+    # -- coordinator role ---------------------------------------------------------------------
+    def handle_GroupAssign(self, msg: GroupAssign) -> None:
+        duty = GroupDuty(
+            task_id=msg.task_id,
+            group_index=msg.group_index,
+            submitter=msg.sender,
+            peers=list(msg.peers),
+        )
+        self._duties[msg.task_id] = duty
+        self.sim.process(
+            self._reserve_group(duty), name=f"{self.name}:reserve{msg.task_id}"
+        )
+
+    def _reserve_group(self, duty: GroupDuty):
+        cfg = self.overlay.config
+        pending = []
+        for ref in duty.peers:
+            if ref.name == self.name:
+                # the coordinator reserves itself directly
+                self.busy = True
+                self.current_task = duty.task_id
+                self.current_coordinator = self.ref
+                duty.reserved.append(self.ref)
+                continue
+            sig = Signal(f"{self.name}:rsv:{duty.task_id}:{ref.name}")
+            self._reserve_sigs[(duty.task_id, ref.name)] = sig
+            self.send(ref, Reserve(self.ref, task_id=duty.task_id,
+                                   coordinator=self.ref))
+            pending.append((ref, sig))
+        if pending:
+            yield AnyOf([  # wait for all acks or the timeout, whichever first
+                _all_or_timeout(self.sim, [s for _r, s in pending],
+                                cfg.reserve_timeout)
+            ])
+        for ref, sig in pending:
+            if sig.triggered and sig.ok and sig._value:
+                duty.reserved.append(ref)
+            else:
+                duty.failed.append(ref)
+            self._reserve_sigs.pop((duty.task_id, ref.name), None)
+        duty.reserved.sort(key=lambda r: int(r.ip))
+        duty.expected_results = len(duty.reserved)
+        self.send(
+            duty.submitter,
+            GroupReady(
+                self.ref, task_id=duty.task_id, group_index=duty.group_index,
+                reserved=list(duty.reserved), failed=list(duty.failed),
+            ),
+        )
+
+    def handle_ReserveAck(self, msg: ReserveAck) -> None:
+        sig = self._reserve_sigs.get((msg.task_id, msg.sender.name))
+        if sig is not None and not sig.triggered:
+            sig.succeed(msg.accepted)
+
+    def handle_ConvergenceReport(self, msg: ConvergenceReport) -> None:
+        duty = self._duties.get(msg.task_id)
+        if duty is None:
+            return
+        bucket = duty.reports.setdefault(msg.check_index, {})
+        bucket[msg.rank] = msg.residual
+        if len(bucket) == duty.expected_results:
+            self.send(
+                duty.submitter,
+                GroupConvergence(
+                    self.ref, task_id=msg.task_id,
+                    group_index=duty.group_index,
+                    check_index=msg.check_index,
+                    residual=max(bucket.values()),
+                ),
+            )
+
+    def handle_SubtaskResult(self, msg: SubtaskResult) -> None:
+        duty = self._duties.get(msg.task_id)
+        if duty is None:
+            return
+        duty.results.append(msg)
+        if len(duty.results) >= duty.expected_results and not duty.batch_sent:
+            duty.batch_sent = True
+            self.send(
+                duty.submitter,
+                ResultBatch(
+                    self.ref, task_id=msg.task_id,
+                    group_index=duty.group_index,
+                    results=list(duty.results),
+                ),
+            )
+
+    # -- failure --------------------------------------------------------------------
+    def crash(self) -> None:
+        for proc in self._compute_procs:
+            if proc.alive:
+                proc.interrupt("peer crash")
+        super().crash()
+
+
+def _all_or_timeout(sim, signals, timeout):
+    """A signal that fires when all of ``signals`` fire or after
+    ``timeout`` — whichever comes first."""
+    from ..desim import AllOf
+
+    done = Signal("all-or-timeout")
+    AllOf(signals)._subscribe(
+        lambda _s: done.succeed("all") if not done.triggered else None
+    )
+    sim.schedule(timeout, lambda: done.succeed("timeout")
+                 if not done.triggered else None)
+    return done

@@ -1,0 +1,74 @@
+"""The P2PDC server (paper §III-A1).
+
+The server manages tracker connection/disconnection, hands new nodes a
+list of the closest connected trackers, and stores statistics about
+resources donated/consumed.  Crucially it is *not* on any critical
+path: when it is down, the overlay keeps working off local tracker
+lists; trackers buffer their statistics and re-send when the server
+comes back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .ip import IPv4, proximity
+from .messages import (
+    GetTrackers,
+    NodeRef,
+    StatsReport,
+    TrackerConnect,
+    TrackerDisconnect,
+    TrackersReply,
+)
+from .node import NodeActor
+
+
+class Server(NodeActor):
+    """The (non-critical) central server: tracker registry + statistics."""
+    role = "server"
+
+    def __init__(self, overlay, name, ip, host) -> None:
+        super().__init__(overlay, name, ip, host)
+        self._trackers: Dict[str, NodeRef] = {}  # name -> ref
+        self.statistics: List[StatsReport] = []
+
+    # -- administration -----------------------------------------------------
+    def seed_trackers(self, refs: List[NodeRef]) -> None:
+        for ref in refs:
+            self._trackers[ref.name] = ref
+
+    @property
+    def known_trackers(self) -> List[NodeRef]:
+        return sorted(self._trackers.values(), key=lambda r: int(r.ip))
+
+    def closest_trackers(self, ip: IPv4, k: int) -> List[NodeRef]:
+        ranked = sorted(
+            self._trackers.values(),
+            key=lambda r: (-proximity(ip, r.ip), abs(int(r.ip) - int(ip))),
+        )
+        return ranked[:k]
+
+    # -- handlers ---------------------------------------------------------------
+    def handle_GetTrackers(self, msg: GetTrackers) -> None:
+        reply = TrackersReply(
+            self.ref,
+            req_id=msg.req_id,
+            trackers=self.closest_trackers(
+                msg.sender.ip, self.overlay.config.bootstrap_tracker_count
+            ),
+        )
+        self.send(msg.sender, reply)
+
+    def handle_TrackerConnect(self, msg: TrackerConnect) -> None:
+        self._trackers[msg.tracker.name] = msg.tracker
+        self.overlay.stats.count("server_tracker_connects")
+
+    def handle_TrackerDisconnect(self, msg: TrackerDisconnect) -> None:
+        for name, ref in list(self._trackers.items()):
+            if ref.ip == msg.ip:
+                del self._trackers[name]
+        self.overlay.stats.count("server_tracker_disconnects")
+
+    def handle_StatsReport(self, msg: StatsReport) -> None:
+        self.statistics.append(msg)

@@ -1,0 +1,56 @@
+"""Per-run statistics for the P2PDC overlay and computations."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class OverlayStats:
+    counters: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    bytes_by_type: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    control_messages: int = 0
+    control_bytes: float = 0.0
+
+    def count(self, key: str, n: int = 1) -> None:
+        self.counters[key] += n
+
+    def message(self, type_name: str, size: float) -> None:
+        self.control_messages += 1
+        self.control_bytes += size
+        self.bytes_by_type[type_name] += size
+        self.counters[f"msg:{type_name}"] += 1
+
+    def get(self, key: str) -> int:
+        return self.counters.get(key, 0)
+
+
+@dataclass
+class TaskTimings:
+    """Phase timestamps of one submitted computation."""
+
+    submitted_at: float = 0.0
+    collected_at: Optional[float] = None
+    allocated_at: Optional[float] = None
+    compute_started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+
+    @property
+    def collection_time(self) -> Optional[float]:
+        if self.collected_at is None:
+            return None
+        return self.collected_at - self.submitted_at
+
+    @property
+    def allocation_time(self) -> Optional[float]:
+        if self.allocated_at is None or self.collected_at is None:
+            return None
+        return self.allocated_at - self.collected_at
+
+    @property
+    def total_time(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at

@@ -1,0 +1,359 @@
+"""The P2PDC tracker (paper §III-A).
+
+A tracker manages a *zone* of peers and a neighbour set ``N`` of
+closest trackers — half with lower IPs, half with higher IPs — forming
+the tracker line.  It implements:
+
+* tracker join (§III-A4): forward the join toward the closest tracker,
+  which splices the newcomer into the line and broadcasts the update;
+* tracker leave/crash (§III-A5): adjacency heartbeats between line
+  neighbours; on a missed heartbeat the two sides repair their
+  neighbour sets and reconnect around the hole;
+* peer management (§III-A6/7): zone membership, periodic state
+  updates with acknowledgements, expiry of silent peers;
+* peers collection support (§III-B): answering ``PeerRequest`` with
+  free zone peers matching the requirements, and handing out more
+  trackers along the line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .ip import IPv4, proximity
+from .messages import (
+    AdjacencyPing,
+    AdjacencyPong,
+    GetTrackers,
+    MoreTrackersReply,
+    MoreTrackersRequest,
+    NeighborAdd,
+    NeighborsRepair,
+    NodeRef,
+    PeerAccept,
+    PeerBusy,
+    PeerFree,
+    PeerJoin,
+    PeerListReply,
+    PeerRequest,
+    StateUpdate,
+    StatsReport,
+    TrackerConnect,
+    TrackerDisconnect,
+    TrackerJoin,
+    TrackersReply,
+    TrackerWelcome,
+    UpdateAck,
+)
+from .node import NodeActor
+
+
+@dataclass
+class PeerRecord:
+    ref: NodeRef
+    resources: Dict[str, float] = field(default_factory=dict)
+    last_update: float = 0.0
+    busy: bool = False
+
+
+class Tracker(NodeActor):
+    """A tracker: one zone of peers plus a neighbour set on the line."""
+    role = "tracker"
+
+    def __init__(self, overlay, name, ip, host) -> None:
+        super().__init__(overlay, name, ip, host)
+        self.neighbors: List[NodeRef] = []  # sorted by ip, excludes self
+        self.zone: Dict[str, PeerRecord] = {}
+        self.joined = False
+        self._join_candidates: List[NodeRef] = []
+        self._join_attempt = 0
+        self._last_heard: Dict[str, float] = {}
+        self._ping_seq = 0
+        self._stats_buffer: List[StatsReport] = []
+
+    # -- bootstrap (administrator-deployed core) ------------------------------
+    def seed_neighbors(self, refs: List[NodeRef]) -> None:
+        self.neighbors = sorted(refs, key=lambda r: int(r.ip))
+        self.joined = True
+
+    def on_start(self) -> None:
+        cfg = self.overlay.config
+        self.every(cfg.adjacency_ping_interval, "adjacency")
+        self.every(cfg.peer_expiry / 2, "expiry_sweep")
+        self.every(cfg.stats_report_interval, "stats")
+
+    # -- neighbour-set maintenance --------------------------------------------
+    @property
+    def half(self) -> int:
+        return self.overlay.config.neighbor_set_size // 2
+
+    def _below(self) -> List[NodeRef]:
+        return [r for r in self.neighbors if int(r.ip) < int(self.ip)]
+
+    def _above(self) -> List[NodeRef]:
+        return [r for r in self.neighbors if int(r.ip) > int(self.ip)]
+
+    @property
+    def left_adjacent(self) -> Optional[NodeRef]:
+        below = self._below()
+        return below[-1] if below else None
+
+    @property
+    def right_adjacent(self) -> Optional[NodeRef]:
+        above = self._above()
+        return above[0] if above else None
+
+    def insert_neighbor(self, ref: NodeRef) -> None:
+        if ref.ip == self.ip or any(r.ip == ref.ip for r in self.neighbors):
+            return
+        self.neighbors.append(ref)
+        self.neighbors.sort(key=lambda r: int(r.ip))
+        # trim each side to `half` closest (the farthest drop off)
+        below, above = self._below(), self._above()
+        keep = below[-self.half:] if self.half else []
+        keep += above[: self.half] if self.half else []
+        self.neighbors = sorted(keep, key=lambda r: int(r.ip))
+
+    def remove_neighbor(self, ip: IPv4) -> None:
+        self.neighbors = [r for r in self.neighbors if r.ip != ip]
+
+    def _closest_to(self, ip: IPv4) -> Optional[NodeRef]:
+        """The member of N strictly closer to ``ip`` than this tracker."""
+        best = None
+        best_prox = proximity(self.ip, ip)
+        best_dist = abs(int(self.ip) - int(ip))
+        for ref in self.neighbors:
+            p = proximity(ref.ip, ip)
+            d = abs(int(ref.ip) - int(ip))
+            if (p, -d) > (best_prox, -best_dist):
+                best, best_prox, best_dist = ref, p, d
+        return best
+
+    # -- tracker join protocol ---------------------------------------------------
+    def join_overlay(self, candidates: List[NodeRef]) -> None:
+        """Join through the closest known tracker (retry down the list,
+        then fall back to the server)."""
+        self._join_candidates = sorted(
+            candidates,
+            key=lambda r: (-proximity(self.ip, r.ip), abs(int(r.ip) - int(self.ip))),
+        )
+        self._join_attempt = 0
+        self.start()
+        self._try_join()
+
+    def _try_join(self) -> None:
+        if self.joined:
+            return
+        if self._join_attempt < len(self._join_candidates):
+            target = self._join_candidates[self._join_attempt]
+            self._join_attempt += 1
+            self.send(target, TrackerJoin(self.ref, new_tracker=self.ref))
+            self.set_timer(self.overlay.config.update_ack_timeout, "join_retry")
+        else:
+            server = self.overlay.server
+            if server is not None:
+                req_id, _sig = self.new_request()
+                self.send(server.ref, GetTrackers(self.ref, req_id=req_id))
+                self.set_timer(self.overlay.config.update_ack_timeout, "join_retry")
+
+    def timer_join_retry(self, _payload) -> None:
+        if not self.joined:
+            self._try_join()
+
+    def handle_TrackersReply(self, msg: TrackersReply) -> None:
+        self.drop_request(msg.req_id)
+        if not self.joined:
+            fresh = [r for r in msg.trackers if r.ip != self.ip]
+            self._join_candidates = fresh
+            self._join_attempt = 0
+            self._try_join()
+
+    def handle_TrackerJoin(self, msg: TrackerJoin) -> None:
+        new = msg.new_tracker
+        closer = self._closest_to(new.ip)
+        if closer is not None:
+            self.send(closer, msg)  # not mine: route toward the closest
+            return
+        # I am the closest tracker in the overlay.
+        for ref in list(self.neighbors):
+            self.send(ref, NeighborAdd(self.ref, new_tracker=new))
+        welcome_set = [self.ref] + list(self.neighbors)
+        self.insert_neighbor(new)
+        self.send(new, TrackerWelcome(self.ref, neighbors=welcome_set))
+
+    def handle_NeighborAdd(self, msg: NeighborAdd) -> None:
+        self.insert_neighbor(msg.new_tracker)
+
+    def handle_TrackerWelcome(self, msg: TrackerWelcome) -> None:
+        for ref in msg.neighbors:
+            self.insert_neighbor(ref)
+        self.joined = True
+        server = self.overlay.server
+        if server is not None:
+            self.send(server.ref, TrackerConnect(self.ref, tracker=self.ref))
+        self.overlay.stats.count("tracker_joins")
+
+    # -- adjacency heartbeats / crash repair ----------------------------------------
+    def timer_adjacency(self, _payload) -> None:
+        cfg = self.overlay.config
+        now = self.sim.now
+        for ref in (self.left_adjacent, self.right_adjacent):
+            if ref is None:
+                continue
+            self._ping_seq += 1
+            self.send(ref, AdjacencyPing(self.ref, seq=self._ping_seq))
+            first_seen = self._last_heard.setdefault(ref.name, now)
+            if now - first_seen > cfg.adjacency_ping_timeout:
+                self._repair_dead_adjacent(ref)
+
+    def handle_AdjacencyPing(self, msg: AdjacencyPing) -> None:
+        self._last_heard[msg.sender.name] = self.sim.now
+        self.send(msg.sender, AdjacencyPong(self.ref, seq=msg.seq))
+
+    def handle_AdjacencyPong(self, msg: AdjacencyPong) -> None:
+        self._last_heard[msg.sender.name] = self.sim.now
+
+    def _repair_dead_adjacent(self, dead: NodeRef) -> None:
+        """Paper §III-A5: repair the line around a crashed tracker."""
+        self.overlay.stats.count("tracker_repairs")
+        was_right = int(dead.ip) > int(self.ip)
+        self.remove_neighbor(dead.ip)
+        self._last_heard.pop(dead.name, None)
+        server = self.overlay.server
+        if server is not None:
+            self.send(server.ref, TrackerDisconnect(self.ref, ip=dead.ip))
+        # Inform my own side of the loss, handing them my far side so
+        # they can refill their sets.
+        my_side = self._below() if was_right else self._above()
+        far_side = self._above() if was_right else self._below()
+        for ref in my_side:
+            self.send(
+                ref,
+                NeighborsRepair(
+                    self.ref, lost_ip=dead.ip,
+                    replacements=far_side + [self.ref],
+                ),
+            )
+        # Reconnect with the first survivor beyond the hole and exchange
+        # far lists so both ends rebuild their sets.
+        survivor = self.right_adjacent if was_right else self.left_adjacent
+        if survivor is not None:
+            self.send(
+                survivor,
+                NeighborsRepair(
+                    self.ref, lost_ip=dead.ip,
+                    replacements=(self._below() if was_right else self._above())
+                    + [self.ref],
+                ),
+            )
+
+    def handle_NeighborsRepair(self, msg: NeighborsRepair) -> None:
+        # If the lost tracker was *my own* line neighbour, I am the
+        # other direct neighbour of the hole (paper: both T3 and T5
+        # repair their sides).  Learning of the crash through a repair
+        # message must not pre-empt my half of the protocol, or the
+        # trackers on my far side would never be informed.
+        left, right = self.left_adjacent, self.right_adjacent
+        dead_adjacent = None
+        if left is not None and left.ip == msg.lost_ip:
+            dead_adjacent = left
+        elif right is not None and right.ip == msg.lost_ip:
+            dead_adjacent = right
+        if dead_adjacent is not None:
+            self._repair_dead_adjacent(dead_adjacent)
+        else:
+            self.remove_neighbor(msg.lost_ip)
+        for ref in msg.replacements:
+            self.insert_neighbor(ref)
+
+    # -- peer management -------------------------------------------------------------
+    def handle_PeerJoin(self, msg: PeerJoin) -> None:
+        peer = msg.peer
+        closer = self._closest_to(peer.ip)
+        if closer is not None and closer.role == "tracker":
+            self.send(closer, msg)
+            return
+        self.zone[peer.name] = PeerRecord(
+            ref=peer, resources=dict(msg.resources), last_update=self.sim.now
+        )
+        self.send(
+            peer,
+            PeerAccept(self.ref, tracker=self.ref,
+                       tracker_list=[self.ref] + list(self.neighbors)),
+        )
+        self.overlay.stats.count("peer_joins")
+
+    def handle_StateUpdate(self, msg: StateUpdate) -> None:
+        record = self.zone.get(msg.sender.name)
+        if record is None:
+            # unknown peer (e.g. rejoined after our crash): adopt it
+            record = PeerRecord(ref=msg.sender)
+            self.zone[msg.sender.name] = record
+        record.last_update = self.sim.now
+        record.busy = msg.busy
+        self.send(msg.sender, UpdateAck(self.ref))
+
+    def timer_expiry_sweep(self, _payload) -> None:
+        cutoff = self.sim.now - self.overlay.config.peer_expiry
+        for name, record in list(self.zone.items()):
+            if record.last_update < cutoff:
+                del self.zone[name]
+                self.overlay.stats.count("peer_expiries")
+
+    def handle_PeerBusy(self, msg: PeerBusy) -> None:
+        record = self.zone.get(msg.sender.name)
+        if record is not None:
+            record.busy = True
+
+    def handle_PeerFree(self, msg: PeerFree) -> None:
+        record = self.zone.get(msg.sender.name)
+        if record is not None:
+            record.busy = False
+
+    # -- peers collection ----------------------------------------------------------------
+    def handle_PeerRequest(self, msg: PeerRequest) -> None:
+        matching: List[NodeRef] = []
+        for record in self.zone.values():
+            if record.busy or record.ref.name == msg.sender.name:
+                continue
+            if all(
+                record.resources.get(key, 0.0) >= needed
+                for key, needed in msg.requirements.items()
+            ):
+                matching.append(record.ref)
+            if len(matching) >= msg.max_peers:
+                break
+        self.send(
+            msg.sender,
+            PeerListReply(self.ref, req_id=msg.req_id, peers=matching),
+        )
+
+    def handle_MoreTrackersRequest(self, msg: MoreTrackersRequest) -> None:
+        trackers = self._above() if msg.side == "right" else self._below()
+        self.send(
+            msg.sender,
+            MoreTrackersReply(self.ref, req_id=msg.req_id, trackers=trackers),
+        )
+
+    # -- statistics ---------------------------------------------------------------------
+    def timer_stats(self, _payload) -> None:
+        report = StatsReport(
+            self.ref,
+            zone_size=len(self.zone),
+            donated=sum(1.0 for r in self.zone.values() if not r.busy),
+            consumed=sum(1.0 for r in self.zone.values() if r.busy),
+        )
+        server = self.overlay.server
+        if server is not None and server.alive:
+            # flush anything buffered during an outage, then this one
+            for buffered in self._stats_buffer:
+                self.send(server.ref, buffered)
+            self._stats_buffer.clear()
+            self.send(server.ref, report)
+        else:
+            self._stats_buffer.append(report)
+
+    @property
+    def tracker_list(self) -> List[NodeRef]:
+        return [self.ref] + list(self.neighbors)

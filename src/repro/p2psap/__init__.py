@@ -1,0 +1,32 @@
+"""P2PSAP: the self-adaptive peer-to-peer communication protocol."""
+
+from .adaptation import select_mode
+from .channel import Channel, ChannelEndpoint, ChannelStats, RECONFIGURE_RTTS
+from .context import ChannelContext, LinkClass, Locality, Scheme, classify_link
+from .modes import (
+    ALL_MODES,
+    TCP_NO_CC,
+    TCP_RENO,
+    UDP_ASYNC,
+    ProtocolMode,
+    mode_by_name,
+)
+
+__all__ = [
+    "ALL_MODES",
+    "Channel",
+    "ChannelContext",
+    "ChannelEndpoint",
+    "ChannelStats",
+    "LinkClass",
+    "Locality",
+    "ProtocolMode",
+    "RECONFIGURE_RTTS",
+    "Scheme",
+    "TCP_NO_CC",
+    "TCP_RENO",
+    "UDP_ASYNC",
+    "classify_link",
+    "mode_by_name",
+    "select_mode",
+]

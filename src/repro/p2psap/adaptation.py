@@ -1,0 +1,35 @@
+"""Mode-selection rules — the "self-adaptive" part of P2PSAP.
+
+The decision table follows the published P2PSAP design:
+
+==============  ============  ==================  ============
+scheme          locality      link class          chosen mode
+==============  ============  ==================  ============
+asynchronous    any           any                 udp-async
+synchronous     same zone     cluster/LAN         tcp-nocc
+synchronous     same zone     WAN                 tcp-reno
+synchronous     inter zone    any                 tcp-reno
+==============  ============  ==================  ============
+
+Asynchronous iterative schemes tolerate loss and staleness, so the
+lightest unacked mode always wins.  Synchronous schemes need reliable
+ordered delivery; within a zone on a dedicated network the congestion
+controller is dead weight, across zones (or any WAN path) it is kept.
+"""
+
+from __future__ import annotations
+
+from .context import ChannelContext, LinkClass, Locality, Scheme
+from .modes import TCP_NO_CC, TCP_RENO, UDP_ASYNC, ProtocolMode
+
+
+def select_mode(context: ChannelContext) -> ProtocolMode:
+    """Apply the adaptation rules to a context."""
+    if context.scheme is Scheme.ASYNC:
+        return UDP_ASYNC
+    if (
+        context.locality is Locality.SAME_ZONE
+        and context.link_class is not LinkClass.WAN
+    ):
+        return TCP_NO_CC
+    return TCP_RENO

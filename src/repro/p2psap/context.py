@@ -1,0 +1,52 @@
+"""Adaptation context: what the protocol knows when choosing a mode.
+
+P2PSAP takes decisions from two inputs (paper §I): the *scheme of
+computation* decided at application level (synchronous or asynchronous
+iterations) and *elements of context* at transport level (network
+topology — here, whether the peers share a zone, and the link class
+inferred from route latency).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Scheme(enum.Enum):
+    SYNC = "synchronous"
+    ASYNC = "asynchronous"
+
+
+class Locality(enum.Enum):
+    SAME_ZONE = "same-zone"      # long common IP prefix / same tracker zone
+    INTER_ZONE = "inter-zone"
+
+
+class LinkClass(enum.Enum):
+    CLUSTER = "cluster"   # sub-millisecond RTT
+    LAN = "lan"
+    WAN = "wan"           # ≥ 10 ms one-way (xDSL, internet paths)
+
+
+#: One-way latency thresholds for link classification (seconds).
+_LAN_THRESHOLD = 1e-3
+_WAN_THRESHOLD = 8e-3
+
+
+def classify_link(one_way_latency: float) -> LinkClass:
+    """Bucket a route's one-way latency into a link class."""
+    if one_way_latency < _LAN_THRESHOLD:
+        return LinkClass.CLUSTER
+    if one_way_latency < _WAN_THRESHOLD:
+        return LinkClass.LAN
+    return LinkClass.WAN
+
+
+@dataclass(frozen=True)
+class ChannelContext:
+    """Everything the adaptation rules may consult."""
+
+    scheme: Scheme = Scheme.SYNC
+    locality: Locality = Locality.SAME_ZONE
+    link_class: LinkClass = LinkClass.CLUSTER

@@ -1,0 +1,74 @@
+"""P2PSAP protocol modes.
+
+P2PSAP (El-Baz & Nguyen, PDP'10) is a self-adaptive transport whose
+session/channel stack is reconfigured from micro-protocols: TCP-like
+configurations for synchronous schemes, lighter unordered/unacked
+configurations for asynchronous iterative schemes.  We model a mode by
+its *performance envelope*: per-message protocol overhead, header
+size, whether delivery is acknowledged (the sender of a blocking send
+waits an extra return leg), and whether stale messages may be
+discarded by the receiver (asynchronous iterations consume only the
+freshest iterate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProtocolMode:
+    """One configuration of the P2PSAP channel stack."""
+
+    name: str
+    per_message_overhead: float  # seconds of protocol processing (each end)
+    header_bytes: int
+    acked: bool          # blocking send waits for an ack leg
+    drop_stale: bool     # receiver keeps only the freshest message
+    congestion_control: bool
+
+    def wire_size(self, payload_bytes: float) -> float:
+        return payload_bytes + self.header_bytes
+
+
+#: TCP with congestion control: the conservative inter-zone default.
+TCP_RENO = ProtocolMode(
+    name="tcp-reno",
+    per_message_overhead=60e-6,
+    header_bytes=40,
+    acked=True,
+    drop_stale=False,
+    congestion_control=True,
+)
+
+#: TCP without congestion control — P2PSAP's intra-cluster synchronous
+#: configuration (a dedicated LAN needs no Reno backoff).
+TCP_NO_CC = ProtocolMode(
+    name="tcp-nocc",
+    per_message_overhead=35e-6,
+    header_bytes=40,
+    acked=True,
+    drop_stale=False,
+    congestion_control=False,
+)
+
+#: UDP-like unacked mode for asynchronous iterative schemes: stale
+#: iterates are droppable, nobody waits for acknowledgements.
+UDP_ASYNC = ProtocolMode(
+    name="udp-async",
+    per_message_overhead=20e-6,
+    header_bytes=28,
+    acked=False,
+    drop_stale=True,
+    congestion_control=False,
+)
+
+ALL_MODES = (TCP_RENO, TCP_NO_CC, UDP_ASYNC)
+
+
+def mode_by_name(name: str) -> ProtocolMode:
+    """Look a protocol mode up by its wire name."""
+    for mode in ALL_MODES:
+        if mode.name == name:
+            return mode
+    raise KeyError(f"unknown protocol mode {name!r}")

@@ -1,0 +1,18 @@
+"""Platform descriptions for the paper's three evaluation stages."""
+
+from .cluster import DEFAULT_NODE_SPEED, build_cluster
+from .daisy import build_daisy
+from .lan import build_lan
+from .multisite import build_multisite
+from .spec import PlatformSpec, parse_platform_xml, write_platform_xml
+
+__all__ = [
+    "DEFAULT_NODE_SPEED",
+    "PlatformSpec",
+    "build_cluster",
+    "build_daisy",
+    "build_lan",
+    "build_multisite",
+    "parse_platform_xml",
+    "write_platform_xml",
+]

@@ -1,0 +1,60 @@
+"""Stage-1 platform: the Bordeplage-like homogeneous cluster.
+
+Paper §IV-A3/4: Intel Xeon EM64T 3 GHz nodes, 1 Gbps NICs with 100 µs
+latency, 10 Gbps backbone with 100 µs latency, one core per node.
+
+Modelling choice: hosts are split round-robin over two leaf switches
+joined by the 10 Gbps backbone link.  This keeps all host↔host routes
+symmetric *and* exercises both numbers from the paper: every transfer
+pays two NIC hops, and transfers between hosts on different leaves
+cross (and may contend on) the backbone.
+"""
+
+from __future__ import annotations
+
+from ..net import GBPS, US, Host, Router, Topology
+from .spec import PlatformSpec
+
+#: Calibrated effective speed of one Bordeplage core for the obstacle
+#: kernel, in flop/s.  (3 GHz Xeon EM64T; the per-operation costs in
+#: repro.dperf.costmodel are expressed against this base clock.)
+DEFAULT_NODE_SPEED = 3.0e9
+
+
+def build_cluster(
+    n_hosts: int = 32,
+    node_speed: float = DEFAULT_NODE_SPEED,
+    nic_bandwidth: float = 1.0 * GBPS,
+    nic_latency: float = 100 * US,
+    backbone_bandwidth: float = 10.0 * GBPS,
+    backbone_latency: float = 100 * US,
+    name: str = "grid5000",
+) -> PlatformSpec:
+    """Build the Stage-1 cluster platform with ``n_hosts`` nodes."""
+    if n_hosts < 1:
+        raise ValueError("cluster needs at least one host")
+    topo = Topology(name)
+    leaf_a = topo.add_node(Router("sw-a"))
+    leaf_b = topo.add_node(Router("sw-b"))
+    topo.add_link(leaf_a, leaf_b, backbone_bandwidth, backbone_latency)
+    hosts = []
+    for i in range(n_hosts):
+        host = Host(f"node-{i}", speed=node_speed)
+        topo.add_node(host)
+        leaf = leaf_a if i % 2 == 0 else leaf_b
+        topo.add_link(host, leaf, nic_bandwidth, nic_latency)
+        hosts.append(host)
+    return PlatformSpec(
+        name,
+        topo,
+        hosts,
+        attrs={
+            "kind": "cluster",
+            "n_hosts": n_hosts,
+            "node_speed": node_speed,
+            "nic_bandwidth": nic_bandwidth,
+            "nic_latency": nic_latency,
+            "backbone_bandwidth": backbone_bandwidth,
+            "backbone_latency": backbone_latency,
+        },
+    )

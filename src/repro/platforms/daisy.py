@@ -1,0 +1,124 @@
+"""Stage-2A platform: the Daisy xDSL topology (paper Fig. 8).
+
+Structure (1024 end nodes):
+
+* 5 central routers in a ring (links ``l1`` @ 100 Gbps) — one per petal;
+* 5 petals, each a loop of 10 routers hanging off its central router
+  (links ``l2`` @ 10 Gbps);
+* 4 DSLAMs per petal router (``l2`` @ 10 Gbps);
+* 5 nodes per DSLAM over xDSL last-mile links (``l3`` @ 5–10 Mbps,
+  value randomly assigned per the paper), except one exceptional DSLAM
+  that connects 5 + 24 nodes so the total reaches 1024.
+
+Latencies are not given in the paper; we use typical values for
+European xDSL deployments of the era and record them in ``attrs``:
+last-mile 15 ms (interleaved DSL), aggregation links 1 ms, core ring
+0.5 ms.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..desim.rng import derive_seed
+from ..net import GBPS, MBPS, MS, Dslam, Host, Router, Topology
+from .cluster import DEFAULT_NODE_SPEED
+from .spec import PlatformSpec
+
+N_CENTRAL = 5
+ROUTERS_PER_PETAL = 10
+DSLAMS_PER_ROUTER = 4
+NODES_PER_DSLAM = 5
+EXTRA_NODES = 24  # the exceptional DSLAM: 5 + 24 nodes
+
+
+def build_daisy(
+    node_speed: float = DEFAULT_NODE_SPEED,
+    l1_bandwidth: float = 100.0 * GBPS,
+    l2_bandwidth: float = 10.0 * GBPS,
+    l3_min_bandwidth: float = 5.0 * MBPS,
+    l3_max_bandwidth: float = 10.0 * MBPS,
+    core_latency: float = 0.5 * MS,
+    agg_latency: float = 1.0 * MS,
+    last_mile_latency: float = 15.0 * MS,
+    seed: int = 2011,
+    petals: int = N_CENTRAL,
+    routers_per_petal: int = ROUTERS_PER_PETAL,
+    dslams_per_router: int = DSLAMS_PER_ROUTER,
+    nodes_per_dslam: int = NODES_PER_DSLAM,
+    extra_nodes: int = EXTRA_NODES,
+    name: str = "xdsl",
+) -> PlatformSpec:
+    """Build the Daisy topology.  Defaults give the paper's 1024 nodes.
+
+    Pass smaller ``petals``/``routers_per_petal``/... for test-sized
+    instances; the shape (ring of petal loops, DSLAM fan-out, random
+    last-mile bandwidth) is preserved at any size.
+    """
+    rng = random.Random(derive_seed(seed, "daisy-l3"))
+    topo = Topology(name)
+
+    central = [topo.add_node(Router(f"core-{c}")) for c in range(petals)]
+    for c in range(petals):
+        topo.add_link(central[c], central[(c + 1) % petals], l1_bandwidth, core_latency)
+
+    hosts: list[Host] = []
+    exceptional_dslam = None
+    for p in range(petals):
+        petal_routers = [
+            topo.add_node(Router(f"petal-{p}-r{r}")) for r in range(routers_per_petal)
+        ]
+        # The petal is a loop: both chain ends attach to the central router.
+        topo.add_link(central[p], petal_routers[0], l2_bandwidth, agg_latency)
+        for r in range(routers_per_petal - 1):
+            topo.add_link(petal_routers[r], petal_routers[r + 1], l2_bandwidth, agg_latency)
+        if routers_per_petal > 1:
+            topo.add_link(petal_routers[-1], central[p], l2_bandwidth, agg_latency)
+        for r, router in enumerate(petal_routers):
+            for d in range(dslams_per_router):
+                dslam = topo.add_node(Dslam(f"dslam-{p}-{r}-{d}"))
+                topo.add_link(router, dslam, l2_bandwidth, agg_latency)
+                if exceptional_dslam is None:
+                    exceptional_dslam = dslam
+                for k in range(nodes_per_dslam):
+                    hosts.append(
+                        _attach_node(
+                            topo, dslam, f"peer-{p}-{r}-{d}-{k}", node_speed,
+                            rng, l3_min_bandwidth, l3_max_bandwidth,
+                            last_mile_latency,
+                        )
+                    )
+    # The exceptional DSLAM gets the remainder so totals match the paper.
+    for k in range(extra_nodes):
+        hosts.append(
+            _attach_node(
+                topo, exceptional_dslam, f"peer-x-{k}", node_speed,
+                rng, l3_min_bandwidth, l3_max_bandwidth, last_mile_latency,
+            )
+        )
+
+    return PlatformSpec(
+        name,
+        topo,
+        hosts,
+        attrs={
+            "kind": "daisy-xdsl",
+            "n_hosts": len(hosts),
+            "node_speed": node_speed,
+            "l1_bandwidth": l1_bandwidth,
+            "l2_bandwidth": l2_bandwidth,
+            "l3_bandwidth_range": (l3_min_bandwidth, l3_max_bandwidth),
+            "core_latency": core_latency,
+            "agg_latency": agg_latency,
+            "last_mile_latency": last_mile_latency,
+            "seed": seed,
+        },
+    )
+
+
+def _attach_node(topo, dslam, name, speed, rng, bw_lo, bw_hi, latency) -> Host:
+    host = Host(name, speed=speed)
+    topo.add_node(host)
+    bandwidth = rng.uniform(bw_lo, bw_hi)
+    topo.add_link(host, dslam, bandwidth, latency)
+    return host

@@ -1,0 +1,54 @@
+"""Stage-2B platform: a regular campus/corporate LAN.
+
+Paper §IV-A4: backbone of 1 Gbps; each node connected to the backbone
+at 100 Mbps.  As with the cluster we split hosts round-robin over two
+access switches joined by the backbone link, so the backbone is a real
+shared resource.  Access latency 300 µs (a campus path crosses several
+store-and-forward switches; noticeably worse than the cluster's
+dedicated 100 µs NICs), backbone 100 µs — both recorded in ``attrs``.
+"""
+
+from __future__ import annotations
+
+from ..net import GBPS, MBPS, US, Host, Router, Topology
+from .cluster import DEFAULT_NODE_SPEED
+from .spec import PlatformSpec
+
+
+def build_lan(
+    n_hosts: int = 1024,
+    node_speed: float = DEFAULT_NODE_SPEED,
+    access_bandwidth: float = 100.0 * MBPS,
+    access_latency: float = 300 * US,
+    backbone_bandwidth: float = 1.0 * GBPS,
+    backbone_latency: float = 100 * US,
+    name: str = "lan",
+) -> PlatformSpec:
+    """Build the Stage-2B LAN with ``n_hosts`` nodes (paper: 2^10)."""
+    if n_hosts < 1:
+        raise ValueError("LAN needs at least one host")
+    topo = Topology(name)
+    leaf_a = topo.add_node(Router("access-a"))
+    leaf_b = topo.add_node(Router("access-b"))
+    topo.add_link(leaf_a, leaf_b, backbone_bandwidth, backbone_latency)
+    hosts = []
+    for i in range(n_hosts):
+        host = Host(f"desk-{i}", speed=node_speed)
+        topo.add_node(host)
+        leaf = leaf_a if i % 2 == 0 else leaf_b
+        topo.add_link(host, leaf, access_bandwidth, access_latency)
+        hosts.append(host)
+    return PlatformSpec(
+        name,
+        topo,
+        hosts,
+        attrs={
+            "kind": "lan",
+            "n_hosts": n_hosts,
+            "node_speed": node_speed,
+            "access_bandwidth": access_bandwidth,
+            "access_latency": access_latency,
+            "backbone_bandwidth": backbone_bandwidth,
+            "backbone_latency": backbone_latency,
+        },
+    )

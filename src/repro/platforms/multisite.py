@@ -1,0 +1,63 @@
+"""Multi-site platform: LAN islands joined by shared WAN uplinks.
+
+The paper's future-work scenario (§V: "a completely heterogeneous
+peer-to-peer grid connected over a heterogeneous network"): several
+campus/enterprise sites, each a switched LAN, interconnected through a
+WAN core.  Intra-site paths are cheap; inter-site paths pay WAN
+latency and contend on the site's single uplink — the setting where
+P2PDC's proximity grouping visibly pays off.
+"""
+
+from __future__ import annotations
+
+from ..net import GBPS, MBPS, MS, US, Host, Router, Topology
+from .cluster import DEFAULT_NODE_SPEED
+from .spec import PlatformSpec
+
+
+def build_multisite(
+    n_sites: int = 4,
+    peers_per_site: int = 8,
+    node_speed: float = DEFAULT_NODE_SPEED,
+    access_bandwidth: float = 100.0 * MBPS,
+    access_latency: float = 300 * US,
+    uplink_bandwidth: float = 34.0 * MBPS,   # E3-class site uplink
+    uplink_latency: float = 10.0 * MS,
+    core_bandwidth: float = 1.0 * GBPS,
+    core_latency: float = 2.0 * MS,
+    name: str = "multisite",
+) -> PlatformSpec:
+    """``n_sites`` LAN islands behind WAN uplinks to a shared core.
+
+    Hosts are ordered site by site, so contiguous host ranges (and the
+    IP blocks experiments assign to them) are co-located — the
+    assumption behind P2PDC's longest-common-prefix metric.
+    """
+    if n_sites < 1 or peers_per_site < 1:
+        raise ValueError("need at least one site with one peer")
+    topo = Topology(name)
+    core = topo.add_node(Router("wan-core"))
+    hosts = []
+    for s in range(n_sites):
+        switch = topo.add_node(Router(f"site-{s}-sw"))
+        topo.add_link(switch, core, uplink_bandwidth, uplink_latency)
+        for k in range(peers_per_site):
+            host = Host(f"site-{s}-peer-{k}", speed=node_speed)
+            topo.add_node(host)
+            topo.add_link(host, switch, access_bandwidth, access_latency)
+            hosts.append(host)
+    return PlatformSpec(
+        name,
+        topo,
+        hosts,
+        attrs={
+            "kind": "multisite",
+            "n_sites": n_sites,
+            "peers_per_site": peers_per_site,
+            "access_bandwidth": access_bandwidth,
+            "uplink_bandwidth": uplink_bandwidth,
+            "uplink_latency": uplink_latency,
+            "core_bandwidth": core_bandwidth,
+            "core_latency": core_latency,
+        },
+    )

@@ -1,0 +1,36 @@
+"""Trace-based simulation (the SimGrid/MSG role in dPerf's pipeline)."""
+
+from .replay import ReplayResult, TraceReplayer, replay_traces
+from .tracefile import dump_trace, load_trace, read_trace_files, write_trace_files
+from .traces import (
+    AllReduce,
+    Barrier,
+    Compute,
+    ISend,
+    Recv,
+    Send,
+    Trace,
+    TraceEvent,
+    decode_event,
+    validate_trace_set,
+)
+
+__all__ = [
+    "AllReduce",
+    "Barrier",
+    "Compute",
+    "ISend",
+    "Recv",
+    "ReplayResult",
+    "Send",
+    "Trace",
+    "TraceEvent",
+    "TraceReplayer",
+    "decode_event",
+    "dump_trace",
+    "load_trace",
+    "read_trace_files",
+    "replay_traces",
+    "validate_trace_set",
+    "write_trace_files",
+]

@@ -1,0 +1,203 @@
+"""dPerf trace events.
+
+A trace is the per-process output of running the instrumented
+application: a sequence of computation records (nanoseconds, as read
+from the emulated hardware counters) interleaved with the parameters
+of every communication call (paper §III-D2, "Obtaining trace files").
+
+Event vocabulary
+----------------
+``compute ns``            computation burst of ``ns`` nanoseconds
+``send dst bytes tag``    blocking send to rank ``dst``
+``isend dst bytes tag``   non-blocking send (fire and forget)
+``recv src tag``          blocking receive from rank ``src``
+``barrier``               global barrier over all ranks
+``allreduce bytes``       reduction + broadcast of ``bytes`` payload
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    kind: str  # compute | send | isend | recv | barrier | allreduce
+
+    def encode(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Compute(TraceEvent):
+    ns: int
+
+    def __init__(self, ns: float) -> None:
+        object.__setattr__(self, "kind", "compute")
+        object.__setattr__(self, "ns", int(round(ns)))
+        if self.ns < 0:
+            raise ValueError("negative compute duration")
+
+    def encode(self) -> str:
+        return f"compute {self.ns}"
+
+
+@dataclass(frozen=True)
+class Send(TraceEvent):
+    dst: int
+    size: int
+    tag: str = "msg"
+    blocking: bool = True
+
+    def __init__(self, dst: int, size: float, tag: str = "msg",
+                 blocking: bool = True) -> None:
+        object.__setattr__(self, "kind", "send" if blocking else "isend")
+        object.__setattr__(self, "dst", int(dst))
+        object.__setattr__(self, "size", int(round(size)))
+        object.__setattr__(self, "tag", tag)
+        object.__setattr__(self, "blocking", blocking)
+        if self.size < 0:
+            raise ValueError("negative message size")
+
+    def encode(self) -> str:
+        return f"{self.kind} {self.dst} {self.size} {self.tag}"
+
+
+def ISend(dst: int, size: float, tag: str = "msg") -> Send:
+    """Convenience constructor for a non-blocking send event."""
+    return Send(dst, size, tag, blocking=False)
+
+
+@dataclass(frozen=True)
+class Recv(TraceEvent):
+    src: int
+    tag: str = "msg"
+
+    def __init__(self, src: int, tag: str = "msg") -> None:
+        object.__setattr__(self, "kind", "recv")
+        object.__setattr__(self, "src", int(src))
+        object.__setattr__(self, "tag", tag)
+
+    def encode(self) -> str:
+        return f"recv {self.src} {self.tag}"
+
+
+@dataclass(frozen=True)
+class Barrier(TraceEvent):
+    def __init__(self) -> None:
+        object.__setattr__(self, "kind", "barrier")
+
+    def encode(self) -> str:
+        return "barrier"
+
+
+@dataclass(frozen=True)
+class AllReduce(TraceEvent):
+    size: int
+
+    def __init__(self, size: float) -> None:
+        object.__setattr__(self, "kind", "allreduce")
+        object.__setattr__(self, "size", int(round(size)))
+        if self.size < 0:
+            raise ValueError("negative allreduce size")
+
+    def encode(self) -> str:
+        return f"allreduce {self.size}"
+
+
+@dataclass
+class Trace:
+    """One process's trace plus identifying metadata."""
+
+    rank: int
+    nprocs: int
+    events: List[TraceEvent] = field(default_factory=list)
+    app: str = "app"
+    meta: dict = field(default_factory=dict)
+
+    def append(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    # aggregate views used by tests/analysis ------------------------------
+    @property
+    def total_compute_ns(self) -> int:
+        return sum(e.ns for e in self.events if isinstance(e, Compute))
+
+    @property
+    def total_bytes_sent(self) -> int:
+        return sum(e.size for e in self.events if isinstance(e, Send))
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def decode_event(line: str) -> TraceEvent:
+    """Parse one encoded trace line back into an event."""
+    parts = line.split()
+    if not parts:
+        raise ValueError("empty trace line")
+    kind = parts[0]
+    try:
+        if kind == "compute":
+            return Compute(int(parts[1]))
+        if kind == "send":
+            return Send(int(parts[1]), int(parts[2]), parts[3])
+        if kind == "isend":
+            return Send(int(parts[1]), int(parts[2]), parts[3], blocking=False)
+        if kind == "recv":
+            return Recv(int(parts[1]), parts[2])
+        if kind == "barrier":
+            return Barrier()
+        if kind == "allreduce":
+            return AllReduce(int(parts[1]))
+    except (IndexError, ValueError) as err:
+        raise ValueError(f"malformed trace line {line!r}") from err
+    raise ValueError(f"unknown trace event kind {kind!r}")
+
+
+def validate_trace_set(traces: Sequence[Trace]) -> None:
+    """Sanity-check a set of traces forms a consistent application run.
+
+    Checks: contiguous ranks, matching ``nprocs``, send/recv pairing
+    per (src, dst, tag) channel, and equal barrier/allreduce counts.
+    """
+    n = len(traces)
+    if n == 0:
+        raise ValueError("empty trace set")
+    ranks = sorted(t.rank for t in traces)
+    if ranks != list(range(n)):
+        raise ValueError(f"ranks not contiguous: {ranks}")
+    for t in traces:
+        if t.nprocs != n:
+            raise ValueError(
+                f"rank {t.rank}: nprocs={t.nprocs} but trace set has {n}"
+            )
+    sends: dict = {}
+    recvs: dict = {}
+    for t in traces:
+        for e in t.events:
+            if isinstance(e, Send):
+                if not (0 <= e.dst < n):
+                    raise ValueError(f"rank {t.rank}: send to bad rank {e.dst}")
+                key = (t.rank, e.dst, e.tag)
+                sends[key] = sends.get(key, 0) + 1
+            elif isinstance(e, Recv):
+                if not (0 <= e.src < n):
+                    raise ValueError(f"rank {t.rank}: recv from bad rank {e.src}")
+                key = (e.src, t.rank, e.tag)
+                recvs[key] = recvs.get(key, 0) + 1
+    if sends != recvs:
+        missing = {k: (sends.get(k, 0), recvs.get(k, 0))
+                   for k in set(sends) | set(recvs)
+                   if sends.get(k, 0) != recvs.get(k, 0)}
+        raise ValueError(f"unmatched send/recv channels: {missing}")
+    barrier_counts = {t.count("barrier") for t in traces}
+    if len(barrier_counts) > 1:
+        raise ValueError(f"barrier count mismatch: {barrier_counts}")
+    ar_counts = {t.count("allreduce") for t in traces}
+    if len(ar_counts) > 1:
+        raise ValueError(f"allreduce count mismatch: {ar_counts}")

@@ -1,0 +1,118 @@
+"""Tests for accuracy metrics, Table-I classification, and reports."""
+
+import pytest
+
+from repro.analysis import (
+    BETTER,
+    LOWER,
+    SAME,
+    SLIGHTLY_LOWER,
+    accuracy,
+    classify,
+    compare_configs,
+    equivalence_search,
+    find_equivalent_config,
+    format_equivalence_table,
+    format_series,
+    format_table,
+    relative_error,
+    series_accuracy,
+    speedup_series,
+)
+
+
+class TestRelativeError:
+    def test_signed(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(9.0, 10.0) == pytest.approx(-0.1)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+    def test_accuracy_aggregates(self):
+        report = accuracy([(10.0, 10.5), (20.0, 19.0)])
+        assert report.mape == pytest.approx((0.05 + 0.05) / 2)
+        assert report.max_abs_pct == pytest.approx(0.05)
+        assert report.n_points == 2
+        assert "MAPE" in str(report)
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy([])
+
+    def test_series_accuracy_common_keys(self):
+        ref = {2: 10.0, 4: 5.0, 8: 2.5}
+        pred = {2: 10.0, 4: 5.5}
+        report = series_accuracy(ref, pred)
+        assert report.n_points == 2
+
+    def test_series_accuracy_disjoint_rejected(self):
+        with pytest.raises(ValueError):
+            series_accuracy({1: 1.0}, {2: 2.0})
+
+    def test_speedup_series(self):
+        sp = speedup_series({2: 40.0, 4: 20.0, 8: 10.0})
+        assert sp == {2: 1.0, 4: 2.0, 8: 4.0}
+
+
+class TestClassification:
+    def test_bands(self):
+        assert classify(8.0, 10.0) == BETTER
+        assert classify(10.0, 10.0) == SAME
+        assert classify(10.15, 10.0) == SAME
+        assert classify(11.0, 10.0) == SLIGHTLY_LOWER
+        assert classify(15.0, 10.0) == SLIGHTLY_LOWER
+        assert classify(20.0, 10.0) == LOWER
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            classify(0.0, 1.0)
+        with pytest.raises(ValueError):
+            classify(1.0, -1.0)
+
+    def test_compare_configs_rows(self):
+        lan = {2: 41.0, 4: 21.0}
+        g5k = {2: 40.0, 4: 20.0}
+        rows = compare_configs(lan, g5k, "lan", "Grid5000", [(2, 2), (4, 4)])
+        assert rows[0].verdict == SLIGHTLY_LOWER
+        assert rows[0].candidate_platform == "lan"
+        assert rows[0].ratio == pytest.approx(41.0 / 40.0)
+        assert rows[0].as_tuple() == (2, "lan", SLIGHTLY_LOWER, 2, "Grid5000")
+
+    def test_find_equivalent_smallest(self):
+        lan = {2: 50.0, 4: 25.0, 8: 13.0}
+        assert find_equivalent_config(lan, 24.0) == 4
+        assert find_equivalent_config(lan, 100.0) == 2
+        assert find_equivalent_config(lan, 1.0) is None
+
+    def test_equivalence_search(self):
+        lan = {2: 50.0, 4: 25.0, 8: 13.0}
+        g5k = {2: 40.0, 8: 10.0}
+        eq = equivalence_search(lan, g5k)
+        assert eq[2] == 2   # 50/40 = 1.25 within tolerance
+        assert eq[8] == 8   # 13/10 = 1.3
+
+
+class TestReports:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 20.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_format_series(self):
+        text = format_series(
+            "Fig 9", "peers", {"O0": {2: 40.0, 4: 20.0}, "O3": {2: 14.0}}
+        )
+        assert "Fig 9" in text
+        assert "40.000s" in text
+        assert "-" in text  # missing O3 point at 4 peers
+
+    def test_format_equivalence_table(self):
+        lan = {8: 21.0}
+        g5k = {4: 20.0}
+        rows = compare_configs(lan, g5k, "LAN", "Grid5000", [(8, 4)])
+        text = format_equivalence_table(rows)
+        assert "Performance" in text
+        assert "LAN" in text and "Grid5000" in text

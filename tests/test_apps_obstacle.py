@@ -1,0 +1,137 @@
+"""Workload validation: the mini-C obstacle/heat codes against numpy."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    contact_region_fraction,
+    heat,
+    obstacle,
+    psi_grid,
+    solve_heat_numpy,
+    solve_obstacle_numpy,
+)
+from repro.dperf import DPerfPredictor, run_distributed, run_single
+from repro.dperf.minic import check, parse
+
+
+class TestNumpyReference:
+    def test_solution_nonnegative_and_bounded(self):
+        u, _res = solve_obstacle_numpy(24, 200)
+        assert np.all(u >= -1e-12)
+        assert np.max(u) < 2.0
+
+    def test_solution_respects_obstacle(self):
+        u, _res = solve_obstacle_numpy(24, 400)
+        psi = psi_grid(24)
+        assert np.all(u[1:-1, 1:-1] >= psi[1:-1, 1:-1] - 1e-12)
+
+    def test_contact_region_nonempty(self):
+        """The obstacle must actually bind (otherwise it's just Poisson)."""
+        u, _res = solve_obstacle_numpy(24, 600)
+        assert contact_region_fraction(u, 24) > 0.05
+
+    def test_residuals_decrease(self):
+        _u, res = solve_obstacle_numpy(16, 100)
+        assert res[-1] < res[0]
+        assert res[-1] < 1e-2
+
+    def test_boundary_stays_zero(self):
+        u, _res = solve_obstacle_numpy(16, 50)
+        assert np.all(u[0, :] == 0) and np.all(u[-1, :] == 0)
+        assert np.all(u[:, 0] == 0) and np.all(u[:, -1] == 0)
+
+
+class TestMiniCMatchesNumpy:
+    def test_source_parses_and_checks(self):
+        check(parse(obstacle.obstacle_source()))
+
+    @pytest.mark.parametrize("nranks", [1, 2, 4])
+    def test_distributed_residual_matches_numpy_exactly(self, nranks):
+        """The distributed interpreter run must reproduce the sequential
+        numpy residual bit-for-bit (same FP operations per element)."""
+        n, nit = 12, 8
+        runs = run_distributed(
+            parse(obstacle.obstacle_source()), obstacle.ENTRY, nranks,
+            args=[n, nit, 4],
+        )
+        _u, residuals = solve_obstacle_numpy(n, nit)
+        # the last allreduce happens at iteration 8 → global residual of it=7
+        for run in runs:
+            assert run.value == pytest.approx(residuals[nit - 1], abs=0.0)
+
+    def test_single_rank_equals_multi_rank(self):
+        n, nit = 12, 6
+        one = run_distributed(parse(obstacle.obstacle_source()),
+                              obstacle.ENTRY, 1, args=[n, nit, 3])
+        three = run_distributed(parse(obstacle.obstacle_source()),
+                                obstacle.ENTRY, 3, args=[n, nit, 3])
+        assert one[0].value == three[0].value
+
+    def test_scale_env_validates_divisibility(self):
+        with pytest.raises(ValueError, match="divisible"):
+            obstacle.scale_env(10, 3)
+        env = obstacle.scale_env(12, 3)
+        assert env["rows"] == 4.0
+
+    def test_residual_model_decays(self):
+        model = obstacle.residual_model(16)
+        assert model(50) < model(5) < model(0)
+        assert model(500) < model(100)  # extrapolated tail keeps decaying
+
+
+class TestHeat:
+    def test_source_parses_and_checks(self):
+        check(parse(heat.heat_source()))
+
+    @pytest.mark.parametrize("nranks", [1, 2, 4])
+    def test_distributed_matches_numpy(self, nranks):
+        n, nit = 16, 12
+        runs = run_distributed(parse(heat.heat_source()), heat.ENTRY,
+                               nranks, args=[n, nit])
+        ref = solve_heat_numpy(n, nit)
+        total = sum(run.value for run in runs)
+        assert total == pytest.approx(float(np.sum(ref[1:-1])), rel=1e-12)
+
+    def test_mpi_calls_recognized_by_static_analysis(self):
+        from repro.dperf.minic import find_comm_calls
+
+        sites = find_comm_calls(parse(heat.heat_source()))
+        apis = {s.api for s in sites}
+        assert "MPI_Isend" in apis and "MPI_Recv" in apis
+
+
+class TestObstacleThroughDPerf:
+    @pytest.fixture(scope="class")
+    def predictor(self):
+        return DPerfPredictor(obstacle.obstacle_source(), obstacle.ENTRY)
+
+    def test_comm_pattern_in_traces(self, predictor):
+        runs = predictor.execute(2, args=[8, 4, 2])
+        traces = predictor.traces_for(runs, "O0", app="obstacle")
+        from repro.simx import validate_trace_set
+
+        validate_trace_set(traces)
+        # interior exchange: each rank isends+recvs each iteration
+        assert traces[0].count("isend") == 4
+        assert traces[0].count("recv") == 4
+        assert traces[0].count("allreduce") == 2
+
+    def test_halo_message_size(self, predictor):
+        runs = predictor.execute(2, args=[8, 2, 0])
+        traces = predictor.traces_for(runs, "O0")
+        from repro.simx import Send
+
+        sizes = {e.size for e in traces[0].events if isinstance(e, Send)}
+        assert sizes == {(8 + 2) * 8}
+
+    def test_sweep_block_is_vectorizable(self, predictor):
+        vec_blocks = [b for b in predictor.block_table if b.vectorizable]
+        assert vec_blocks, "sweep body should be vectorizable at O3"
+
+    def test_boundary_ranks_have_fewer_messages(self, predictor):
+        runs = predictor.execute(4, args=[8, 2, 0])
+        traces = predictor.traces_for(runs, "O0")
+        interior = traces[1].count("isend")
+        boundary = traces[0].count("isend")
+        assert interior == 2 * boundary

@@ -1,0 +1,222 @@
+"""Tests for block-benchmark scaling, tiling, and the predictor pipeline."""
+
+import pytest
+
+from repro.dperf import (
+    DPerfPredictor,
+    GccModel,
+    REFERENCE_MACHINE,
+    ScaleError,
+    ScalePlan,
+    eval_affine,
+    materialize,
+    predict_many_levels,
+    scale_skeleton,
+    tile_iterations,
+)
+from repro.dperf.minic import parse_expr
+from repro.platforms import build_cluster
+from repro.simx import Compute, validate_trace_set
+
+# A miniature iterative halo-exchange app: the same shape as the
+# obstacle problem (time loop marked as a dperf region, inner compute
+# loop over n, neighbour exchange, periodic allreduce every 2 iters).
+ITER_APP = """
+double work(double u[], int n) {
+    double acc = 0.0;
+    for (int i = 1; i < n - 1; i++) {
+        u[i] = 0.5 * (u[i - 1] + u[i + 1]);
+        acc = acc + u[i];
+    }
+    return acc;
+}
+
+double main(int n, int nit) {
+    int rank = p2psap_rank();
+    int size = p2psap_size();
+    double u[n];
+    for (int i = 0; i < n; i++) u[i] = (double)(i + rank);
+    double acc = 0.0;
+    for (int it = 0; it < nit; it++) {
+        dperf_region_begin("iter");
+        if (size > 1) {
+            int peer = rank == 0 ? 1 : 0;
+            p2psap_isend(peer, u, n);
+            p2psap_recv(peer, u, n);
+        }
+        acc = work(u, n);
+        if (it % 2 == 1) {
+            acc = p2psap_allreduce_max(acc);
+        }
+        dperf_region_end("iter");
+    }
+    return acc;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    return DPerfPredictor(ITER_APP, entry="main")
+
+
+@pytest.fixture(scope="module")
+def cal_runs(predictor):
+    # calibration: n=16, nit=6 (>= (1+1)*2 iterations for cycle_len=2)
+    return predictor.execute(2, args=[16, 6])
+
+
+class TestEvalAffine:
+    def test_literals_and_names(self):
+        assert eval_affine(parse_expr("3"), {}) == 3.0
+        assert eval_affine(parse_expr("n"), {"n": 8}) == 8.0
+        assert eval_affine(parse_expr("n + 2"), {"n": 8}) == 10.0
+        assert eval_affine(parse_expr("2 * n - 1"), {"n": 8}) == 15.0
+        assert eval_affine(parse_expr("n / 2"), {"n": 8}) == 4.0
+
+    def test_unresolved_name(self):
+        assert eval_affine(parse_expr("m + 1"), {"n": 8}) is None
+
+    def test_negation_and_cast(self):
+        assert eval_affine(parse_expr("-n"), {"n": 5}) == -5.0
+        assert eval_affine(parse_expr("(double)n"), {"n": 5}) == 5.0
+
+
+class TestTiling:
+    def test_tile_to_more_iterations(self, predictor, cal_runs):
+        entries = cal_runs[0].entries
+        tiled = tile_iterations(entries, "iter", nit_target=20, cycle_len=2)
+        from repro.dperf import CommRecord
+
+        def count_allreduce(es):
+            return sum(
+                1 for e in es
+                if isinstance(e, CommRecord) and e.kind == "allreduce"
+            )
+
+        # 20 iterations with an allreduce every 2nd → 10 allreduces
+        assert count_allreduce(tiled) == 10
+
+    def test_tile_preserves_phase(self, predictor, cal_runs):
+        from repro.dperf import CommRecord
+
+        tiled = tile_iterations(cal_runs[0].entries, "iter", 7, cycle_len=2)
+        # 7 iterations, allreduce on odd phases → 3 allreduces
+        n_ar = sum(1 for e in tiled
+                   if isinstance(e, CommRecord) and e.kind == "allreduce")
+        assert n_ar == 3
+
+    def test_insufficient_calibration_iterations(self, predictor):
+        runs = predictor.execute(1, args=[8, 3])
+        with pytest.raises(ScaleError, match="at least"):
+            tile_iterations(runs[0].entries, "iter", 10, cycle_len=2,
+                            warmup_cycles=1)
+
+    def test_unknown_region_means_no_iterations(self, predictor, cal_runs):
+        with pytest.raises(ScaleError, match="at least"):
+            tile_iterations(cal_runs[0].entries, "ghost-region", 5)
+
+
+class TestCensusScaling:
+    def test_compute_scales_with_n(self, predictor, cal_runs):
+        """Scaling n 16 → 160 must scale compute ns by ≈10×."""
+        plan_small = ScalePlan(
+            env_cal={"n": 16}, env_target={"n": 16}, nit_target=4, cycle_len=2
+        )
+        plan_big = ScalePlan(
+            env_cal={"n": 16}, env_target={"n": 160}, nit_target=4, cycle_len=2
+        )
+        table = predictor.block_table
+        gcc = GccModel("O0")
+        small = materialize(
+            scale_skeleton(cal_runs[0].entries, table, plan_small),
+            table, REFERENCE_MACHINE, gcc,
+        )
+        big = materialize(
+            scale_skeleton(cal_runs[0].entries, table, plan_big),
+            table, REFERENCE_MACHINE, gcc,
+        )
+        ns_small = sum(e.ns for e in small if isinstance(e, Compute))
+        ns_big = sum(e.ns for e in big if isinstance(e, Compute))
+        assert ns_big / ns_small == pytest.approx(10.0, rel=0.15)
+
+    def test_message_sizes_reevaluated(self, predictor, cal_runs):
+        plan = ScalePlan(
+            env_cal={"n": 16}, env_target={"n": 64}, nit_target=2, cycle_len=2
+        )
+        table = predictor.block_table
+        events = materialize(
+            scale_skeleton(cal_runs[0].entries, table, plan),
+            table, REFERENCE_MACHINE, GccModel("O0"),
+        )
+        from repro.simx import Send
+
+        sizes = {e.size for e in events if isinstance(e, Send)}
+        assert sizes == {64 * 8}
+
+    def test_scaled_trace_against_direct_execution(self, predictor):
+        """Gold standard: trace scaled 16→48 must match the trace of an
+        actual n=48 run (same ns within a few %, same comm events)."""
+        runs_small = predictor.execute(2, args=[16, 6])
+        runs_big = predictor.execute(2, args=[48, 6])
+        plan = ScalePlan(
+            env_cal={"n": 16}, env_target={"n": 48}, nit_target=6, cycle_len=2
+        )
+        scaled = predictor.traces_for(runs_small, "O0", scale=plan)
+        direct = predictor.traces_for(runs_big, "O0")
+        for ts, td in zip(scaled, direct):
+            assert [e.kind for e in ts.events] == [e.kind for e in td.events]
+            ns_s = ts.total_compute_ns
+            ns_d = td.total_compute_ns
+            assert ns_s == pytest.approx(ns_d, rel=0.10)
+            assert ts.total_bytes_sent == td.total_bytes_sent
+
+
+class TestPredictor:
+    def test_instrumented_source_artifact(self, predictor):
+        assert "papi_block_begin" in predictor.instrumented_source
+
+    def test_traces_validate(self, predictor, cal_runs):
+        traces = predictor.traces_for(cal_runs, "O3")
+        validate_trace_set(traces)
+        assert traces[0].meta["opt_level"] == "O3"
+
+    def test_predict_end_to_end(self, predictor):
+        platform = build_cluster(2)
+        result = predictor.predict_end_to_end(
+            2, platform, opt_level="O0", args=[32, 4], app="iterapp"
+        )
+        assert result.t_predicted > 0
+        assert result.nprocs == 2
+        assert result.platform == "grid5000"
+
+    def test_opt_levels_order_in_prediction(self, predictor, cal_runs):
+        platform = build_cluster(2)
+        results = predict_many_levels(predictor, cal_runs, platform)
+        assert results["O0"].t_predicted > results["O1"].t_predicted
+        assert results["O1"].t_predicted > results["O3"].t_predicted
+
+    def test_prediction_compute_scales_with_n(self, predictor):
+        """More compute per rank → larger compute component (the total
+        is latency-dominated at these tiny sizes)."""
+        platform = build_cluster(2)
+        r_small = predictor.predict_end_to_end(2, platform, "O0", args=[32, 4])
+        r_large = predictor.predict_end_to_end(2, platform, "O0", args=[96, 4])
+        assert max(r_large.replay.compute_time) > 2 * max(
+            r_small.replay.compute_time
+        )
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(ValueError, match="entry"):
+            DPerfPredictor("int f() { return 0; }", entry="main")
+
+    def test_scaled_prediction_runs(self, predictor, cal_runs):
+        platform = build_cluster(2)
+        plan = ScalePlan(
+            env_cal={"n": 16}, env_target={"n": 128},
+            nit_target=50, cycle_len=2,
+        )
+        traces = predictor.traces_for(cal_runs, "O2", scale=plan)
+        validate_trace_set(traces)
+        result = predictor.predict(traces, platform)
+        assert result.t_predicted > 0

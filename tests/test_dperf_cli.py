@@ -1,0 +1,114 @@
+"""Tests for the dPerf command-line interface."""
+
+import pytest
+
+from repro.dperf.cli import main
+
+SRC = """
+double main(int n) {
+    int rank = p2psap_rank();
+    int size = p2psap_size();
+    double u[n];
+    for (int i = 0; i < n; i++) u[i] = (double)(i + rank);
+    if (size > 1) {
+        int to = rank == 0 ? 1 : 0;
+        p2psap_isend(to, u, n);
+        p2psap_recv(to, u, n);
+    }
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += u[i];
+    return s;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "demo.c"
+    path.write_text(SRC)
+    return path
+
+
+def test_basic_prediction(source_file, capsys):
+    rc = main([str(source_file), "--peers", "2", "--args", "64",
+               "--level", "O2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "t_predicted" in out
+    assert "O2" in out
+
+
+def test_dump_instrumented(source_file, capsys):
+    rc = main([str(source_file), "--dump-instrumented"])
+    assert rc == 0
+    assert "papi_block_begin" in capsys.readouterr().out
+
+
+def test_trace_and_platform_files_written(source_file, tmp_path, capsys):
+    trace_dir = tmp_path / "traces"
+    platform_file = tmp_path / "platform.xml"
+    rc = main([str(source_file), "--peers", "2", "--args", "32",
+               "--trace-dir", str(trace_dir),
+               "--platform-file", str(platform_file)])
+    assert rc == 0
+    assert len(list(trace_dir.glob("demo.rank*.trace"))) == 2
+    assert platform_file.exists()
+    # and the emitted platform file round-trips through the CLI
+    rc2 = main([str(source_file), "--peers", "2", "--args", "32",
+                "--platform-xml", str(platform_file)])
+    assert rc2 == 0
+
+
+def test_platform_choices(source_file, capsys):
+    for platform in ("lan", "multisite"):
+        rc = main([str(source_file), "--peers", "2", "--args", "16",
+                   "--platform", platform])
+        assert rc == 0
+
+
+def test_missing_file_is_user_error(capsys):
+    rc = main(["/nonexistent/prog.c"])
+    assert rc == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_parse_error_is_user_error(tmp_path, capsys):
+    bad = tmp_path / "bad.c"
+    bad.write_text("int main( { return 0; }")
+    rc = main([str(bad)])
+    assert rc == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_missing_entry_reported(tmp_path, capsys):
+    src = tmp_path / "f.c"
+    src.write_text("int f() { return 0; }")
+    rc = main([str(src), "--entry", "main"])
+    assert rc == 2
+
+
+def test_fortran_source_by_extension(tmp_path, capsys):
+    src = tmp_path / "demo.f90"
+    src.write_text("""
+    function main(n) result(s)
+    integer :: n, i
+    real*8 :: s
+    s = 0.0d0
+    do i = 1, n
+       s = s + dble(i)
+    end do
+    end
+    """)
+    rc = main([str(src), "--args", "100", "--level", "O1"])
+    assert rc == 0
+    assert "t_predicted" in capsys.readouterr().out
+
+
+def test_too_many_peers_for_platform(source_file, tmp_path, capsys):
+    from repro.platforms import build_cluster, write_platform_xml
+
+    platform_file = tmp_path / "tiny.xml"
+    platform_file.write_text(write_platform_xml(build_cluster(1)))
+    rc = main([str(source_file), "--peers", "8",
+               "--platform-xml", str(platform_file)])
+    assert rc == 2

@@ -1,0 +1,258 @@
+"""Tests for AST instrumentation, cost model, and GCC level model."""
+
+import pytest
+
+from repro.dperf import (
+    REFERENCE_MACHINE,
+    Census,
+    GccModel,
+    MachineModel,
+    OPT_LEVELS,
+    UnknownOptLevel,
+    instrument,
+    parse_level,
+    run_single,
+)
+from repro.dperf.minic import cast as A
+from repro.dperf.minic import check, parse, unparse
+
+
+SRC = """
+void kernel(double u[], double v[], int n) {
+    double c = 0.25;
+    for (int i = 1; i < n - 1; i++) {
+        v[i] = c * (u[i - 1] + u[i + 1]) + u[i];
+    }
+    if (n > 2) {
+        v[0] = 0.0;
+    }
+}
+"""
+
+
+class TestInstrument:
+    def test_papi_calls_inserted(self):
+        prog, table = instrument(parse(SRC))
+        text = unparse(prog)
+        assert "papi_block_begin(" in text
+        assert "papi_block_end(" in text
+        assert text.count("papi_block_begin") == text.count("papi_block_end")
+
+    def test_instrumented_program_still_checks(self):
+        prog, _table = instrument(parse(SRC))
+        check(prog)
+
+    def test_original_ast_untouched(self):
+        original = parse(SRC)
+        before = unparse(original)
+        instrument(original)
+        assert unparse(original) == before
+
+    def test_block_table_has_loop_body_block(self):
+        _prog, table = instrument(parse(SRC))
+        body_blocks = [b for b in table if b.loop_depth == 1 and not b.is_loop_control]
+        assert len(body_blocks) >= 1
+
+    def test_vectorizable_flag(self):
+        _prog, table = instrument(parse(SRC))
+        body = [b for b in table if b.loop_depth == 1 and not b.is_loop_control]
+        assert any(b.vectorizable for b in body)
+        top = [b for b in table if b.loop_depth == 0 and not b.is_loop_control]
+        assert all(not b.vectorizable for b in top)
+
+    def test_user_call_blocks_not_vectorizable(self):
+        src = """
+        double f(double x) { return x; }
+        void kernel(double u[], int n) {
+            for (int i = 0; i < n; i++) { u[i] = f(u[i]); }
+        }
+        """
+        _prog, table = instrument(parse(src))
+        body = [b for b in table if b.loop_depth == 1 and not b.is_loop_control]
+        assert all(not b.vectorizable for b in body)
+
+    def test_comm_calls_outside_blocks(self):
+        src = """
+        void f(double u[], int n) {
+            u[0] = 1.0;
+            p2psap_send(1, u, n);
+            u[1] = 2.0;
+        }
+        """
+        prog, _table = instrument(parse(src))
+        text = unparse(prog)
+        # the send must not be bracketed: begin ... end appears before it
+        send_pos = text.index("p2psap_send")
+        last_end_before = text.rfind("papi_block_end", 0, send_pos)
+        first_begin_after = text.find("papi_block_begin", send_pos)
+        assert last_end_before != -1
+        assert first_begin_after != -1
+
+    def test_enclosing_loops_exclude_comm_loops(self):
+        src = """
+        void f(double u[], int n, int nit) {
+            for (int it = 0; it < nit; it++) {
+                p2psap_send(1, u, n);
+                for (int i = 0; i < n; i++) { u[i] = 0.0; }
+            }
+        }
+        """
+        _prog, table = instrument(parse(src))
+        inner = [b for b in table
+                 if b.loop_depth == 2 and not b.is_loop_control]
+        assert len(inner) == 1
+        # only the inner (comm-free) loop counts for scale-up
+        assert len(inner[0].enclosing_loops) == 1
+
+    def test_loop_control_blocks_registered(self):
+        _prog, table = instrument(parse(SRC))
+        controls = [b for b in table if b.is_loop_control]
+        assert len(controls) == 1
+
+    def test_statement_granularity_makes_more_blocks(self):
+        src = """
+        void f(double u[], int n) {
+            double a = 1.0;
+            double b = 2.0;
+            double c = a + b;
+            u[0] = c;
+        }
+        """
+        _p1, t_block = instrument(parse(src), granularity="block")
+        _p2, t_stmt = instrument(parse(src), granularity="statement")
+        assert t_block.n_blocks == 1   # one 4-statement run
+        assert t_stmt.n_blocks == 4    # one block per statement
+
+    def test_unknown_granularity_rejected(self):
+        with pytest.raises(ValueError, match="granularity"):
+            instrument(parse(SRC), granularity="molecule")
+
+    def test_instrumentation_overhead_model(self):
+        from repro.dperf import (
+            instrumentation_overhead_ns,
+            instrumentation_slowdown,
+        )
+
+        counts = {0: 10, 1: 5}
+        assert instrumentation_overhead_ns(counts, papi_read_ns=100) == 3000
+        assert instrumentation_slowdown(counts, 30000, papi_read_ns=100) \
+            == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            instrumentation_slowdown(counts, 0.0)
+
+    def test_instrumented_execution_attributes_ops(self):
+        prog, table = instrument(parse(SRC))
+        full = unparse(prog) + """
+        double main() {
+            double u[64]; double v[64];
+            for (int i = 0; i < 64; i++) u[i] = (double)i;
+            kernel(u, v, 64);
+            return v[5];
+        }
+        """
+        # reparse the combined instrumented + driver source
+        res = run_single(parse(full), "main", block_table=table)
+        assert res.value == pytest.approx(0.25 * (4 + 6) + 5)
+        assert any(bid >= 0 for bid in res.block_exec_counts)
+
+
+class TestCostModel:
+    def test_census_ns_positive(self):
+        census = Census()
+        census.add("fp_add", 100)
+        census.add("mem_load", 50)
+        ns = REFERENCE_MACHINE.census_ns(census)
+        assert ns > 0
+
+    def test_ns_per_cycle(self):
+        assert REFERENCE_MACHINE.ns_per_cycle == pytest.approx(1 / 3)
+
+    def test_builtin_cost(self):
+        census = Census()
+        census.add("builtin:sqrt", 10)
+        ns = REFERENCE_MACHINE.census_ns(census)
+        assert ns == pytest.approx(10 * 30 / 3)
+
+    def test_unknown_category_rejected(self):
+        census = Census()
+        census.add("teleport", 1)
+        with pytest.raises(KeyError):
+            REFERENCE_MACHINE.census_ns(census)
+
+    def test_factors_scale_down(self):
+        census = Census()
+        census.add("scalar_load", 1000)
+        base = REFERENCE_MACHINE.census_ns(census)
+        opt = REFERENCE_MACHINE.census_ns(census, {"scalar_load": 0.1})
+        assert opt == pytest.approx(base * 0.1)
+
+    def test_custom_machine_clock(self):
+        m = MachineModel(clock_hz=1e9, cycle_costs={"int_op": 1.0})
+        census = Census()
+        census.add("int_op", 3)
+        assert m.census_ns(census) == pytest.approx(3.0)
+
+
+class TestGccModel:
+    def test_all_levels_construct(self):
+        for level in OPT_LEVELS:
+            GccModel(level)
+
+    def test_unknown_level(self):
+        with pytest.raises(UnknownOptLevel):
+            GccModel("O9")
+
+    def test_parse_level_spellings(self):
+        assert parse_level(0) == "O0"
+        assert parse_level("3") == "O3"
+        assert parse_level("Os") == "Os"
+        assert parse_level("s") == "Os"
+        with pytest.raises(UnknownOptLevel):
+            parse_level("fast")
+
+    def test_o0_is_identity(self):
+        f = GccModel("O0").factors()
+        assert all(v == 1.0 for v in f.values())
+
+    def test_levels_ordered_for_stencil_census(self):
+        """On a stencil-like census the level family is ordered
+        O0 > O1 > Os > O2 > O3(vectorized) — O0 far above a tight
+        O1/O2/Os cluster, O3 fastest (the Fig. 9 shape)."""
+        census = Census()
+        census.update({
+            "scalar_load": 8, "scalar_store": 1, "mem_load": 5, "mem_store": 1,
+            "addr": 12, "fp_add": 4, "fp_mul": 2, "int_op": 3, "branch": 1,
+        })
+
+        def ns(level, vec):
+            return REFERENCE_MACHINE.census_ns(
+                census, GccModel(level).factors(vectorizable=vec)
+            )
+
+        t = {lvl: ns(lvl, vec=True) for lvl in OPT_LEVELS}
+        cluster = [t["O1"], t["O2"], t["Os"]]
+        # O0 separated from the cluster by at least 2×
+        assert t["O0"] > 2 * max(cluster)
+        # O3 (vectorized) is the fastest of all levels
+        assert t["O3"] < min(cluster)
+        # the O1/O2/Os cluster is tight (within 25% of each other)
+        assert max(cluster) / min(cluster) < 1.25
+
+    def test_o3_vectorization_needs_flag(self):
+        census = Census()
+        census.update({"fp_add": 100, "mem_load": 100})
+        vec = REFERENCE_MACHINE.census_ns(census, GccModel("O3").factors(True))
+        novec = REFERENCE_MACHINE.census_ns(census, GccModel("O3").factors(False))
+        assert vec < novec
+
+    def test_o0_to_o3_overall_ratio_plausible(self):
+        """Whole-kernel O0/O3 ratio lands in the 2.5×–4.5× band typical
+        for stencils (drives the Fig. 9 spread)."""
+        census = Census()
+        census.update({
+            "scalar_load": 8, "scalar_store": 1, "mem_load": 5, "mem_store": 1,
+            "addr": 12, "fp_add": 4, "fp_mul": 2, "int_op": 3, "branch": 1,
+        })
+        t0 = REFERENCE_MACHINE.census_ns(census, GccModel("O0").factors(True))
+        t3 = REFERENCE_MACHINE.census_ns(census, GccModel("O3").factors(True))
+        assert 2.5 < t0 / t3 < 4.5

@@ -1,0 +1,168 @@
+"""Edge-case coverage across the mini-C toolchain and overlay."""
+
+import pytest
+
+from repro.dperf import InterpError, run_single
+from repro.dperf.minic import ParseError, SemanticError, check, parse
+from repro.p2pdc import deploy_overlay
+from repro.platforms import build_cluster
+
+
+def run(src, entry="main", args=()):
+    return run_single(parse(src), entry, args)
+
+
+class TestParserEdges:
+    def test_const_qualifier_accepted(self):
+        prog = parse("void f() { const double pi = 3.14159; double x = pi; }")
+        check(prog)
+
+    def test_nested_ternary(self):
+        src = "int main() { int x = 5; return x < 0 ? 0 - 1 : (x == 0 ? 0 : 1); }"
+        assert run(src).value == 1
+
+    def test_assignment_in_for_step(self):
+        src = "int main() { int s = 0; for (int i = 0; i < 16; i = i + 4) s += i; return s; }"
+        assert run(src).value == 24
+
+    def test_comma_free_multidecl_in_for(self):
+        prog = parse("void f() { for (int i = 0, j = 1; i < j; i++) ; }")
+        assert prog is not None
+
+    def test_comment_between_tokens(self):
+        src = "int main() { return /* forty */ 40 + /* two */ 2; }"
+        assert run(src).value == 42
+
+    def test_deeply_nested_parens(self):
+        src = f"int main() {{ return {'(' * 40}1{')' * 40}; }}"
+        assert run(src).value == 1
+
+    def test_empty_function_body(self):
+        check(parse("void f() { }"))
+
+    def test_adjacent_unary_minus(self):
+        assert run("int main() { return - - 5; }").value == 5
+
+    def test_keyword_prefix_identifier(self):
+        assert run("int main() { int iffy = 3; return iffy; }").value == 3
+
+    def test_missing_paren_reports_line(self):
+        with pytest.raises(ParseError, match=":2:"):
+            parse("void f() {\n if (1 { } \n}")
+
+
+class TestSemanticsEdges:
+    def test_use_before_declaration_in_scope(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            check(parse("void f() { x = 1; int x; }"))
+
+    def test_for_init_scope_not_visible_after(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            check(parse("void f() { for (int i = 0; i < 3; i++) ; i = 1; }"))
+
+    def test_multiple_errors_collected(self):
+        try:
+            check(parse("void f() { a = 1; b = 2; }"))
+        except SemanticError as err:
+            assert len(err.messages) == 2
+        else:  # pragma: no cover
+            pytest.fail("expected SemanticError")
+
+
+class TestInterpEdges:
+    def test_global_array(self):
+        src = """
+        double table[4];
+        void fill() { for (int i = 0; i < 4; i++) table[i] = (double)i; }
+        double main() { fill(); return table[3]; }
+        """
+        assert run(src).value == 3.0
+
+    def test_recursive_array_passing(self):
+        src = """
+        double total(double u[], int n) {
+            if (n == 0) return 0.0;
+            return u[n - 1] + total(u, n - 1);
+        }
+        double main() {
+            double u[5];
+            for (int i = 0; i < 5; i++) u[i] = 1.0;
+            return total(u, 5);
+        }
+        """
+        assert run(src).value == 5.0
+
+    def test_float_division_by_zero_gives_inf(self):
+        import math
+
+        result = run("double main() { double z = 0.0; return 1.0 / z; }")
+        assert math.isinf(result.value)
+
+    def test_scalar_where_array_expected(self):
+        with pytest.raises(InterpError, match="array"):
+            run("void f(double u[]) { } int main() { int x = 1; f(x); return 0; }")
+
+    def test_array_used_as_scalar(self):
+        with pytest.raises(InterpError, match="scalar|array"):
+            run("int main() { double u[2]; u += 1; return 0; }")
+
+    def test_too_many_indices(self):
+        with pytest.raises(InterpError, match="dims"):
+            run("int main() { double u[2]; return (int)u[0][1]; }")
+
+    def test_void_function_returns_none_as_zero_context(self):
+        src = "void side() { } int main() { side(); return 7; }"
+        assert run(src).value == 7
+
+    def test_return_type_coercion(self):
+        assert run("int main() { return 3.99; }").value == 3
+
+    def test_char_type_is_integer(self):
+        assert run("int main() { char c = 65; return c + 1; }").value == 66
+
+    def test_long_type(self):
+        assert run("long main() { long x = 1000000; return x * 1000; }"
+                   ).value == 1_000_000_000
+
+
+class TestOverlayEdges:
+    def test_peer_joins_via_server_when_no_tracker_list(self):
+        dep = deploy_overlay(build_cluster(4), n_peers=4, n_zones=2,
+                             join_peers=False, with_submitter=False)
+        overlay = dep.overlay
+        peer = dep.peers[0]
+        sig = peer.join_overlay([])  # empty install list → server fallback
+        overlay.run_until(sig, limit=1e4)
+        assert peer.joined
+
+    def test_peer_join_retries_past_dead_tracker(self):
+        dep = deploy_overlay(build_cluster(8), n_peers=8, n_zones=2,
+                             join_peers=False, with_submitter=False)
+        overlay = dep.overlay
+        dep.trackers[0].crash()
+        peer = dep.peers[0]  # zone-0 peer: closest tracker is dead
+        sig = peer.join_overlay([t.ref for t in dep.trackers])
+        overlay.run_until(sig, limit=1e4)
+        assert peer.joined
+        assert peer.tracker.name == "tracker-1"
+
+    def test_duplicate_node_name_rejected(self):
+        dep = deploy_overlay(build_cluster(4), n_peers=4, n_zones=1,
+                             join_peers=False, with_submitter=False)
+        with pytest.raises(ValueError, match="duplicate"):
+            dep.overlay.create_peer(dep.overlay.platform.hosts[0],
+                                    "10.9.9.9", name=dep.peers[0].name)
+
+    def test_revive_restarts_main_loop(self):
+        dep = deploy_overlay(build_cluster(4), n_peers=4, n_zones=1)
+        server = dep.server
+        server.crash()
+        assert not server.alive
+        server.revive()
+        assert server.alive
+        # the revived server answers bootstrap requests again
+        peer = dep.overlay.create_peer(dep.overlay.platform.hosts[1],
+                                       "10.0.9.9", name="post-revive")
+        sig = peer.join_overlay([])
+        dep.overlay.run_until(sig, limit=1e4)
+        assert peer.joined

@@ -1,0 +1,154 @@
+"""Integration tests for the experiment runners (reduced configs).
+
+These assert the *claims* of the paper at test-sized instances:
+prediction tracks the reference, the GCC-level family is ordered, and
+the platform ordering Grid5000 ≲ LAN ≪ xDSL holds.
+"""
+
+import pytest
+
+from repro.analysis import classify
+from repro.experiments import (
+    Stage1Config,
+    Stage2Config,
+    calibration as C,
+    predict_on,
+    predicted_time,
+    reference_time,
+    run_stage1,
+    run_stage2,
+    run_table1,
+)
+
+
+@pytest.fixture(scope="module")
+def small_stage1():
+    return run_stage1(Stage1Config(peer_counts=(2, 4), levels=("O0", "O3")))
+
+
+class TestCalibration:
+    def test_two_peer_o0_near_paper_scale(self):
+        """Fig. 9's top curve: t(2 peers, O0) ≈ 40 s (paper ≈ 42 s)."""
+        t = predicted_time(2, "O0")
+        assert 30.0 < t < 50.0
+
+    def test_two_peer_o3_near_paper_scale(self):
+        """Fig. 10: t(2 peers, O3) in the paper's 8–16 s band."""
+        t = predicted_time(2, "O3")
+        assert 8.0 < t < 16.0
+
+    def test_level_family_ordered(self):
+        times = {lvl: predicted_time(2, lvl) for lvl in C.OPT_LEVELS}
+        cluster = [times["O1"], times["O2"], times["Os"]]
+        assert times["O0"] > 2 * max(cluster)
+        assert times["O3"] <= min(cluster)
+
+    def test_calibration_instance_small(self):
+        runs = C.calibration_runs(2)
+        assert len(runs) == 2
+        # thousands of events, not millions
+        assert sum(len(r.entries) for r in runs) < 2000
+
+    def test_spread_hosts_even(self):
+        platform = C.xdsl_platform()
+        hosts = C.spread_hosts(platform, 8)
+        assert len(hosts) == 8
+        assert len({h.name for h in hosts}) == 8
+
+    def test_workload_iteration_time_positive(self):
+        w = C.obstacle_workload(4, "O2")
+        assert w.iteration_time(0, 4) > 0
+        assert w.nit == C.NIT
+
+
+class TestStage1:
+    def test_reference_scales_with_peers(self, small_stage1):
+        ref = small_stage1.reference_series("O0")
+        assert ref[4] < ref[2]
+        # near-linear strong scaling on the cluster at O0
+        assert ref[2] / ref[4] > 1.6
+
+    def test_prediction_accurate(self, small_stage1):
+        """Fig. 10's claim: reference and prediction nearly coincide."""
+        for level in ("O0", "O3"):
+            report = small_stage1.accuracy(level)
+            assert report.mape < 0.05, f"{level}: {report}"
+
+    def test_o0_above_o3(self, small_stage1):
+        assert (
+            small_stage1.reference_series("O0")[2]
+            > 2 * small_stage1.reference_series("O3")[2]
+        )
+
+    def test_reference_includes_protocol_overhead(self):
+        """The reference (full P2PDC run) is ≥ the bare prediction."""
+        ref = reference_time(2, "O0", seed=7)
+        pred = predicted_time(2, "O0")
+        assert ref > pred * 0.97  # never wildly below
+        assert abs(ref - pred) / ref < 0.05
+
+    def test_reference_deterministic_per_seed(self):
+        """Same seed → bit-identical simulated reference time."""
+        t1 = reference_time(2, "O1", seed=99)
+        t2 = reference_time(2, "O1", seed=99)
+        t3 = reference_time(2, "O1", seed=100)
+        assert t1 == t2
+        assert t1 != t3  # the jitter stream actually depends on the seed
+
+
+class TestStage2:
+    @pytest.fixture(scope="class")
+    def stage2(self):
+        return run_stage2(Stage2Config(peer_counts=(2, 4)))
+
+    def test_platform_ordering(self, stage2):
+        """Fig. 11: xDSL ≫ LAN ≥ Grid5000 at the same peer count."""
+        for n in (2, 4):
+            g5k = stage2.predicted["grid5000"][n]
+            lan = stage2.predicted["lan"][n]
+            xdsl = stage2.predicted["xdsl"][n]
+            assert xdsl > lan * 1.3
+            assert lan >= g5k * 0.999
+
+    def test_four_xdsl_vs_two_grid5000(self, stage2):
+        """Table I row 1: 4 xDSL slightly lower than 2 Grid5000."""
+        verdict = classify(
+            stage2.predicted["xdsl"][4], stage2.predicted["grid5000"][2]
+        )
+        assert verdict == "slightly lower than"
+
+    def test_lan_equal_peers_not_better(self, stage2):
+        for n in (2, 4):
+            assert stage2.predicted["lan"][n] >= stage2.predicted["grid5000"][n]
+
+    def test_reference_is_cluster_reference(self, stage2):
+        assert set(stage2.reference) == {2, 4}
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ValueError, match="unknown platform"):
+            predict_on("etherkiller", 2, "O0")
+
+
+class TestTable1:
+    def test_rows_built_for_paper_pairings(self):
+        result = run_table1(Stage2Config(peer_counts=(2, 4, 8, 32)))
+        assert len(result.rows) == 5
+        # row 1: 4 xDSL vs 2 Grid5000 must agree with the paper
+        assert result.rows[0].verdict == "slightly lower than"
+        # row 2: 2 LAN vs 2 Grid5000 — marginally slower (the paper says
+        # "slightly lower"; our ratio is ~1.01, at the same/slightly edge)
+        assert result.rows[1].verdict in ("same as", "slightly lower than")
+        assert result.rows[1].ratio >= 1.0
+        # row 3: 4 LAN slightly lower than 4 Grid5000
+        assert result.rows[2].verdict == "slightly lower than"
+        # rows 4–5 deviate by design: our LAN scales better than the
+        # paper's Table I (see EXPERIMENTS.md); LAN must never be slower
+        # than the paper claims, only faster.
+        assert result.rows[3].ratio <= 1.02
+        assert result.rows[4].ratio <= 1.60
+        assert result.agreement() >= 0.4
+
+    def test_equivalence_search_finds_lan_counts(self):
+        result = run_table1(Stage2Config(peer_counts=(2, 4, 8, 32)))
+        # some LAN config matches every Grid5000 config
+        assert all(v is not None for v in result.lan_equivalents.values())

@@ -1,0 +1,241 @@
+"""Tests for the Fortran frontend (paper: dPerf handles C/C++/Fortran)."""
+
+import pytest
+
+from repro.dperf import DPerfPredictor, run_distributed, run_single
+from repro.dperf.minic import FortranError, check, parse_fortran
+from repro.platforms import build_cluster
+
+
+def run_f(src, entry, args=()):
+    program = parse_fortran(src)
+    check(program)
+    return run_single(program, entry, args)
+
+
+class TestBasics:
+    def test_function_returns_value(self):
+        src = """
+        function answer() result(r)
+        integer :: r
+        r = 41 + 1
+        end
+        """
+        assert run_f(src, "answer").value == 42
+
+    def test_do_loop_sum(self):
+        src = """
+        function total(n) result(s)
+        integer :: n, i, s
+        s = 0
+        do i = 1, n
+           s = s + i
+        end do
+        end
+        """
+        assert run_f(src, "total", [10]).value == 55
+
+    def test_do_loop_with_step(self):
+        src = """
+        function evens(n) result(s)
+        integer :: n, i, s
+        s = 0
+        do i = 0, n, 2
+           s = s + i
+        end do
+        end
+        """
+        assert run_f(src, "evens", [10]).value == 30
+
+    def test_if_then_else(self):
+        src = """
+        function sign_of(x) result(s)
+        real*8 :: x
+        integer :: s
+        if (x .gt. 0.0d0) then
+           s = 1
+        else
+           s = -1
+        end if
+        end
+        """
+        assert run_f(src, "sign_of", [2.5]).value == 1
+        assert run_f(src, "sign_of", [-2.5]).value == -1
+
+    def test_one_line_if_and_exit(self):
+        src = """
+        function first_over(n) result(i)
+        integer :: n, i
+        do i = 1, 100
+           if (i * i > n) exit
+        end do
+        end
+        """
+        assert run_f(src, "first_over", [20]).value == 5
+
+    def test_cycle(self):
+        src = """
+        function odds(n) result(s)
+        integer :: n, i, s
+        s = 0
+        do i = 1, n
+           if (mod(i, 2) == 0) cycle
+           s = s + i
+        end do
+        end
+        """
+        assert run_f(src, "odds", [9]).value == 25
+
+    def test_arrays_are_one_based(self):
+        src = """
+        function ends(n) result(r)
+        integer :: n, i
+        real*8 :: u(n), r
+        do i = 1, n
+           u(i) = dble(i)
+        end do
+        r = u(1) + u(n)
+        end
+        """
+        assert run_f(src, "ends", [7]).value == 8.0
+
+    def test_two_dimensional_array(self):
+        src = """
+        function corner(n) result(r)
+        integer :: n, i, j
+        real*8 :: m(n, n), r
+        do i = 1, n
+           do j = 1, n
+              m(i, j) = dble(i * 10 + j)
+           end do
+        end do
+        r = m(n, n)
+        end
+        """
+        assert run_f(src, "corner", [3]).value == 33.0
+
+    def test_power_operator_maps_to_pow(self):
+        src = """
+        function cube(x) result(r)
+        real*8 :: x, r
+        r = x ** 3
+        end
+        """
+        assert run_f(src, "cube", [2.0]).value == pytest.approx(8.0)
+
+    def test_intrinsics(self):
+        src = """
+        function clamp(x) result(r)
+        real*8 :: x, r
+        r = max(0.0d0, min(1.0d0, abs(x)))
+        end
+        """
+        assert run_f(src, "clamp", [-0.25]).value == pytest.approx(0.25)
+
+    def test_d_exponent_literals(self):
+        src = """
+        function tiny() result(r)
+        real*8 :: r
+        r = 1.5d-3
+        end
+        """
+        assert run_f(src, "tiny").value == pytest.approx(1.5e-3)
+
+    def test_continuation_and_comments(self):
+        src = """
+        ! a comment line
+        function s3(a, b, c) result(r)
+        real*8 :: a, b, c, r
+        r = a + &
+            b + c   ! trailing comment
+        end
+        """
+        assert run_f(src, "s3", [1.0, 2.0, 3.0]).value == 6.0
+
+    def test_subroutine_with_array_arg(self):
+        src = """
+        subroutine fill(u, n)
+        integer :: n, i
+        real*8 :: u(n)
+        do i = 1, n
+           u(i) = 5.0d0
+        end do
+        end
+
+        function use_fill(n) result(r)
+        integer :: n
+        real*8 :: u(n), r
+        call fill(u, n)
+        r = u(n)
+        end
+        """
+        assert run_f(src, "use_fill", [4]).value == 5.0
+
+    def test_unsupported_statement_reported(self):
+        with pytest.raises(FortranError, match="unsupported|expected"):
+            parse_fortran("subroutine f()\n goto 10\n end")
+
+    def test_case_insensitive(self):
+        src = """
+        FUNCTION Loud() RESULT(R)
+        INTEGER :: R
+        R = 3
+        END
+        """
+        assert run_f(src, "loud").value == 3
+
+
+class TestFortranThroughPipeline:
+    HALO = """
+    function relax(n, nit) result(res)
+    integer :: n, nit, rank, size, it, i
+    real*8 :: u(n + 2), res
+    rank = p2psap_rank()
+    size = p2psap_size()
+    do i = 1, n + 2
+       u(i) = dble(rank + i)
+    end do
+    res = 0.0d0
+    do it = 1, nit
+       call dperf_region_begin('iter')
+       if (rank .gt. 0) then
+          call p2psap_isend(rank - 1, u, 1)
+       end if
+       if (rank .lt. size - 1) then
+          call p2psap_recv(rank + 1, u, 1)
+       end if
+       do i = 2, n + 1
+          u(i) = 0.5d0 * (u(i - 1) + u(i + 1))
+       end do
+       call dperf_region_end('iter')
+    end do
+    res = u(2)
+    end
+    """
+
+    def test_multi_rank_execution(self):
+        program = parse_fortran(self.HALO)
+        check(program)
+        runs = run_distributed(program, "relax", 3, args=[16, 4])
+        assert len(runs) == 3
+        assert all(isinstance(r.value, float) for r in runs)
+
+    def test_comm_calls_discovered(self):
+        from repro.dperf.minic import find_comm_calls
+
+        sites = find_comm_calls(parse_fortran(self.HALO))
+        apis = {s.api for s in sites}
+        assert "p2psap_isend" in apis and "p2psap_recv" in apis
+
+    def test_full_prediction_from_fortran(self):
+        predictor = DPerfPredictor(self.HALO, entry="relax",
+                                   language="fortran")
+        result = predictor.predict_end_to_end(
+            2, build_cluster(2), opt_level="O2", args=[32, 6], app="frelax"
+        )
+        assert result.t_predicted > 0
+        assert "papi_block_begin" in predictor.instrumented_source
+
+    def test_unknown_language_rejected(self):
+        with pytest.raises(ValueError, match="language"):
+            DPerfPredictor("x", entry="f", language="cobol")

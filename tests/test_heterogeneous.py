@@ -1,0 +1,63 @@
+"""Tests for the heterogeneous-grid future-work experiment."""
+
+import pytest
+
+from repro.experiments.heterogeneous import (
+    SPEED_RANGE,
+    heterogeneous_grid,
+    predict_heterogeneous,
+    run_heterogeneous,
+    select_hosts,
+)
+from repro.experiments.stage2 import predict_on
+from repro.platforms.cluster import DEFAULT_NODE_SPEED
+
+
+class TestGrid:
+    def test_speeds_in_range_and_varied(self):
+        grid = heterogeneous_grid()
+        speeds = [h.speed / DEFAULT_NODE_SPEED for h in grid.hosts]
+        assert all(SPEED_RANGE[0] <= s <= SPEED_RANGE[1] for s in speeds)
+        assert max(speeds) - min(speeds) > 0.3
+
+    def test_deterministic_per_seed(self):
+        heterogeneous_grid.cache_clear()
+        g1 = heterogeneous_grid(seed=3)
+        s1 = [h.speed for h in g1.hosts]
+        heterogeneous_grid.cache_clear()
+        g2 = heterogeneous_grid(seed=3)
+        s2 = [h.speed for h in g2.hosts]
+        heterogeneous_grid.cache_clear()
+        assert s1 == s2
+
+    def test_selection_policies(self):
+        grid = heterogeneous_grid()
+        fastest = select_hosts(grid, 4, "fastest")
+        slowest = select_hosts(grid, 4, "slowest")
+        assert min(h.speed for h in fastest) > max(h.speed for h in slowest)
+        spread = select_hosts(grid, 4, "spread")
+        assert len({h.name for h in spread}) == 4
+        with pytest.raises(ValueError):
+            select_hosts(grid, 4, "alphabetical")
+
+
+class TestPrediction:
+    def test_hetero_slower_than_homogeneous_cluster(self):
+        """Sub-reference clocks + WAN links: the grid cannot beat the
+        cluster at equal peer count."""
+        t_grid = predict_heterogeneous(4, "O0", "fastest")
+        t_cluster = predict_on("grid5000", 4, "O0")
+        assert t_grid > t_cluster
+
+    def test_fastest_selection_beats_slowest(self):
+        fast = predict_heterogeneous(4, "O0", "fastest")
+        slow = predict_heterogeneous(4, "O0", "slowest")
+        assert fast < slow
+        # the slowest peer paces the iteration: gap reflects clock ratio
+        assert slow / fast > 1.2
+
+    def test_run_heterogeneous_bundle(self):
+        result = run_heterogeneous(peer_counts=(2, 4), policies=("fastest",))
+        assert set(result.grid_times["fastest"]) == {2, 4}
+        assert set(result.cluster_times) == {2, 4}
+        assert "fastest" in result.equivalents

@@ -1,0 +1,142 @@
+"""Cross-module integration tests beyond the main experiment paths."""
+
+import pytest
+
+from repro.apps import heat
+from repro.dperf import DPerfPredictor, ScalePlan
+from repro.net import TcpModel
+from repro.platforms import (
+    build_cluster,
+    build_multisite,
+    parse_platform_xml,
+    write_platform_xml,
+)
+from repro.simx import read_trace_files, replay_traces, write_trace_files
+
+
+class TestHeatThroughFullPipeline:
+    """The second workload (MPI flavour) through every dPerf stage."""
+
+    @pytest.fixture(scope="class")
+    def predictor(self):
+        return DPerfPredictor(heat.heat_source(), heat.ENTRY)
+
+    def test_end_to_end_prediction(self, predictor):
+        result = predictor.predict_end_to_end(
+            4, build_cluster(4), opt_level="O1", args=[64, 30], app="heat"
+        )
+        assert result.t_predicted > 0
+        assert result.opt_level == "O1"
+
+    def test_scaled_heat_prediction(self, predictor):
+        runs = predictor.execute(2, args=[32, 6])
+        plan = ScalePlan(
+            env_cal=heat.scale_env(32, 2), env_target=heat.scale_env(256, 2),
+            nit_target=100, cycle_len=1, warmup_cycles=2,
+        )
+        traces = predictor.traces_for(runs, "O2", scale=plan, app="heat")
+        assert traces[0].count("compute") > 50
+        result = predictor.predict(traces, build_cluster(2))
+        assert result.t_predicted > 0
+
+    def test_heat_on_multisite(self, predictor):
+        platform = build_multisite(n_sites=2, peers_per_site=2)
+        result = predictor.predict_end_to_end(
+            4, platform, opt_level="O0", args=[64, 10], app="heat"
+        )
+        # WAN-separated ranks: comm dominates this tiny workload
+        assert max(result.replay.blocked_time) > max(
+            result.replay.compute_time
+        )
+
+
+class TestOnDiskWorkflow:
+    """dPerf's file-based workflow: traces + platform description on
+    disk, then an independent replay from the artifacts alone."""
+
+    def test_predict_from_files(self, tmp_path):
+        predictor = DPerfPredictor(heat.heat_source(), heat.ENTRY)
+        runs = predictor.execute(2, args=[32, 8])
+        traces = predictor.traces_for(runs, "O3", app="heat")
+        write_trace_files(traces, tmp_path)
+        platform_text = write_platform_xml(build_cluster(2))
+        (tmp_path / "platform.xml").write_text(platform_text)
+
+        # a fresh consumer: nothing shared with the predictor
+        loaded_traces = read_trace_files(tmp_path, "heat")
+        loaded_platform = parse_platform_xml(
+            (tmp_path / "platform.xml").read_text()
+        )
+        direct = predictor.predict(traces, build_cluster(2))
+        from_files = replay_traces(
+            loaded_traces, loaded_platform, reference_speed=3e9
+        )
+        assert from_files.makespan == pytest.approx(
+            direct.t_predicted, rel=1e-9
+        )
+
+
+class TestHeterogeneousReplay:
+    def test_mixed_speed_hosts_shift_makespan(self):
+        """Ranks on slower hosts stretch their compute bursts."""
+        from repro.net import Host, Topology
+        from repro.platforms import PlatformSpec
+        from repro.simx import Compute, Trace
+
+        topo = Topology()
+        fast = topo.add_node(Host("fast", speed=6e9))
+        slow = topo.add_node(Host("slow", speed=1.5e9))
+        hub = topo.add_node(Host("hub", speed=3e9))
+        topo.add_link(fast, hub, 1e9, 1e-4)
+        topo.add_link(slow, hub, 1e9, 1e-4)
+        platform = PlatformSpec("mixed", topo, [fast, slow, hub])
+        traces = [
+            Trace(rank=0, nprocs=2, events=[Compute(3_000_000_000)]),
+            Trace(rank=1, nprocs=2, events=[Compute(3_000_000_000)]),
+        ]
+        res = replay_traces(traces, platform, hosts=[fast, slow],
+                            reference_speed=3e9)
+        assert res.finish_times[0] == pytest.approx(1.5)   # 2× faster
+        assert res.finish_times[1] == pytest.approx(6.0)   # 2× slower
+        assert res.makespan == pytest.approx(6.0)
+
+
+class TestTcpModel:
+    def test_rate_cap_formula(self):
+        tcp = TcpModel(window=1e6)
+        assert tcp.rate_cap(0.01) == pytest.approx(1e6 / 0.02)
+        assert tcp.rate_cap(0.0) == float("inf")
+
+    def test_window_matters_on_long_fat_path(self):
+        """Same platform, smaller window → slower bulk transfer."""
+        from repro.desim import Simulator
+        from repro.net import FluidNetwork, Host, Topology
+
+        def transfer_time(window):
+            sim = Simulator()
+            topo = Topology()
+            a, b = topo.add_node(Host("a")), topo.add_node(Host("b"))
+            topo.add_link(a, b, 1.25e9, 0.05)  # 10 Gbps, 50 ms
+            net = FluidNetwork(sim, topo,
+                               tcp=TcpModel(bandwidth_factor=1.0,
+                                            window=window))
+            done = net.send(a, b, 1e8)
+            return sim.run_until_triggered(done).duration
+
+        assert transfer_time(1e6) > 5 * transfer_time(1e9)
+
+
+class TestChurnPlanValidation:
+    def test_invalid_outage_rejected(self):
+        from repro.p2pdc import ChurnPlan
+
+        with pytest.raises(ValueError, match="after"):
+            ChurnPlan().server_outage(10.0, 5.0)
+
+    def test_unknown_target_reported(self):
+        from repro.p2pdc import ChurnPlan, deploy_overlay
+
+        dep = deploy_overlay(build_cluster(4), n_peers=4, n_zones=1)
+        ChurnPlan().crash_peer(dep.overlay.now + 1, "ghost").arm(dep.overlay)
+        with pytest.raises(KeyError, match="ghost"):
+            dep.overlay.run(until=dep.overlay.now + 5)

@@ -1,0 +1,100 @@
+"""Tests for the mini-C tokenizer."""
+
+import pytest
+
+from repro.dperf.minic import LexError, tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src) if t.kind != "eof"]
+
+
+def test_empty_source():
+    toks = tokenize("")
+    assert len(toks) == 1 and toks[0].kind == "eof"
+
+
+def test_keywords_vs_identifiers():
+    assert kinds("int x") == [("keyword", "int"), ("ident", "x")]
+    assert kinds("integer") == [("ident", "integer")]
+
+
+def test_integer_literals():
+    assert kinds("42") == [("int", "42")]
+    assert kinds("0") == [("int", "0")]
+
+
+def test_float_literals():
+    assert kinds("3.14") == [("float", "3.14")]
+    assert kinds("1e-9") == [("float", "1e-9")]
+    assert kinds("2.5E+3") == [("float", "2.5E+3")]
+    assert kinds(".5") == [("float", ".5")]
+
+
+def test_float_suffix_dropped():
+    assert kinds("1.0f") == [("float", "1.0")]
+
+
+def test_malformed_exponent():
+    with pytest.raises(LexError, match="exponent"):
+        tokenize("1e+")
+
+
+def test_string_literal_with_escapes():
+    toks = kinds('"a\\nb"')
+    assert toks == [("string", "a\nb")]
+
+
+def test_unterminated_string():
+    with pytest.raises(LexError, match="unterminated"):
+        tokenize('"abc')
+
+
+def test_char_literal_becomes_int():
+    assert kinds("'A'") == [("int", "65")]
+
+
+def test_operators_longest_match():
+    assert kinds("a<=b") == [("ident", "a"), ("op", "<="), ("ident", "b")]
+    assert kinds("i++") == [("ident", "i"), ("op", "++")]
+    assert kinds("x+=1") == [("ident", "x"), ("op", "+="), ("int", "1")]
+    assert kinds("a&&b||c") == [
+        ("ident", "a"), ("op", "&&"), ("ident", "b"), ("op", "||"), ("ident", "c")
+    ]
+
+
+def test_line_comments_skipped():
+    assert kinds("a // comment\nb") == [("ident", "a"), ("ident", "b")]
+
+
+def test_block_comments_skipped():
+    assert kinds("a /* multi\nline */ b") == [("ident", "a"), ("ident", "b")]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexError, match="unterminated"):
+        tokenize("/* never ends")
+
+
+def test_preprocessor_lines_recorded_not_tokenized():
+    from repro.dperf.minic.lexer import Lexer
+
+    lexer = Lexer("#include <stdio.h>\nint x;\n")
+    toks = [(t.kind, t.text) for t in lexer.tokens() if t.kind != "eof"]
+    assert toks == [("keyword", "int"), ("ident", "x"), ("op", ";")]
+    assert lexer.preprocessor_lines == ["#include <stdio.h>"]
+
+
+def test_positions_tracked():
+    toks = tokenize("int\n  x;")
+    assert toks[0].line == 1 and toks[0].col == 1
+    assert toks[1].line == 2 and toks[1].col == 3
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError, match="unexpected"):
+        tokenize("int x @ y")
+
+
+def test_division_not_comment():
+    assert kinds("a / b") == [("ident", "a"), ("op", "/"), ("ident", "b")]

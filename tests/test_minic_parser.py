@@ -1,0 +1,244 @@
+"""Tests for the mini-C parser, unparser round-trip, and semantics."""
+
+import pytest
+
+from repro.dperf.minic import (
+    ParseError,
+    SemanticError,
+    cast as A,
+    check,
+    parse,
+    parse_expr,
+    unparse,
+)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, A.BinOp) and e.op == "+"
+        assert isinstance(e.right, A.BinOp) and e.right.op == "*"
+
+    def test_precedence_relational_over_logical(self):
+        e = parse_expr("a < b && c > d")
+        assert isinstance(e, A.BinOp) and e.op == "&&"
+
+    def test_left_associativity(self):
+        e = parse_expr("10 - 4 - 3")
+        assert isinstance(e, A.BinOp) and e.op == "-"
+        assert isinstance(e.left, A.BinOp) and e.left.op == "-"
+        assert isinstance(e.right, A.IntLit) and e.right.value == 3
+
+    def test_assignment_right_associative(self):
+        e = parse_expr("a = b = 1")
+        assert isinstance(e, A.Assign)
+        assert isinstance(e.value, A.Assign)
+
+    def test_compound_assignment(self):
+        e = parse_expr("x += 2")
+        assert isinstance(e, A.Assign) and e.op == "+="
+
+    def test_assignment_to_literal_rejected(self):
+        with pytest.raises(ParseError, match="assignment target"):
+            parse_expr("3 = x")
+
+    def test_ternary(self):
+        e = parse_expr("a > 0 ? a : -a")
+        assert isinstance(e, A.Cond)
+        assert isinstance(e.other, A.UnOp)
+
+    def test_call_with_args(self):
+        e = parse_expr("fmax(a, b + 1)")
+        assert isinstance(e, A.Call) and e.name == "fmax"
+        assert len(e.args) == 2
+
+    def test_multidim_index(self):
+        e = parse_expr("u[i][j + 1]")
+        assert isinstance(e, A.Index)
+        assert e.base.name == "u"
+        assert len(e.indices) == 2
+
+    def test_cast(self):
+        e = parse_expr("(double)n")
+        assert isinstance(e, A.Cast) and e.type.name == "double"
+
+    def test_cast_vs_parenthesized(self):
+        e = parse_expr("(n)")
+        assert isinstance(e, A.Ident)
+
+    def test_pre_and_post_increment(self):
+        pre = parse_expr("++i")
+        post = parse_expr("i++")
+        assert isinstance(pre, A.UnOp) and not pre.postfix
+        assert isinstance(post, A.UnOp) and post.postfix
+
+    def test_unary_plus_dropped(self):
+        e = parse_expr("+x")
+        assert isinstance(e, A.Ident)
+
+    def test_nested_calls_and_parens(self):
+        e = parse_expr("sqrt(fabs((a - b) * c))")
+        assert isinstance(e, A.Call) and e.name == "sqrt"
+
+
+class TestDeclarationsAndStatements:
+    def test_function_definition(self):
+        prog = parse("int add(int a, int b) { return a + b; }")
+        f = prog.func("add")
+        assert [p.name for p in f.params] == ["a", "b"]
+        assert f.return_type.name == "int"
+
+    def test_void_param_list(self):
+        prog = parse("void f(void) { }")
+        assert prog.func("f").params == []
+
+    def test_prototype_skipped(self):
+        prog = parse("double g(int n);\nint main() { return 0; }")
+        assert prog.func_names == ["main"]
+
+    def test_global_variable(self):
+        prog = parse("int counter = 0;\nvoid f() { counter = 1; }")
+        assert prog.globals[0].decls[0].name == "counter"
+
+    def test_array_declaration(self):
+        prog = parse("void f(int n) { double u[n][n]; u[0][0] = 1.0; }")
+        decl = prog.func("f").body.stmts[0].decls[0]
+        assert decl.is_array and len(decl.dims) == 2
+
+    def test_array_parameter(self):
+        prog = parse("void f(double u[], int n) { u[0] = n; }")
+        p = prog.func("f").params[0]
+        assert p.is_array and p.dims == [None]
+
+    def test_pointer_parameter_as_array(self):
+        prog = parse("void f(double *u) { u[0] = 1.0; }")
+        assert prog.func("f").params[0].is_array
+
+    def test_multiple_declarators(self):
+        prog = parse("void f() { int i, j = 2, k; }")
+        decls = prog.func("f").body.stmts[0].decls
+        assert [d.name for d in decls] == ["i", "j", "k"]
+        assert decls[1].init.value == 2
+
+    def test_for_loop_with_decl_init(self):
+        prog = parse("void f(int n) { for (int i = 0; i < n; i++) { n = n; } }")
+        loop = prog.func("f").body.stmts[0]
+        assert isinstance(loop, A.For)
+        assert isinstance(loop.init, A.DeclStmt)
+
+    def test_for_loop_empty_clauses(self):
+        prog = parse("void f() { for (;;) { break; } }")
+        loop = prog.func("f").body.stmts[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_while_and_if_else(self):
+        prog = parse(
+            """
+            int f(int n) {
+                int s = 0;
+                while (n > 0) {
+                    if (n % 2 == 0) s += n; else s -= n;
+                    n--;
+                }
+                return s;
+            }
+            """
+        )
+        body = prog.func("f").body
+        assert isinstance(body.stmts[1], A.While)
+
+    def test_break_continue(self):
+        prog = parse("void f() { while (1) { if (1) break; continue; } }")
+        assert prog is not None
+
+    def test_empty_statement(self):
+        prog = parse("void f() { ; }")
+        assert isinstance(prog.func("f").body.stmts[0], A.Empty)
+
+    def test_missing_semicolon_reports_position(self):
+        with pytest.raises(ParseError, match=r"<source>:\d+:\d+"):
+            parse("void f() { int x = 1 }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError, match="unterminated|expected"):
+            parse("void f() { int x = 1;")
+
+    def test_garbage_top_level(self):
+        with pytest.raises(ParseError, match="declaration"):
+            parse("42;")
+
+
+class TestUnparseRoundTrip:
+    SOURCES = [
+        "int add(int a, int b) { return a + b; }",
+        "void f(int n) { double u[n]; for (int i = 0; i < n; i++) u[i] = 0.0; }",
+        "int main() { int x = 0; while (x < 10) { x++; if (x == 5) break; } return x; }",
+        "double g(double x) { return x > 0.0 ? sqrt(x) : 0.0; }",
+        'void h() { printf("hello %d\\n", 42); }',
+        "void k(double u[], int n) { u[n - 1] += (double)n / 2.0; }",
+    ]
+
+    @pytest.mark.parametrize("src", SOURCES)
+    def test_round_trip_stable(self, src):
+        """parse → unparse → parse → unparse is a fixed point."""
+        once = unparse(parse(src))
+        twice = unparse(parse(once))
+        assert once == twice
+
+    @pytest.mark.parametrize("src", SOURCES)
+    def test_round_trip_preserves_structure(self, src):
+        p1 = parse(src)
+        p2 = parse(unparse(p1))
+        assert p1.func_names == p2.func_names
+        # same statement type skeleton
+        sk1 = [type(n).__name__ for n in A.walk(p1)]
+        sk2 = [type(n).__name__ for n in A.walk(p2)]
+        assert sk1 == sk2
+
+
+class TestSemantics:
+    def test_valid_program_passes(self):
+        check(parse("int f(int n) { int s = 0; s += n; return s; }"))
+
+    def test_undeclared_identifier(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            check(parse("void f() { x = 1; }"))
+
+    def test_redeclaration_same_scope(self):
+        with pytest.raises(SemanticError, match="redeclaration"):
+            check(parse("void f() { int x; int x; }"))
+
+    def test_shadowing_in_nested_scope_allowed(self):
+        check(parse("void f() { int x; { int x; x = 1; } }"))
+
+    def test_unknown_function(self):
+        with pytest.raises(SemanticError, match="unknown function"):
+            check(parse("void f() { frobnicate(); }"))
+
+    def test_builtin_arity_enforced(self):
+        with pytest.raises(SemanticError, match="expects 2"):
+            check(parse("void f() { double x = fmax(1.0); }"))
+
+    def test_printf_variadic_ok(self):
+        check(parse('void f() { printf("%d %d", 1, 2); }'))
+
+    def test_comm_api_known(self):
+        check(parse("void f(double u[]) { p2psap_send(1, u, 10); }"))
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError, match="outside"):
+            check(parse("void f() { break; }"))
+
+    def test_user_function_arity(self):
+        with pytest.raises(SemanticError, match="expects 1"):
+            check(parse("int g(int a) { return a; } void f() { g(1, 2); }"))
+
+    def test_params_visible_in_body(self):
+        check(parse("int f(int n, double u[]) { return n; }"))
+
+    def test_globals_visible_everywhere(self):
+        check(parse("int N = 4; int f() { return N; }"))
+
+    def test_redefined_function(self):
+        with pytest.raises(SemanticError, match="redefinition"):
+            check(parse("void f() { } void f() { }"))

@@ -1,0 +1,162 @@
+"""Unit + property tests for max-min fair bandwidth sharing."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Link, maxmin_allocation, validate_allocation
+
+
+def L(name, bw):
+    return Link(name, bw, 0.0)
+
+
+def test_single_flow_gets_full_capacity():
+    l = L("a", 100.0)
+    alloc = maxmin_allocation({"f": [l]})
+    assert alloc["f"] == pytest.approx(100.0)
+
+
+def test_two_flows_share_equally():
+    l = L("a", 100.0)
+    alloc = maxmin_allocation({"f1": [l], "f2": [l]})
+    assert alloc["f1"] == pytest.approx(50.0)
+    assert alloc["f2"] == pytest.approx(50.0)
+
+
+def test_bandwidth_factor_scales_capacity():
+    l = L("a", 100.0)
+    alloc = maxmin_allocation({"f": [l]}, bandwidth_factor=0.92)
+    assert alloc["f"] == pytest.approx(92.0)
+
+
+def test_flow_bottlenecked_by_narrowest_link():
+    wide, narrow = L("wide", 1000.0), L("narrow", 10.0)
+    alloc = maxmin_allocation({"f": [wide, narrow]})
+    assert alloc["f"] == pytest.approx(10.0)
+
+
+def test_unused_capacity_redistributed():
+    """Classic max-min example: one capped flow leaves room for others."""
+    shared = L("shared", 100.0)
+    thin = L("thin", 10.0)
+    # f1 crosses thin+shared (bottlenecked at 10), f2 only shared.
+    alloc = maxmin_allocation({"f1": [thin, shared], "f2": [shared]})
+    assert alloc["f1"] == pytest.approx(10.0)
+    assert alloc["f2"] == pytest.approx(90.0)
+
+
+def test_rate_cap_respected_and_redistributed():
+    shared = L("shared", 100.0)
+    alloc = maxmin_allocation(
+        {"f1": [shared], "f2": [shared]}, rate_caps={"f1": 20.0}
+    )
+    assert alloc["f1"] == pytest.approx(20.0)
+    assert alloc["f2"] == pytest.approx(80.0)
+
+
+def test_empty_route_is_infinite():
+    alloc = maxmin_allocation({"local": []})
+    assert math.isinf(alloc["local"])
+
+
+def test_three_link_chain_parking_lot():
+    """Parking-lot scenario: one long flow + per-hop short flows."""
+    l0, l1, l2 = L("l0", 30.0), L("l1", 30.0), L("l2", 30.0)
+    alloc = maxmin_allocation(
+        {
+            "long": [l0, l1, l2],
+            "s0": [l0],
+            "s1": [l1],
+            "s2": [l2],
+        }
+    )
+    # Every link: long + one short → fair share 15 each.
+    for f in ("long", "s0", "s1", "s2"):
+        assert alloc[f] == pytest.approx(15.0)
+
+
+def test_no_flows():
+    assert maxmin_allocation({}) == {}
+
+
+def test_validate_allocation_catches_oversubscription():
+    l = L("a", 10.0)
+    with pytest.raises(AssertionError, match="oversubscribed"):
+        validate_allocation({"f": [l]}, {"f": 20.0})
+
+
+# -- property-based ---------------------------------------------------------
+
+@st.composite
+def random_networks(draw):
+    n_links = draw(st.integers(min_value=1, max_value=6))
+    links = [
+        L(f"l{i}", draw(st.floats(min_value=1.0, max_value=1e4)))
+        for i in range(n_links)
+    ]
+    n_flows = draw(st.integers(min_value=1, max_value=8))
+    flows = {}
+    caps = {}
+    for f in range(n_flows):
+        route_len = draw(st.integers(min_value=1, max_value=n_links))
+        idx = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_links - 1),
+                min_size=route_len,
+                max_size=route_len,
+                unique=True,
+            )
+        )
+        flows[f"f{f}"] = [links[i] for i in idx]
+        if draw(st.booleans()):
+            caps[f"f{f}"] = draw(st.floats(min_value=0.5, max_value=1e4))
+    return flows, caps
+
+
+@given(random_networks())
+@settings(max_examples=150, deadline=None)
+def test_maxmin_never_oversubscribes(net):
+    flows, caps = net
+    alloc = maxmin_allocation(flows, caps)
+    validate_allocation(flows, alloc)
+
+
+@given(random_networks())
+@settings(max_examples=150, deadline=None)
+def test_maxmin_every_flow_bottlenecked(net):
+    """Pareto/bottleneck property: each flow is at its cap or crosses a
+    saturated link."""
+    flows, caps = net
+    alloc = maxmin_allocation(flows, caps)
+    # link loads
+    load = {}
+    for fid, route in flows.items():
+        for link in route:
+            load[link] = load.get(link, 0.0) + alloc[fid]
+    for fid, route in flows.items():
+        at_cap = fid in caps and alloc[fid] >= caps[fid] * (1 - 1e-9)
+        saturated = any(load[l] >= l.bandwidth * (1 - 1e-6) for l in route)
+        assert at_cap or saturated, f"flow {fid} not bottlenecked"
+
+
+@given(random_networks())
+@settings(max_examples=100, deadline=None)
+def test_maxmin_rates_nonnegative_and_capped(net):
+    flows, caps = net
+    alloc = maxmin_allocation(flows, caps)
+    for fid in flows:
+        assert alloc[fid] >= 0.0
+        if fid in caps:
+            assert alloc[fid] <= caps[fid] * (1 + 1e-9)
+
+
+@given(st.integers(min_value=1, max_value=40))
+@settings(max_examples=40, deadline=None)
+def test_maxmin_symmetric_flows_get_equal_shares(n):
+    l = L("l", 1000.0)
+    alloc = maxmin_allocation({f"f{i}": [l] for i in range(n)})
+    rates = list(alloc.values())
+    assert all(r == pytest.approx(1000.0 / n) for r in rates)

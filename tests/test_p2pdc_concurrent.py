@@ -1,0 +1,96 @@
+"""Concurrent task submission: reservation conflicts and exclusivity.
+
+The paper: "Peers reserved for a computation are considered busy and
+cannot be reserved for another computation."  Two submitters racing
+for the same peer pool must never share a peer; losers re-reserve
+spares or fail cleanly.
+"""
+
+import pytest
+
+from repro.p2pdc import TaskSpec, WorkloadSpec, deploy_overlay
+from repro.p2pdc.allocation import Submitter
+from repro.platforms import build_cluster
+
+
+def workload(nit=20, iter_time=0.01):
+    return WorkloadSpec(
+        name="concurrent", nit=nit, halo_bytes=512,
+        iteration_time=lambda r, n: iter_time, check_every=0,
+        noise_frac=0.0,
+    )
+
+
+def second_submitter(dep):
+    overlay = dep.overlay
+    sub2 = Submitter(overlay, "submitter-2", _ip("10.0.250.249"),
+                     overlay.platform.hosts[1])
+    overlay.peers.append(sub2)
+    sig = sub2.join_overlay([t.ref for t in dep.trackers])
+    overlay.run_until(sig, limit=1e5)
+    return sub2
+
+
+def _ip(text):
+    from repro.p2pdc import IPv4
+
+    return IPv4.parse(text)
+
+
+class TestConcurrentTasks:
+    def test_disjoint_peer_sets(self):
+        """Both tasks fit: they must run on disjoint peers."""
+        dep = deploy_overlay(build_cluster(16), n_peers=16, n_zones=2)
+        sub2 = second_submitter(dep)
+        sig1 = dep.submitter.submit(TaskSpec(workload=workload(), n_peers=6,
+                                             spares=3))
+        sig2 = sub2.submit(TaskSpec(workload=workload(), n_peers=6, spares=3))
+        dep.overlay.run_until(sig1, limit=1e6)
+        dep.overlay.run_until(sig2, limit=1e6)
+        out1, out2 = sig1.value, sig2.value
+        assert out1.ok, out1.reason
+        assert out2.ok, out2.reason
+        used1 = {r.name for r in out1.ranks}
+        used2 = {r.name for r in out2.ranks}
+        assert not (used1 & used2), f"peers shared: {used1 & used2}"
+
+    def test_oversubscription_one_loses_cleanly(self):
+        """Pool of 10 peers, two tasks wanting 7 each: at most one can
+        win; the loser reports a reason instead of hanging or sharing."""
+        dep = deploy_overlay(build_cluster(10), n_peers=10, n_zones=2)
+        sub2 = second_submitter(dep)
+        spec = TaskSpec(workload=workload(nit=60), n_peers=7, spares=0,
+                        task_timeout=1e4)
+        sig1 = dep.submitter.submit(spec)
+        sig2 = sub2.submit(spec)
+        dep.overlay.run_until(sig1, limit=1e6)
+        dep.overlay.run_until(sig2, limit=1e6)
+        out1, out2 = sig1.value, sig2.value
+        winners = [o for o in (out1, out2) if o.ok]
+        losers = [o for o in (out1, out2) if not o.ok]
+        assert len(winners) <= 1
+        for loser in losers:
+            assert loser.reason  # explicit failure, not a hang
+        if winners:
+            # the winner's peers were exclusively reserved
+            used = [r.name for r in winners[0].ranks]
+            assert len(used) == len(set(used)) == 7
+
+    def test_sequential_after_concurrent_pool_recovers(self):
+        """After both tasks finish, the pool is fully free again."""
+        dep = deploy_overlay(build_cluster(16), n_peers=16, n_zones=2)
+        sub2 = second_submitter(dep)
+        sig1 = dep.submitter.submit(TaskSpec(workload=workload(nit=5),
+                                             n_peers=5, spares=2))
+        sig2 = sub2.submit(TaskSpec(workload=workload(nit=5), n_peers=5,
+                                    spares=2))
+        dep.overlay.run_until(sig1, limit=1e6)
+        dep.overlay.run_until(sig2, limit=1e6)
+        dep.overlay.run(until=dep.overlay.now + 5)
+        assert not any(p.busy for p in dep.peers if p.role == "peer"
+                       and not p.name.startswith("submitter"))
+        # and a third task can still use (almost) the whole pool
+        sig3 = dep.submitter.submit(TaskSpec(workload=workload(nit=3),
+                                             n_peers=12, spares=2))
+        dep.overlay.run_until(sig3, limit=1e6)
+        assert sig3.value.ok, sig3.value.reason

@@ -1,0 +1,96 @@
+"""Tests for IPv4 handling and the IP-based proximity metric."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.p2pdc import IPv4, closest, common_prefix_len, proximity
+from repro.p2pdc.messages import NodeRef
+
+ips = st.integers(min_value=0, max_value=0xFFFFFFFF).map(IPv4)
+
+
+class TestParsing:
+    def test_parse_and_str_round_trip(self):
+        for text in ("0.0.0.0", "145.82.1.129", "255.255.255.255", "10.0.3.7"):
+            assert str(IPv4.parse(text)) == text
+
+    def test_malformed_rejected(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "-1.0.0.0"):
+            with pytest.raises(ValueError):
+                IPv4.parse(bad)
+
+    def test_ordering(self):
+        assert IPv4.parse("10.0.0.1") < IPv4.parse("10.0.0.2")
+        assert IPv4.parse("9.255.255.255") < IPv4.parse("10.0.0.0")
+
+
+class TestPaperExample:
+    """§III-A2's worked example must hold exactly."""
+
+    def test_prefix_lengths(self):
+        p1 = IPv4.parse("145.82.1.1")
+        p2 = IPv4.parse("145.82.1.129")
+        p3 = IPv4.parse("145.83.56.74")
+        assert common_prefix_len(p1, p2) == 24
+        assert common_prefix_len(p1, p3) == 15
+
+    def test_p2_closer_than_p3(self):
+        p1 = IPv4.parse("145.82.1.1")
+        p2 = IPv4.parse("145.82.1.129")
+        p3 = IPv4.parse("145.83.56.74")
+        assert proximity(p1, p2) > proximity(p1, p3)
+
+
+class TestPrefixProperties:
+    @given(ips)
+    def test_self_proximity_is_32(self, a):
+        assert common_prefix_len(a, a) == 32
+
+    @given(ips, ips)
+    def test_symmetry(self, a, b):
+        assert common_prefix_len(a, b) == common_prefix_len(b, a)
+
+    @given(ips, ips)
+    def test_range(self, a, b):
+        assert 0 <= common_prefix_len(a, b) <= 32
+
+    @given(ips, ips, ips)
+    def test_triangle_like_property(self, a, b, c):
+        """Prefix metric property: cpl(a,c) >= min(cpl(a,b), cpl(b,c))."""
+        assert common_prefix_len(a, c) >= min(
+            common_prefix_len(a, b), common_prefix_len(b, c)
+        )
+
+    @given(ips, ips)
+    def test_prefix_matches_xor_definition(self, a, b):
+        expected = 32
+        for bit in range(31, -1, -1):
+            if (a.value >> bit) & 1 != (b.value >> bit) & 1:
+                expected = 31 - bit
+                break
+        assert common_prefix_len(a, b) == expected
+
+
+class TestClosest:
+    def ref(self, text):
+        ip = IPv4.parse(text)
+        return NodeRef(text, ip, "h")
+
+    def test_picks_longest_prefix(self):
+        target = IPv4.parse("145.82.1.1")
+        candidates = [self.ref("145.82.1.129"), self.ref("145.83.56.74")]
+        assert closest(target, candidates).name == "145.82.1.129"
+
+    def test_deterministic_tie_break(self):
+        target = IPv4.parse("10.0.0.100")
+        a = self.ref("10.0.0.96")
+        b = self.ref("10.0.0.104")
+        # same /28... compare numeric distance: 4 each → lowest IP wins
+        pick1 = closest(target, [a, b])
+        pick2 = closest(target, [b, a])
+        assert pick1.name == pick2.name
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            closest(IPv4.parse("1.1.1.1"), [])

@@ -1,0 +1,180 @@
+"""Tests for overlay deployment, membership, and the tracker line."""
+
+import pytest
+
+from repro.desim import AllOf
+from repro.p2pdc import (
+    ChurnPlan,
+    IPv4,
+    Overlay,
+    OverlayConfig,
+    deploy_overlay,
+)
+from repro.platforms import build_cluster, build_lan
+
+
+def small_deployment(n_peers=12, n_zones=3, **kw):
+    platform = build_cluster(max(n_peers, 2))
+    return deploy_overlay(platform, n_peers=n_peers, n_zones=n_zones, **kw)
+
+
+class TestDeployment:
+    def test_all_peers_join(self):
+        dep = small_deployment()
+        assert all(p.joined for p in dep.peers)
+        assert dep.submitter.joined
+
+    def test_peers_join_their_zone_tracker(self):
+        """IP proximity routes each peer to its own zone's tracker."""
+        dep = small_deployment()
+        for peer in dep.peers:
+            zone = peer.name.split("-")[1]
+            assert peer.tracker.name == f"tracker-{zone}"
+
+    def test_tracker_zones_partition_peers(self):
+        dep = small_deployment()
+        zone_total = sum(
+            len([p for p in t.zone.values() if not p.ref.name == "submitter"])
+            for t in dep.trackers
+        )
+        assert zone_total >= len(dep.peers)
+
+    def test_core_tracker_line_ordered(self):
+        dep = small_deployment()
+        for tracker in dep.trackers:
+            ips = [int(r.ip) for r in tracker.neighbors]
+            assert ips == sorted(ips)
+            assert int(tracker.ip) not in ips
+
+    def test_server_knows_core_trackers(self):
+        dep = small_deployment()
+        assert len(dep.server.known_trackers) == len(dep.trackers)
+
+    def test_control_plane_has_real_cost(self):
+        dep = small_deployment()
+        assert dep.overlay.stats.control_messages > 0
+        assert dep.overlay.stats.control_bytes > 0
+        assert dep.overlay.now > 0
+
+
+class TestTrackerJoin:
+    def test_new_tracker_joins_line(self):
+        dep = small_deployment()
+        overlay = dep.overlay
+        host = dep.overlay.platform.hosts[1]
+        newcomer = overlay.create_tracker(host, "10.1.0.200", name="tracker-new")
+        newcomer.join_overlay([t.ref for t in dep.trackers[:1]])
+        overlay.run(until=overlay.now + 50)
+        assert newcomer.joined
+        # the closest existing tracker now lists the newcomer
+        t1 = dep.trackers[1]
+        assert any(r.name == "tracker-new" for r in t1.neighbors)
+        # and the newcomer learned its neighbours
+        assert len(newcomer.neighbors) >= 1
+
+    def test_join_routed_to_closest(self):
+        """A join sent to a far tracker is forwarded along the line."""
+        dep = small_deployment(n_zones=3)
+        overlay = dep.overlay
+        newcomer = overlay.create_tracker(
+            overlay.platform.hosts[2], "10.2.0.77", name="tracker-x"
+        )
+        # contact tracker-0 (wrong zone); the join must reach tracker-2
+        newcomer.join_overlay([dep.trackers[0].ref])
+        overlay.run(until=overlay.now + 50)
+        assert newcomer.joined
+        assert any(r.name == "tracker-x" for r in dep.trackers[2].neighbors)
+
+    def test_server_informed_of_new_tracker(self):
+        dep = small_deployment()
+        overlay = dep.overlay
+        newcomer = overlay.create_tracker(
+            overlay.platform.hosts[3], "10.0.0.250", name="tracker-n"
+        )
+        newcomer.join_overlay([dep.trackers[0].ref])
+        overlay.run(until=overlay.now + 50)
+        assert any(
+            r.name == "tracker-n" for r in dep.server.known_trackers
+        )
+
+
+class TestTrackerCrashRepair:
+    def test_line_repairs_around_crash(self):
+        dep = small_deployment(n_peers=12, n_zones=4)
+        overlay = dep.overlay
+        victim = dep.trackers[1]
+        victim.crash()
+        # run long enough for ping timeout + repair
+        overlay.run(until=overlay.now + 120)
+        for tracker in overlay.live_trackers():
+            assert all(r.ip != victim.ip for r in tracker.neighbors), (
+                f"{tracker.name} still lists the dead tracker"
+            )
+        # the line is still connected: left neighbour of t2 is now t0
+        t0, t2 = dep.trackers[0], dep.trackers[2]
+        assert t2.left_adjacent.name == t0.name
+        assert t0.right_adjacent.name == t2.name
+
+    def test_server_learns_of_crash(self):
+        dep = small_deployment(n_peers=12, n_zones=4)
+        victim = dep.trackers[2]
+        victim.crash()
+        dep.overlay.run(until=dep.overlay.now + 120)
+        assert all(r.ip != victim.ip for r in dep.server.known_trackers)
+
+    def test_orphan_peers_failover_to_neighbor_zone(self):
+        dep = small_deployment(n_peers=12, n_zones=3)
+        victim = dep.trackers[0]
+        orphans = [p for p in dep.peers if p.tracker.name == victim.name]
+        assert orphans
+        victim.crash()
+        dep.overlay.run(until=dep.overlay.now + 300)
+        for peer in orphans:
+            assert peer.joined
+            assert peer.tracker.name != victim.name
+            assert peer.rejoin_count >= 1
+
+
+class TestServerOutage:
+    def test_overlay_survives_server_down(self):
+        dep = small_deployment(n_peers=8, n_zones=2)
+        overlay = dep.overlay
+        ChurnPlan().server_outage(overlay.now + 1, overlay.now + 200).arm(overlay)
+        overlay.run(until=overlay.now + 100)
+        assert not dep.server.alive
+        # peers still heartbeat against trackers while the server is down
+        assert all(p.joined for p in dep.peers)
+        overlay.run(until=overlay.now + 200)
+        assert dep.server.alive
+
+    def test_stats_buffered_during_outage_then_flushed(self):
+        dep = small_deployment(n_peers=8, n_zones=2)
+        overlay = dep.overlay
+        ChurnPlan().server_outage(overlay.now + 1, overlay.now + 130).arm(overlay)
+        overlay.run(until=overlay.now + 400)
+        # reports eventually reached the revived server
+        assert len(dep.server.statistics) > 0
+
+    def test_new_peer_joins_while_server_down(self):
+        dep = small_deployment(n_peers=8, n_zones=2)
+        overlay = dep.overlay
+        dep.server.crash()
+        newcomer = overlay.create_peer(
+            overlay.platform.hosts[1], "10.1.0.99", name="late-peer"
+        )
+        sig = newcomer.join_overlay([t.ref for t in dep.trackers])
+        overlay.run_until(sig, limit=overlay.now + 100)
+        assert newcomer.joined
+
+
+class TestPeerExpiry:
+    def test_silent_peer_expires_from_zone(self):
+        dep = small_deployment(n_peers=6, n_zones=2)
+        overlay = dep.overlay
+        victim = dep.peers[0]
+        tracker = overlay.registry[victim.tracker.name]
+        assert victim.name in tracker.zone
+        victim.crash()
+        overlay.run(until=overlay.now + 3 * overlay.config.peer_expiry)
+        assert victim.name not in tracker.zone
+        assert overlay.stats.get("peer_expiries") >= 1

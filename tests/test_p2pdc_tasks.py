@@ -1,0 +1,221 @@
+"""End-to-end task lifecycle: collection, allocation, computation."""
+
+import pytest
+
+from repro.p2psap import Scheme
+from repro.p2pdc import (
+    ChurnPlan,
+    TaskSpec,
+    WorkloadSpec,
+    deploy_overlay,
+    group_by_proximity,
+    group_randomly,
+    pick_coordinator,
+)
+from repro.platforms import build_cluster
+
+
+def workload(nit=6, check_every=3, scheme=Scheme.SYNC, iter_time=0.005,
+             **kw):
+    return WorkloadSpec(
+        name="toy",
+        nit=nit,
+        halo_bytes=1024,
+        iteration_time=lambda rank, n: iter_time,
+        check_every=check_every,
+        scheme=scheme,
+        noise_frac=0.0,
+        **kw,
+    )
+
+
+def run_task(dep, task):
+    sig = dep.submitter.submit(task)
+    dep.overlay.run_until(sig, limit=1e6)
+    return sig.value
+
+
+class TestGrouping:
+    def make_refs(self, ips):
+        from repro.p2pdc import IPv4
+        from repro.p2pdc.messages import NodeRef
+
+        return [NodeRef(f"n{i}", IPv4.parse(ip), "h") for i, ip in enumerate(ips)]
+
+    def test_groups_respect_cmax(self):
+        refs = self.make_refs([f"10.0.{i}.1" for i in range(70)])
+        groups = group_by_proximity(refs, cmax=32)
+        assert all(len(g) <= 32 for g in groups)
+        assert sum(len(g) for g in groups) == 70
+        assert len(groups) == 3  # ceil(70/32)
+
+    def test_groups_are_ip_contiguous(self):
+        refs = self.make_refs(
+            ["10.1.0.1", "10.0.0.1", "10.1.0.2", "10.0.0.2", "10.1.0.3", "10.0.0.3"]
+        )
+        groups = group_by_proximity(refs, cmax=3)
+        prefixes = [{str(r.ip).rsplit(".", 2)[0] for r in g} for g in groups]
+        assert prefixes == [{"10.0"}, {"10.1"}]
+
+    def test_random_grouping_differs(self):
+        import random
+
+        refs = self.make_refs([f"10.{i % 4}.0.{i}" for i in range(1, 40)])
+        prox = group_by_proximity(refs, 10)
+        rand = group_randomly(refs, 10, random.Random(1))
+        assert [len(g) for g in prox] == [len(g) for g in rand]
+        assert any(
+            {r.name for r in a} != {r.name for r in b}
+            for a, b in zip(prox, rand)
+        )
+
+    def test_coordinator_is_lowest_ip(self):
+        refs = self.make_refs(["10.0.0.9", "10.0.0.3", "10.0.0.7"])
+        assert pick_coordinator(refs).name == "n1"
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            pick_coordinator([])
+
+
+class TestTaskLifecycle:
+    def test_simple_task_completes(self):
+        dep = deploy_overlay(build_cluster(8), n_peers=8, n_zones=2)
+        outcome = run_task(dep, TaskSpec(workload=workload(), n_peers=4))
+        assert outcome.ok, outcome.reason
+        assert len(outcome.results) == 4
+        assert [r.rank for r in outcome.results] == [0, 1, 2, 3]
+
+    def test_iterations_completed(self):
+        dep = deploy_overlay(build_cluster(8), n_peers=8, n_zones=2)
+        outcome = run_task(dep, TaskSpec(workload=workload(nit=6), n_peers=4))
+        assert all(r.iterations_done == 6 for r in outcome.results)
+
+    def test_timings_recorded_in_order(self):
+        dep = deploy_overlay(build_cluster(8), n_peers=8, n_zones=2)
+        outcome = run_task(dep, TaskSpec(workload=workload(), n_peers=4))
+        t = outcome.timings
+        assert t.submitted_at <= t.collected_at <= t.allocated_at
+        assert t.allocated_at <= t.completed_at
+        assert outcome.makespan > 0
+
+    def test_groups_bounded_by_cmax(self):
+        from repro.p2pdc import OverlayConfig
+
+        dep = deploy_overlay(
+            build_cluster(12), n_peers=12, n_zones=2,
+            config=OverlayConfig(cmax=4),
+        )
+        outcome = run_task(dep, TaskSpec(workload=workload(), n_peers=10))
+        assert outcome.ok, outcome.reason
+        assert all(len(g) <= 4 for g in outcome.groups)
+        assert len(outcome.coordinators) == len(outcome.groups)
+
+    def test_peers_freed_after_task(self):
+        dep = deploy_overlay(build_cluster(8), n_peers=8, n_zones=2)
+        outcome = run_task(dep, TaskSpec(workload=workload(), n_peers=4))
+        assert outcome.ok
+        dep.overlay.run(until=dep.overlay.now + 5)
+        used = {r.name for r in outcome.ranks}
+        busy = [p for p in dep.peers if p.name in used and p.busy]
+        assert busy == []
+
+    def test_two_sequential_tasks_reuse_peers(self):
+        dep = deploy_overlay(build_cluster(8), n_peers=8, n_zones=2)
+        out1 = run_task(dep, TaskSpec(workload=workload(), n_peers=4))
+        out2 = run_task(dep, TaskSpec(workload=workload(), n_peers=4))
+        assert out1.ok and out2.ok
+
+    def test_insufficient_peers_reported(self):
+        dep = deploy_overlay(build_cluster(4), n_peers=4, n_zones=2)
+        outcome = run_task(dep, TaskSpec(workload=workload(), n_peers=32))
+        assert not outcome.ok
+        assert "collected only" in outcome.reason
+
+    def test_collection_expands_beyond_first_zone(self):
+        dep = deploy_overlay(build_cluster(16), n_peers=16, n_zones=4)
+        outcome = run_task(dep, TaskSpec(workload=workload(), n_peers=12))
+        assert outcome.ok, outcome.reason
+        assert len(set(outcome.collection.trackers_queried)) >= 3
+
+    def test_requirements_filter_peers(self):
+        dep = deploy_overlay(build_cluster(8), n_peers=8, n_zones=2)
+        # ask for more speed than any host has
+        spec = TaskSpec(workload=workload(), n_peers=4,
+                        requirements={"speed": 1e18})
+        outcome = run_task(dep, spec)
+        assert not outcome.ok
+
+    def test_early_stop_on_convergence(self):
+        w = WorkloadSpec(
+            name="conv", nit=50, halo_bytes=256,
+            iteration_time=lambda r, n: 0.002, check_every=2,
+            noise_frac=0.0, residual=lambda it: 1.0 / (it + 1), tol=0.2,
+        )
+        dep = deploy_overlay(build_cluster(8), n_peers=8, n_zones=2)
+        outcome = run_task(dep, TaskSpec(workload=w, n_peers=4))
+        assert outcome.ok, outcome.reason
+        # residual 1/(it+1) <= 0.2 at it=4 → check at iteration 6 stops
+        assert all(r.iterations_done < 50 for r in outcome.results)
+
+    def test_async_scheme_runs_more_iterations(self):
+        dep = deploy_overlay(build_cluster(8), n_peers=8, n_zones=2)
+        w = workload(nit=8, scheme=Scheme.ASYNC, check_every=4)
+        outcome = run_task(dep, TaskSpec(workload=w, n_peers=4))
+        assert outcome.ok, outcome.reason
+        assert all(r.iterations_done == 10 for r in outcome.results)  # 8×1.25
+
+    def test_flat_allocation_baseline(self):
+        dep = deploy_overlay(build_cluster(8), n_peers=8, n_zones=2)
+        sig = dep.submitter.submit_flat(TaskSpec(workload=workload(), n_peers=4))
+        dep.overlay.run_until(sig, limit=1e6)
+        outcome = sig.value
+        assert outcome.ok, outcome.reason
+        assert len(outcome.results) == 4
+
+    def test_hierarchical_allocation_faster_than_flat_for_many_peers(self):
+        """§III-C's claim: reservation+dispatch in parallel through
+        coordinators beats the submitter doing everything serially."""
+        def alloc_time(flat):
+            dep = deploy_overlay(build_cluster(24), n_peers=24, n_zones=4)
+            spec = TaskSpec(workload=workload(nit=1, check_every=0), n_peers=20)
+            sig = (dep.submitter.submit_flat(spec) if flat
+                   else dep.submitter.submit(spec))
+            dep.overlay.run_until(sig, limit=1e6)
+            out = sig.value
+            assert out.ok, out.reason
+            return out.timings.allocation_time
+
+        assert alloc_time(flat=False) < alloc_time(flat=True)
+
+
+class TestChurnDuringTasks:
+    def test_peer_crash_before_reservation_replaced_by_spare(self):
+        dep = deploy_overlay(build_cluster(10), n_peers=10, n_zones=2)
+        # crash one peer right away; collection may still offer it
+        dep.peers[3].crash()
+        outcome = run_task(
+            dep, TaskSpec(workload=workload(), n_peers=6, spares=3)
+        )
+        assert outcome.ok, outcome.reason
+        assert len(outcome.results) == 6
+
+    def test_peer_crash_mid_computation_fails_task_cleanly(self):
+        w = WorkloadSpec(
+            name="toy", nit=200, halo_bytes=1024,
+            iteration_time=lambda r, n: 0.05, check_every=0,
+            noise_frac=0.0, halo_timeout=30.0,
+        )
+        dep = deploy_overlay(build_cluster(8), n_peers=8, n_zones=2)
+        sig = dep.submitter.submit(
+            TaskSpec(workload=w, n_peers=6, task_timeout=500.0)
+        )
+        # run into the middle of the computation, then kill a busy rank
+        dep.overlay.run(until=dep.overlay.now + 5.0)
+        busy = [p for p in dep.peers if p.busy and p.name != "submitter"]
+        assert busy, "expected ranks to be computing by now"
+        busy[0].crash()
+        dep.overlay.run_until(sig, limit=1e6)
+        outcome = sig.value
+        assert not outcome.ok
+        assert "timed out" in outcome.reason or "missing" in outcome.reason

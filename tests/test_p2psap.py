@@ -1,0 +1,196 @@
+"""Tests for the P2PSAP protocol simulation."""
+
+import pytest
+
+from repro.desim import Simulator
+from repro.net import FluidNetwork, Host, TcpModel, Topology
+from repro.p2psap import (
+    Channel,
+    ChannelContext,
+    LinkClass,
+    Locality,
+    Scheme,
+    TCP_NO_CC,
+    TCP_RENO,
+    UDP_ASYNC,
+    classify_link,
+    mode_by_name,
+    select_mode,
+)
+
+
+def make_net(bw=1e6, lat=0.001):
+    sim = Simulator()
+    topo = Topology()
+    a = topo.add_node(Host("a"))
+    b = topo.add_node(Host("b"))
+    topo.add_link(a, b, bw, lat)
+    net = FluidNetwork(sim, topo, tcp=TcpModel(1.0, 1e18))
+    return sim, net, a, b
+
+
+class TestAdaptationRules:
+    def test_async_always_udp(self):
+        for locality in Locality:
+            for link in LinkClass:
+                ctx = ChannelContext(Scheme.ASYNC, locality, link)
+                assert select_mode(ctx) is UDP_ASYNC
+
+    def test_sync_same_zone_cluster_is_nocc(self):
+        ctx = ChannelContext(Scheme.SYNC, Locality.SAME_ZONE, LinkClass.CLUSTER)
+        assert select_mode(ctx) is TCP_NO_CC
+
+    def test_sync_same_zone_lan_is_nocc(self):
+        ctx = ChannelContext(Scheme.SYNC, Locality.SAME_ZONE, LinkClass.LAN)
+        assert select_mode(ctx) is TCP_NO_CC
+
+    def test_sync_wan_keeps_congestion_control(self):
+        ctx = ChannelContext(Scheme.SYNC, Locality.SAME_ZONE, LinkClass.WAN)
+        assert select_mode(ctx) is TCP_RENO
+
+    def test_sync_inter_zone_is_reno(self):
+        ctx = ChannelContext(Scheme.SYNC, Locality.INTER_ZONE, LinkClass.CLUSTER)
+        assert select_mode(ctx) is TCP_RENO
+
+    def test_classify_link(self):
+        assert classify_link(100e-6) is LinkClass.CLUSTER
+        assert classify_link(3e-3) is LinkClass.LAN
+        assert classify_link(15e-3) is LinkClass.WAN
+
+    def test_mode_by_name(self):
+        assert mode_by_name("tcp-reno") is TCP_RENO
+        with pytest.raises(KeyError):
+            mode_by_name("carrier-pigeon")
+
+
+class TestChannel:
+    def test_send_delivers_payload(self):
+        sim, net, a, b = make_net()
+        chan = Channel(sim, net, a, b)
+        ep_a, ep_b = chan.endpoints()
+        got = []
+
+        def receiver():
+            payload = yield ep_b.recv()
+            got.append(payload)
+
+        sim.process(receiver())
+        ep_a.send(1000, data={"k": 1})
+        sim.run()
+        assert got == [(1000, {"k": 1})]
+
+    def test_acked_send_waits_for_ack_leg(self):
+        sim, net, a, b = make_net(bw=1e9, lat=0.01)
+        ctx = ChannelContext(Scheme.SYNC, Locality.SAME_ZONE, LinkClass.CLUSTER)
+        chan = Channel(sim, net, a, b, ctx)
+        assert chan.mode.acked
+        done = chan.a.send(100)
+        sim.run()
+        # ≥ 2 × latency (data + ack legs)
+        assert done.value == 100
+        assert sim.now >= 0.02
+
+    def test_unacked_send_releases_sender_immediately(self):
+        sim, net, a, b = make_net(bw=1e9, lat=0.05)
+        ctx = ChannelContext(Scheme.ASYNC)
+        chan = Channel(sim, net, a, b, ctx)
+        done = chan.a.send(100)
+        released_at = []
+        done._subscribe(lambda s: released_at.append(sim.now))
+        sim.run()
+        assert released_at[0] < 0.01  # far below one latency
+
+    def test_drop_stale_keeps_freshest(self):
+        sim, net, a, b = make_net()
+        chan = Channel(sim, net, a, b, ChannelContext(Scheme.ASYNC))
+        for i in range(5):
+            chan.a.send(8, data=i)
+        sim.run()
+        assert chan.b.pending == 1
+        assert chan.b.try_recv() == (8, 4)
+        assert chan.stats.messages_dropped_stale == 4
+
+    def test_sync_mode_keeps_all_messages(self):
+        sim, net, a, b = make_net()
+        chan = Channel(sim, net, a, b, ChannelContext(Scheme.SYNC))
+        for i in range(3):
+            chan.a.send(8, data=i)
+        sim.run()
+        assert chan.b.pending == 3
+
+    def test_bidirectional_endpoints(self):
+        sim, net, a, b = make_net()
+        chan = Channel(sim, net, a, b)
+        chan.a.send(10, data="to-b")
+        chan.b.send(20, data="to-a")
+        sim.run()
+        assert chan.a.try_recv() == (20, "to-a")
+        assert chan.b.try_recv() == (10, "to-b")
+
+    def test_adapt_switches_mode_with_cost(self):
+        sim, net, a, b = make_net(lat=0.001)
+        chan = Channel(sim, net, a, b, ChannelContext(Scheme.SYNC))
+        assert chan.mode is TCP_NO_CC
+        done = chan.adapt(ChannelContext(Scheme.ASYNC))
+        assert not done.triggered  # renegotiation takes time
+        sim.run()
+        assert chan.mode is UDP_ASYNC
+        assert chan.stats.reconfigurations == 1
+        assert sim.now == pytest.approx(2 * 2 * 0.001)
+
+    def test_adapt_same_mode_is_free(self):
+        sim, net, a, b = make_net()
+        chan = Channel(sim, net, a, b, ChannelContext(Scheme.SYNC))
+        done = chan.adapt(
+            ChannelContext(Scheme.SYNC, Locality.SAME_ZONE, LinkClass.CLUSTER)
+        )
+        assert done.triggered
+
+    def test_closed_channel_rejects_send(self):
+        sim, net, a, b = make_net()
+        chan = Channel(sim, net, a, b)
+        chan.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            chan.a.send(1)
+
+    def test_endpoint_for(self):
+        sim, net, a, b = make_net()
+        chan = Channel(sim, net, a, b)
+        assert chan.endpoint_for(a) is chan.a
+        assert chan.endpoint_for(b) is chan.b
+        with pytest.raises(KeyError):
+            chan.endpoint_for(Host("ghost"))
+
+    def test_stats_accumulate(self):
+        sim, net, a, b = make_net()
+        chan = Channel(sim, net, a, b)
+        chan.a.send(100)
+        chan.a.send(200)
+        sim.run()
+        assert chan.stats.messages_sent == 2
+        assert chan.stats.bytes_sent == 300
+
+    def test_overhead_modes_differ_in_latency(self):
+        """tcp-nocc delivers small messages faster than tcp-reno
+        (lower per-message overhead)."""
+        def delivery_time(ctx):
+            sim, net, a, b = make_net(bw=1e9, lat=0.0005)
+            chan = Channel(sim, net, a, b, ctx)
+            got = []
+
+            def rx():
+                yield chan.b.recv()
+                got.append(sim.now)
+
+            sim.process(rx())
+            chan.a.send(64)
+            sim.run()
+            return got[0]
+
+        t_nocc = delivery_time(
+            ChannelContext(Scheme.SYNC, Locality.SAME_ZONE, LinkClass.CLUSTER)
+        )
+        t_reno = delivery_time(
+            ChannelContext(Scheme.SYNC, Locality.INTER_ZONE, LinkClass.CLUSTER)
+        )
+        assert t_nocc < t_reno

@@ -1,0 +1,49 @@
+"""Tests for the multi-site platform (ablation/example substrate)."""
+
+import pytest
+
+from repro.desim import Simulator
+from repro.net import FluidNetwork, MBPS
+from repro.platforms import build_multisite
+
+
+class TestMultisite:
+    def test_host_count_and_order(self):
+        spec = build_multisite(n_sites=3, peers_per_site=4)
+        assert len(spec.hosts) == 12
+        # site-major ordering: contiguous ranges are co-located
+        assert spec.hosts[0].name.startswith("site-0")
+        assert spec.hosts[4].name.startswith("site-1")
+
+    def test_intra_site_route_stays_local(self):
+        spec = build_multisite(n_sites=2, peers_per_site=3)
+        route = spec.topology.route(spec.hosts[0], spec.hosts[1])
+        assert all("wan-core" not in l.name for l in route)
+        assert len(route) == 2
+
+    def test_inter_site_route_crosses_core(self):
+        spec = build_multisite(n_sites=2, peers_per_site=3)
+        route = spec.topology.route(spec.hosts[0], spec.hosts[3])
+        assert any("wan-core" in l.name for l in route)
+
+    def test_inter_site_latency_dominated_by_uplinks(self):
+        spec = build_multisite(n_sites=2, peers_per_site=2)
+        lat = spec.topology.route_latency(spec.hosts[0], spec.hosts[2])
+        assert lat > 20e-3  # two 10 ms uplinks
+
+    def test_uplink_contention(self):
+        """Concurrent cross-site flows share the 34 Mbps site uplink."""
+        spec = build_multisite(n_sites=2, peers_per_site=4)
+        sim = Simulator()
+        net = FluidNetwork(sim, spec.topology)
+        src = spec.hosts[:4]       # site 0
+        dst = spec.hosts[4:8]      # site 1
+        sigs = [net.send(a, b, 1e6) for a, b in zip(src, dst)]
+        sim.run()
+        makespan = max(s.value.end for s in sigs)
+        # 4 MB through a 34 Mbps uplink needs ≈ 0.94 s at least
+        assert makespan > 4e6 / (34 * MBPS) * 0.9
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            build_multisite(n_sites=0)

@@ -1,0 +1,51 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.plot import ascii_chart
+
+
+SERIES = {
+    "grid5000": {2: 40.0, 4: 20.0, 8: 10.0, 16: 5.0, 32: 2.5},
+    "xdsl": {2: 63.0, 4: 50.0, 8: 57.0, 16: 60.0, 32: 66.0},
+}
+
+
+def test_chart_contains_axes_and_legend():
+    chart = ascii_chart(SERIES)
+    assert "+---" in chart
+    assert "o grid5000" in chart
+    assert "x xdsl" in chart
+    # tick labels present
+    for x in ("2", "32"):
+        assert x in chart
+
+
+def test_markers_positioned_by_value():
+    chart = ascii_chart(SERIES, width=40, height=10)
+    lines = chart.splitlines()
+    # the top rows belong to the largest values (xdsl ~66)
+    top = "\n".join(lines[:3])
+    assert "x" in top
+    # cluster curve's 2.5 s tail sits near the bottom
+    bottom = "\n".join(lines[7:10])
+    assert "o" in bottom
+
+
+def test_single_point_series():
+    chart = ascii_chart({"only": {4: 1.0}})
+    assert "o only" in chart
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        ascii_chart({})
+    with pytest.raises(ValueError):
+        ascii_chart({"flat": {2: 0.0}})
+
+
+def test_all_rows_equal_width_before_legend():
+    chart = ascii_chart(SERIES, width=30, height=8)
+    lines = chart.splitlines()
+    plot_rows = lines[:8]
+    assert len({len(l) for l in plot_rows}) == 1

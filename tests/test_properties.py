@@ -1,0 +1,202 @@
+"""Property-based tests across the core data structures."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.desim import Mailbox, Simulator
+from repro.dperf import Census, run_single
+from repro.dperf.minic import cast as A
+from repro.dperf.minic import parse, parse_expr, unparse
+from repro.dperf.minic.unparser import expr_text
+from repro.simx import Compute, ISend, Recv, Send, Trace, decode_event, dump_trace, load_trace
+
+
+# -- expression round-trips ----------------------------------------------------
+
+@st.composite
+def expressions(draw, depth=0):
+    """Random well-formed mini-C expressions over variables a, b, c."""
+    if depth >= 4 or draw(st.booleans()):
+        leaf = draw(st.sampled_from(["int", "float", "var"]))
+        if leaf == "int":
+            return A.IntLit(0, 0, draw(st.integers(0, 10_000)))
+        if leaf == "float":
+            value = draw(st.floats(min_value=0.001, max_value=1e6,
+                                   allow_nan=False, allow_infinity=False))
+            return A.FloatLit(0, 0, value)
+        return A.Ident(0, 0, draw(st.sampled_from(["a", "b", "c"])))
+    kind = draw(st.sampled_from(["bin", "un", "cond", "call", "cast"]))
+    if kind == "bin":
+        op = draw(st.sampled_from(["+", "-", "*", "/", "<", "==", "&&"]))
+        return A.BinOp(0, 0, op, draw(expressions(depth=depth + 1)),
+                       draw(expressions(depth=depth + 1)))
+    if kind == "un":
+        return A.UnOp(0, 0, draw(st.sampled_from(["-", "!"])),
+                      draw(expressions(depth=depth + 1)))
+    if kind == "cond":
+        return A.Cond(0, 0, draw(expressions(depth=depth + 1)),
+                      draw(expressions(depth=depth + 1)),
+                      draw(expressions(depth=depth + 1)))
+    if kind == "call":
+        return A.Call(0, 0, "fmax", [draw(expressions(depth=depth + 1)),
+                                     draw(expressions(depth=depth + 1))])
+    return A.Cast(0, 0, A.CType(0, 0, "double"),
+                  draw(expressions(depth=depth + 1)))
+
+
+def _skeleton(expr):
+    return [type(n).__name__ for n in A.walk(expr)]
+
+
+@given(expressions())
+@settings(max_examples=200, deadline=None)
+def test_expr_unparse_parse_round_trip(expr):
+    text = expr_text(expr)
+    reparsed = parse_expr(text)
+    assert _skeleton(reparsed) == _skeleton(expr)
+    # and it is a fixed point
+    assert expr_text(reparsed) == text
+
+
+@given(st.lists(st.sampled_from(
+    ["x = x + 1;", "if (x > 0) { x = x - 1; }", "while (x > 9) { x = x / 2; }",
+     "for (int i = 0; i < 3; i++) { x = x + i; }", "{ int y = x; x = y; }",
+     ";"]), min_size=1, max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_program_unparse_is_fixed_point(stmts):
+    src = "int f(int x) { " + " ".join(stmts) + " return x; }"
+    once = unparse(parse(src))
+    assert unparse(parse(once)) == once
+
+
+# -- interpreter arithmetic vs C semantics --------------------------------------
+
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+@settings(max_examples=100, deadline=None)
+def test_interp_int_division_matches_c(a, b):
+    if b == 0:
+        return
+    result = run_single(
+        parse(f"int main() {{ return {a} / ({b}); }}"
+              .replace("(-", "(0 -")), "main"
+    ).value
+    expected = int(a / b)  # C99: truncation toward zero
+    assert result == expected
+
+
+@given(st.integers(-1000, 1000), st.integers(1, 100))
+@settings(max_examples=100, deadline=None)
+def test_interp_modulo_matches_c(a, b):
+    result = run_single(
+        parse(f"int main() {{ return {a} % {b}; }}".replace("(-", "(0 -")),
+        "main",
+    ).value
+    assert result == int(math.fmod(a, b))
+
+
+@given(st.integers(0, 500))
+@settings(max_examples=30, deadline=None)
+def test_interp_loop_sum(n):
+    src = f"int main() {{ int s = 0; for (int i = 1; i <= {n}; i++) s += i; return s; }}"
+    assert run_single(parse(src), "main").value == n * (n + 1) // 2
+
+
+# -- census algebra --------------------------------------------------------------
+
+cats = st.sampled_from(["fp_add", "mem_load", "int_op", "builtin:sqrt"])
+
+
+@given(st.lists(st.tuples(cats, st.floats(0, 1e6, allow_nan=False)),
+                max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_census_merge_equals_sum(entries):
+    total = Census()
+    parts = [Census() for _ in range(3)]
+    for i, (cat, n) in enumerate(entries):
+        parts[i % 3].add(cat, n)
+        total.add(cat, n)
+    merged = Census()
+    for part in parts:
+        merged.merge(part)
+    for cat in set(total) | set(merged):
+        assert merged.get(cat, 0) == pytest.approx(total.get(cat, 0))
+
+
+@given(st.floats(0.01, 100, allow_nan=False))
+@settings(max_examples=50, deadline=None)
+def test_census_scaling_linear(factor):
+    census = Census()
+    census.add("fp_add", 10)
+    census.add("mem_load", 4)
+    scaled = census.scaled(factor)
+    assert scaled["fp_add"] == pytest.approx(10 * factor)
+    assert scaled.total_ops == pytest.approx(census.total_ops * factor)
+
+
+# -- trace encoding ---------------------------------------------------------------
+
+trace_events = st.one_of(
+    st.integers(0, 10**12).map(Compute),
+    st.tuples(st.integers(0, 63), st.integers(0, 10**9),
+              st.text(alphabet="abcxyz", min_size=1, max_size=6)).map(
+        lambda t: Send(*t)),
+    st.tuples(st.integers(0, 63), st.integers(0, 10**9),
+              st.text(alphabet="abcxyz", min_size=1, max_size=6)).map(
+        lambda t: ISend(*t)),
+    st.tuples(st.integers(0, 63),
+              st.text(alphabet="abcxyz", min_size=1, max_size=6)).map(
+        lambda t: Recv(*t)),
+)
+
+
+@given(trace_events)
+@settings(max_examples=200, deadline=None)
+def test_event_encode_decode_identity(event):
+    assert decode_event(event.encode()) == event
+
+
+@given(st.lists(trace_events, max_size=30), st.integers(0, 7))
+@settings(max_examples=60, deadline=None)
+def test_trace_file_round_trip(events, rank):
+    t = Trace(rank=rank, nprocs=8, events=events, app="prop",
+              meta={"k": "v"})
+    t2 = load_trace(dump_trace(t))
+    assert t2.events == t.events
+    assert (t2.rank, t2.nprocs, t2.app, t2.meta) == (rank, 8, "prop", {"k": "v"})
+
+
+# -- mailbox FIFO ------------------------------------------------------------------
+
+@given(st.lists(st.integers(), min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_mailbox_preserves_fifo(items):
+    sim = Simulator()
+    box = Mailbox()
+    got = []
+
+    def consumer():
+        for _ in items:
+            got.append((yield box.get()))
+
+    sim.process(consumer())
+    for i, item in enumerate(items):
+        sim.schedule(float(i), box.put, item)
+    sim.run()
+    assert got == items
+
+
+# -- simulator ordering --------------------------------------------------------------
+
+@given(st.lists(st.floats(0, 1000, allow_nan=False), min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_events_fire_in_nondecreasing_time(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)

@@ -1,0 +1,25 @@
+"""The README's quickstart snippet must actually run."""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).parent.parent / "README.md"
+
+
+def test_readme_quickstart_executes(capsys):
+    text = README.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, re.DOTALL)
+    assert blocks, "README lost its python quickstart block"
+    namespace: dict = {}
+    exec(compile(blocks[0], "<README quickstart>", "exec"), namespace)
+    out = capsys.readouterr().out.strip().splitlines()
+    # two predictions printed, LAN slower than the cluster
+    t_cluster, t_lan = float(out[-2]), float(out[-1])
+    assert 0 < t_cluster < t_lan
+
+
+def test_readme_mentions_all_deliverable_paths():
+    text = README.read_text()
+    for path in ("DESIGN.md", "EXPERIMENTS.md", "benchmarks/", "examples/",
+                 "tests/"):
+        assert path in text

@@ -1,0 +1,185 @@
+"""Tests for the MSG-like trace replay engine."""
+
+import pytest
+
+from repro.net import TcpModel
+from repro.platforms import build_cluster, build_lan
+from repro.simx import (
+    AllReduce,
+    Barrier,
+    Compute,
+    ISend,
+    Recv,
+    Send,
+    Trace,
+    TraceReplayer,
+    replay_traces,
+)
+
+# A TCP model without window cap / overhead keeps arithmetic exact.
+RAW_TCP = TcpModel(bandwidth_factor=1.0, window=1e18)
+
+
+def mk(rank, nprocs, events):
+    return Trace(rank=rank, nprocs=nprocs, events=events)
+
+
+class TestComputeOnly:
+    def test_single_rank_compute(self):
+        platform = build_cluster(1)
+        t = mk(0, 1, [Compute(2_000_000_000)])  # 2e9 ns = 2 s
+        res = replay_traces([t], platform, tcp=RAW_TCP)
+        assert res.makespan == pytest.approx(2.0)
+        assert res.compute_time[0] == pytest.approx(2.0)
+        assert res.blocked_time[0] == 0.0
+
+    def test_makespan_is_slowest_rank(self):
+        platform = build_cluster(2)
+        traces = [
+            mk(0, 2, [Compute(1_000_000_000)]),
+            mk(1, 2, [Compute(3_000_000_000)]),
+        ]
+        res = replay_traces(traces, platform, tcp=RAW_TCP)
+        assert res.makespan == pytest.approx(3.0)
+        assert res.finish_times == pytest.approx([1.0, 3.0])
+
+    def test_compute_scales_with_host_speed(self):
+        """Trace ns measured on a 3 GHz reference replayed on 6 GHz
+        hosts takes half the time."""
+        platform = build_cluster(1, node_speed=6e9)
+        t = mk(0, 1, [Compute(2_000_000_000)])
+        res = replay_traces([t], platform, tcp=RAW_TCP, reference_speed=3e9)
+        assert res.makespan == pytest.approx(1.0)
+
+
+class TestPointToPoint:
+    def test_send_recv_pair(self):
+        platform = build_cluster(2)
+        size = 125_000_000  # 1 Gbit → 1 s on the NIC
+        traces = [
+            mk(0, 2, [Send(1, size, "m")]),
+            mk(1, 2, [Recv(0, "m")]),
+        ]
+        res = replay_traces(traces, platform, tcp=RAW_TCP)
+        # 3 hops × 100 µs + 1 s serialization
+        assert res.makespan == pytest.approx(1.0003, rel=1e-4)
+        assert res.blocked_time[1] == pytest.approx(res.makespan)
+
+    def test_isend_does_not_block_sender(self):
+        platform = build_cluster(2)
+        size = 125_000_000
+        traces = [
+            mk(0, 2, [ISend(1, size, "m"), Compute(5_000_000_000)]),
+            mk(1, 2, [Recv(0, "m")]),
+        ]
+        res = replay_traces(traces, platform, tcp=RAW_TCP)
+        assert res.blocked_time[0] == 0.0
+        assert res.finish_times[0] == pytest.approx(5.0)
+        assert res.finish_times[1] == pytest.approx(1.0003, rel=1e-4)
+
+    def test_recv_waits_for_late_sender(self):
+        platform = build_cluster(2)
+        traces = [
+            mk(0, 2, [Compute(2_000_000_000), ISend(1, 64, "m")]),
+            mk(1, 2, [Recv(0, "m")]),
+        ]
+        res = replay_traces(traces, platform, tcp=RAW_TCP)
+        assert res.blocked_time[1] == pytest.approx(res.finish_times[1])
+        assert res.finish_times[1] > 2.0
+
+    def test_bidirectional_exchange_overlaps(self):
+        """Full-duplex halo exchange: both directions move concurrently."""
+        platform = build_cluster(2)
+        size = 125_000_000  # 1 s each way alone
+        traces = [
+            mk(0, 2, [ISend(1, size, "h"), Recv(1, "h")]),
+            mk(1, 2, [ISend(0, size, "h"), Recv(0, "h")]),
+        ]
+        res = replay_traces(traces, platform, tcp=RAW_TCP)
+        assert res.makespan == pytest.approx(1.0003, rel=1e-3)
+
+    def test_tag_separation(self):
+        """Messages with distinct tags match the right recv."""
+        platform = build_cluster(2)
+        traces = [
+            mk(0, 2, [ISend(1, 1000, "a"), ISend(1, 999_000, "b")]),
+            mk(1, 2, [Recv(0, "b"), Recv(0, "a")]),
+        ]
+        res = replay_traces(traces, platform, tcp=RAW_TCP)
+        assert res.makespan > 0
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8])
+    def test_barrier_synchronizes(self, n):
+        platform = build_cluster(max(n, 1))
+        traces = [
+            mk(r, n, [Compute(int(1e9) * (r + 1)), Barrier(), Compute(int(1e8))])
+            for r in range(n)
+        ]
+        res = replay_traces(traces, platform, tcp=RAW_TCP)
+        # Everyone leaves the barrier after the slowest rank (n s).
+        assert res.makespan >= n * 1.0 + 0.1
+
+    def test_barrier_cost_grows_with_ranks(self):
+        def barrier_time(n):
+            platform = build_cluster(n)
+            traces = [mk(r, n, [Barrier()]) for r in range(n)]
+            return replay_traces(traces, platform, tcp=RAW_TCP).makespan
+
+        assert barrier_time(16) > barrier_time(2)
+
+    @pytest.mark.parametrize("n", [2, 5])
+    def test_allreduce_completes_everywhere(self, n):
+        platform = build_cluster(n)
+        traces = [mk(r, n, [AllReduce(8)]) for r in range(n)]
+        res = replay_traces(traces, platform, tcp=RAW_TCP)
+        assert all(f > 0 for f in res.finish_times)
+
+
+class TestReplayValidation:
+    def test_inconsistent_traces_rejected(self):
+        platform = build_cluster(2)
+        traces = [
+            mk(0, 2, [Send(1, 10, "x")]),
+            mk(1, 2, []),
+        ]
+        with pytest.raises(ValueError, match="unmatched"):
+            replay_traces(traces, platform)
+
+    def test_host_count_mismatch(self):
+        platform = build_cluster(4)
+        traces = [mk(0, 1, [])]
+        with pytest.raises(ValueError, match="hosts"):
+            TraceReplayer(traces, platform, hosts=platform.hosts[:3])
+
+    def test_deadlock_reported(self):
+        platform = build_cluster(2)
+        # rank1 recv with tag nobody sends — validation off to sneak by.
+        traces = [
+            mk(0, 2, [ISend(1, 10, "x")]),
+            mk(1, 2, [Recv(0, "x"), Recv(0, "ghost")]),
+        ]
+        with pytest.raises(RuntimeError, match="deadlock|unfinished"):
+            TraceReplayer(traces, platform, validate=False).run()
+
+    def test_result_summary_readable(self):
+        platform = build_cluster(1)
+        res = replay_traces([mk(0, 1, [Compute(1_000_000)])], platform)
+        assert "t_predicted" in res.summary()
+
+
+class TestPlatformEffects:
+    def test_same_traces_slower_on_lan(self):
+        """The whole point of dPerf Stage-2: identical traces, different
+        platform, different t_predicted."""
+        size = 1_000_000
+        traces = [
+            mk(0, 2, [ISend(1, size, "h"), Recv(1, "h"), Compute(int(1e9))]),
+            mk(1, 2, [ISend(0, size, "h"), Recv(0, "h"), Compute(int(1e9))]),
+        ]
+        t_cluster = replay_traces(traces, build_cluster(2), tcp=RAW_TCP).makespan
+        t_lan = replay_traces(traces, build_lan(2), tcp=RAW_TCP).makespan
+        assert t_lan > t_cluster
+        # compute part identical; difference is bandwidth (1 Gbps vs 100 Mbps)
+        assert t_lan - t_cluster > 0.05

@@ -1,0 +1,160 @@
+"""Tests for trace events, validation, and trace file I/O."""
+
+import pytest
+
+from repro.simx import (
+    AllReduce,
+    Barrier,
+    Compute,
+    ISend,
+    Recv,
+    Send,
+    Trace,
+    decode_event,
+    dump_trace,
+    load_trace,
+    read_trace_files,
+    validate_trace_set,
+    write_trace_files,
+)
+
+
+class TestEvents:
+    def test_compute_rounds_to_int_ns(self):
+        assert Compute(1.6).ns == 2
+
+    def test_compute_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-1)
+
+    def test_send_fields(self):
+        s = Send(3, 1024, "halo")
+        assert (s.dst, s.size, s.tag, s.kind) == (3, 1024, "halo", "send")
+
+    def test_isend_kind(self):
+        assert ISend(1, 10).kind == "isend"
+        assert ISend(1, 10).blocking is False
+
+    def test_encode_decode_round_trip(self):
+        events = [
+            Compute(123456789),
+            Send(1, 4096, "a"),
+            ISend(2, 99, "b"),
+            Recv(0, "a"),
+            Barrier(),
+            AllReduce(8),
+        ]
+        for e in events:
+            assert decode_event(e.encode()) == e
+
+    def test_decode_malformed(self):
+        with pytest.raises(ValueError):
+            decode_event("send 1")
+        with pytest.raises(ValueError):
+            decode_event("frobnicate 1 2")
+        with pytest.raises(ValueError):
+            decode_event("")
+
+    def test_trace_aggregates(self):
+        t = Trace(rank=0, nprocs=1)
+        t.append(Compute(100))
+        t.append(Compute(200))
+        t.append(ISend(0, 50))
+        assert t.total_compute_ns == 300
+        assert t.total_bytes_sent == 50
+        assert t.count("compute") == 2
+        assert len(t) == 3
+
+
+class TestValidation:
+    def _pair(self):
+        t0 = Trace(rank=0, nprocs=2, events=[Send(1, 10, "x")])
+        t1 = Trace(rank=1, nprocs=2, events=[Recv(0, "x")])
+        return [t0, t1]
+
+    def test_valid_pair_passes(self):
+        validate_trace_set(self._pair())
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            validate_trace_set([])
+
+    def test_noncontiguous_ranks(self):
+        t0 = Trace(rank=0, nprocs=2)
+        t2 = Trace(rank=2, nprocs=2)
+        with pytest.raises(ValueError, match="contiguous"):
+            validate_trace_set([t0, t2])
+
+    def test_nprocs_mismatch(self):
+        t0 = Trace(rank=0, nprocs=3)
+        t1 = Trace(rank=1, nprocs=2)
+        with pytest.raises(ValueError, match="nprocs"):
+            validate_trace_set([t0, t1])
+
+    def test_unmatched_send(self):
+        t0 = Trace(rank=0, nprocs=2, events=[Send(1, 10, "x")])
+        t1 = Trace(rank=1, nprocs=2)
+        with pytest.raises(ValueError, match="unmatched"):
+            validate_trace_set([t0, t1])
+
+    def test_send_to_invalid_rank(self):
+        t0 = Trace(rank=0, nprocs=2, events=[Send(7, 10)])
+        t1 = Trace(rank=1, nprocs=2)
+        with pytest.raises(ValueError, match="bad rank"):
+            validate_trace_set([t0, t1])
+
+    def test_barrier_count_mismatch(self):
+        t0 = Trace(rank=0, nprocs=2, events=[Barrier()])
+        t1 = Trace(rank=1, nprocs=2)
+        with pytest.raises(ValueError, match="barrier"):
+            validate_trace_set([t0, t1])
+
+    def test_allreduce_count_mismatch(self):
+        t0 = Trace(rank=0, nprocs=2, events=[AllReduce(8)])
+        t1 = Trace(rank=1, nprocs=2)
+        with pytest.raises(ValueError, match="allreduce"):
+            validate_trace_set([t0, t1])
+
+
+class TestTraceFiles:
+    def _trace(self):
+        return Trace(
+            rank=1,
+            nprocs=4,
+            events=[Compute(42), ISend(0, 8, "t"), Recv(2, "u"), Barrier()],
+            app="obstacle",
+            meta={"opt_level": "O3", "grid": "64"},
+        )
+
+    def test_dump_load_round_trip(self):
+        t = self._trace()
+        t2 = load_trace(dump_trace(t))
+        assert t2.rank == t.rank
+        assert t2.nprocs == t.nprocs
+        assert t2.app == t.app
+        assert t2.events == t.events
+        assert t2.meta == t.meta
+
+    def test_load_missing_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            load_trace("compute 12\n")
+
+    def test_load_missing_rank(self):
+        with pytest.raises(ValueError, match="rank"):
+            load_trace("# dperf-trace v1\ncompute 12\n")
+
+    def test_write_read_files(self, tmp_path):
+        traces = [
+            Trace(rank=r, nprocs=3, events=[Compute(r * 10 + 1)], app="demo")
+            for r in range(3)
+        ]
+        paths = write_trace_files(traces, tmp_path)
+        assert len(paths) == 3
+        assert all(p.exists() for p in paths)
+        loaded = read_trace_files(tmp_path, "demo")
+        assert [t.rank for t in loaded] == [0, 1, 2]
+        assert loaded[2].events == [Compute(21)]
+
+    def test_read_missing_app(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_trace_files(tmp_path, "ghost")
