@@ -1,0 +1,51 @@
+"""S1 — scenario-engine smoke benchmark.
+
+One tiny sweep through the cached parallel runner: measures the
+engine's own overhead (spec hashing, memo, disk cache, result
+serialization) against a warm in-process memo, and regenerates a
+small results table. Fast by construction — this is the bench CI runs
+on every push.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.scenarios import SweepRunner, expand_grid, ScenarioSpec
+from repro.scenarios.runner import clear_memo
+from repro.scenarios.spec import PlatformPlan, WorkloadPlan
+
+
+def tiny_grid():
+    base = ScenarioSpec(
+        name="bench-tiny", kind="predict",
+        platform=PlatformPlan(kind="cluster", n_hosts=4),
+        workload=WorkloadPlan(app="heat", n=64, nit=30, level="O1"),
+        n_peers=2,
+    )
+    return expand_grid(base, {"n_peers": (2, 4),
+                              "workload.level": ("O0", "O1", "O3")})
+
+
+def test_sweep_cache_overhead(benchmark, tmp_path):
+    specs = tiny_grid()
+    warm = SweepRunner(cache_dir=tmp_path)
+    results = warm.run(specs, parallel=False)  # populate memo + disk
+
+    def cached_sweep():
+        runner = SweepRunner(cache_dir=tmp_path)
+        return runner.run(specs, parallel=False)
+
+    again = benchmark(cached_sweep)
+    assert [r.spec_hash for r in again] == [r.spec_hash for r in results]
+
+    clear_memo()
+    disk = SweepRunner(cache_dir=tmp_path)
+    disk.run(specs, parallel=False)
+
+    emit("scenario_engine", format_table(
+        ["stage", "points", "served from cache"],
+        [["cold sweep", str(len(specs)), "0"],
+         ["warm memo", str(len(specs)), str(len(specs))],
+         ["cold memo, disk cache", str(len(specs)), str(disk.hits)]],
+    ))
+    assert disk.hits == len(specs)

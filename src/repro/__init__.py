@@ -26,6 +26,10 @@ Subpackages
     Workloads: the obstacle problem (mini-C + numpy reference), heat.
 ``repro.experiments`` / ``repro.analysis``
     Stage-1/Stage-2/Table-I runners and result handling.
+``repro.scenarios``
+    Declarative scenario engine: frozen specs, a named registry, and a
+    parallel sweep runner with an on-disk result cache
+    (``python -m repro.scenarios``).
 """
 
 __version__ = "1.0.0"
@@ -40,5 +44,6 @@ __all__ = [
     "p2pdc",
     "p2psap",
     "platforms",
+    "scenarios",
     "simx",
 ]

@@ -3,7 +3,7 @@ benchmarks in ``benchmarks/`` and the runnable examples)."""
 
 from . import calibration, heterogeneous
 from .stage1 import Stage1Config, Stage1Result, predicted_time, reference_time, run_stage1
-from .stage2 import Stage2Config, Stage2Result, predict_on, run_stage2
+from .stage2 import Stage2Config, Stage2Result, predict_on, predicted_curves, run_stage2
 from .table1 import PAPER_PAIRINGS, PAPER_VERDICTS, Table1Result, run_table1
 
 __all__ = [
@@ -17,6 +17,7 @@ __all__ = [
     "calibration",
     "heterogeneous",
     "predict_on",
+    "predicted_curves",
     "predicted_time",
     "reference_time",
     "run_stage1",

@@ -5,6 +5,13 @@ makes the 2-peer O0 reference land near the paper's ≈40 s (Fig. 9),
 the calibration instance dPerf actually interprets, and the shared
 caches that let every benchmark reuse one calibration execution.
 
+Since the scenario engine landed, the pipeline itself (predictors,
+calibration runs, trace scale-up, platform builders) lives in
+:mod:`repro.scenarios.workloads` / :mod:`repro.scenarios.platforms`;
+this module pins the obstacle-problem defaults on top of it, so the
+experiment runners, the benchmarks, and ad-hoc scenario sweeps all
+share one set of caches.
+
 Paper targets (Bordeplage cluster, Intel Xeon EM64T 3 GHz):
 
 * Fig. 9 — t(2 peers, O0) ≈ 40–45 s, strong scaling to 32 peers,
@@ -15,78 +22,66 @@ Paper targets (Bordeplage cluster, Intel Xeon EM64T 3 GHz):
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
-from ..apps import obstacle
-from ..dperf import DPerfPredictor, ScalePlan
-from ..dperf.blockbench import split_by_region
-from ..platforms import PlatformSpec, build_cluster, build_daisy, build_lan
+from ..platforms import PlatformSpec
 from ..p2psap import Scheme
 from ..p2pdc import WorkloadSpec
+from ..scenarios import platforms as _platforms
+from ..scenarios import workloads as _workloads
+from ..scenarios.registry import OBSTACLE_TARGET, PEER_COUNTS
+from ..scenarios.spec import PlatformPlan, WorkloadPlan
 
 #: Target instance (what the paper "ran"): 2-D grid, fixed iterations.
 #: n=1024 puts the 2-peer O0 reference at ≈40 s on the 3 GHz model —
-#: the top of the paper's Fig. 9.
-GRID_N = 1024
-NIT = 400
-CHECK_EVERY = 10
+#: the top of the paper's Fig. 9.  The canonical plan lives in
+#: ``scenarios.registry.OBSTACLE_TARGET``; these constants are views
+#: of it, so experiment points and registry entries share cache keys.
+GRID_N = OBSTACLE_TARGET.n
+NIT = OBSTACLE_TARGET.nit
+CHECK_EVERY = _workloads.CHECK_EVERY
 
 #: Calibration instance dPerf interprets (block benchmarking input).
-CAL_N = 32
+CAL_N = _workloads.CAL_N
 CAL_NIT = 2 * CHECK_EVERY  # 1 warm-up cycle + 1 template cycle
 
-#: Peer counts evaluated in all figures (2^1 .. 2^5).
-PEER_COUNTS = (2, 4, 8, 16, 32)
 OPT_LEVELS = ("O0", "O1", "O2", "O3", "Os")
 
 #: Reference-run timing jitter (hardware-counter noise).
-REFERENCE_NOISE = 0.003
+REFERENCE_NOISE = OBSTACLE_TARGET.noise_frac
 
 
-@lru_cache(maxsize=1)
-def obstacle_predictor() -> DPerfPredictor:
-    return DPerfPredictor(obstacle.obstacle_source(), obstacle.ENTRY)
+def obstacle_predictor():
+    """The shared dPerf predictor for the obstacle source."""
+    return _workloads.predictor("obstacle")
 
 
-@lru_cache(maxsize=16)
 def calibration_runs(nprocs: int):
     """One instrumented execution per peer count (reused everywhere)."""
-    return obstacle_predictor().execute(
-        nprocs, args=obstacle.entry_args(CAL_N, CAL_NIT, CHECK_EVERY)
-    )
+    return _workloads.calibration_runs("obstacle", nprocs)
 
 
-def scale_plan(nprocs: int, n: int = GRID_N, nit: int = NIT) -> ScalePlan:
-    return ScalePlan(
-        env_cal=obstacle.scale_env(CAL_N, nprocs),
-        env_target=obstacle.scale_env(n, nprocs),
-        nit_target=nit,
-        region="iter",
-        cycle_len=CHECK_EVERY,
-        warmup_cycles=1,
-    )
+def scale_plan(nprocs: int, n: int = GRID_N, nit: int = NIT):
+    """Block-benchmark scale-up plan for the obstacle target instance."""
+    return _workloads.scale_plan("obstacle", nprocs, n, nit)
 
 
-@lru_cache(maxsize=64)
 def obstacle_traces(nprocs: int, level: str, n: int = GRID_N, nit: int = NIT):
     """Scaled traces of the target instance at one GCC level."""
-    return obstacle_predictor().traces_for(
-        calibration_runs(nprocs), level, scale=scale_plan(nprocs, n, nit),
-        app="obstacle", extra_meta={"n": str(n), "nit": str(nit)},
-    )
+    return _workloads.traces("obstacle", nprocs, level, n, nit)
 
 
 def iteration_compute_seconds(nprocs: int, level: str) -> List[float]:
     """Per-rank compute seconds per iteration of the *target* instance
     (drives the reference run's compute bursts — in our universe the
     machine behaves exactly as the cost model says)."""
-    traces = obstacle_traces(nprocs, level)
-    return [t.total_compute_ns * 1e-9 / NIT for t in traces]
+    return _workloads.iteration_seconds("obstacle", nprocs, level, GRID_N,
+                                        NIT)
 
 
 def halo_bytes(n: int = GRID_N) -> float:
-    return (n + 2) * 8.0
+    """Bytes of one obstacle halo message (one ghost row)."""
+    return _workloads.adapter("obstacle").halo_bytes(n)
 
 
 def obstacle_workload(
@@ -97,53 +92,33 @@ def obstacle_workload(
 ) -> WorkloadSpec:
     """WorkloadSpec for the P2PDC reference execution of the target
     obstacle instance at one optimization level."""
-    per_rank = iteration_compute_seconds(nprocs, level)
-
-    def iteration_time(rank: int, nranks: int) -> float:
-        return per_rank[min(rank, len(per_rank) - 1)]
-
-    return WorkloadSpec(
-        name=f"obstacle-{level}-{nprocs}p",
-        nit=NIT,
-        halo_bytes=halo_bytes(),
-        iteration_time=iteration_time,
-        check_every=CHECK_EVERY,
-        scheme=scheme,
-        noise_frac=noise_frac,
-        residual=obstacle.residual_model(CAL_N),
-        tol=0.0,  # fixed-iteration run, as in the paper's measurements
-        result_bytes=4096,
-        subtask_bytes=8192,
-    )
+    plan = WorkloadPlan(app="obstacle", n=GRID_N, nit=NIT,
+                        check_every=CHECK_EVERY, level=level,
+                        noise_frac=noise_frac)
+    return _workloads.make_workload(plan, nprocs, scheme)
 
 
 # -- platforms ---------------------------------------------------------------
 
-@lru_cache(maxsize=4)
 def grid5000_platform(n_hosts: int = 33) -> PlatformSpec:
     # one extra host beyond the largest peer count: the submitter/server
     # side of the overlay lives on hosts too.
-    return build_cluster(n_hosts)
+    return _platforms.build_platform(PlatformPlan(kind="cluster",
+                                                  n_hosts=n_hosts))
 
 
-@lru_cache(maxsize=2)
 def xdsl_platform() -> PlatformSpec:
-    return build_daisy()
+    return _platforms.build_platform(PlatformPlan(kind="xdsl"))
 
 
-@lru_cache(maxsize=2)
 def lan_platform() -> PlatformSpec:
-    return build_lan(1024)
+    return _platforms.build_platform(PlatformPlan(kind="lan", n_hosts=1024))
 
 
 def spread_hosts(platform: PlatformSpec, n: int) -> list:
     """Evenly spaced host selection — a desktop grid's peers are
     scattered across the access network, not packed on one DSLAM."""
-    hosts = platform.hosts
-    if n > len(hosts):
-        raise ValueError(f"need {n} hosts, platform has {len(hosts)}")
-    stride = len(hosts) // n
-    return [hosts[i * stride] for i in range(n)]
+    return _platforms.spread_hosts(platform, n)
 
 
 def sanity_check_calibration() -> Dict[str, float]:

@@ -10,24 +10,39 @@ network.  The one modelling caveat is inherent to halo-coupled SPMD
 codes: with a uniform decomposition the *slowest selected peer* paces
 every iteration, so peer selection policy matters — which is exactly
 what the experiment quantifies.
+
+Each prediction point is a ``predict`` scenario on the heterogeneous
+multi-site platform plan; selection policy is the spec's host policy.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
-from ..desim.rng import derive_seed
 from ..net import Host
-from ..platforms import PlatformSpec, build_multisite
-from ..platforms.cluster import DEFAULT_NODE_SPEED
-from . import calibration as C
+from ..platforms import PlatformSpec
+from ..scenarios import ScenarioSpec, build_platform, pick_hosts, run_cached
+from ..scenarios.registry import (
+    HETERO_GRID_PLAN,
+    HETERO_SPEED_RANGE,
+    OBSTACLE_TARGET,
+)
+from ..scenarios.spec import PlatformPlan
 
-#: Node speed range of the heterogeneous grid (GHz-class spread of a
-#: 2011 desktop population), relative to the 3 GHz reference.
-SPEED_RANGE = (0.5, 1.2)
+#: Node speed range of the heterogeneous grid — the registry's
+#: canonical value, re-exported for the tests and benches.
+SPEED_RANGE = HETERO_SPEED_RANGE
+
+
+def hetero_plan(
+    n_sites: int = 8, peers_per_site: int = 8, seed: int = 2011
+) -> PlatformPlan:
+    """The platform plan of the heterogeneous multi-site grid (the
+    registry's canonical plan, resized/reseeded as requested)."""
+    return replace(HETERO_GRID_PLAN, n_sites=n_sites,
+                   peers_per_site=peers_per_site, hetero_seed=seed)
 
 
 @lru_cache(maxsize=4)
@@ -35,41 +50,33 @@ def heterogeneous_grid(
     n_sites: int = 8, peers_per_site: int = 8, seed: int = 2011
 ) -> PlatformSpec:
     """A multi-site grid whose nodes have mixed clock speeds."""
-    spec = build_multisite(
-        n_sites=n_sites, peers_per_site=peers_per_site, name="hetero-grid"
-    )
-    rng = random.Random(derive_seed(seed, "hetero-speeds"))
-    for host in spec.hosts:
-        factor = rng.uniform(*SPEED_RANGE)
-        host.speed = DEFAULT_NODE_SPEED * factor
-    spec.attrs["speed_range"] = SPEED_RANGE
-    spec.attrs["seed"] = seed
-    return spec
+    return build_platform(hetero_plan(n_sites, peers_per_site, seed))
 
 
 def select_hosts(
     platform: PlatformSpec, n: int, policy: str = "fastest"
 ) -> List[Host]:
     """Peer-selection policies over the heterogeneous pool."""
-    if policy == "fastest":
-        return sorted(platform.hosts, key=lambda h: -h.speed)[:n]
-    if policy == "slowest":
-        return sorted(platform.hosts, key=lambda h: h.speed)[:n]
-    if policy == "spread":
-        return C.spread_hosts(platform, n)
-    raise ValueError(f"unknown selection policy {policy!r}")
+    return pick_hosts(platform, n, policy)
+
+
+def prediction_spec(
+    nprocs: int, level: str = "O0", policy: str = "fastest"
+) -> ScenarioSpec:
+    """The scenario behind one heterogeneous-grid prediction point."""
+    return ScenarioSpec(
+        name=f"hetero-{policy}-{level}-{nprocs}p", kind="predict",
+        platform=hetero_plan(),
+        workload=replace(OBSTACLE_TARGET, level=level),
+        n_peers=nprocs, host_policy=policy,
+    )
 
 
 def predict_heterogeneous(
     nprocs: int, level: str = "O0", policy: str = "fastest",
 ) -> float:
     """dPerf prediction of the obstacle instance on the hetero grid."""
-    platform = heterogeneous_grid()
-    traces = C.obstacle_traces(nprocs, level)
-    hosts = select_hosts(platform, nprocs, policy)
-    return C.obstacle_predictor().predict(
-        traces, platform, hosts=hosts
-    ).t_predicted
+    return run_cached(prediction_spec(nprocs, level, policy)).t
 
 
 @dataclass

@@ -7,17 +7,46 @@
   convergence checks).
 * Fig. 10 — dPerf's trace-based prediction on the same platform,
   compared per peer count (the paper shows O3).
+
+Every run is expressed as a :class:`~repro.scenarios.ScenarioSpec` and
+executed through the memoized scenario runner, so the figures here are
+just grid expansions over the same spec space the registry exposes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Tuple
+
+from dataclasses import replace as _replace
 
 from ..analysis import AccuracyReport, series_accuracy
-from ..p2pdc import TaskSpec, deploy_overlay
+from ..scenarios import ScenarioSpec, run_cached
+from ..scenarios.registry import CLUSTER_PLAN, OBSTACLE_TARGET
+from ..scenarios.spec import WorkloadPlan
 from . import calibration as C
+
+
+def _workload(level: str) -> WorkloadPlan:
+    return _replace(OBSTACLE_TARGET, level=level)
+
+
+def reference_spec(nprocs: int, level: str, seed: int = 2011) -> ScenarioSpec:
+    """The scenario behind one Fig. 9 reference point."""
+    return ScenarioSpec(
+        name=f"stage1-ref-{level}-{nprocs}p", kind="reference",
+        platform=CLUSTER_PLAN, workload=_workload(level), n_peers=nprocs,
+        seed=seed,
+    )
+
+
+def prediction_spec(nprocs: int, level: str) -> ScenarioSpec:
+    """The scenario behind one Fig. 10 prediction point."""
+    return ScenarioSpec(
+        name=f"stage1-pred-{level}-{nprocs}p", kind="predict",
+        platform=CLUSTER_PLAN, workload=_workload(level), n_peers=nprocs,
+    )
 
 
 @dataclass(frozen=True)
@@ -45,39 +74,21 @@ class Stage1Result:
         )
 
 
-def _zones_for(nprocs: int) -> int:
-    return max(1, min(4, nprocs // 8))
-
-
 def reference_time(nprocs: int, level: str, seed: int = 2011) -> float:
     """One reference execution: the obstacle problem run end-to-end
     under the decentralized P2PDC on the cluster platform."""
-    platform = C.grid5000_platform()
-    dep = deploy_overlay(
-        platform, n_peers=nprocs, n_zones=_zones_for(nprocs), seed=seed
-    )
-    workload = C.obstacle_workload(nprocs, level)
-    sig = dep.submitter.submit(TaskSpec(workload=workload, n_peers=nprocs,
-                                        spares=0))
-    dep.overlay.run_until(sig, limit=1e7)
-    outcome = sig.value
-    if not outcome.ok:
-        raise RuntimeError(f"reference run failed: {outcome.reason}")
-    timings = outcome.timings
+    result = run_cached(reference_spec(nprocs, level, seed))
+    if not result.ok:
+        raise RuntimeError(f"reference run failed: {result.reason}")
     # the paper's t_normal_execution is the application's execution
     # time (the environment prints it at the end of each execution) —
     # subtask dispatch through coordinators to results gathered.
-    return timings.completed_at - timings.compute_started_at
+    return result.t
 
 
 def predicted_time(nprocs: int, level: str) -> float:
     """dPerf prediction for the same configuration (Fig. 6 pipeline)."""
-    platform = C.grid5000_platform()
-    traces = C.obstacle_traces(nprocs, level)
-    result = C.obstacle_predictor().predict(
-        traces, platform, hosts=platform.take_hosts(nprocs)
-    )
-    return result.t_predicted
+    return run_cached(prediction_spec(nprocs, level)).t
 
 
 @lru_cache(maxsize=4)

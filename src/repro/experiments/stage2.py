@@ -6,6 +6,9 @@ files — the Daisy xDSL topology (Stage-2A) and a campus LAN
 (Stage-2B) — to find what desktop-grid configuration matches the
 cluster.  Peers of a desktop grid are scattered across the access
 network, so hosts are picked evenly spread over the platform.
+
+Every prediction point is a ``predict`` scenario executed through the
+memoized runner; only the platform plan and host policy change.
 """
 
 from __future__ import annotations
@@ -14,8 +17,24 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, Tuple
 
+from dataclasses import replace
+
+from ..scenarios import ScenarioSpec, run_cached
+from ..scenarios.registry import (
+    CLUSTER_PLAN,
+    LAN_PLAN,
+    OBSTACLE_TARGET,
+    XDSL_PLAN,
+)
 from . import calibration as C
 from .stage1 import Stage1Config, run_stage1
+
+#: Stage-2 platform plans: name → (plan, host policy).
+STAGE2_PLATFORMS = {
+    "grid5000": (CLUSTER_PLAN, "pack"),
+    "xdsl": (XDSL_PLAN, "spread"),
+    "lan": (LAN_PLAN, "spread"),
+}
 
 
 @dataclass(frozen=True)
@@ -38,22 +57,23 @@ class Stage2Result:
         return out
 
 
+def prediction_spec(platform_name: str, nprocs: int, level: str) -> ScenarioSpec:
+    """The scenario behind one Fig. 11 / Table I prediction point."""
+    try:
+        plan, policy = STAGE2_PLATFORMS[platform_name]
+    except KeyError:
+        raise ValueError(f"unknown platform {platform_name!r}") from None
+    return ScenarioSpec(
+        name=f"stage2-{platform_name}-{level}-{nprocs}p", kind="predict",
+        platform=plan,
+        workload=replace(OBSTACLE_TARGET, level=level),
+        n_peers=nprocs, host_policy=policy,
+    )
+
+
 def predict_on(platform_name: str, nprocs: int, level: str) -> float:
     """Replay the cluster-collected traces on a Stage-2 platform."""
-    predictor = C.obstacle_predictor()
-    traces = C.obstacle_traces(nprocs, level)
-    if platform_name == "grid5000":
-        platform = C.grid5000_platform()
-        hosts = platform.take_hosts(nprocs)
-    elif platform_name == "xdsl":
-        platform = C.xdsl_platform()
-        hosts = C.spread_hosts(platform, nprocs)
-    elif platform_name == "lan":
-        platform = C.lan_platform()
-        hosts = C.spread_hosts(platform, nprocs)
-    else:
-        raise ValueError(f"unknown platform {platform_name!r}")
-    return predictor.predict(traces, platform, hosts=hosts).t_predicted
+    return run_cached(prediction_spec(platform_name, nprocs, level)).t
 
 
 @lru_cache(maxsize=4)
@@ -64,9 +84,35 @@ def run_stage2(config: Stage2Config = Stage2Config()) -> Stage2Result:
                      seed=config.seed)
     )
     result.reference = stage1.reference_series(config.level)
-    for platform_name in ("grid5000", "xdsl", "lan"):
+    for platform_name in STAGE2_PLATFORMS:
         result.predicted[platform_name] = {
             n: predict_on(platform_name, n, config.level)
             for n in config.peer_counts
         }
     return result
+
+
+def predicted_curves(
+    peer_counts: Tuple[int, ...], level: str
+) -> Dict[str, Dict[int, float]]:
+    """Prediction-only Stage-2 curves (no reference executions) — what
+    Table I consumes; orders of magnitude cheaper than
+    :func:`run_stage2` because no full P2PDC simulation runs.
+
+    The (platform × peer-count) grid goes through the sweep runner, so
+    uncached points execute in parallel worker processes; results are
+    identical to a serial run because the scenario runner is pure.
+    """
+    from ..scenarios import SweepRunner
+
+    cells = [
+        (platform_name, n)
+        for platform_name in STAGE2_PLATFORMS
+        for n in peer_counts
+    ]
+    specs = [prediction_spec(p, n, level) for p, n in cells]
+    results = SweepRunner().run(specs)
+    out: Dict[str, Dict[int, float]] = {}
+    for (platform_name, n), result in zip(cells, results):
+        out.setdefault(platform_name, {})[n] = result.t
+    return out

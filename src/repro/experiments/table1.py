@@ -21,7 +21,7 @@ from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis import EquivalenceRow, compare_configs, equivalence_search
-from .stage2 import Stage2Config, Stage2Result, run_stage2
+from .stage2 import Stage2Config, predicted_curves
 
 #: (candidate platform, candidate peers, reference Grid5000 peers)
 PAPER_PAIRINGS: Tuple[Tuple[str, int, int], ...] = (
@@ -60,18 +60,21 @@ class Table1Result:
 
 @lru_cache(maxsize=2)
 def run_table1(config: Stage2Config = Stage2Config()) -> Table1Result:
-    stage2: Stage2Result = run_stage2(config)
-    g5k = stage2.predicted["grid5000"]
+    # Table I pairs *predicted* configurations against each other (the
+    # paper's verdicts are between dPerf predictions), so no reference
+    # execution is needed — only the three predicted curves.
+    predicted = predicted_curves(config.peer_counts, config.level)
+    g5k = predicted["grid5000"]
     result = Table1Result()
     for platform, cand_n, ref_n in PAPER_PAIRINGS:
         rows = compare_configs(
-            stage2.predicted[platform], g5k, platform, "Grid5000",
+            predicted[platform], g5k, platform, "Grid5000",
             [(cand_n, ref_n)],
         )
         result.rows.extend(rows)
         result.paper_verdicts.append(
             PAPER_VERDICTS[(platform, cand_n, ref_n)]
         )
-    result.lan_equivalents = equivalence_search(stage2.predicted["lan"], g5k)
-    result.xdsl_equivalents = equivalence_search(stage2.predicted["xdsl"], g5k)
+    result.lan_equivalents = equivalence_search(predicted["lan"], g5k)
+    result.xdsl_equivalents = equivalence_search(predicted["xdsl"], g5k)
     return result

@@ -44,8 +44,8 @@ class Link:
         if self.latency < 0:
             raise ValueError(f"link {self.name!r}: negative latency")
 
-    def __hash__(self) -> int:
-        return id(self)
+    # identity hashing (eq=False keeps object.__hash__, which is what
+    # the sharing solver keys its dicts by — and it is C-level fast)
 
     def __repr__(self) -> str:
         return (

@@ -38,6 +38,10 @@ def maxmin_allocation(
 
     remaining_cap: Dict[Link, float] = {}
     link_flows: Dict[Link, List[FlowId]] = {}
+    # live count of unassigned flows per link, maintained incrementally
+    # so each filling round scans links once instead of rescanning every
+    # link's flow list (the dominant cost on large platforms)
+    unassigned_n: Dict[Link, int] = {}
     unassigned: Dict[FlowId, Sequence[Link]] = {}
 
     for fid, route in flow_routes.items():
@@ -49,7 +53,16 @@ def maxmin_allocation(
             if link not in remaining_cap:
                 remaining_cap[link] = link.bandwidth * bandwidth_factor
                 link_flows[link] = []
+                unassigned_n[link] = 0
             link_flows[link].append(fid)
+            unassigned_n[link] += 1
+
+    def freeze(fid: FlowId, rate: float) -> None:
+        allocation[fid] = rate
+        for link in unassigned[fid]:
+            remaining_cap[link] = max(0.0, remaining_cap[link] - rate)
+            unassigned_n[link] -= 1
+        del unassigned[fid]
 
     # Progressive filling: repeatedly find the tightest constraint —
     # either a link's fair share or a flow's own cap — freeze the flows
@@ -57,8 +70,7 @@ def maxmin_allocation(
     while unassigned:
         bottleneck_link: Link | None = None
         bottleneck_share = math.inf
-        for link, fids in link_flows.items():
-            n = sum(1 for f in fids if f in unassigned)
+        for link, n in unassigned_n.items():
             if n == 0:
                 continue
             share = remaining_cap[link] / n
@@ -77,11 +89,7 @@ def maxmin_allocation(
 
         if cap_flow is not None:
             # Freeze the single capped flow at its cap.
-            rate = max(0.0, cap_rate)
-            allocation[cap_flow] = rate
-            for link in unassigned[cap_flow]:
-                remaining_cap[link] = max(0.0, remaining_cap[link] - rate)
-            del unassigned[cap_flow]
+            freeze(cap_flow, max(0.0, cap_rate))
             continue
 
         if bottleneck_link is None:  # pragma: no cover - defensive
@@ -92,10 +100,7 @@ def maxmin_allocation(
         rate = max(0.0, bottleneck_share)
         bound = [f for f in link_flows[bottleneck_link] if f in unassigned]
         for fid in bound:
-            allocation[fid] = rate
-            for link in unassigned[fid]:
-                remaining_cap[link] = max(0.0, remaining_cap[link] - rate)
-            del unassigned[fid]
+            freeze(fid, rate)
 
     return allocation
 

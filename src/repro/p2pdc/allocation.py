@@ -25,7 +25,12 @@ from typing import Dict, List, Optional
 from ..desim import AnyOf, Signal
 from .collection import CollectionLog, collect_peers
 from .computation import WorkAssignment, WorkloadSpec
-from .groups import assign_ranks, group_by_proximity, pick_coordinator
+from .groups import (
+    assign_ranks,
+    group_by_proximity,
+    group_randomly,
+    pick_coordinator,
+)
 from .messages import (
     ConvergenceDecision,
     GroupAssign,
@@ -127,8 +132,15 @@ class Submitter(Peer):
         chosen = collected[:task.n_peers]
         spares = collected[task.n_peers:]
 
-        # Phase 2: proximity groups + coordinators
-        groups = group_by_proximity(chosen, self.overlay.config.cmax)
+        # Phase 2: proximity groups + coordinators (random grouping is
+        # the ablation control — a seeded stream keeps runs replayable)
+        if self.overlay.config.grouping == "random":
+            groups = group_randomly(
+                chosen, self.overlay.config.cmax,
+                self.overlay.rng.stream("grouping"),
+            )
+        else:
+            groups = group_by_proximity(chosen, self.overlay.config.cmax)
         coordinators = [pick_coordinator(g) for g in groups]
         outcome.groups = groups
         outcome.coordinators = coordinators

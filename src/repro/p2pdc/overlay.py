@@ -29,6 +29,7 @@ class OverlayConfig:
 
     neighbor_set_size: int = 6        # |N|, half per side
     cmax: int = 32                    # max peers per group (paper: 32)
+    grouping: str = "proximity"       # "proximity" (paper) | "random"
     state_update_interval: float = 30.0
     peer_expiry: float = 75.0         # tracker drops silent peers after T
     update_ack_timeout: float = 10.0  # peer declares tracker dead after T
@@ -37,6 +38,13 @@ class OverlayConfig:
     reserve_timeout: float = 15.0
     stats_report_interval: float = 60.0
     bootstrap_tracker_count: int = 4  # trackers handed out by the server
+
+    def __post_init__(self) -> None:
+        if self.grouping not in ("proximity", "random"):
+            raise ValueError(
+                f"grouping must be 'proximity' or 'random', "
+                f"got {self.grouping!r}"
+            )
 
 
 class Overlay:

@@ -1,0 +1,7 @@
+"""``python -m repro.scenarios`` — the scenario engine CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,180 @@
+"""Command-line front end for the scenario engine.
+
+::
+
+    python -m repro.scenarios list
+    python -m repro.scenarios show fig10-cluster-o3
+    python -m repro.scenarios run fig10-cluster-o3 --workers 4
+    python -m repro.scenarios sweep fig10-cluster-o3 \
+        --set n_peers=2,4,8 --set workload.level=O0,O3
+
+``run`` executes a named scenario's registered points; ``sweep``
+replaces the registered grid with ``--set`` overrides (cartesian
+product).  Both go through the cached parallel runner: repeated
+invocations with the same cache directory are served from disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .registry import get_scenario, scenario_names, SCENARIOS
+from .runner import ScenarioResult, SweepRunner, expand_grid
+from .spec import ScenarioSpec
+
+#: Default on-disk cache location (overridable per invocation).
+DEFAULT_CACHE_DIR = os.environ.get(
+    "REPRO_SCENARIO_CACHE", os.path.join(".", ".scenario-cache")
+)
+
+
+def _parse_value(text: str) -> Any:
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_sets(pairs: Sequence[str]) -> Dict[str, Tuple[Any, ...]]:
+    grid: Dict[str, Tuple[Any, ...]] = {}
+    for pair in pairs:
+        path, eq, values = pair.partition("=")
+        if not eq or not values:
+            raise SystemExit(f"--set expects path=v1[,v2,...], got {pair!r}")
+        grid[path] = tuple(_parse_value(v) for v in values.split(","))
+    return grid
+
+
+def _print_results(results: Sequence[ScenarioResult],
+                   runner: SweepRunner) -> None:
+    width = max((len(r.name) for r in results), default=4)
+    print(f"{'scenario':<{width}}  {'kind':<9} {'t [s]':>12}  status")
+    for r in results:
+        status = "ok" if r.ok else f"FAILED: {r.reason}"
+        print(f"{r.name:<{width}}  {r.kind:<9} {r.t:>12.4f}  {status}")
+    total = runner.hits + runner.misses
+    print(f"# {total} points: {runner.hits} from cache, "
+          f"{runner.misses} executed")
+
+
+def _runner(args: argparse.Namespace) -> SweepRunner:
+    cache_dir = None if args.no_cache else args.cache_dir
+    return SweepRunner(cache_dir=cache_dir, max_workers=args.workers)
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(n) for n in scenario_names())
+    for name in scenario_names():
+        entry = SCENARIOS[name]
+        print(f"{name:<{width}}  {entry.base.kind:<9} "
+              f"{entry.n_points:>3} pt  {entry.title}")
+    return 0
+
+
+class _UsageError(Exception):
+    """A bad scenario name or grid field — reported without traceback."""
+
+
+def _resolve(fn, *args):
+    """Run a name/field resolution step, turning KeyError into a clean
+    usage error — execution errors keep their tracebacks."""
+    try:
+        return fn(*args)
+    except KeyError as exc:
+        raise _UsageError(exc.args[0]) from None
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    entry = _resolve(get_scenario, args.name)
+    payload = {
+        "name": entry.name,
+        "title": entry.title,
+        "grid": {k: list(v) for k, v in entry.grid_dict().items()},
+        "base": entry.base.to_dict(),
+        "points": [s.spec_hash() for s in entry.points()],
+    }
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    entry = _resolve(get_scenario, args.name)
+    runner = _runner(args)
+    results = runner.run(entry.points(), parallel=not args.serial)
+    _print_results(results, runner)
+    return 0 if all(r.ok for r in results) else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    entry = _resolve(get_scenario, args.name)
+    grid = _parse_sets(args.set or [])
+    specs = _resolve(expand_grid, entry.base, grid or entry.grid_dict())
+    runner = _runner(args)
+    results = runner.run(specs, parallel=not args.serial)
+    _print_results(results, runner)
+    return 0 if all(r.ok for r in results) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.scenarios`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="List and run declarative evaluation scenarios.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the named scenarios")
+
+    show = sub.add_parser("show", help="dump one scenario's spec as JSON")
+    show.add_argument("name")
+
+    def add_exec_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("name")
+        p.add_argument("--serial", action="store_true",
+                       help="run cache misses in-process, no pool")
+        p.add_argument("--workers", type=int, default=None,
+                       help="process-pool width (default: cpu count)")
+        p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                       help=f"on-disk result cache "
+                            f"(default {DEFAULT_CACHE_DIR})")
+        p.add_argument("--no-cache", action="store_true",
+                       help="skip the on-disk cache entirely")
+
+    run = sub.add_parser("run", help="run a named scenario's points")
+    add_exec_options(run)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a parameter grid over a scenario's base spec"
+    )
+    add_exec_options(sweep)
+    sweep.add_argument(
+        "--set", action="append", metavar="PATH=V1,V2,...",
+        help="grid values for one (dotted) spec field; repeatable",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": cmd_list,
+        "show": cmd_show,
+        "run": cmd_run,
+        "sweep": cmd_sweep,
+    }[args.command]
+    try:
+        return handler(args)
+    except _UsageError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

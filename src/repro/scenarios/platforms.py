@@ -1,0 +1,77 @@
+"""Platform construction from :class:`~repro.scenarios.spec.PlatformPlan`.
+
+One cached builder maps a frozen plan to a concrete
+:class:`~repro.platforms.PlatformSpec`, and one host-selection helper
+maps a policy name to the hosts the peers run on.  Heterogeneous node
+speeds are drawn from the seeded ``hetero-speeds`` substream so the
+same plan always yields the same grid (the discipline the
+heterogeneous-grid experiment relies on).
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+from typing import List
+
+from ..desim.rng import derive_seed
+from ..net import Host
+from ..platforms import (
+    PlatformSpec,
+    build_cluster,
+    build_daisy,
+    build_lan,
+    build_multisite,
+)
+from ..platforms.cluster import DEFAULT_NODE_SPEED
+from .spec import PlatformPlan
+
+
+@lru_cache(maxsize=64)
+def build_platform(plan: PlatformPlan) -> PlatformSpec:
+    """Build (and cache, per plan) the platform a scenario runs on."""
+    if plan.kind == "cluster":
+        spec = build_cluster(plan.n_hosts)
+    elif plan.kind == "lan":
+        spec = build_lan(plan.n_hosts)
+    elif plan.kind == "xdsl":
+        spec = build_daisy()
+    elif plan.kind == "multisite":
+        name = "hetero-grid" if plan.heterogeneous else "multisite"
+        spec = build_multisite(
+            n_sites=plan.n_sites, peers_per_site=plan.peers_per_site,
+            name=name,
+        )
+    else:  # pragma: no cover - guarded by PlatformPlan validation
+        raise ValueError(f"unknown platform kind {plan.kind!r}")
+    if plan.heterogeneous:
+        rng = random.Random(derive_seed(plan.hetero_seed, "hetero-speeds"))
+        for host in spec.hosts:
+            factor = rng.uniform(plan.speed_min, plan.speed_max)
+            host.speed = DEFAULT_NODE_SPEED * factor
+        spec.attrs["speed_range"] = (plan.speed_min, plan.speed_max)
+        spec.attrs["seed"] = plan.hetero_seed
+    return spec
+
+
+def spread_hosts(platform: PlatformSpec, n: int) -> List[Host]:
+    """Evenly spaced host selection — a desktop grid's peers are
+    scattered across the access network, not packed on one DSLAM."""
+    hosts = platform.hosts
+    if n > len(hosts):
+        raise ValueError(f"need {n} hosts, platform has {len(hosts)}")
+    stride = len(hosts) // n
+    return [hosts[i * stride] for i in range(n)]
+
+
+def pick_hosts(platform: PlatformSpec, n: int, policy: str) -> List[Host]:
+    """Select the ``n`` participating hosts under a named policy."""
+    if policy == "pack":
+        return platform.take_hosts(n)
+    if policy == "spread":
+        return spread_hosts(platform, n)
+    if policy == "fastest":
+        return sorted(platform.hosts, key=lambda h: -h.speed)[:n]
+    if policy == "slowest":
+        return sorted(platform.hosts, key=lambda h: h.speed)[:n]
+    raise ValueError(f"unknown host policy {policy!r}")

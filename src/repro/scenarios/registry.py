@@ -1,0 +1,258 @@
+"""Named scenarios: the paper's figures plus new workload points.
+
+Each entry is a base :class:`ScenarioSpec` with an optional parameter
+grid; ``points()`` expands the grid into concrete specs.  The stage-1/
+stage-2/Table-I experiment runners draw their runs from the same spec
+space, so these registry entries *are* the figures — and new entries
+are new figures, no bespoke loop required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Tuple
+
+from .runner import expand_grid
+from .spec import (
+    ChurnEventSpec,
+    PlatformPlan,
+    ProtocolPlan,
+    ScenarioSpec,
+    WorkloadPlan,
+)
+
+#: Peer counts evaluated in all the paper's figures (2^1 .. 2^5).
+PEER_COUNTS = (2, 4, 8, 16, 32)
+
+#: Node-speed range of the heterogeneous grid (GHz-class spread of a
+#: 2011 desktop population), relative to the 3 GHz reference.
+HETERO_SPEED_RANGE = (0.5, 1.2)
+
+#: Canonical platform plans, shared with the experiment runners so one
+#: (platform, workload, peers, seed) point always hashes to one cache
+#: entry — edit them here, nowhere else.
+CLUSTER_PLAN = PlatformPlan(kind="cluster", n_hosts=33)
+LAN_PLAN = PlatformPlan(kind="lan", n_hosts=1024)
+XDSL_PLAN = PlatformPlan(kind="xdsl")
+HETERO_GRID_PLAN = PlatformPlan(
+    kind="multisite", n_sites=8, peers_per_site=8,
+    speed_min=HETERO_SPEED_RANGE[0], speed_max=HETERO_SPEED_RANGE[1],
+)
+
+#: Obstacle target instance of the paper's evaluation (≈40 s at
+#: 2 peers / O0 on the 3 GHz reference).  Canonical: the experiment
+#: runners derive their instance constants from this plan, so registry
+#: entries and `run_stage*`/`run_table1` points hash to the same cache
+#: entries.
+OBSTACLE_TARGET = WorkloadPlan(app="obstacle", n=1024, nit=400)
+_OBSTACLE = OBSTACLE_TARGET
+
+#: Smaller obstacle instance for protocol-focused scenarios, where the
+#: interesting signal is overlay behaviour rather than raw compute.
+_OBSTACLE_SHORT = WorkloadPlan(app="obstacle", n=1024, nit=100, level="O3")
+
+
+@dataclass(frozen=True)
+class NamedScenario:
+    """A registry entry: base spec + optional parameter grid."""
+
+    name: str
+    title: str
+    base: ScenarioSpec
+    grid: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+
+    def grid_dict(self) -> Dict[str, Tuple[Any, ...]]:
+        """The grid as an ordered mapping (path → values)."""
+        return dict(self.grid)
+
+    def points(self) -> List[ScenarioSpec]:
+        """Concrete specs for every grid point (base alone if no grid)."""
+        return expand_grid(self.base, self.grid_dict())
+
+    @property
+    def n_points(self) -> int:
+        out = 1
+        for _, values in self.grid:
+            out *= len(values)
+        return out
+
+
+def _named(name, title, base, grid=()):
+    return NamedScenario(name=name, title=title, base=base,
+                         grid=tuple(grid))
+
+
+_PEER_GRID = (("n_peers", PEER_COUNTS),)
+
+SCENARIOS: Dict[str, NamedScenario] = {
+    s.name: s
+    for s in (
+        # -- paper-faithful figure scenarios -------------------------------
+        _named(
+            "fig9-cluster-o0",
+            "Fig. 9 reference: obstacle O0 on the cluster, 2..32 peers",
+            ScenarioSpec(name="fig9-cluster-o0", kind="reference",
+                         platform=CLUSTER_PLAN, workload=_OBSTACLE),
+            _PEER_GRID,
+        ),
+        _named(
+            "fig9-cluster-o3",
+            "Fig. 9 reference: obstacle O3 on the cluster, 2..32 peers",
+            ScenarioSpec(
+                name="fig9-cluster-o3", kind="reference", platform=CLUSTER_PLAN,
+                workload=replace(_OBSTACLE, level="O3"),
+            ),
+            _PEER_GRID,
+        ),
+        _named(
+            "fig10-cluster-o3",
+            "Fig. 10 prediction: dPerf replay on the cluster at O3",
+            ScenarioSpec(
+                name="fig10-cluster-o3", kind="predict", platform=CLUSTER_PLAN,
+                workload=WorkloadPlan(app="obstacle", n=1024, nit=400,
+                                      level="O3"),
+            ),
+            _PEER_GRID,
+        ),
+        _named(
+            "fig11-lan-o0",
+            "Fig. 11 prediction: cluster traces replayed on the campus LAN",
+            ScenarioSpec(name="fig11-lan-o0", kind="predict", platform=LAN_PLAN,
+                         workload=_OBSTACLE, host_policy="spread"),
+            _PEER_GRID,
+        ),
+        _named(
+            "fig11-xdsl-o0",
+            "Fig. 11 prediction: cluster traces replayed on Daisy xDSL",
+            ScenarioSpec(name="fig11-xdsl-o0", kind="predict",
+                         platform=XDSL_PLAN, workload=_OBSTACLE,
+                         host_policy="spread"),
+            _PEER_GRID,
+        ),
+        _named(
+            "table1-grid5000-o0",
+            "Table I reference curve: predicted Grid5000 configurations",
+            ScenarioSpec(name="table1-grid5000-o0", kind="predict",
+                         platform=CLUSTER_PLAN, workload=_OBSTACLE),
+            _PEER_GRID,
+        ),
+        # -- beyond the paper ----------------------------------------------
+        _named(
+            "hetero-fastest",
+            "§V future work: heterogeneous grid, fastest-peer selection",
+            ScenarioSpec(name="hetero-fastest", kind="predict",
+                         platform=HETERO_GRID_PLAN, workload=_OBSTACLE,
+                         host_policy="fastest"),
+            _PEER_GRID,
+        ),
+        _named(
+            "hetero-spread",
+            "§V future work: heterogeneous grid, scattered peer selection",
+            ScenarioSpec(name="hetero-spread", kind="predict",
+                         platform=HETERO_GRID_PLAN, workload=_OBSTACLE,
+                         host_policy="spread"),
+            _PEER_GRID,
+        ),
+        _named(
+            "xdsl-daisy-chain",
+            "Second workload: MPI-flavoured heat stepper on Daisy xDSL",
+            ScenarioSpec(
+                name="xdsl-daisy-chain", kind="predict", platform=XDSL_PLAN,
+                workload=WorkloadPlan(app="heat", n=1024, nit=400),
+                host_policy="spread",
+            ),
+            (("n_peers", (2, 4, 8)),),
+        ),
+        _named(
+            "churn-under-load",
+            "Decentralization claim: tracker crash + server outage mid-run",
+            ScenarioSpec(
+                name="churn-under-load", kind="reference", platform=CLUSTER_PLAN,
+                workload=WorkloadPlan(app="obstacle", n=1024, nit=100),
+                n_peers=8, n_zones=2, spares=2,
+                # O0 keeps the compute window at a few simulated seconds,
+                # so every event lands mid-computation.
+                churn=(
+                    ChurnEventSpec(time=0.5, kind="tracker",
+                                   target="tracker-0"),
+                    ChurnEventSpec(time=1.0, kind="server-down"),
+                    ChurnEventSpec(time=2.0, kind="server-up"),
+                ),
+            ),
+        ),
+        _named(
+            "heterogeneous-multisite",
+            "Full P2PDC run across WAN-separated sites (grouping pays off)",
+            ScenarioSpec(
+                name="heterogeneous-multisite", kind="reference",
+                platform=PlatformPlan(kind="multisite", n_sites=4,
+                                      peers_per_site=4),
+                workload=WorkloadPlan(app="obstacle", n=512, nit=100,
+                                      level="O3"),
+                n_peers=16, n_zones=4,
+                protocol=ProtocolPlan(cmax=4),  # groups align with sites
+            ),
+        ),
+        _named(
+            "large-overlay-512",
+            "Overlay scale: 512 peers join and settle on the campus LAN",
+            ScenarioSpec(name="large-overlay-512", kind="deploy",
+                         platform=LAN_PLAN, n_peers=512, n_zones=8),
+        ),
+        _named(
+            "oversubscribed-allocation",
+            "Graceful failure: task asks for more peers than exist",
+            ScenarioSpec(
+                name="oversubscribed-allocation", kind="reference",
+                platform=PlatformPlan(kind="cluster", n_hosts=8),
+                workload=_OBSTACLE_SHORT, n_peers=16, deploy_peers=8,
+            ),
+        ),
+        _named(
+            "async-lan",
+            "Asynchronous scheme on the LAN (UDP-async channels)",
+            ScenarioSpec(
+                name="async-lan", kind="reference",
+                platform=PlatformPlan(kind="lan", n_hosts=64),
+                workload=_OBSTACLE_SHORT, n_peers=8,
+                protocol=ProtocolPlan(scheme="async"),
+            ),
+        ),
+        _named(
+            "flat-allocation",
+            "Ablation: flat (pre-decentralization) allocation baseline",
+            ScenarioSpec(
+                name="flat-allocation", kind="reference", platform=CLUSTER_PLAN,
+                workload=_OBSTACLE_SHORT, n_peers=8,
+                protocol=ProtocolPlan(allocation="flat"),
+            ),
+        ),
+        _named(
+            "random-grouping",
+            "Ablation: random grouping instead of IP proximity",
+            ScenarioSpec(
+                name="random-grouping", kind="reference",
+                platform=PlatformPlan(kind="multisite", n_sites=4,
+                                      peers_per_site=4),
+                workload=WorkloadPlan(app="obstacle", n=512, nit=100,
+                                      level="O3"),
+                n_peers=16, n_zones=4,
+                protocol=ProtocolPlan(grouping="random", cmax=4),
+            ),
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> NamedScenario:
+    """Look a named scenario up, with a helpful error."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}")
+
+
+def scenario_names() -> List[str]:
+    """All registry names, in definition order."""
+    return list(SCENARIOS)

@@ -1,0 +1,394 @@
+"""Scenario execution: one pure runner, a two-level cache, a sweep.
+
+``run_scenario`` maps a :class:`ScenarioSpec` to a
+:class:`ScenarioResult` with no ambient inputs — the same spec always
+produces byte-identical results, which is what makes the two cache
+levels sound:
+
+* an in-process memo (dict keyed by spec hash) shared by every caller
+  in this interpreter — the experiment runners and the test suite ride
+  on it;
+* an optional on-disk JSON cache (one file per spec hash) that
+  survives processes, so a repeated sweep is served without
+  recomputing anything.
+
+``SweepRunner`` expands parameter grids and executes cache misses
+through a ``ProcessPoolExecutor``; because the runner is pure, the
+parallel results equal the serial ones.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from itertools import product
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from .spec import ScenarioSpec
+
+#: In-process memo: spec hash → result.  Shared by every SweepRunner
+#: and by run_cached, so repeated experiment calls are near-free.
+_MEMO: Dict[str, "ScenarioResult"] = {}
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario execution.
+
+    ``t`` is the headline seconds for the scenario kind (compute
+    window for ``reference``, ``t_predicted`` for ``predict``, settle
+    time for ``deploy``); ``metrics`` carries secondary numbers.
+    """
+
+    name: str
+    spec_hash: str
+    kind: str
+    t: float
+    ok: bool = True
+    reason: str = ""
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-safe)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioResult":
+        """Rebuild a result from its to_dict() form."""
+        return cls(**dict(data))
+
+    def canonical_json(self) -> str:
+        """Deterministic serialization (the byte-identity contract)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# the pure runner
+# ---------------------------------------------------------------------------
+
+def _auto_zones(n_peers: int) -> int:
+    return max(1, min(4, n_peers // 8))
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Execute one scenario (no caching — see :func:`run_cached`)."""
+    if spec.kind == "predict":
+        return _run_predict(spec)
+    if spec.kind == "reference":
+        return _run_reference(spec)
+    if spec.kind == "deploy":
+        return _run_deploy(spec)
+    raise ValueError(f"unknown scenario kind {spec.kind!r}")
+
+
+def _run_predict(spec: ScenarioSpec) -> ScenarioResult:
+    from . import platforms, workloads
+
+    platform = platforms.build_platform(spec.platform)
+    hosts = platforms.pick_hosts(platform, spec.n_peers, spec.host_policy)
+    w = spec.workload
+    traces = workloads.traces(w.app, spec.n_peers, w.level, w.n, w.nit)
+    prediction = workloads.predictor(w.app).predict(
+        traces, platform, hosts=hosts
+    )
+    replay = prediction.replay
+    return ScenarioResult(
+        name=spec.name, spec_hash=spec.spec_hash(), kind=spec.kind,
+        t=prediction.t_predicted,
+        metrics={
+            "compute_max": max(replay.compute_time),
+            "blocked_max": max(replay.blocked_time),
+        },
+    )
+
+
+def _deploy(spec: ScenarioSpec):
+    from ..p2pdc import ChurnEvent, ChurnPlan, OverlayConfig, deploy_overlay
+    from . import platforms
+
+    platform = platforms.build_platform(spec.platform)
+    deploy_n = spec.deploy_peers or spec.n_peers
+    n_zones = spec.n_zones or _auto_zones(deploy_n)
+    config = OverlayConfig(cmax=spec.protocol.cmax,
+                           grouping=spec.protocol.grouping)
+    dep = deploy_overlay(
+        platform, n_peers=deploy_n, n_zones=n_zones, config=config,
+        seed=spec.seed,
+    )
+    if spec.churn:
+        plan = ChurnPlan(events=[
+            ChurnEvent(e.time, e.kind, e.target) for e in spec.churn
+        ])
+        plan.arm(dep.overlay)
+    return dep
+
+
+def _run_reference(spec: ScenarioSpec) -> ScenarioResult:
+    from ..p2pdc import TaskSpec
+    from ..p2psap import Scheme
+    from . import workloads
+
+    dep = _deploy(spec)
+    scheme = Scheme.ASYNC if spec.protocol.scheme == "async" else Scheme.SYNC
+    workload = workloads.make_workload(spec.workload, spec.n_peers, scheme)
+    task = TaskSpec(workload=workload, n_peers=spec.n_peers,
+                    spares=spec.spares)
+    if spec.protocol.allocation == "flat":
+        sig = dep.submitter.submit_flat(task)
+    else:
+        sig = dep.submitter.submit(task)
+    try:
+        dep.overlay.run_until(sig, limit=1e7)
+    except RuntimeError as exc:
+        return ScenarioResult(
+            name=spec.name, spec_hash=spec.spec_hash(), kind=spec.kind,
+            t=0.0, ok=False, reason=str(exc),
+        )
+    outcome = sig.value
+    timings = outcome.timings
+    if not outcome.ok:
+        return ScenarioResult(
+            name=spec.name, spec_hash=spec.spec_hash(), kind=spec.kind,
+            t=0.0, ok=False, reason=outcome.reason,
+            metrics={"sim_events": float(dep.sim.event_count)},
+        )
+    metrics = {
+        "makespan": timings.total_time,
+        "collection_time": timings.collection_time,
+        "allocation_time": timings.allocation_time,
+        "n_groups": float(len(outcome.groups)) if outcome.groups else 1.0,
+        "sim_events": float(dep.sim.event_count),
+    }
+    return ScenarioResult(
+        name=spec.name, spec_hash=spec.spec_hash(), kind=spec.kind,
+        t=timings.completed_at - timings.compute_started_at,
+        metrics=metrics,
+    )
+
+
+def _run_deploy(spec: ScenarioSpec) -> ScenarioResult:
+    dep = _deploy(spec)
+    overlay = dep.overlay
+    return ScenarioResult(
+        name=spec.name, spec_hash=spec.spec_hash(), kind=spec.kind,
+        t=overlay.now,
+        metrics={
+            "n_peers": float(len(dep.peers)),
+            "n_trackers": float(len(dep.trackers)),
+            "control_messages": float(overlay.stats.control_messages),
+            "control_bytes": overlay.stats.control_bytes,
+            "sim_events": float(overlay.sim.event_count),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# caching
+# ---------------------------------------------------------------------------
+
+class ResultCache:
+    """On-disk JSON cache: one ``<spec-hash>.json`` file per result.
+
+    Writes are atomic (tempfile + rename), so concurrent sweeps on one
+    cache directory never see torn files.  Each entry stores the full
+    spec alongside the result; a hash collision or a stale schema is
+    treated as a miss.
+    """
+
+    def __init__(self, root: os.PathLike | str) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, spec_hash: str) -> Path:
+        return self.root / f"{spec_hash}.json"
+
+    def get(self, spec: ScenarioSpec) -> Optional[ScenarioResult]:
+        """The cached result for ``spec``, or None."""
+        path = self._path(spec.spec_hash())
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if payload.get("spec") != spec.hash_payload():
+            return None
+        return ScenarioResult.from_dict(payload["result"])
+
+    def put(self, spec: ScenarioSpec, result: ScenarioResult) -> None:
+        """Store ``result`` under ``spec``'s hash (atomic write)."""
+        path = self._path(spec.spec_hash())
+        payload = json.dumps(
+            {"spec": spec.hash_payload(), "result": result.to_dict()},
+            sort_keys=True, indent=1,
+        )
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+
+def run_cached(
+    spec: ScenarioSpec, cache: Optional[ResultCache] = None
+) -> ScenarioResult:
+    """Memoized scenario execution: memo → disk cache → compute."""
+    key = spec.spec_hash()
+    result = _MEMO.get(key)
+    if result is not None:
+        return result
+    if cache is not None:
+        result = cache.get(spec)
+        if result is not None:
+            _MEMO[key] = result
+            return result
+    result = run_scenario(spec)
+    _MEMO[key] = result
+    if cache is not None:
+        cache.put(spec, result)
+    return result
+
+
+def clear_memo() -> None:
+    """Drop the in-process memo (tests only)."""
+    _MEMO.clear()
+
+
+# ---------------------------------------------------------------------------
+# grid expansion + the sweep runner
+# ---------------------------------------------------------------------------
+
+def expand_grid(
+    base: ScenarioSpec, grid: Mapping[str, Sequence[Any]]
+) -> List[ScenarioSpec]:
+    """Cartesian product of field overrides applied to ``base``.
+
+    Keys are (dotted) spec paths, e.g. ``{"n_peers": (2, 4),
+    "workload.level": ("O0", "O3")}`` → 4 specs, named
+    ``base[n_peers=2,workload.level=O0]`` etc. in deterministic order.
+    """
+    if not grid:
+        return [base]
+    paths = list(grid)
+    specs: List[ScenarioSpec] = []
+    for combo in product(*(grid[p] for p in paths)):
+        spec = base
+        for path, value in zip(paths, combo):
+            spec = spec.with_override(path, value)
+        label = ",".join(f"{p}={v}" for p, v in zip(paths, combo))
+        specs.append(spec.with_override("name", f"{base.name}[{label}]"))
+    return specs
+
+
+def _pool_run(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: rebuild the spec, run it, ship plain data."""
+    spec = ScenarioSpec.from_dict(payload)
+    return run_cached(spec).to_dict()
+
+
+class SweepRunner:
+    """Executes scenario lists with memoization and process parallelism.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the on-disk result cache (None → in-process memo
+        only).
+    max_workers:
+        Process pool width for cache misses (None → ``os.cpu_count()``,
+        capped by the number of misses; 1 forces serial in-process).
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[os.PathLike | str] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.max_workers = max_workers
+        self.hits = 0
+        self.misses = 0
+
+    # -- execution ---------------------------------------------------------
+    def run(
+        self, specs: Sequence[ScenarioSpec], parallel: bool = True
+    ) -> List[ScenarioResult]:
+        """Run ``specs`` (cache-first), preserving input order.
+
+        Duplicate spec hashes are computed once.  With ``parallel``
+        (the default) cache misses execute in a process pool; results
+        are identical to a serial run because the runner is pure.
+        """
+        results: List[Optional[ScenarioResult]] = [None] * len(specs)
+        miss_index: Dict[str, List[int]] = {}
+        for i, spec in enumerate(specs):
+            key = spec.spec_hash()
+            cached = _MEMO.get(key)
+            if cached is None and self.cache is not None:
+                cached = self.cache.get(spec)
+                if cached is not None:
+                    _MEMO[key] = cached
+            if cached is not None:
+                results[i] = cached
+                self.hits += 1
+            else:
+                miss_index.setdefault(key, []).append(i)
+        misses = [specs[slots[0]] for slots in miss_index.values()]
+        self.misses += len(misses)
+        workers = self._effective_workers(len(misses))
+        if parallel and workers > 1:
+            computed = self._run_pool(misses, workers)
+        else:
+            computed = [run_scenario(spec) for spec in misses]
+        for spec, result in zip(misses, computed):
+            key = spec.spec_hash()
+            _MEMO[key] = result
+            if self.cache is not None:
+                self.cache.put(spec, result)
+            for i in miss_index[key]:
+                results[i] = result
+        return [r for r in results if r is not None]
+
+    def run_grid(
+        self,
+        base: ScenarioSpec,
+        grid: Mapping[str, Sequence[Any]],
+        parallel: bool = True,
+    ) -> List[ScenarioResult]:
+        """Expand ``grid`` over ``base`` and run every point."""
+        return self.run(expand_grid(base, grid), parallel=parallel)
+
+    # -- internals ---------------------------------------------------------
+    def _effective_workers(self, n_misses: int) -> int:
+        if n_misses <= 1:
+            return 1
+        width = self.max_workers or os.cpu_count() or 1
+        return max(1, min(width, n_misses))
+
+    def _run_pool(
+        self, misses: Sequence[ScenarioSpec], workers: int
+    ) -> List[ScenarioResult]:
+        payloads = [spec.to_dict() for spec in misses]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            raw = list(pool.map(_pool_run, payloads))
+        return [ScenarioResult.from_dict(d) for d in raw]
+
+    # -- reporting ---------------------------------------------------------
+    @property
+    def cache_ratio(self) -> float:
+        """Fraction of requested points served from a cache level."""
+        total = self.hits + self.misses
+        return self.hits / total if total else math.nan

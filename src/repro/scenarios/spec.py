@@ -1,0 +1,207 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is a frozen, hashable description of one
+evaluation point: *what platform*, *what workload*, *which protocol
+knobs*, *what churn*, *how many peers*, *which seed*.  Everything the
+runner needs is in the spec, nothing is hidden in ambient state — so a
+spec can be pickled to a worker process, hashed into a cache key, and
+re-run years later with identical results.
+
+The stable hash (:meth:`ScenarioSpec.spec_hash`) is a SHA-256 over the
+canonical JSON form of every field **except** the display name, so two
+scenarios that differ only in how they are labelled share one cache
+entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Dict, Mapping, Tuple
+
+from .. import __version__ as _ENGINE_VERSION
+
+#: Bump when the meaning of a field (or the result payload) changes
+#: within one release; it salts the spec hash together with the
+#: package version, so both schema edits and releases that change
+#: simulation behaviour invalidate stale on-disk cache entries.
+SCHEMA_VERSION = 1
+
+PLATFORM_KINDS = ("cluster", "lan", "xdsl", "multisite")
+SCENARIO_KINDS = ("reference", "predict", "deploy")
+HOST_POLICIES = ("pack", "spread", "fastest", "slowest")
+APPS = ("obstacle", "heat")
+SCHEMES = ("sync", "async")
+ALLOCATIONS = ("hierarchical", "flat")
+GROUPINGS = ("proximity", "random")
+
+
+def _check(value: str, allowed: Tuple[str, ...], what: str) -> None:
+    if value not in allowed:
+        raise ValueError(f"{what} must be one of {allowed}, got {value!r}")
+
+
+@dataclass(frozen=True)
+class PlatformPlan:
+    """Which simulated platform to build.
+
+    ``cluster``/``lan`` honour ``n_hosts``; ``multisite`` honours
+    ``n_sites`` × ``peers_per_site``; ``xdsl`` is the paper's fixed
+    1024-node Daisy topology.  A positive ``speed_min``/``speed_max``
+    range makes node clocks heterogeneous (drawn from the seeded
+    ``hetero-speeds`` stream, relative to the 3 GHz reference).
+    """
+
+    kind: str = "cluster"
+    n_hosts: int = 33
+    n_sites: int = 4
+    peers_per_site: int = 8
+    speed_min: float = 0.0
+    speed_max: float = 0.0
+    hetero_seed: int = 2011
+
+    def __post_init__(self) -> None:
+        _check(self.kind, PLATFORM_KINDS, "platform kind")
+        if (self.speed_min > 0) != (self.speed_max > 0):
+            raise ValueError("set both speed_min and speed_max, or neither")
+        if self.speed_min > self.speed_max:
+            raise ValueError("speed_min must be <= speed_max")
+
+    @property
+    def heterogeneous(self) -> bool:
+        """Whether node speeds are drawn from a range."""
+        return self.speed_min > 0.0
+
+
+@dataclass(frozen=True)
+class WorkloadPlan:
+    """Which application instance the peers execute.
+
+    ``app`` selects the mini-C source (obstacle problem via P2PSAP, or
+    the MPI-flavoured heat stepper); ``n``/``nit`` the target instance;
+    ``level`` the GCC optimization level priced into the traces.
+    """
+
+    app: str = "obstacle"
+    n: int = 1024
+    nit: int = 400
+    check_every: int = 10
+    level: str = "O0"
+    noise_frac: float = 0.003
+    tol: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check(self.app, APPS, "workload app")
+        if self.n < 1 or self.nit < 1:
+            raise ValueError("workload needs n >= 1 and nit >= 1")
+
+
+@dataclass(frozen=True)
+class ProtocolPlan:
+    """P2PDC / P2PSAP protocol knobs for the reference execution."""
+
+    scheme: str = "sync"
+    allocation: str = "hierarchical"
+    grouping: str = "proximity"
+    cmax: int = 32
+
+    def __post_init__(self) -> None:
+        _check(self.scheme, SCHEMES, "scheme")
+        _check(self.allocation, ALLOCATIONS, "allocation")
+        _check(self.grouping, GROUPINGS, "grouping")
+        if self.cmax < 1:
+            raise ValueError("cmax must be >= 1")
+
+
+@dataclass(frozen=True)
+class ChurnEventSpec:
+    """One failure-injection event at an absolute simulated time."""
+
+    time: float
+    kind: str  # "peer" | "tracker" | "server-down" | "server-up"
+    target: str = ""
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-specified evaluation point.
+
+    ``kind`` selects the runner path: ``reference`` executes the full
+    P2PDC protocol simulation, ``predict`` replays dPerf traces on the
+    platform, ``deploy`` only builds and settles the overlay (for
+    overlay-scale scenarios).  ``deploy_peers`` lets a scenario deploy
+    fewer peers than the task requests (oversubscription); 0 means
+    "same as n_peers".  ``n_zones`` 0 means the stage-1 auto rule.
+    """
+
+    name: str
+    kind: str = "predict"
+    platform: PlatformPlan = PlatformPlan()
+    workload: WorkloadPlan = WorkloadPlan()
+    protocol: ProtocolPlan = ProtocolPlan()
+    churn: Tuple[ChurnEventSpec, ...] = ()
+    n_peers: int = 4
+    deploy_peers: int = 0
+    n_zones: int = 0
+    spares: int = 0
+    host_policy: str = "pack"
+    seed: int = 2011
+
+    def __post_init__(self) -> None:
+        _check(self.kind, SCENARIO_KINDS, "scenario kind")
+        _check(self.host_policy, HOST_POLICIES, "host policy")
+        if self.n_peers < 1:
+            raise ValueError("n_peers must be >= 1")
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-safe, round-trips via from_dict)."""
+        d = asdict(self)
+        d["churn"] = [asdict(e) for e in self.churn]
+        return d
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from its to_dict() form."""
+        d = dict(data)
+        d["platform"] = PlatformPlan(**d["platform"])
+        d["workload"] = WorkloadPlan(**d["workload"])
+        d["protocol"] = ProtocolPlan(**d["protocol"])
+        d["churn"] = tuple(ChurnEventSpec(**e) for e in d.get("churn", ()))
+        return cls(**d)
+
+    # -- hashing -----------------------------------------------------------
+    def hash_payload(self) -> Dict[str, Any]:
+        """Everything that defines the result (name excluded)."""
+        d = self.to_dict()
+        del d["name"]
+        d["schema"] = SCHEMA_VERSION
+        d["engine"] = _ENGINE_VERSION
+        return d
+
+    def spec_hash(self) -> str:
+        """Stable 16-hex-digit content hash of this spec."""
+        blob = json.dumps(self.hash_payload(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    # -- grid expansion ----------------------------------------------------
+    def with_override(self, path: str, value: Any) -> "ScenarioSpec":
+        """A copy with one (possibly dotted) field replaced.
+
+        ``spec.with_override("workload.level", "O3")`` rebuilds the
+        nested frozen dataclass; ``spec.with_override("n_peers", 8)``
+        replaces a top-level field.
+        """
+        head, _, rest = path.partition(".")
+        names = {f.name for f in fields(self)}
+        if head not in names:
+            raise KeyError(f"unknown scenario field {head!r}")
+        if not rest:
+            return replace(self, **{head: value})
+        sub = getattr(self, head)
+        sub_names = {f.name for f in fields(sub)}
+        if rest not in sub_names:
+            raise KeyError(f"unknown field {rest!r} in {head}")
+        return replace(self, **{head: replace(sub, **{rest: value})})

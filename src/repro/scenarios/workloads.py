@@ -1,0 +1,169 @@
+"""Workload construction from :class:`~repro.scenarios.spec.WorkloadPlan`.
+
+The dPerf calibration pipeline, generalized over the two domain
+applications: one instrumented *calibration* execution per (app, peer
+count) — small instance, virtual hardware counters — then traces of
+any *target* instance are obtained by block-benchmark scale-up at any
+GCC level.  All stages are cached per process, so a sweep touching the
+same (app, nprocs, level, n, nit) point twice pays once.
+
+``experiments.calibration`` delegates here; this module is the single
+owner of the calibration constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, List, Sequence, Tuple
+
+from ..apps import heat, obstacle
+from ..dperf import DPerfPredictor, ScalePlan
+from ..p2pdc import WorkloadSpec
+from ..p2psap import Scheme
+from .spec import WorkloadPlan
+
+#: Calibration instance size dPerf actually interprets.
+CAL_N = 32
+#: Obstacle convergence-check period baked into the calibration run.
+CHECK_EVERY = 10
+
+
+@dataclass(frozen=True)
+class AppAdapter:
+    """Everything app-specific the calibration pipeline needs."""
+
+    name: str
+    source: Callable[[], str]
+    entry: str
+    cal_nit: int
+    cycle_len: int
+    warmup_cycles: int
+    entry_args: Callable[[int, int], Sequence[int]]  # (n, nit) -> args
+    scale_env: Callable[[int, int], dict]            # (n, nranks) -> env
+    halo_bytes: Callable[[int], float]
+    residual: Callable[[int], Callable[[int], float]]
+
+
+def _default_residual(_n: int) -> Callable[[int], float]:
+    return lambda it: 1.0 / (1 + it)
+
+
+ADAPTERS = {
+    "obstacle": AppAdapter(
+        name="obstacle",
+        source=obstacle.obstacle_source,
+        entry=obstacle.ENTRY,
+        cal_nit=2 * CHECK_EVERY,  # 1 warm-up cycle + 1 template cycle
+        cycle_len=CHECK_EVERY,
+        warmup_cycles=1,
+        entry_args=lambda n, nit: obstacle.entry_args(n, nit, CHECK_EVERY),
+        scale_env=obstacle.scale_env,
+        halo_bytes=lambda n: (n + 2) * 8.0,
+        residual=obstacle.residual_model,
+    ),
+    "heat": AppAdapter(
+        name="heat",
+        source=heat.heat_source,
+        entry=heat.ENTRY,
+        cal_nit=8,
+        cycle_len=1,
+        warmup_cycles=2,
+        entry_args=lambda n, nit: [n, nit],
+        scale_env=heat.scale_env,
+        halo_bytes=lambda n: 8.0,  # one double per halo message
+        residual=_default_residual,
+    ),
+}
+
+
+def adapter(app: str) -> AppAdapter:
+    """Look an application adapter up by name."""
+    try:
+        return ADAPTERS[app]
+    except KeyError:
+        raise KeyError(f"unknown app {app!r}; have {sorted(ADAPTERS)}")
+
+
+@lru_cache(maxsize=4)
+def predictor(app: str) -> DPerfPredictor:
+    """The (cached) dPerf predictor for one application source."""
+    a = adapter(app)
+    return DPerfPredictor(a.source(), a.entry)
+
+
+@lru_cache(maxsize=32)
+def calibration_runs(app: str, nprocs: int):
+    """One instrumented execution per (app, peer count), reused by
+    every trace request at any level or target size."""
+    a = adapter(app)
+    return predictor(app).execute(
+        nprocs, args=list(a.entry_args(CAL_N, a.cal_nit))
+    )
+
+
+def scale_plan(app: str, nprocs: int, n: int, nit: int) -> ScalePlan:
+    """Block-benchmark scale-up plan: calibration → target instance."""
+    a = adapter(app)
+    return ScalePlan(
+        env_cal=a.scale_env(CAL_N, nprocs),
+        env_target=a.scale_env(n, nprocs),
+        nit_target=nit,
+        region="iter",
+        cycle_len=a.cycle_len,
+        warmup_cycles=a.warmup_cycles,
+    )
+
+
+@lru_cache(maxsize=256)
+def traces(app: str, nprocs: int, level: str, n: int, nit: int):
+    """Scaled traces of the target instance at one GCC level."""
+    return predictor(app).traces_for(
+        calibration_runs(app, nprocs), level,
+        scale=scale_plan(app, nprocs, n, nit),
+        app=app, extra_meta={"n": str(n), "nit": str(nit)},
+    )
+
+
+def iteration_seconds(
+    app: str, nprocs: int, level: str, n: int, nit: int
+) -> List[float]:
+    """Per-rank compute seconds per iteration of the target instance."""
+    return [
+        t.total_compute_ns * 1e-9 / nit
+        for t in traces(app, nprocs, level, n, nit)
+    ]
+
+
+def make_workload(
+    plan: WorkloadPlan, nprocs: int, scheme: Scheme = Scheme.SYNC
+) -> WorkloadSpec:
+    """A :class:`WorkloadSpec` for the P2PDC reference execution of one
+    workload plan (compute bursts priced by the dPerf cost model)."""
+    a = adapter(plan.app)
+    per_rank = iteration_seconds(plan.app, nprocs, plan.level, plan.n,
+                                 plan.nit)
+
+    def iteration_time(rank: int, nranks: int) -> float:
+        return per_rank[min(rank, len(per_rank) - 1)]
+
+    return WorkloadSpec(
+        name=f"{plan.app}-{plan.level}-{nprocs}p",
+        nit=plan.nit,
+        halo_bytes=a.halo_bytes(plan.n),
+        iteration_time=iteration_time,
+        check_every=plan.check_every,
+        scheme=scheme,
+        noise_frac=plan.noise_frac,
+        residual=a.residual(CAL_N),
+        tol=plan.tol,
+        result_bytes=4096,
+        subtask_bytes=8192,
+    )
+
+
+def clear_caches() -> None:
+    """Drop all in-process calibration caches (tests only)."""
+    predictor.cache_clear()
+    calibration_runs.cache_clear()
+    traces.cache_clear()

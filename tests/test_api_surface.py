@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.apps",
     "repro.analysis",
     "repro.experiments",
+    "repro.scenarios",
 ]
 
 

@@ -21,14 +21,22 @@ class TestGrid:
         assert max(speeds) - min(speeds) > 0.3
 
     def test_deterministic_per_seed(self):
+        from repro.scenarios import build_platform
+
+        def fresh_speeds(seed):
+            # clear both cache levels so the platform (and its speed
+            # assignment) is genuinely rebuilt
+            heterogeneous_grid.cache_clear()
+            build_platform.cache_clear()
+            return [h.speed for h in heterogeneous_grid(seed=seed).hosts]
+
+        s1 = fresh_speeds(3)
+        s2 = fresh_speeds(3)
+        s3 = fresh_speeds(4)
         heterogeneous_grid.cache_clear()
-        g1 = heterogeneous_grid(seed=3)
-        s1 = [h.speed for h in g1.hosts]
-        heterogeneous_grid.cache_clear()
-        g2 = heterogeneous_grid(seed=3)
-        s2 = [h.speed for h in g2.hosts]
-        heterogeneous_grid.cache_clear()
+        build_platform.cache_clear()
         assert s1 == s2
+        assert s1 != s3  # the speed draw actually depends on the seed
 
     def test_selection_policies(self):
         grid = heterogeneous_grid()

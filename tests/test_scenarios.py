@@ -1,0 +1,312 @@
+"""Tests for the scenario engine: specs, registry, runner, cache, CLI.
+
+The sweep-runner tests use tiny heat-app predict scenarios so a full
+parallel/serial/cache matrix stays cheap — the engine is the subject
+here, not the workload.
+"""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    SCENARIOS,
+    ResultCache,
+    ScenarioResult,
+    ScenarioSpec,
+    SweepRunner,
+    expand_grid,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
+from repro.scenarios.runner import clear_memo
+from repro.scenarios.spec import (
+    ChurnEventSpec,
+    PlatformPlan,
+    ProtocolPlan,
+    WorkloadPlan,
+)
+
+
+def tiny_spec(**overrides) -> ScenarioSpec:
+    """A fast predict scenario (small heat instance, 4-host cluster)."""
+    defaults = dict(
+        name="tiny",
+        kind="predict",
+        platform=PlatformPlan(kind="cluster", n_hosts=4),
+        workload=WorkloadPlan(app="heat", n=64, nit=30, level="O1"),
+        n_peers=2,
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    """Each test starts with an empty in-process memo."""
+    clear_memo()
+    yield
+    clear_memo()
+
+
+class TestSpec:
+    def test_hash_is_stable_across_processes(self):
+        """The hash is content-derived: a hard-coded value pins it so
+        accidental hash-scheme changes (which would orphan every
+        on-disk cache) are caught.  If this fails because you bumped
+        SCHEMA_VERSION or repro.__version__, updating the constant is
+        the deliberate acknowledgment that existing caches invalidate.
+        """
+        spec = ScenarioSpec(name="x")
+        assert spec.spec_hash() == "44dea7081cacd09c"
+        rebuilt = ScenarioSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        )
+        assert rebuilt.spec_hash() == spec.spec_hash()
+
+    def test_name_excluded_from_hash(self):
+        a = tiny_spec(name="a")
+        b = tiny_spec(name="completely-different")
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_any_field_change_changes_hash(self):
+        base = tiny_spec()
+        variants = [
+            tiny_spec(n_peers=4),
+            tiny_spec(seed=1),
+            tiny_spec(workload=WorkloadPlan(app="heat", n=64, nit=31,
+                                            level="O1")),
+            tiny_spec(platform=PlatformPlan(kind="cluster", n_hosts=5)),
+            tiny_spec(protocol=ProtocolPlan(cmax=8)),
+            tiny_spec(churn=(ChurnEventSpec(1.0, "server-down"),)),
+            tiny_spec(host_policy="spread"),
+        ]
+        hashes = {base.spec_hash()} | {v.spec_hash() for v in variants}
+        assert len(hashes) == len(variants) + 1
+
+    def test_round_trip_through_dict(self):
+        spec = tiny_spec(
+            churn=(ChurnEventSpec(2.0, "tracker", "tracker-0"),),
+            protocol=ProtocolPlan(scheme="async", grouping="random"),
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            ScenarioSpec(name="x", kind="dream")
+        with pytest.raises(ValueError, match="app"):
+            WorkloadPlan(app="tetris")
+        with pytest.raises(ValueError, match="speed_min"):
+            PlatformPlan(speed_min=1.0, speed_max=0.5)
+
+    def test_with_override_dotted(self):
+        spec = tiny_spec()
+        assert spec.with_override("workload.level", "O3").workload.level == "O3"
+        assert spec.with_override("n_peers", 8).n_peers == 8
+        with pytest.raises(KeyError):
+            spec.with_override("workload.flavour", 1)
+        with pytest.raises(KeyError):
+            spec.with_override("nonsense", 1)
+
+
+class TestRegistry:
+    def test_at_least_ten_named_scenarios(self):
+        assert len(SCENARIOS) >= 10
+
+    def test_every_entry_expands_and_hashes(self):
+        for name in scenario_names():
+            entry = get_scenario(name)
+            points = entry.points()
+            assert len(points) == entry.n_points >= 1
+            hashes = {p.spec_hash() for p in points}
+            assert len(hashes) == len(points), f"{name}: duplicate points"
+
+    def test_covers_all_kinds_and_both_apps(self):
+        kinds = {e.base.kind for e in SCENARIOS.values()}
+        assert kinds == {"reference", "predict", "deploy"}
+        apps = {e.base.workload.app for e in SCENARIOS.values()}
+        assert apps == {"obstacle", "heat"}
+
+    def test_unknown_name_helpful_error(self):
+        with pytest.raises(KeyError, match="fig9-cluster-o0"):
+            get_scenario("nope")
+
+    def test_experiment_specs_share_registry_cache_keys(self):
+        """The stage runners and the registry draw from one spec space:
+        the same (platform, workload, peers) point must hash to the
+        same cache entry wherever it is built."""
+        from repro.experiments import heterogeneous, stage1, stage2
+
+        fig10 = SCENARIOS["fig10-cluster-o3"].points()
+        assert (stage1.prediction_spec(2, "O3").spec_hash()
+                == fig10[0].spec_hash())
+        fig11_xdsl = SCENARIOS["fig11-xdsl-o0"].points()
+        assert (stage2.prediction_spec("xdsl", 4, "O0").spec_hash()
+                == fig11_xdsl[1].spec_hash())
+        hetero = SCENARIOS["hetero-fastest"].points()
+        assert (heterogeneous.prediction_spec(8, "O0", "fastest").spec_hash()
+                == hetero[2].spec_hash())
+
+
+class TestExpandGrid:
+    def test_cartesian_product_and_names(self):
+        base = tiny_spec(name="base")
+        specs = expand_grid(
+            base, {"n_peers": (2, 4), "workload.level": ("O0", "O1")}
+        )
+        assert len(specs) == 4
+        assert specs[0].name == "base[n_peers=2,workload.level=O0]"
+        assert {(s.n_peers, s.workload.level) for s in specs} == {
+            (2, "O0"), (2, "O1"), (4, "O0"), (4, "O1"),
+        }
+
+    def test_empty_grid_is_base(self):
+        base = tiny_spec()
+        assert expand_grid(base, {}) == [base]
+
+
+class TestRunnerAndCache:
+    def grid_specs(self, n_levels=3):
+        return expand_grid(
+            tiny_spec(), {"n_peers": (2, 4), "workload.level":
+                          ("O0", "O1", "O2", "O3")[:n_levels]}
+        )
+
+    def test_cache_hit_miss_accounting(self, tmp_path):
+        specs = self.grid_specs(2)  # 4 points
+        runner = SweepRunner(cache_dir=tmp_path)
+        runner.run(specs, parallel=False)
+        assert (runner.hits, runner.misses) == (0, 4)
+        assert len(runner.cache) == 4
+
+        # same process, fresh runner: memo serves everything
+        second = SweepRunner(cache_dir=tmp_path)
+        second.run(specs, parallel=False)
+        assert (second.hits, second.misses) == (4, 0)
+
+        # cold process simulated: memo cleared, disk serves everything
+        clear_memo()
+        third = SweepRunner(cache_dir=tmp_path)
+        third.run(specs, parallel=False)
+        assert (third.hits, third.misses) == (4, 0)
+        assert third.cache_ratio == 1.0
+
+    def test_cached_result_is_byte_identical(self, tmp_path):
+        spec = tiny_spec()
+        fresh = run_scenario(spec).canonical_json()
+        runner = SweepRunner(cache_dir=tmp_path)
+        runner.run([spec], parallel=False)
+        clear_memo()
+        from_disk = SweepRunner(cache_dir=tmp_path).run(
+            [spec], parallel=False
+        )[0]
+        assert from_disk.canonical_json() == fresh
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        spec = tiny_spec()
+        cache = ResultCache(tmp_path)
+        (tmp_path / f"{spec.spec_hash()}.json").write_text("{not json")
+        assert cache.get(spec) is None
+
+    def test_duplicate_specs_computed_once(self, tmp_path):
+        spec = tiny_spec()
+        runner = SweepRunner(cache_dir=tmp_path)
+        results = runner.run([spec, spec, spec], parallel=False)
+        assert len(results) == 3
+        assert runner.misses == 1  # one computation serves all slots
+        assert results[0].canonical_json() == results[2].canonical_json()
+
+    def test_parallel_equals_serial(self, tmp_path):
+        """The acceptance contract: a parallel sweep returns exactly
+        the serial results, point for point."""
+        specs = self.grid_specs(3)  # 6 points
+        serial = [run_scenario(s) for s in specs]
+
+        clear_memo()
+        runner = SweepRunner(cache_dir=tmp_path / "par", max_workers=4)
+        parallel = runner.run(specs, parallel=True)
+        assert runner.misses == len(specs)
+
+        assert [r.canonical_json() for r in parallel] == [
+            r.canonical_json() for r in serial
+        ]
+
+    def test_second_sweep_served_from_disk(self, tmp_path):
+        """≥90% of a repeated 12-point sweep comes from the cache (here:
+        all of it)."""
+        specs = expand_grid(
+            tiny_spec(),
+            {"n_peers": (2, 4), "workload.level": ("O0", "O1", "O2"),
+             "workload.nit": (30, 40)},
+        )
+        assert len(specs) == 12
+        first = SweepRunner(cache_dir=tmp_path, max_workers=4)
+        first.run(specs)
+        clear_memo()
+        again = SweepRunner(cache_dir=tmp_path, max_workers=4)
+        again.run(specs)
+        assert again.cache_ratio >= 0.9
+        assert again.misses == 0
+
+
+class TestScenarioExecution:
+    def test_deploy_scenario_reports_overlay_metrics(self):
+        spec = ScenarioSpec(
+            name="deploy-tiny", kind="deploy",
+            platform=PlatformPlan(kind="cluster", n_hosts=8), n_peers=8,
+            n_zones=2,
+        )
+        result = run_scenario(spec)
+        assert result.ok
+        assert result.metrics["n_peers"] == 8
+        assert result.metrics["control_messages"] > 0
+
+    def test_oversubscribed_fails_gracefully(self):
+        result = run_scenario(SCENARIOS["oversubscribed-allocation"].base)
+        assert not result.ok
+        assert "collected only" in result.reason
+
+    def test_churn_under_load_completes(self):
+        result = run_scenario(SCENARIOS["churn-under-load"].base)
+        assert result.ok, result.reason
+        assert result.t > 2.0  # churn events at 0.5/1.0/2.0 land mid-run
+
+    def test_random_grouping_slower_than_proximity(self):
+        prox = run_scenario(SCENARIOS["heterogeneous-multisite"].base)
+        rand = run_scenario(SCENARIOS["random-grouping"].base)
+        assert prox.ok and rand.ok
+        assert rand.metrics["makespan"] > prox.metrics["makespan"]
+
+
+class TestCli:
+    def test_list_names_every_scenario(self, capsys):
+        from repro.scenarios.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_show_dumps_spec_json(self, capsys):
+        from repro.scenarios.cli import main
+
+        assert main(["show", "fig10-cluster-o3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["base"]["kind"] == "predict"
+        assert len(payload["points"]) == 5
+
+    def test_sweep_runs_grid_with_cache(self, tmp_path, capsys):
+        from repro.scenarios.cli import main
+
+        argv = [
+            "sweep", "xdsl-daisy-chain",
+            "--set", "n_peers=2",
+            "--set", "workload.n=64", "--set", "workload.nit=30",
+            "--cache-dir", str(tmp_path), "--serial",
+        ]
+        assert main(argv) == 0
+        assert "1 executed" in capsys.readouterr().out
+        clear_memo()
+        assert main(argv) == 0
+        assert "1 from cache" in capsys.readouterr().out
