@@ -1,12 +1,27 @@
-"""S1 — scenario-engine smoke benchmark.
+"""S1 — scenario-engine smoke benchmark + replay hot path.
 
 One tiny sweep through the cached parallel runner: measures the
 engine's own overhead (spec hashing, memo, disk cache, result
 serialization) against a warm in-process memo, and regenerates a
 small results table. Fast by construction — this is the bench CI runs
 on every push.
+
+``test_replay_hot_path`` times the max-min trace replay on the two
+1024-node platforms (campus LAN, Daisy xDSL) — the inner loop every
+churn-grid point pays — against the recorded pre-PR-2 baseline in
+``benchmarks/BENCH_replay.json`` (route-set interning + event-batched
+reshare + constraint-reduced solver landed at ≥2× there).  Wall-clock
+ratios vs the recorded dev-machine baseline are informational; the
+*enforced* regression guards are machine-independent: the reshare
+(solver-invocation) count must not exceed the pre-PR-2 count, and
+``t_predicted`` must match the baseline exactly.
 """
 
+import json
+import pathlib
+import time
+
+import pytest
 from conftest import emit
 
 from repro.analysis import format_table
@@ -49,3 +64,62 @@ def test_sweep_cache_overhead(benchmark, tmp_path):
          ["cold memo, disk cache", str(len(specs)), str(disk.hits)]],
     ))
     assert disk.hits == len(specs)
+
+
+# ---------------------------------------------------------------------------
+# replay hot path (the churn-grid inner loop)
+# ---------------------------------------------------------------------------
+
+#: What the replay bench runs: the paper's obstacle target instance on
+#: 16 spread peers — big enough that the fluid solver dominates.
+REPLAY_CASE = dict(app="obstacle", nprocs=16, level="O0", n=1024, nit=400)
+REPLAY_PLATFORMS = ("lan", "xdsl")
+REPLAY_REPEATS = 3
+BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_replay.json"
+
+
+def _replay_once(kind: str):
+    from repro.scenarios import platforms as P, workloads as W
+    from repro.simx.replay import TraceReplayer
+
+    plan = (PlatformPlan(kind="lan", n_hosts=1024) if kind == "lan"
+            else PlatformPlan(kind="xdsl"))
+    platform = P.build_platform(plan)
+    hosts = P.pick_hosts(platform, REPLAY_CASE["nprocs"], "spread")
+    traces = W.traces(REPLAY_CASE["app"], REPLAY_CASE["nprocs"],
+                      REPLAY_CASE["level"], REPLAY_CASE["n"],
+                      REPLAY_CASE["nit"])
+    replayer = TraceReplayer(traces, platform, hosts=hosts)
+    t0 = time.perf_counter()
+    result = replayer.run()
+    return time.perf_counter() - t0, result, replayer.net
+
+
+def test_replay_hot_path():
+    baseline = json.loads(BASELINE_PATH.read_text())
+    rows = []
+    for kind in REPLAY_PLATFORMS:
+        walls = []
+        for _ in range(REPLAY_REPEATS):
+            wall, result, net = _replay_once(kind)
+            walls.append(wall)
+        best = min(walls)
+        base = baseline["pre_pr2"][kind]
+        rows.append([
+            kind, f"{base['wall_s']:.3f}", f"{best:.3f}",
+            f"{base['wall_s'] / best:.2f}x",
+            str(net.reshare_count), str(base["reshares"]),
+            f"{result.t_predicted:.4f}",
+        ])
+        # the replay rework must not move the prediction itself
+        assert result.t_predicted == pytest.approx(
+            base["t_predicted"], rel=1e-6
+        )
+        # machine-independent speedup guard: the optimized engine must
+        # keep invoking the solver (far) less often than pre-PR-2 did
+        assert net.reshare_count <= base["reshares"]
+    emit("replay_hot_path", format_table(
+        ["platform", "pre-PR2 [s]", "now [s]", "speedup",
+         "reshares", "pre-PR2 reshares", "t_predicted [s]"],
+        rows,
+    ))

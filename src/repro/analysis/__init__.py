@@ -1,6 +1,17 @@
 """Result handling: accuracy metrics, Table-I classification, reports."""
 
-from .compare import AccuracyReport, accuracy, relative_error, series_accuracy, speedup_series
+from .compare import (
+    AccuracyReport,
+    ComparisonRow,
+    SweepComparison,
+    SweepData,
+    accuracy,
+    compare_sweeps,
+    parse_point_label,
+    relative_error,
+    series_accuracy,
+    speedup_series,
+)
 from .equivalence import (
     BETTER,
     LOWER,
@@ -17,12 +28,17 @@ from .report import format_equivalence_table, format_series, format_table
 __all__ = [
     "AccuracyReport",
     "BETTER",
+    "ComparisonRow",
     "EquivalenceRow",
     "LOWER",
     "SAME",
     "SLIGHTLY_LOWER",
+    "SweepComparison",
+    "SweepData",
     "accuracy",
     "classify",
+    "compare_sweeps",
+    "parse_point_label",
     "compare_configs",
     "equivalence_search",
     "find_equivalent_config",

@@ -1,9 +1,22 @@
-"""Reference-vs-prediction error metrics (Fig. 10's accuracy claim)."""
+"""Reference-vs-prediction error metrics (Fig. 10's accuracy claim) —
+and sweep-vs-sweep comparison reports.
+
+The sweep half turns two cached sweeps (as written by
+``python -m repro.scenarios sweep … --label …``) into one diff table:
+points are matched on the grid axes the two sweeps share, aggregated
+over the axes they don't (seeds, platforms), and rendered as markdown
+or JSON.  ``completed`` metrics (churn grids) aggregate into a
+completion probability per matched row, which is how the §III-D
+robustness numbers are read out.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Mapping, Sequence, Tuple
+import json
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 
 def relative_error(predicted: float, reference: float) -> float:
@@ -56,3 +69,246 @@ def speedup_series(times: Mapping[int, float]) -> Dict[int, float]:
         return {}
     base = times[min(times)]
     return {n: base / t for n, t in times.items()}
+
+
+# ---------------------------------------------------------------------------
+# sweep-vs-sweep comparison
+# ---------------------------------------------------------------------------
+
+_LABEL_RE = re.compile(r"\[([^\]]*)\]$")
+
+
+def parse_point_label(name: str) -> Dict[str, str]:
+    """Grid assignments encoded in an expanded point name.
+
+    ``expand_grid`` names points ``base[path=value,...]``; this
+    recovers the ``{path: value}`` mapping (empty for unexpanded
+    bases).
+    """
+    m = _LABEL_RE.search(name)
+    if not m or not m.group(1):
+        return {}
+    out: Dict[str, str] = {}
+    for part in m.group(1).split(","):
+        path, eq, value = part.partition("=")
+        if eq:
+            out[path] = value
+    return out
+
+
+@dataclass
+class SweepData:
+    """One cached sweep: a label and its point results (plain dicts).
+
+    ``points`` entries need ``name`` and ``result`` keys —
+    the shape stored in sweep manifests.
+    """
+
+    label: str
+    points: List[Dict[str, Any]]
+
+    @classmethod
+    def from_manifest(cls, payload: Mapping[str, Any]) -> "SweepData":
+        return cls(label=payload["label"], points=list(payload["points"]))
+
+    def axes(self) -> List[str]:
+        """All grid paths appearing in this sweep's point names."""
+        seen: Dict[str, None] = {}
+        for point in self.points:
+            for key in parse_point_label(point["name"]):
+                seen.setdefault(key)
+        return list(seen)
+
+
+@dataclass
+class ComparisonRow:
+    """One matched key of a sweep diff (aggregates over unshared axes)."""
+
+    key: Dict[str, str]
+    n_a: int = 0
+    n_b: int = 0
+    mean_a: Optional[float] = None
+    mean_b: Optional[float] = None
+    completion_a: Optional[float] = None
+    completion_b: Optional[float] = None
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.mean_a is None or self.mean_b is None:
+            return None
+        return self.mean_b - self.mean_a
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if not self.mean_a or self.mean_b is None:
+            return None
+        return self.mean_b / self.mean_a
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "n_a": self.n_a, "n_b": self.n_b,
+            "mean_a": self.mean_a, "mean_b": self.mean_b,
+            "delta": self.delta, "ratio": self.ratio,
+            "completion_a": self.completion_a,
+            "completion_b": self.completion_b,
+        }
+
+
+def _aggregate(points: Sequence[Mapping[str, Any]], metric: str):
+    """(n, mean metric over completed points, completion probability).
+
+    Hard failures (``ok: false`` — engine errors, non-churn scenario
+    failures) are excluded from *both* aggregates: only ``ok`` points
+    count, matching the runner's contract that an engine error is
+    never a completion-probability datum.
+    """
+    values: List[float] = []
+    completed: List[float] = []
+    for point in points:
+        result = point["result"]
+        if not result.get("ok", True):
+            continue
+        metrics = result.get("metrics", {})
+        done = metrics.get("completed")
+        if done is not None:
+            completed.append(done)
+        if done == 0.0:
+            continue
+        value = result.get(metric)
+        if value is None:
+            value = metrics.get(metric)
+        if value is not None:
+            values.append(value)
+    mean = sum(values) / len(values) if values else None
+    prob = sum(completed) / len(completed) if completed else None
+    return len(points), mean, prob
+
+
+def _sort_token(value: str):
+    try:
+        return (0, float(value))
+    except ValueError:
+        return (1, value)
+
+
+def _canon(value: str) -> str:
+    """Canonical form of a grid value so ``0``, ``0.0`` and ``0.00``
+    match across sweeps that spelled the same number differently."""
+    try:
+        number = float(value)
+    except ValueError:
+        return value
+    if not math.isfinite(number):
+        return repr(number)  # inf/nan: no integer form
+    if number == int(number):
+        return str(int(number))
+    return repr(number)
+
+
+@dataclass
+class SweepComparison:
+    """The diff of two sweeps over their shared grid axes."""
+
+    a: str
+    b: str
+    metric: str
+    shared_axes: List[str]
+    rows: List[ComparisonRow] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "a": self.a, "b": self.b, "metric": self.metric,
+            "shared_axes": self.shared_axes,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown report."""
+        axes = ", ".join(self.shared_axes) or "(whole sweep)"
+        show_completion = any(
+            row.completion_a is not None or row.completion_b is not None
+            for row in self.rows
+        )
+        lines = [
+            f"# Sweep comparison: `{self.a}` vs `{self.b}`",
+            "",
+            f"- metric: `{self.metric}` "
+            "(mean over completed points of each matched group)",
+            f"- matched on: {axes}",
+            f"- A = `{self.a}`, B = `{self.b}`",
+            "",
+        ]
+        header = ["key", "n A", "n B", f"{self.metric} A",
+                  f"{self.metric} B", "Δ (B−A)", "B/A"]
+        if show_completion:
+            header += ["P(complete) A", "P(complete) B"]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "---|" * len(header))
+        for row in self.rows:
+            key = ", ".join(
+                f"{k}={v}" for k, v in row.key.items()
+            ) or "(all)"
+            cells = [
+                key, str(row.n_a), str(row.n_b),
+                _fmt(row.mean_a), _fmt(row.mean_b),
+                _fmt(row.delta), _fmt(row.ratio),
+            ]
+            if show_completion:
+                cells += [_fmt(row.completion_a), _fmt(row.completion_b)]
+            lines.append("| " + " | ".join(cells) + " |")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "—"
+    if math.isnan(value):
+        return "nan"
+    return f"{value:.4g}"
+
+
+def compare_sweeps(
+    a: SweepData, b: SweepData, metric: str = "t"
+) -> SweepComparison:
+    """Diff two sweeps: match on shared grid axes, aggregate the rest.
+
+    Points are keyed by the values of the axes appearing in *both*
+    sweeps; each key's points aggregate to a mean ``metric`` (over
+    completed points) and, when ``completed`` metrics are present, a
+    completion probability.  Keys present in only one sweep still get
+    a row — an axis swept on one side only shows up as unmatched.
+    """
+    axes_a, axes_b = a.axes(), b.axes()
+    shared = [axis for axis in axes_a if axis in axes_b]
+
+    def group(sweep: SweepData) -> Dict[Tuple[str, ...], List[dict]]:
+        out: Dict[Tuple[str, ...], List[dict]] = {}
+        for point in sweep.points:
+            label = parse_point_label(point["name"])
+            key = tuple(_canon(label.get(axis, "")) for axis in shared)
+            out.setdefault(key, []).append(point)
+        return out
+
+    groups_a, groups_b = group(a), group(b)
+    keys = sorted(
+        set(groups_a) | set(groups_b),
+        key=lambda k: tuple(_sort_token(v) for v in k),
+    )
+    rows = []
+    for key in keys:
+        row = ComparisonRow(key=dict(zip(shared, key)))
+        if key in groups_a:
+            row.n_a, row.mean_a, row.completion_a = _aggregate(
+                groups_a[key], metric
+            )
+        if key in groups_b:
+            row.n_b, row.mean_b, row.completion_b = _aggregate(
+                groups_b[key], metric
+            )
+        rows.append(row)
+    return SweepComparison(a=a.label, b=b.label, metric=metric,
+                           shared_axes=shared, rows=rows)

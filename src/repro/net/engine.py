@@ -9,6 +9,20 @@ A transfer is modelled in two phases, as in SimGrid's LV08 model:
 
 The engine exposes one call, :meth:`FluidNetwork.send`, returning a
 signal that fires when the last byte arrives.
+
+Two hot-path optimizations keep large replays cheap (see DESIGN.md,
+"Replay hot path"):
+
+* **Route-set interning** — the (route, latency, window/RTT cap)
+  triple of each (src, dst) pair is computed once and shared by every
+  flow on that pair, so the solver can group identical flows into one
+  class with a multiplicity.
+* **Event-batched reshare** — flow arrivals/departures within one
+  simulated instant trigger a single max-min recomputation at the end
+  of the instant (collective operations start and finish many flows
+  at the same time), instead of one per change.  No simulated time
+  passes inside an instant, so the batched rates equal the rates the
+  last of the per-change reshares would have produced.
 """
 
 from __future__ import annotations
@@ -16,13 +30,13 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..desim import Signal, Simulator
 from ..desim.simulator import ScheduledCall
 from .links import Link, TcpModel
 from .nodes import Host, NetNode
-from .sharing import maxmin_allocation
+from .sharing import BINDING_EPS, progressive_fill
 from .topology import Topology
 
 
@@ -42,6 +56,24 @@ class TransferInfo:
         return self.end - self.start
 
 
+class _RouteInfo:
+    """Interned per-(src, dst) route data shared by every flow on the
+    pair: the link list, its latency sum, the TCP window/RTT rate cap,
+    and the flow's *ceiling* (cap folded with the narrowest link — the
+    most a single flow on this pair can ever receive).  Identity
+    doubles as the solver's class key — flows holding the same
+    ``_RouteInfo`` are exchangeable."""
+
+    __slots__ = ("route", "latency", "cap", "ceiling")
+
+    def __init__(self, route, latency: float, cap: float,
+                 ceiling: float) -> None:
+        self.route = route
+        self.latency = latency
+        self.cap = cap
+        self.ceiling = ceiling
+
+
 class _Flow:
     __slots__ = (
         "fid",
@@ -49,8 +81,7 @@ class _Flow:
         "dst",
         "size",
         "remaining",
-        "route",
-        "latency",
+        "info",
         "done",
         "rate",
         "start",
@@ -58,19 +89,22 @@ class _Flow:
         "completion",
     )
 
-    def __init__(self, fid, src, dst, size, route, latency, done, start, tag):
+    def __init__(self, fid, src, dst, size, info, done, start, tag):
         self.fid = fid
         self.src = src
         self.dst = dst
         self.size = float(size)
         self.remaining = float(size)
-        self.route = route
-        self.latency = latency
+        self.info = info
         self.done = done
         self.rate = 0.0
         self.start = start
         self.tag = tag
         self.completion: Optional[ScheduledCall] = None
+
+    @property
+    def route(self):
+        return self.info.route
 
 
 class FluidNetwork:
@@ -88,6 +122,16 @@ class FluidNetwork:
         self._active: Dict[int, _Flow] = {}
         self._ids = itertools.count()
         self._last_update = 0.0
+        self._routes: Dict[Tuple[str, str], _RouteInfo] = {}
+        self._routes_version = topology.version
+        self._reshare_pending = False
+        # Incremental constraint bookkeeping: per-link sum of active
+        # flows' ceilings, per-link active flows, and the set of links
+        # that could saturate at those ceilings.  Maintained per
+        # transfer so a reshare only solves the binding residual.
+        self._ceiling_load: Dict[Link, float] = {}
+        self._link_flows: Dict[Link, Dict[int, _Flow]] = {}
+        self._binding: set = set()
         # cumulative statistics
         self.bytes_delivered = 0.0
         self.transfers_completed = 0
@@ -106,27 +150,51 @@ class FluidNetwork:
             raise ValueError("negative transfer size")
         fid = next(self._ids)
         done = Signal(f"xfer:{src.name}->{dst.name}#{fid}")
-        route = self.topology.route(src, dst)
-        latency = sum(l.latency for l in route)
-        flow = _Flow(fid, src, dst, nbytes, route, latency, done, self.sim.now, tag)
+        info = self._route_info(src, dst)
+        flow = _Flow(fid, src, dst, nbytes, info, done, self.sim.now, tag)
         # Phase 1: latency, then the flow starts consuming bandwidth.
-        self.sim.schedule(latency, self._activate, flow)
+        self.sim.schedule(info.latency, self._activate, flow)
         return done
+
+    def _route_info(self, src: NetNode, dst: NetNode) -> _RouteInfo:
+        """The interned (route, latency, rate-cap) triple of a pair.
+
+        Keyed on the topology's link version: adding a link after the
+        first send invalidates the intern cache, so later transfers see
+        the new routes (in-flight flows keep the route they started
+        on, exactly as the per-send lookup behaved)."""
+        if self._routes_version != self.topology.version:
+            self._routes.clear()
+            self._routes_version = self.topology.version
+        key = (src.name, dst.name)
+        info = self._routes.get(key)
+        if info is None:
+            route = tuple(self.topology.route(src, dst))
+            latency = sum(l.latency for l in route)
+            cap = self.tcp.rate_cap(latency)
+            ceiling = cap
+            if route:
+                ceiling = min(
+                    cap,
+                    min(l.bandwidth for l in route)
+                    * self.tcp.bandwidth_factor,
+                )
+            info = _RouteInfo(route, latency, cap, ceiling)
+            self._routes[key] = info
+        return info
 
     def transfer_time_estimate(
         self, src: NetNode, dst: NetNode, nbytes: float
     ) -> float:
-        """Uncontended analytic estimate: latency + size / min-capacity.
+        """Uncontended analytic estimate: latency + size / ceiling.
 
-        Used by P2PDC actors for quick decisions (never for results).
+        Used by P2PDC actors for quick decisions (never for results);
+        rides the interned per-pair route info.
         """
-        route = self.topology.route(src, dst)
-        if not route:
+        info = self._route_info(src, dst)
+        if not info.route:
             return 0.0
-        latency = sum(l.latency for l in route)
-        cap = min(l.bandwidth for l in route) * self.tcp.bandwidth_factor
-        cap = min(cap, self.tcp.rate_cap(latency))
-        return latency + nbytes / cap
+        return info.latency + nbytes / info.ceiling
 
     @property
     def active_flow_count(self) -> int:
@@ -140,7 +208,57 @@ class FluidNetwork:
             return
         self._advance_progress()
         self._active[flow.fid] = flow
-        self._reshare()
+        self._track(flow)
+        # Uncontended arrival: if no crossed link can saturate, the
+        # flow runs at its ceiling and no other flow's constraints
+        # moved — skip the solver entirely (the dominant case on
+        # fat-link platforms, and the first flow of every pair on
+        # access-bottlenecked ones).
+        binding = self._binding
+        if binding and not binding.isdisjoint(flow.info.route):
+            self._request_reshare()
+        else:
+            self._set_rate(flow, flow.info.ceiling)
+
+    def _set_rate(self, flow: _Flow, rate: float) -> None:
+        if (flow.completion is not None
+                and not flow.completion.cancelled):
+            if rate == flow.rate:
+                return
+            flow.completion.cancel()
+        flow.rate = rate
+        if rate <= 0.0:
+            flow.completion = None  # starved; will reshare on next change
+            return
+        eta = flow.remaining / rate if math.isfinite(rate) else 0.0
+        flow.completion = self.sim.schedule(eta, self._complete, flow)
+
+    def _track(self, flow: _Flow) -> None:
+        ceiling = flow.info.ceiling
+        factor = self.tcp.bandwidth_factor
+        for link in flow.info.route:
+            load = self._ceiling_load.get(link, 0.0) + ceiling
+            self._ceiling_load[link] = load
+            self._link_flows.setdefault(link, {})[flow.fid] = flow
+            if load > link.bandwidth * factor * (1 + BINDING_EPS):
+                self._binding.add(link)
+
+    def _untrack(self, flow: _Flow) -> None:
+        ceiling = flow.info.ceiling
+        factor = self.tcp.bandwidth_factor
+        for link in flow.info.route:
+            flows = self._link_flows[link]
+            del flows[flow.fid]
+            if not flows:
+                # reset exactly: idle links shed accumulated float drift
+                del self._link_flows[link]
+                del self._ceiling_load[link]
+                self._binding.discard(link)
+                continue
+            load = self._ceiling_load[link] - ceiling
+            self._ceiling_load[link] = load
+            if load <= link.bandwidth * factor * (1 + BINDING_EPS):
+                self._binding.discard(link)
 
     def _advance_progress(self) -> None:
         """Account bytes moved since the last rate change."""
@@ -153,38 +271,84 @@ class FluidNetwork:
                     flow.remaining = 0.0
         self._last_update = self.sim.now
 
-    def _reshare(self) -> None:
+    def _request_reshare(self) -> None:
+        """Batch rate recomputation to the end of the current instant.
+
+        Collectives start/finish many flows at the same simulated time;
+        one zero-delay event coalesces all of them into a single solver
+        call.  Rates only matter once time advances, so deferring within
+        the instant is exact.
+        """
+        if not self._reshare_pending:
+            self._reshare_pending = True
+            self.sim.schedule(0.0, self._run_reshare)
+
+    def _run_reshare(self) -> None:
+        self._reshare_pending = False
+        if not self._active:
+            return
+        self._advance_progress()  # no-op unless a caller skipped it
         self.reshare_count += 1
-        routes = {f.fid: f.route for f in self._active.values()}
-        caps = {
-            f.fid: self.tcp.rate_cap(f.latency) for f in self._active.values()
-        }
-        alloc = maxmin_allocation(
-            routes, caps, bandwidth_factor=self.tcp.bandwidth_factor
-        )
-        for flow in self._active.values():
-            new_rate = alloc[flow.fid]
-            if flow.completion is not None and not flow.completion.cancelled:
-                if new_rate == flow.rate:
-                    # unchanged rate: the previously scheduled completion
-                    # time is still exact — skip the heap churn (flows on
-                    # disjoint links are the common case in halo phases)
+        # Solve only the *residual* problem: flows crossing a link that
+        # could saturate at current ceilings.  Everything else runs at
+        # its interned ceiling — on access-bottlenecked platforms the
+        # backbone never enters the solver at all.  Residual flows are
+        # grouped by interned route class: identical (route, cap) flows
+        # are exchangeable, so the solver sees one entry with a
+        # multiplicity instead of one entry per flow.
+        binding = self._binding
+        alloc: Dict[int, float] = {}
+        if binding:
+            # Iterate the (insertion-ordered) active dict, not the
+            # binding set: solver input order must be deterministic so
+            # reruns are byte-identical.
+            classes: Dict[int, List[_Flow]] = {}
+            routes: Dict[int, List[Link]] = {}
+            caps: Dict[int, float] = {}
+            for flow in self._active.values():
+                info = flow.info
+                cid = id(info)
+                bucket = classes.get(cid)
+                if bucket is not None:
+                    bucket.append(flow)
                     continue
-                flow.completion.cancel()
-            flow.rate = new_rate
-            if flow.rate <= 0.0:
-                flow.completion = None  # starved; will reshare on next change
-                continue
-            eta = flow.remaining / flow.rate if math.isfinite(flow.rate) else 0.0
-            flow.completion = self.sim.schedule(eta, self._complete, flow)
+                if binding.isdisjoint(info.route):
+                    continue
+                constrained = [l for l in info.route if l in binding]
+                classes[cid] = [flow]
+                routes[cid] = constrained
+                caps[cid] = info.ceiling
+            rates = progressive_fill(
+                routes,
+                caps,
+                {cid: len(flows) for cid, flows in classes.items()},
+                bandwidth_factor=self.tcp.bandwidth_factor,
+            )
+            for cid, flows in classes.items():
+                rate = rates[cid]
+                for flow in flows:
+                    alloc[flow.fid] = rate
+        for flow in self._active.values():
+            # rate-unchanged flows keep their scheduled completion —
+            # _set_rate skips the heap churn (flows on disjoint links
+            # are the common case in halo phases)
+            self._set_rate(flow, alloc.get(flow.fid, flow.info.ceiling))
 
     def _complete(self, flow: _Flow) -> None:
         self._advance_progress()
         flow.remaining = 0.0
         del self._active[flow.fid]
+        # Departure from all-slack links frees capacity nobody was
+        # contending for: remaining rates are unaffected, skip the
+        # solver (mirror of the uncontended-arrival case).
+        binding = self._binding
+        contended = bool(binding) and not binding.isdisjoint(
+            flow.info.route
+        )
+        self._untrack(flow)
         self._finish(flow)
-        if self._active:
-            self._reshare()
+        if contended and self._active:
+            self._request_reshare()
 
     def _finish(self, flow: _Flow) -> None:
         self.bytes_delivered += flow.size

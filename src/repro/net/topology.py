@@ -25,6 +25,9 @@ class Topology:
         self._nodes: Dict[str, NetNode] = {}
         self._route_cache: Dict[Tuple[str, str], List[Link]] = {}
         self._latency_cache: Dict[Tuple[str, str], float] = {}
+        #: bumped whenever links change; route consumers (the fluid
+        #: engine's interned per-pair route info) key their caches on it
+        self.version = 0
 
     # -- construction ------------------------------------------------------
     def add_node(self, node: NetNode) -> NetNode:
@@ -58,6 +61,7 @@ class Topology:
             self.graph.add_edge(b.name, a.name, link=back)
         self._route_cache.clear()
         self._latency_cache.clear()
+        self.version += 1
         return fwd, back
 
     def _require(self, node: NetNode) -> None:

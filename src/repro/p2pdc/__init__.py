@@ -8,7 +8,7 @@ P2PSAP channels, and failure handling.
 """
 
 from .allocation import Submitter, TaskOutcome, TaskSpec
-from .churn import ChurnEvent, ChurnPlan
+from .churn import ChurnEvent, ChurnPlan, poisson_peer_failures
 from .collection import CollectionLog, collect_peers
 from .computation import (
     PeerComputeError,
@@ -36,6 +36,7 @@ from .tracker import PeerRecord, Tracker
 __all__ = [
     "ChurnEvent",
     "ChurnPlan",
+    "poisson_peer_failures",
     "CollectionLog",
     "Deployment",
     "GroupDuty",

@@ -4,14 +4,57 @@ P2PDC's decentralization claims are about surviving exactly these
 events: a tracker crash (line repair + peer failover), a peer crash
 (expiry + reservation replacement), and a server outage (the overlay
 keeps running; statistics are buffered until it returns).
+
+Two ways to build a plan: script events explicitly
+(:meth:`ChurnPlan.crash_peer` and friends — the pre-existing
+churn-under-load scenario), or draw a *Poisson failure schedule* with
+:func:`poisson_peer_failures` — the §III-D churn-rate grids.  The
+Poisson draw is a pure function of ``(rate, targets, seed, window)``,
+so a scenario spec that carries those values always injects the same
+schedule, which is what makes churn sweeps cacheable.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Sequence
 
 from .overlay import Overlay
+
+
+def poisson_peer_failures(
+    rate: float,
+    targets: Sequence[str],
+    seed: int,
+    start: float = 0.0,
+    horizon: float = 8.0,
+    max_failures: int = 0,
+) -> List["ChurnEvent"]:
+    """A deterministic Poisson schedule of peer crashes.
+
+    ``rate`` is the expected number of crashes per simulated second
+    across the whole population; inter-failure gaps are exponential
+    draws from ``random.Random(seed)`` and each victim is drawn
+    uniformly from the peers not yet crashed.  Failures land in
+    ``[start, start + horizon)``; at most ``max_failures`` are
+    generated (0 → bounded only by the population size).
+    """
+    if rate <= 0 or not targets:
+        return []
+    rng = random.Random(seed)
+    pool = list(targets)
+    events: List[ChurnEvent] = []
+    t = start
+    while pool:
+        t += rng.expovariate(rate)
+        if t >= start + horizon:
+            break
+        victim = pool.pop(rng.randrange(len(pool)))
+        events.append(ChurnEvent(time=t, kind="peer", target=victim))
+        if max_failures and len(events) >= max_failures:
+            break
+    return events
 
 
 @dataclass
@@ -41,9 +84,17 @@ class ChurnPlan:
         return self
 
     def arm(self, overlay: Overlay) -> None:
-        """Schedule every event on the overlay's simulator."""
+        """Schedule every event on the overlay's simulator.
+
+        Events dated before the current clock (e.g. a Poisson draw
+        that lands inside the deployment-settle window) fire at the
+        earliest possible instant instead of crashing the scheduler —
+        a peer that "failed during deployment" is simply down from the
+        start.
+        """
         for event in self.events:
-            overlay.sim.schedule_at(event.time, self._fire, overlay, event)
+            overlay.sim.schedule_at(max(event.time, overlay.now),
+                                    self._fire, overlay, event)
 
     @staticmethod
     def _fire(overlay: Overlay, event: ChurnEvent) -> None:

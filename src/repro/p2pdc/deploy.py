@@ -33,6 +33,8 @@ class Deployment:
     trackers: List[Tracker]
     peers: List[Peer]
     submitter: Optional[Submitter] = None
+    #: failure events armed on the overlay (scripted + Poisson-drawn)
+    churn_events: List = field(default_factory=list)
 
     @property
     def sim(self):

@@ -12,6 +12,19 @@
 replaces the registered grid with ``--set`` overrides (cartesian
 product).  Both go through the cached parallel runner: repeated
 invocations with the same cache directory are served from disk.
+
+Each ``run``/``sweep`` with an on-disk cache also records a *sweep
+manifest* (point names, spec hashes, and results) under
+``<cache-dir>/sweeps/<label>.json`` (``--label`` defaults to the
+scenario name; with ``--no-cache`` no manifest is written and
+``--label`` is rejected).  ``compare`` diffs two
+manifests — by label in the cache directory, or by explicit path —
+and renders a markdown (default) or JSON report::
+
+    python -m repro.scenarios compare churn-base churn-grid
+    python -m repro.scenarios compare a b --format json --out diff.json
+
+See ``repro.analysis.compare_sweeps`` for the matching rules.
 """
 
 from __future__ import annotations
@@ -20,7 +33,8 @@ import argparse
 import json
 import os
 import sys
-from typing import Any, Dict, List, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, Sequence, Tuple
 
 from .registry import get_scenario, scenario_names, SCENARIOS
 from .runner import ScenarioResult, SweepRunner, expand_grid
@@ -103,22 +117,123 @@ def cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweeps_dir(cache_dir: str) -> Path:
+    return Path(cache_dir) / "sweeps"
+
+
+def _check_label(label: str | None) -> None:
+    """Reject labels that would escape the sweeps directory — before
+    the (possibly long) sweep runs, not after."""
+    if label is None:
+        return
+    if not label or label != Path(label).name or label in (".", ".."):
+        raise _UsageError(
+            f"--label must be a plain file name, got {label!r}"
+        )
+
+
+def _check_label_args(args: argparse.Namespace) -> None:
+    _check_label(args.label)
+    if args.label is not None and args.no_cache:
+        raise _UsageError(
+            "--label needs the on-disk cache to record a sweep "
+            "manifest; drop --no-cache"
+        )
+
+
+def _write_manifest(args: argparse.Namespace, scenario: str,
+                    specs: Sequence[ScenarioSpec],
+                    results: Sequence[ScenarioResult]) -> None:
+    """Record the sweep (points + results) for later `compare` calls."""
+    if args.no_cache:
+        return
+    label = args.label or scenario
+    payload = {
+        "label": label,
+        "scenario": scenario,
+        "points": [
+            {"name": s.name, "spec_hash": r.spec_hash,
+             "result": r.to_dict()}
+            for s, r in zip(specs, results)
+        ],
+    }
+    out = _sweeps_dir(args.cache_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"{label}.json"
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    print(f"# sweep manifest: {path}")
+
+
+def _load_manifest(ref: str, cache_dir: str) -> Dict[str, Any]:
+    """A manifest by label under <cache-dir>/sweeps/, or by path.
+
+    Bare labels resolve in the sweeps directory *first*, so an
+    unrelated same-named file in the working directory cannot shadow
+    a recorded sweep.
+    """
+    looks_like_path = os.sep in ref or ref.endswith(".json")
+    candidates = [_sweeps_dir(cache_dir) / f"{ref}.json", Path(ref)]
+    if looks_like_path:
+        candidates.reverse()
+    for path in candidates:
+        if path.is_file():
+            try:
+                payload = json.loads(path.read_text())
+            except ValueError as exc:
+                raise _UsageError(
+                    f"{path} is not a sweep manifest ({exc})"
+                ) from None
+            if (not isinstance(payload, dict)
+                    or "points" not in payload or "label" not in payload):
+                raise _UsageError(f"{path} is not a sweep manifest")
+            return payload
+    known = sorted(
+        p.stem for p in _sweeps_dir(cache_dir).glob("*.json")
+    ) if _sweeps_dir(cache_dir).is_dir() else []
+    raise _UsageError(
+        f"no sweep manifest {ref!r} (looked for "
+        f"{' and '.join(str(c) for c in candidates)}); "
+        f"known labels: {', '.join(known) or '(none)'}"
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    _check_label_args(args)
     entry = _resolve(get_scenario, args.name)
     runner = _runner(args)
-    results = runner.run(entry.points(), parallel=not args.serial)
+    specs = entry.points()
+    results = runner.run(specs, parallel=not args.serial)
     _print_results(results, runner)
+    _write_manifest(args, entry.name, specs, results)
     return 0 if all(r.ok for r in results) else 1
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    _check_label_args(args)
     entry = _resolve(get_scenario, args.name)
     grid = _parse_sets(args.set or [])
     specs = _resolve(expand_grid, entry.base, grid or entry.grid_dict())
     runner = _runner(args)
     results = runner.run(specs, parallel=not args.serial)
     _print_results(results, runner)
+    _write_manifest(args, entry.name, specs, results)
     return 0 if all(r.ok for r in results) else 1
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from ..analysis import SweepData, compare_sweeps
+
+    a = SweepData.from_manifest(_load_manifest(args.a, args.cache_dir))
+    b = SweepData.from_manifest(_load_manifest(args.b, args.cache_dir))
+    comparison = compare_sweeps(a, b, metric=args.metric)
+    text = (comparison.to_json() if args.format == "json"
+            else comparison.to_markdown())
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"# report written to {args.out}")
+    else:
+        print(text, end="")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -145,6 +260,9 @@ def build_parser() -> argparse.ArgumentParser:
                             f"(default {DEFAULT_CACHE_DIR})")
         p.add_argument("--no-cache", action="store_true",
                        help="skip the on-disk cache entirely")
+        p.add_argument("--label", default=None,
+                       help="sweep-manifest name for `compare` "
+                            "(default: the scenario name)")
 
     run = sub.add_parser("run", help="run a named scenario's points")
     add_exec_options(run)
@@ -157,6 +275,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--set", action="append", metavar="PATH=V1,V2,...",
         help="grid values for one (dotted) spec field; repeatable",
     )
+
+    compare = sub.add_parser(
+        "compare", help="diff two cached sweeps into a report"
+    )
+    compare.add_argument("a", help="sweep label or manifest path (baseline)")
+    compare.add_argument("b", help="sweep label or manifest path")
+    compare.add_argument("--metric", default="t",
+                         help="result field or metric to compare "
+                              "(default: t; e.g. makespan, sim_events)")
+    compare.add_argument("--format", choices=("markdown", "json"),
+                         default="markdown", help="report format")
+    compare.add_argument("--out", default=None,
+                         help="write the report to a file instead of stdout")
+    compare.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                         help=f"where sweep manifests live "
+                              f"(default {DEFAULT_CACHE_DIR})")
     return parser
 
 
@@ -168,6 +302,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "show": cmd_show,
         "run": cmd_run,
         "sweep": cmd_sweep,
+        "compare": cmd_compare,
     }[args.command]
     try:
         return handler(args)

@@ -5,6 +5,19 @@ grid; ``points()`` expands the grid into concrete specs.  The stage-1/
 stage-2/Table-I experiment runners draw their runs from the same spec
 space, so these registry entries *are* the figures — and new entries
 are new figures, no bespoke loop required.
+
+Usage::
+
+    from repro.scenarios import get_scenario, scenario_names
+
+    scenario_names()                     # every registered name
+    entry = get_scenario("churn-grid")   # one NamedScenario
+    entry.title                          # human description
+    entry.grid_dict()                    # {"churn_profile.rate": (...), ...}
+    specs = entry.points()               # concrete ScenarioSpecs, 1/grid cell
+
+Feed ``points()`` to :class:`~repro.scenarios.runner.SweepRunner` (or
+``python -m repro.scenarios run <name>``) to execute with caching.
 """
 
 from __future__ import annotations
@@ -15,6 +28,7 @@ from typing import Any, Dict, List, Tuple
 from .runner import expand_grid
 from .spec import (
     ChurnEventSpec,
+    ChurnProfile,
     PlatformPlan,
     ProtocolPlan,
     ScenarioSpec,
@@ -178,6 +192,29 @@ SCENARIOS: Dict[str, NamedScenario] = {
                     ChurnEventSpec(time=1.0, kind="server-down"),
                     ChurnEventSpec(time=2.0, kind="server-up"),
                 ),
+            ),
+        ),
+        _named(
+            "churn-grid",
+            "§III-D robustness: Poisson churn rate × platform × seed",
+            ScenarioSpec(
+                name="churn-grid", kind="reference",
+                platform=CLUSTER_PLAN,
+                # O0 keeps a multi-second compute window, so the churn
+                # horizon overlaps collection, allocation and compute.
+                workload=WorkloadPlan(app="obstacle", n=1024, nit=100),
+                n_peers=8, deploy_peers=16, n_zones=2, spares=4,
+                # horizon ≈ deployment + collection + compute window,
+                # so failures can land in any protocol phase
+                churn_profile=ChurnProfile(rate=0.0, horizon=4.0),
+                # bounded "did not complete" verdict instead of an
+                # unbounded simulation when a compute peer dies mid-run
+                time_limit=600.0,
+            ),
+            (
+                ("churn_profile.rate", (0.0, 0.3, 0.6, 1.2)),
+                ("platform.kind", ("cluster", "lan")),
+                ("seed", (2011, 2013)),
             ),
         ),
         _named(

@@ -15,6 +15,25 @@ levels sound:
 ``SweepRunner`` expands parameter grids and executes cache misses
 through a ``ProcessPoolExecutor``; because the runner is pure, the
 parallel results equal the serial ones.
+
+Usage::
+
+    from repro.scenarios import SweepRunner, get_scenario
+
+    runner = SweepRunner(cache_dir=".scenario-cache", max_workers=4)
+    results = runner.run(get_scenario("churn-grid").points())
+    [r.metrics["completed"] for r in results]   # completion per point
+    runner.cache_ratio                          # how much came cached
+
+    # or a custom grid over any spec fields (dotted paths):
+    from repro.scenarios import ScenarioSpec, expand_grid
+    specs = expand_grid(ScenarioSpec(name="probe"),
+                        {"n_peers": (2, 4), "tcp.window": (65536, 4194304)})
+    runner.run(specs)
+
+Reference-kind results carry ``metrics["completed"]`` (and, under
+churn, ``metrics["churn_failures"]``); under failure injection a
+non-completion is ``ok`` — the datum, not an error.
 """
 
 from __future__ import annotations
@@ -87,6 +106,13 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     raise ValueError(f"unknown scenario kind {spec.kind!r}")
 
 
+def _tcp_model(spec: ScenarioSpec):
+    from ..net import TcpModel
+
+    return TcpModel(bandwidth_factor=spec.tcp.bandwidth_factor,
+                    window=spec.tcp.window)
+
+
 def _run_predict(spec: ScenarioSpec) -> ScenarioResult:
     from . import platforms, workloads
 
@@ -95,7 +121,7 @@ def _run_predict(spec: ScenarioSpec) -> ScenarioResult:
     w = spec.workload
     traces = workloads.traces(w.app, spec.n_peers, w.level, w.n, w.nit)
     prediction = workloads.predictor(w.app).predict(
-        traces, platform, hosts=hosts
+        traces, platform, hosts=hosts, tcp=_tcp_model(spec)
     )
     replay = prediction.replay
     return ScenarioResult(
@@ -109,23 +135,47 @@ def _run_predict(spec: ScenarioSpec) -> ScenarioResult:
 
 
 def _deploy(spec: ScenarioSpec):
-    from ..p2pdc import ChurnEvent, ChurnPlan, OverlayConfig, deploy_overlay
+    from ..desim.rng import derive_seed
+    from ..p2pdc import (
+        ChurnEvent,
+        ChurnPlan,
+        OverlayConfig,
+        deploy_overlay,
+        poisson_peer_failures,
+    )
     from . import platforms
 
     platform = platforms.build_platform(spec.platform)
     deploy_n = spec.deploy_peers or spec.n_peers
     n_zones = spec.n_zones or _auto_zones(deploy_n)
-    config = OverlayConfig(cmax=spec.protocol.cmax,
-                           grouping=spec.protocol.grouping)
+    t = spec.timers
+    config = OverlayConfig(
+        cmax=spec.protocol.cmax,
+        grouping=spec.protocol.grouping,
+        state_update_interval=t.state_update_interval,
+        peer_expiry=t.peer_expiry,
+        update_ack_timeout=t.update_ack_timeout,
+        reserve_timeout=t.reserve_timeout,
+    )
     dep = deploy_overlay(
         platform, n_peers=deploy_n, n_zones=n_zones, config=config,
-        seed=spec.seed,
+        seed=spec.seed, tcp=_tcp_model(spec),
     )
-    if spec.churn:
-        plan = ChurnPlan(events=[
-            ChurnEvent(e.time, e.kind, e.target) for e in spec.churn
-        ])
+    events = [ChurnEvent(e.time, e.kind, e.target) for e in spec.churn]
+    profile = spec.churn_profile
+    if profile.rate > 0:
+        events.extend(poisson_peer_failures(
+            profile.rate,
+            [p.name for p in dep.peers],
+            derive_seed(spec.seed, "churn"),
+            start=profile.start,
+            horizon=profile.horizon,
+            max_failures=profile.max_failures,
+        ))
+    if events:
+        plan = ChurnPlan(events=sorted(events, key=lambda e: e.time))
         plan.arm(dep.overlay)
+        dep.churn_events = plan.events
     return dep
 
 
@@ -139,26 +189,37 @@ def _run_reference(spec: ScenarioSpec) -> ScenarioResult:
     workload = workloads.make_workload(spec.workload, spec.n_peers, scheme)
     task = TaskSpec(workload=workload, n_peers=spec.n_peers,
                     spares=spec.spares)
+    if spec.time_limit > 0:
+        task.task_timeout = spec.time_limit
     if spec.protocol.allocation == "flat":
         sig = dep.submitter.submit_flat(task)
     else:
         sig = dep.submitter.submit(task)
+    n_churn = float(len(dep.churn_events))
+
+    def failed(reason: str, ok: bool, **extra: float) -> ScenarioResult:
+        return ScenarioResult(
+            name=spec.name, spec_hash=spec.spec_hash(), kind=spec.kind,
+            t=0.0, ok=ok, reason=reason,
+            metrics={"completed": 0.0, "churn_failures": n_churn, **extra},
+        )
+
     try:
         dep.overlay.run_until(sig, limit=1e7)
     except RuntimeError as exc:
-        return ScenarioResult(
-            name=spec.name, spec_hash=spec.spec_hash(), kind=spec.kind,
-            t=0.0, ok=False, reason=str(exc),
-        )
+        # engine-level failure (deadlock, event-limit blowup): a hard
+        # error even under churn — never a completion-probability datum
+        return failed(str(exc), ok=False)
     outcome = sig.value
     timings = outcome.timings
     if not outcome.ok:
-        return ScenarioResult(
-            name=spec.name, spec_hash=spec.spec_hash(), kind=spec.kind,
-            t=0.0, ok=False, reason=outcome.reason,
-            metrics={"sim_events": float(dep.sim.event_count)},
-        )
+        # Under failure injection a protocol-level non-completion is
+        # the measured outcome (completion probability), not an error.
+        return failed(outcome.reason, ok=spec.has_churn,
+                      sim_events=float(dep.sim.event_count))
     metrics = {
+        "completed": 1.0,
+        "churn_failures": n_churn,
         "makespan": timings.total_time,
         "collection_time": timings.collection_time,
         "allocation_time": timings.allocation_time,

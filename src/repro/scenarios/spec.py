@@ -11,6 +11,23 @@ The stable hash (:meth:`ScenarioSpec.spec_hash`) is a SHA-256 over the
 canonical JSON form of every field **except** the display name, so two
 scenarios that differ only in how they are labelled share one cache
 entry.
+
+Usage::
+
+    from repro.scenarios import ScenarioSpec
+    from repro.scenarios.spec import ChurnProfile, PlatformPlan
+
+    spec = ScenarioSpec(
+        name="churny", kind="reference",
+        platform=PlatformPlan(kind="lan", n_hosts=64),
+        n_peers=8, deploy_peers=16, spares=4,
+        churn_profile=ChurnProfile(rate=0.2, horizon=8.0),
+    )
+    spec.spec_hash()                          # stable cache key
+    spec.with_override("churn_profile.rate", 0.5)   # grid expansion
+
+Every field is plain data: ``spec.to_dict()`` round-trips through JSON
+and :meth:`ScenarioSpec.from_dict`.
 """
 
 from __future__ import annotations
@@ -26,7 +43,9 @@ from .. import __version__ as _ENGINE_VERSION
 #: within one release; it salts the spec hash together with the
 #: package version, so both schema edits and releases that change
 #: simulation behaviour invalidate stale on-disk cache entries.
-SCHEMA_VERSION = 1
+#: 2: tcp / timers / churn_profile / time_limit spec fields; replay
+#: hot-path rework (ulp-level rate changes possible).
+SCHEMA_VERSION = 2
 
 PLATFORM_KINDS = ("cluster", "lan", "xdsl", "multisite")
 SCENARIO_KINDS = ("reference", "predict", "deploy")
@@ -115,6 +134,80 @@ class ProtocolPlan:
 
 
 @dataclass(frozen=True)
+class TcpPlan:
+    """Fluid-TCP model parameters priced into every simulated transfer.
+
+    ``bandwidth_factor`` scales link capacity for protocol overhead
+    (SimGrid uses 0.92 for TCP); ``window`` caps a flow's rate at
+    ``window / (2 · route latency)``.  Making them spec fields turns
+    protocol-sensitivity studies (window vs xDSL latency, efficiency
+    sweeps) into ordinary grids.
+    """
+
+    bandwidth_factor: float = 0.92
+    window: float = 4194304.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.bandwidth_factor <= 1.0:
+            raise ValueError("bandwidth_factor must be in (0, 1]")
+        if self.window <= 0:
+            raise ValueError("tcp window must be > 0")
+
+
+@dataclass(frozen=True)
+class TimerPlan:
+    """Overlay protocol timer constants (defaults are the paper's).
+
+    These drive the failure-detection latency the churn scenarios
+    measure: a tracker drops a silent peer after ``peer_expiry``, a
+    peer declares its tracker dead after ``update_ack_timeout``, and
+    reservations give up after ``reserve_timeout``.
+    """
+
+    state_update_interval: float = 30.0
+    peer_expiry: float = 75.0
+    update_ack_timeout: float = 10.0
+    reserve_timeout: float = 15.0
+
+    def __post_init__(self) -> None:
+        for name in ("state_update_interval", "peer_expiry",
+                     "update_ack_timeout", "reserve_timeout"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0")
+        if self.peer_expiry <= self.state_update_interval:
+            raise ValueError(
+                "peer_expiry must exceed state_update_interval "
+                "(a live peer must be able to refresh in time)"
+            )
+
+
+@dataclass(frozen=True)
+class ChurnProfile:
+    """Poisson peer-failure injection (§III-D robustness grids).
+
+    ``rate`` is the expected number of peer crashes per simulated
+    second across the deployed population; failure instants are drawn
+    from the seeded exponential stream in ``[start, start + horizon)``
+    and victims uniformly from the not-yet-crashed peers, so the same
+    spec always injects the same schedule.  ``rate == 0`` disables
+    injection (the default — baseline grids stay churn-free).
+    """
+
+    rate: float = 0.0
+    start: float = 0.0
+    horizon: float = 8.0
+    max_failures: int = 0  # 0 → bounded only by the population
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("churn rate must be >= 0")
+        if self.horizon <= 0:
+            raise ValueError("churn horizon must be > 0")
+        if self.start < 0 or self.max_failures < 0:
+            raise ValueError("churn start/max_failures must be >= 0")
+
+
+@dataclass(frozen=True)
 class ChurnEventSpec:
     """One failure-injection event at an absolute simulated time."""
 
@@ -131,8 +224,16 @@ class ScenarioSpec:
     P2PDC protocol simulation, ``predict`` replays dPerf traces on the
     platform, ``deploy`` only builds and settles the overlay (for
     overlay-scale scenarios).  ``deploy_peers`` lets a scenario deploy
-    fewer peers than the task requests (oversubscription); 0 means
-    "same as n_peers".  ``n_zones`` 0 means the stage-1 auto rule.
+    fewer (or more) peers than the task requests; 0 means "same as
+    n_peers".  ``n_zones`` 0 means the stage-1 auto rule.
+
+    ``churn`` holds scripted failure events at fixed instants;
+    ``churn_profile`` injects seeded Poisson peer failures on top (the
+    churn-rate grid axis).  ``time_limit`` caps the simulated seconds a
+    reference computation may take before it counts as not completed
+    (0 → engine default); churn grids set it so a wave of failures
+    produces a bounded "did not complete" data point instead of an
+    unbounded simulation.
     """
 
     name: str
@@ -140,19 +241,30 @@ class ScenarioSpec:
     platform: PlatformPlan = PlatformPlan()
     workload: WorkloadPlan = WorkloadPlan()
     protocol: ProtocolPlan = ProtocolPlan()
+    tcp: TcpPlan = TcpPlan()
+    timers: TimerPlan = TimerPlan()
     churn: Tuple[ChurnEventSpec, ...] = ()
+    churn_profile: ChurnProfile = ChurnProfile()
     n_peers: int = 4
     deploy_peers: int = 0
     n_zones: int = 0
     spares: int = 0
     host_policy: str = "pack"
     seed: int = 2011
+    time_limit: float = 0.0
 
     def __post_init__(self) -> None:
         _check(self.kind, SCENARIO_KINDS, "scenario kind")
         _check(self.host_policy, HOST_POLICIES, "host policy")
         if self.n_peers < 1:
             raise ValueError("n_peers must be >= 1")
+        if self.time_limit < 0:
+            raise ValueError("time_limit must be >= 0 (0 = default)")
+
+    @property
+    def has_churn(self) -> bool:
+        """Whether any failure injection is configured."""
+        return bool(self.churn) or self.churn_profile.rate > 0
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -168,7 +280,10 @@ class ScenarioSpec:
         d["platform"] = PlatformPlan(**d["platform"])
         d["workload"] = WorkloadPlan(**d["workload"])
         d["protocol"] = ProtocolPlan(**d["protocol"])
+        d["tcp"] = TcpPlan(**d.get("tcp", {}))
+        d["timers"] = TimerPlan(**d.get("timers", {}))
         d["churn"] = tuple(ChurnEventSpec(**e) for e in d.get("churn", ()))
+        d["churn_profile"] = ChurnProfile(**d.get("churn_profile", {}))
         return cls(**d)
 
     # -- hashing -----------------------------------------------------------

@@ -116,3 +116,121 @@ class TestReports:
         text = format_equivalence_table(rows)
         assert "Performance" in text
         assert "LAN" in text and "Grid5000" in text
+
+
+# ---------------------------------------------------------------------------
+# sweep-vs-sweep comparison
+# ---------------------------------------------------------------------------
+
+from repro.analysis import (  # noqa: E402  (grouped with their tests)
+    SweepData,
+    compare_sweeps,
+    parse_point_label,
+)
+
+
+def _point(name, t, ok=True, completed=None, **metrics):
+    m = dict(metrics)
+    if completed is not None:
+        m["completed"] = completed
+    return {"name": name, "spec_hash": "x" * 16,
+            "result": {"name": name, "spec_hash": "x" * 16,
+                       "kind": "reference", "t": t, "ok": ok,
+                       "reason": "", "metrics": m}}
+
+
+class TestParsePointLabel:
+    def test_expanded_name(self):
+        label = parse_point_label("grid[n_peers=4,workload.level=O3]")
+        assert label == {"n_peers": "4", "workload.level": "O3"}
+
+    def test_base_name_is_empty(self):
+        assert parse_point_label("fig9-cluster-o0") == {}
+
+
+class TestCompareSweeps:
+    def test_matches_on_shared_axes_and_aggregates_rest(self):
+        a = SweepData("base", [
+            _point("g[rate=0,seed=1]", 2.0, completed=1.0),
+            _point("g[rate=0,seed=2]", 2.2, completed=1.0),
+        ])
+        b = SweepData("churny", [
+            _point("g[rate=0,platform.kind=lan,seed=1]", 2.4,
+                   completed=1.0),
+            _point("g[rate=0,platform.kind=cluster,seed=1]", 2.0,
+                   completed=1.0),
+            _point("g[rate=2,platform.kind=lan,seed=1]", 0.0,
+                   completed=0.0),
+            _point("g[rate=2,platform.kind=cluster,seed=1]", 3.0,
+                   completed=1.0),
+        ])
+        cmp = compare_sweeps(a, b)
+        assert cmp.shared_axes == ["rate", "seed"]
+        rows = {tuple(r.key.values()): r for r in cmp.rows}
+        matched = rows[("0", "1")]
+        assert matched.n_a == 1 and matched.n_b == 2
+        assert matched.mean_a == pytest.approx(2.0)
+        assert matched.mean_b == pytest.approx(2.2)  # mean(2.4, 2.0)
+        assert matched.ratio == pytest.approx(1.1)
+        churny = rows[("2", "1")]
+        # failed point excluded from the mean, included in P(complete)
+        assert churny.mean_b == pytest.approx(3.0)
+        assert churny.completion_b == pytest.approx(0.5)
+        only_a = rows[("0", "2")]
+        assert only_a.n_b == 0 and only_a.mean_b is None
+
+    def test_numeric_labels_match_across_spellings(self):
+        a = SweepData("a", [_point("g[rate=0]", 1.0)])
+        b = SweepData("b", [_point("g[rate=0.0]", 2.0)])
+        cmp = compare_sweeps(a, b)
+        row = cmp.rows[0]
+        assert row.n_a == 1 and row.n_b == 1
+        assert row.delta == pytest.approx(1.0)
+
+    def test_no_shared_axes_aggregates_whole_sweeps(self):
+        a = SweepData("prox", [_point("heterogeneous-multisite", 4.0)])
+        b = SweepData("rand", [_point("random-grouping", 5.0)])
+        cmp = compare_sweeps(a, b)
+        assert cmp.shared_axes == []
+        assert len(cmp.rows) == 1
+        assert cmp.rows[0].ratio == pytest.approx(1.25)
+
+    def test_metric_can_come_from_metrics_dict(self):
+        a = SweepData("a", [_point("g[x=1]", 1.0, makespan=7.0)])
+        b = SweepData("b", [_point("g[x=1]", 1.0, makespan=14.0)])
+        cmp = compare_sweeps(a, b, metric="makespan")
+        assert cmp.rows[0].ratio == pytest.approx(2.0)
+
+    def test_markdown_and_json_render(self):
+        a = SweepData("base", [_point("g[rate=0]", 2.0, completed=1.0)])
+        b = SweepData("hot", [_point("g[rate=0]", 0.0, completed=0.0)])
+        cmp = compare_sweeps(a, b)
+        md = cmp.to_markdown()
+        assert "`base` vs `hot`" in md
+        assert "| rate=0 |" in md
+        assert "P(complete)" in md
+        payload = cmp.to_dict()
+        assert payload["rows"][0]["completion_b"] == 0.0
+        import json as _json
+        assert _json.loads(cmp.to_json()) == _json.loads(
+            _json.dumps(payload)
+        )
+
+    def test_hard_failures_excluded_from_completion_probability(self):
+        """ok=False points (engine errors) are not §III-D data."""
+        b = SweepData("churny", [
+            _point("g[rate=2]", 0.0, completed=0.0),            # datum
+            _point("g[rate=2]", 0.0, ok=False, completed=0.0),  # error
+            _point("g[rate=2]", 3.0, completed=1.0),
+        ])
+        a = SweepData("base", [_point("g[rate=2]", 3.0, completed=1.0)])
+        cmp = compare_sweeps(a, b)
+        row = cmp.rows[0]
+        assert row.completion_b == pytest.approx(0.5)  # 1 of 2 ok points
+        assert row.n_b == 3
+
+    def test_non_finite_numeric_labels_do_not_crash(self):
+        a = SweepData("a", [_point("g[time_limit=inf]", 1.0)])
+        b = SweepData("b", [_point("g[time_limit=inf]", 2.0)])
+        cmp = compare_sweeps(a, b)
+        assert cmp.rows[0].n_a == cmp.rows[0].n_b == 1

@@ -1,0 +1,201 @@
+"""Churn-robustness sweeps: deterministic Poisson injection, completion
+probability behaviour, and the engine contracts the churn grid rides on
+(parallel ≡ serial, spec wiring for tcp/timers/time_limit).
+
+The heavier tests reuse the registered ``churn-grid`` base spec, whose
+(app, peers, level, n, nit) point matches the churn-under-load scenario
+— the in-process calibration caches are shared, so one warm-up pays for
+the file.
+"""
+
+import pytest
+
+from repro.p2pdc import ChurnEvent, poisson_peer_failures
+from repro.scenarios import SCENARIOS, SweepRunner, run_scenario
+from repro.scenarios.runner import _deploy, clear_memo
+from repro.scenarios.spec import (
+    ChurnProfile,
+    ScenarioSpec,
+    TcpPlan,
+    TimerPlan,
+)
+
+
+CHURN_GRID = SCENARIOS["churn-grid"]
+
+
+def churn_point(rate: float, seed: int = 2011, **overrides) -> ScenarioSpec:
+    spec = CHURN_GRID.base.with_override("churn_profile.rate", rate)
+    spec = spec.with_override("seed", seed)
+    for path, value in overrides.items():
+        spec = spec.with_override(path.replace("__", "."), value)
+    return spec
+
+
+class TestPoissonInjection:
+    TARGETS = tuple(f"p-{i}" for i in range(12))
+
+    def test_same_inputs_same_schedule(self):
+        a = poisson_peer_failures(0.5, self.TARGETS, seed=7, horizon=10.0)
+        b = poisson_peer_failures(0.5, self.TARGETS, seed=7, horizon=10.0)
+        assert a == b
+        assert a, "rate 0.5 over 10s on 12 peers should draw something"
+
+    def test_different_seed_different_schedule(self):
+        a = poisson_peer_failures(0.5, self.TARGETS, seed=7, horizon=10.0)
+        b = poisson_peer_failures(0.5, self.TARGETS, seed=8, horizon=10.0)
+        assert a != b
+
+    def test_schedule_shape(self):
+        events = poisson_peer_failures(
+            2.0, self.TARGETS, seed=3, start=1.0, horizon=5.0
+        )
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(1.0 <= t < 6.0 for t in times)
+        assert all(e.kind == "peer" for e in events)
+        victims = [e.target for e in events]
+        assert len(victims) == len(set(victims)), "a peer crashes once"
+        assert set(victims) <= set(self.TARGETS)
+
+    def test_rate_zero_is_empty(self):
+        assert poisson_peer_failures(0.0, self.TARGETS, seed=1) == []
+        assert poisson_peer_failures(1.0, (), seed=1) == []
+
+    def test_max_failures_cap(self):
+        events = poisson_peer_failures(
+            50.0, self.TARGETS, seed=1, horizon=10.0, max_failures=3
+        )
+        assert len(events) == 3
+
+    def test_mean_failure_count_tracks_rate(self):
+        """Over many seeds the draw count approaches rate × horizon."""
+        rate, horizon = 0.4, 10.0
+        targets = tuple(f"p-{i}" for i in range(200))
+        counts = [
+            len(poisson_peer_failures(rate, targets, seed=s,
+                                      horizon=horizon))
+            for s in range(200)
+        ]
+        mean = sum(counts) / len(counts)
+        assert mean == pytest.approx(rate * horizon, rel=0.25)
+
+
+class TestChurnScenarioExecution:
+    def test_profile_in_spec_hash(self):
+        assert (churn_point(0.0).spec_hash()
+                != churn_point(0.5).spec_hash())
+
+    def test_deploy_arms_poisson_events(self):
+        dep = _deploy(churn_point(1.2))
+        assert dep.churn_events, "rate 1.2 over 4s should draw failures"
+        peer_names = {p.name for p in dep.peers}
+        assert {e.target for e in dep.churn_events} <= peer_names
+        assert all(isinstance(e, ChurnEvent) for e in dep.churn_events)
+
+    def test_baseline_and_churny_point_report_completion(self):
+        base = run_scenario(churn_point(0.0))
+        assert base.ok and base.metrics["completed"] == 1.0
+        assert base.metrics["churn_failures"] == 0.0
+
+        hot = run_scenario(churn_point(1.2))
+        # high churn: scenario still "ok" — non-completion is the datum
+        assert hot.ok
+        assert hot.metrics["completed"] == 0.0
+        assert hot.metrics["churn_failures"] > 0
+        assert hot.reason
+
+    def test_completion_probability_monotone_in_rate(self):
+        """Aggregated over seeds, completion probability must not
+        increase with the churn rate (the §III-D claim, quantified)."""
+        seeds = (2011, 2013)
+        probabilities = []
+        for rate in (0.0, 0.6, 1.2):
+            done = [
+                run_scenario(churn_point(rate, seed)).metrics["completed"]
+                for seed in seeds
+            ]
+            probabilities.append(sum(done) / len(done))
+        assert probabilities[0] == 1.0
+        assert probabilities == sorted(probabilities, reverse=True)
+        assert probabilities[-1] < 1.0, "highest rate should kill runs"
+
+    def test_churn_grid_registered_shape(self):
+        assert CHURN_GRID.n_points >= 12
+        points = CHURN_GRID.points()
+        rates = {p.churn_profile.rate for p in points}
+        kinds = {p.platform.kind for p in points}
+        assert len(rates) >= 3 and len(kinds) >= 2
+        assert len({p.spec_hash() for p in points}) == len(points)
+
+
+class TestChurnGridDeterminism:
+    def test_parallel_equals_serial_byte_identical(self, tmp_path):
+        """The churn grid through the pooled runner returns exactly the
+        serial results — failure injection included."""
+        specs = [churn_point(r, s) for r in (0.6, 1.2)
+                 for s in (2011, 2013)]
+        serial = [run_scenario(s).canonical_json() for s in specs]
+
+        clear_memo()
+        runner = SweepRunner(cache_dir=tmp_path, max_workers=2)
+        parallel = runner.run(specs, parallel=True)
+        assert runner.misses == len(specs)
+        assert [r.canonical_json() for r in parallel] == serial
+
+    def test_rerun_is_byte_identical(self):
+        spec = churn_point(1.2)
+        assert (run_scenario(spec).canonical_json()
+                == run_scenario(spec).canonical_json())
+
+
+class TestSpecWiring:
+    def test_tcp_plan_reaches_the_replay(self):
+        base = ScenarioSpec(
+            name="tcp-probe", kind="predict",
+            workload=CHURN_GRID.base.workload, n_peers=4,
+        )
+        lossy = base.with_override("tcp.bandwidth_factor", 0.4)
+        t_default = run_scenario(base).t
+        t_lossy = run_scenario(lossy).t
+        assert t_lossy > t_default, "halving link efficiency must hurt"
+
+    def test_timer_plan_reaches_overlay_config(self):
+        spec = churn_point(0.0).with_override("timers.peer_expiry", 45.0)
+        dep = _deploy(spec)
+        assert dep.overlay.config.peer_expiry == 45.0
+        assert dep.overlay.config.state_update_interval == 30.0
+
+    def test_time_limit_bounds_failed_runs(self):
+        spec = churn_point(1.2)
+        assert spec.time_limit == 600.0
+        result = run_scenario(spec)
+        assert result.metrics["completed"] == 0.0
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            ChurnProfile(rate=-1.0)
+        with pytest.raises(ValueError, match="horizon"):
+            ChurnProfile(horizon=0.0)
+        with pytest.raises(ValueError, match="bandwidth_factor"):
+            TcpPlan(bandwidth_factor=0.0)
+        with pytest.raises(ValueError, match="peer_expiry"):
+            TimerPlan(peer_expiry=10.0, state_update_interval=30.0)
+        with pytest.raises(ValueError, match="time_limit"):
+            ScenarioSpec(name="x", time_limit=-1.0)
+
+    def test_has_churn(self):
+        assert not ScenarioSpec(name="x").has_churn
+        assert churn_point(0.1).has_churn
+
+
+class TestEarlyFailures:
+    def test_draws_inside_settle_window_fire_instead_of_crashing(self):
+        """Reviewer repro: on xdsl the settle clock passes t≈0.067s, and
+        a hot Poisson draw can land before it — the event must fire at
+        the earliest instant, not raise ValueError('negative delay')."""
+        spec = (churn_point(8.0, seed=2005)
+                .with_override("platform.kind", "xdsl"))
+        result = run_scenario(spec)
+        assert result.ok
+        assert result.metrics["churn_failures"] > 0

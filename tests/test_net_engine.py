@@ -217,3 +217,67 @@ class TestFluidTransfers:
         assert n * 2e5 / makespan <= 1e6 * (1 + 1e-9)
         # equal flows, equal finish
         assert makespan == pytest.approx(n * 2e5 / 1e6, rel=1e-6)
+
+
+class TestReplayHotPath:
+    """Route interning, event-batched reshare, uncontended skip."""
+
+    def test_uncontended_transfers_skip_the_solver(self):
+        # two flows on disjoint links: no reshare is ever needed
+        sim = Simulator()
+        topo = Topology()
+        hosts = [topo.add_node(Host(f"h{i}")) for i in range(4)]
+        topo.add_link(hosts[0], hosts[1], 1e6, 0.0)
+        topo.add_link(hosts[2], hosts[3], 1e6, 0.0)
+        net = FluidNetwork(sim, topo, tcp=TcpModel(1.0, 1e18))
+        d1 = net.send(hosts[0], hosts[1], 1e6)
+        d2 = net.send(hosts[2], hosts[3], 1e6)
+        sim.run()
+        assert d1.value.duration == pytest.approx(1.0, rel=1e-6)
+        assert d2.value.duration == pytest.approx(1.0, rel=1e-6)
+        assert net.reshare_count == 0
+
+    def test_contended_transfers_invoke_the_solver_once_per_instant(self):
+        sim, net, a, b = two_host_net(bw=1e6, lat=0.0)
+        for _ in range(5):
+            net.send(a, b, 1e6)
+        sim.run()
+        # five same-instant arrivals coalesce into one reshare (plus
+        # the reshares triggered as the equal flows complete together)
+        assert 1 <= net.reshare_count <= 2
+
+    def test_route_info_interned_per_pair(self):
+        sim, net, a, b = two_host_net()
+        net.send(a, b, 10.0)
+        net.send(a, b, 20.0)
+        assert len(net._routes) == 1
+        info = net._routes[("a", "b")]
+        assert [l.name for l in info.route] == ["a--b"]
+        assert info.latency == pytest.approx(0.01)
+
+    def test_binding_bookkeeping_resets_when_idle(self):
+        sim, net, a, b = two_host_net(bw=1e6, lat=0.0)
+        net.send(a, b, 1e5)
+        net.send(a, b, 1e5)
+        sim.run()
+        assert net.active_flow_count == 0
+        assert not net._binding
+        assert not net._ceiling_load
+
+    def test_route_intern_invalidated_by_topology_change(self):
+        sim = Simulator()
+        topo = Topology()
+        a = topo.add_node(Host("a"))
+        b = topo.add_node(Host("b"))
+        r = topo.add_node(Router("r"))
+        topo.add_link(a, r, 1e6, 0.001)
+        topo.add_link(r, b, 1e6, 0.001)
+        net = FluidNetwork(sim, topo, tcp=TcpModel(1.0, 1e18))
+        d1 = net.send(a, b, 1e3)
+        sim.run()
+        assert d1.value.duration == pytest.approx(0.003, rel=1e-6)
+        # a direct shortcut appears: later sends must use it
+        topo.add_link(a, b, 1e6, 0.0001)
+        d2 = net.send(a, b, 1e3)
+        sim.run()
+        assert d2.value.duration == pytest.approx(0.0011, rel=1e-6)

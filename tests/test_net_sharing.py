@@ -160,3 +160,77 @@ def test_maxmin_symmetric_flows_get_equal_shares(n):
     alloc = maxmin_allocation({f"f{i}": [l] for i in range(n)})
     rates = list(alloc.values())
     assert all(r == pytest.approx(1000.0 / n) for r in rates)
+
+
+# -- grouped classes + reduced filling (the replay hot path) ----------------
+
+from repro.net.sharing import maxmin_grouped, progressive_fill  # noqa: E402
+
+
+def test_grouped_multiplicity_equals_expanded_flows():
+    """One class of m identical flows must get the per-flow rate the
+    expanded problem gives each of them."""
+    shared = L("shared", 90.0)
+    thin = L("thin", 10.0)
+    expanded = maxmin_allocation(
+        {"a0": [shared], "a1": [shared], "a2": [shared],
+         "long": [thin, shared]}
+    )
+    grouped = maxmin_grouped(
+        {"a": [shared], "long": [thin, shared]},
+        class_sizes={"a": 3},
+    )
+    assert grouped["a"] == pytest.approx(expanded["a0"])
+    assert grouped["long"] == pytest.approx(expanded["long"])
+    # conservation: 3·a + long ≤ shared capacity
+    assert 3 * grouped["a"] + grouped["long"] <= 90.0 * (1 + 1e-9)
+
+
+def test_grouped_caps_apply_per_flow():
+    link = L("l", 100.0)
+    alloc = maxmin_grouped(
+        {"capped": [link], "free": [link]},
+        class_caps={"capped": 10.0},
+        class_sizes={"capped": 2, "free": 1},
+    )
+    assert alloc["capped"] == pytest.approx(10.0)
+    assert alloc["free"] == pytest.approx(80.0)
+
+
+def test_backbone_pruning_is_exact():
+    """A huge shared backbone must not disturb last-mile bottlenecks —
+    the constraint-reduction path and the naive solve agree."""
+    core = L("core", 1e9)
+    miles = [L(f"mile{i}", 10.0 + i) for i in range(4)]
+    flows = {f"f{i}": [miles[i], core] for i in range(4)}
+    alloc = maxmin_allocation(flows)
+    for i in range(4):
+        assert alloc[f"f{i}"] == pytest.approx(10.0 + i)
+
+
+def test_progressive_fill_single_link_waterfill():
+    link = L("l", 100.0)
+    alloc = progressive_fill(
+        {"a": [link], "b": [link], "c": [link]},
+        {"a": 10.0, "b": 1000.0, "c": 1000.0},
+    )
+    assert alloc["a"] == pytest.approx(10.0)
+    assert alloc["b"] == pytest.approx(45.0)
+    assert alloc["c"] == pytest.approx(45.0)
+
+
+@given(random_networks())
+@settings(max_examples=100, deadline=None)
+def test_grouped_with_sizes_never_oversubscribes(net):
+    flows, caps = net
+    sizes = {fid: (i % 3) + 1 for i, fid in enumerate(flows)}
+    alloc = maxmin_grouped(flows, caps, class_sizes=sizes)
+    load = {}
+    for fid, route in flows.items():
+        rate = alloc[fid]
+        if math.isinf(rate):
+            continue
+        for link in route:
+            load[link] = load.get(link, 0.0) + rate * sizes[fid]
+    for link, used in load.items():
+        assert used <= link.bandwidth * (1 + 1e-6)

@@ -1,6 +1,13 @@
-"""The README's quickstart snippet must actually run."""
+"""The README's quickstart snippet and CLI examples must actually run.
+
+This file is the CI `docs` check: the python block executes, and every
+`python -m repro.scenarios …` line in a bash block must parse against
+the real argument parser, name a real scenario, and use real spec
+fields — so the README cannot drift from the CLI.
+"""
 
 import re
+import shlex
 from pathlib import Path
 
 README = Path(__file__).parent.parent / "README.md"
@@ -23,3 +30,44 @@ def test_readme_mentions_all_deliverable_paths():
     for path in ("DESIGN.md", "EXPERIMENTS.md", "benchmarks/", "examples/",
                  "tests/"):
         assert path in text
+
+
+def _readme_cli_lines():
+    """`python -m repro.scenarios …` commands from README bash blocks,
+    with backslash continuations joined and comments stripped."""
+    blocks = re.findall(r"```bash\n(.*?)```", README.read_text(), re.DOTALL)
+    lines, buf = [], ""
+    for block in blocks:
+        for raw in block.splitlines():
+            line = (buf + " " + raw.strip()).strip() if buf else raw.strip()
+            buf = ""
+            if line.endswith("\\"):
+                buf = line[:-1].strip()
+                continue
+            line = line.split("#", 1)[0].strip()
+            if line.startswith("python -m repro.scenarios"):
+                lines.append(line)
+    return lines
+
+
+def test_readme_cli_examples_stay_runnable(capsys):
+    """Every scenarios-CLI example parses, names a real scenario, and
+    uses real spec fields; the cheap ones execute for real."""
+    from repro.scenarios import get_scenario
+    from repro.scenarios.cli import _parse_sets, build_parser, main
+
+    lines = _readme_cli_lines()
+    assert lines, "README lost its scenarios-CLI examples"
+    parser = build_parser()
+    for line in lines:
+        argv = shlex.split(line)[3:]  # drop `python -m repro.scenarios`
+        args = parser.parse_args(argv)  # SystemExit(2) = stale example
+        if args.command in ("run", "sweep"):
+            entry = get_scenario(args.name)  # KeyError = stale name
+            for path, values in _parse_sets(
+                getattr(args, "set", None) or []
+            ).items():
+                entry.base.with_override(path, values[0])  # KeyError = field
+        if args.command in ("list", "show"):
+            assert main(argv) == 0
+            capsys.readouterr()

@@ -59,7 +59,7 @@ class TestSpec:
         the deliberate acknowledgment that existing caches invalidate.
         """
         spec = ScenarioSpec(name="x")
-        assert spec.spec_hash() == "44dea7081cacd09c"
+        assert spec.spec_hash() == "af937a0f100b27fa"
         rebuilt = ScenarioSpec.from_dict(
             json.loads(json.dumps(spec.to_dict()))
         )
@@ -71,6 +71,8 @@ class TestSpec:
         assert a.spec_hash() == b.spec_hash()
 
     def test_any_field_change_changes_hash(self):
+        from repro.scenarios.spec import ChurnProfile, TcpPlan, TimerPlan
+
         base = tiny_spec()
         variants = [
             tiny_spec(n_peers=4),
@@ -81,6 +83,10 @@ class TestSpec:
             tiny_spec(protocol=ProtocolPlan(cmax=8)),
             tiny_spec(churn=(ChurnEventSpec(1.0, "server-down"),)),
             tiny_spec(host_policy="spread"),
+            tiny_spec(tcp=TcpPlan(window=65536.0)),
+            tiny_spec(timers=TimerPlan(peer_expiry=90.0)),
+            tiny_spec(churn_profile=ChurnProfile(rate=0.5)),
+            tiny_spec(time_limit=100.0),
         ]
         hashes = {base.spec_hash()} | {v.spec_hash() for v in variants}
         assert len(hashes) == len(variants) + 1
@@ -310,3 +316,87 @@ class TestCli:
         clear_memo()
         assert main(argv) == 0
         assert "1 from cache" in capsys.readouterr().out
+
+    def test_sweep_then_compare_round_trip(self, tmp_path, capsys):
+        """Two CLI sweeps, one compare: the documented churn workflow."""
+        from repro.scenarios.cli import main
+
+        common = [
+            "sweep", "xdsl-daisy-chain",
+            "--set", "workload.n=64", "--set", "workload.nit=30",
+            "--cache-dir", str(tmp_path), "--serial",
+        ]
+        assert main(common + ["--set", "n_peers=2",
+                              "--label", "two"]) == 0
+        assert main(common + ["--set", "n_peers=2,4",
+                              "--label", "scale"]) == 0
+        capsys.readouterr()
+        assert main(["compare", "two", "scale",
+                     "--cache-dir", str(tmp_path)]) == 0
+        report = capsys.readouterr().out
+        assert "`two` vs `scale`" in report
+        assert "n_peers=2" in report and "n_peers=4" in report
+
+        out = tmp_path / "diff.json"
+        assert main(["compare", "two", "scale", "--format", "json",
+                     "--out", str(out),
+                     "--cache-dir", str(tmp_path)]) == 0
+        payload = json.loads(out.read_text())
+        assert "n_peers" in payload["shared_axes"]
+        assert len(payload["rows"]) == 2
+
+    def test_compare_unknown_label_is_usage_error(self, tmp_path, capsys):
+        from repro.scenarios.cli import main
+
+        assert main(["compare", "nope", "also-nope",
+                     "--cache-dir", str(tmp_path)]) == 2
+        assert "no sweep manifest" in capsys.readouterr().err
+
+    def test_bad_label_rejected_before_running(self, tmp_path, capsys):
+        from repro.scenarios.cli import main
+
+        assert main(["run", "flat-allocation", "--cache-dir",
+                     str(tmp_path), "--label", "a/b"]) == 2
+        assert "--label" in capsys.readouterr().err
+
+    def test_label_with_no_cache_rejected(self, tmp_path, capsys):
+        from repro.scenarios.cli import main
+
+        assert main(["run", "flat-allocation", "--no-cache",
+                     "--label", "x"]) == 2
+        assert "--no-cache" in capsys.readouterr().err
+
+    def test_compare_label_not_shadowed_by_cwd_file(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """A stray same-named file in the cwd must not shadow a
+        recorded sweep, and a non-manifest path is a clean error."""
+        from repro.scenarios.cli import main
+
+        argv = [
+            "sweep", "xdsl-daisy-chain",
+            "--set", "n_peers=2", "--set", "workload.n=64",
+            "--set", "workload.nit=30",
+            "--cache-dir", str(tmp_path), "--serial", "--label", "lbl",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        workdir = tmp_path / "cwd"
+        workdir.mkdir()
+        (workdir / "lbl").write_text("not json")
+        monkeypatch.chdir(workdir)
+        assert main(["compare", "lbl", "lbl",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "`lbl` vs `lbl`" in capsys.readouterr().out
+        assert main(["compare", str(workdir / "lbl"), "lbl",
+                     "--cache-dir", str(tmp_path)]) == 2
+        assert "not a sweep manifest" in capsys.readouterr().err
+
+    def test_labelless_manifest_is_usage_error(self, tmp_path, capsys):
+        from repro.scenarios.cli import main
+
+        bad = tmp_path / "foo.json"
+        bad.write_text('{"points": []}')
+        assert main(["compare", str(bad), str(bad),
+                     "--cache-dir", str(tmp_path)]) == 2
+        assert "not a sweep manifest" in capsys.readouterr().err
