@@ -7,7 +7,11 @@ points are matched on the grid axes the two sweeps share, aggregated
 over the axes they don't (seeds, platforms), and rendered as markdown
 or JSON.  ``completed`` metrics (churn grids) aggregate into a
 completion probability per matched row, which is how the §III-D
-robustness numbers are read out.
+robustness numbers are read out.  With ``metric="makespan"`` the
+``B/A`` column of a rejoin=0-vs-rejoin>0 diff is the survivors'
+*makespan-degradation ratio*: completed-under-recovery runs pay for
+failure detection, re-dispatch and recompute, and the ratio prices
+that against the no-recovery baseline's completed runs.
 """
 
 from __future__ import annotations
@@ -155,13 +159,24 @@ class ComparisonRow:
         }
 
 
+#: Metrics that are meaningful on non-completed points too (injected
+#: crash counts and the recovery counters): these aggregate over every
+#: ``ok`` point, not only the completed ones — a run that *failed
+#: despite* three re-dispatches is exactly the datum to read.
+CHURN_METRICS = frozenset(
+    {"churn_failures", "rejoined_peers", "redispatched_subtasks"}
+)
+
+
 def _aggregate(points: Sequence[Mapping[str, Any]], metric: str):
     """(n, mean metric over completed points, completion probability).
 
     Hard failures (``ok: false`` — engine errors, non-churn scenario
     failures) are excluded from *both* aggregates: only ``ok`` points
     count, matching the runner's contract that an engine error is
-    never a completion-probability datum.
+    never a completion-probability datum.  Timing metrics average over
+    completed points only (a timed-out run has no makespan);
+    :data:`CHURN_METRICS` average over all ``ok`` points.
     """
     values: List[float] = []
     completed: List[float] = []
@@ -173,7 +188,7 @@ def _aggregate(points: Sequence[Mapping[str, Any]], metric: str):
         done = metrics.get("completed")
         if done is not None:
             completed.append(done)
-        if done == 0.0:
+        if done == 0.0 and metric not in CHURN_METRICS:
             continue
         value = result.get(metric)
         if value is None:
@@ -272,7 +287,8 @@ def _fmt(value: Optional[float]) -> str:
 
 
 def compare_sweeps(
-    a: SweepData, b: SweepData, metric: str = "t"
+    a: SweepData, b: SweepData, metric: str = "t",
+    over: Sequence[str] = (),
 ) -> SweepComparison:
     """Diff two sweeps: match on shared grid axes, aggregate the rest.
 
@@ -281,9 +297,16 @@ def compare_sweeps(
     completed points) and, when ``completed`` metrics are present, a
     completion probability.  Keys present in only one sweep still get
     a row — an axis swept on one side only shows up as unmatched.
+
+    ``over`` drops axes from the shared set so their points aggregate
+    instead of matching — ``over=("seed",)`` turns per-seed rows into
+    seed-averaged completion probabilities and makespans, which is how
+    the recovery grids read a survivors' makespan-degradation ratio
+    out of mixed-outcome seed pools.
     """
     axes_a, axes_b = a.axes(), b.axes()
-    shared = [axis for axis in axes_a if axis in axes_b]
+    shared = [axis for axis in axes_a
+              if axis in axes_b and axis not in set(over)]
 
     def group(sweep: SweepData) -> Dict[Tuple[str, ...], List[dict]]:
         out: Dict[Tuple[str, ...], List[dict]] = {}

@@ -8,7 +8,7 @@ P2PSAP channels, and failure handling.
 """
 
 from .allocation import Submitter, TaskOutcome, TaskSpec
-from .churn import ChurnEvent, ChurnPlan, poisson_peer_failures
+from .churn import ChurnEvent, ChurnPlan, poisson_peer_failures, rejoin_events
 from .collection import CollectionLog, collect_peers
 from .computation import (
     PeerComputeError,
@@ -68,4 +68,5 @@ __all__ = [
     "group_randomly",
     "pick_coordinator",
     "proximity",
+    "rejoin_events",
 ]

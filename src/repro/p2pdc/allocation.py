@@ -15,12 +15,24 @@ A *flat* allocation baseline (submitter talks to every peer directly,
 the pre-decentralization behaviour) is provided for the ablation
 benchmarks: it exhibits exactly the serialization and submitter
 bottleneck the hierarchy removes.
+
+Churn recovery (``OverlayConfig.recovery``): coordinators monitor
+their computing members and report a silent member's rank as
+:class:`~repro.p2pdc.messages.SubtaskLost`; the submitter keeps the
+current rank map, collects a replacement (leftover spares and rejoined
+peers are free at their trackers), reserves it, and re-dispatches the
+subtask with ``catch_up=True`` while rewiring the halo neighbours via
+``RankUpdate``.  Candidates are ordered by the configured
+``selection_policy`` — ``proximity`` (collection order, the v2
+behaviour), ``random`` (seeded shuffle) or ``failure_aware`` (fewest
+observed failures first, Dubey & Tokekar 2012).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from ..desim import AnyOf, Signal
 from .collection import CollectionLog, collect_peers
@@ -37,8 +49,11 @@ from .messages import (
     GroupConvergence,
     GroupReady,
     NodeRef,
+    RankUpdate,
     Reserve,
+    ReserveCancel,
     ResultBatch,
+    SubtaskLost,
     SubtaskMsg,
     SubtaskResult,
 )
@@ -64,6 +79,9 @@ class TaskOutcome:
     task_id: int
     ok: bool
     reason: str = ""
+    #: rank → peer; under recovery, re-dispatch updates entries in
+    #: place, so this names the peer that finally computed each rank
+    #: (groups/coordinators keep the initial allocation structure)
     ranks: List[NodeRef] = field(default_factory=list)
     groups: List[List[NodeRef]] = field(default_factory=list)
     coordinators: List[NodeRef] = field(default_factory=list)
@@ -90,6 +108,33 @@ class Submitter(Peer):
         self._convergence: Dict[tuple, Dict[int, float]] = {}
         self._task_coordinators: Dict[int, List[NodeRef]] = {}
         self._task_tol: Dict[int, float] = {}
+        # -- recovery state (subtask re-dispatch) -------------------------
+        self._active_tasks: Set[int] = set()
+        self._task_spec: Dict[int, TaskSpec] = {}
+        self._task_ranks: Dict[int, List[NodeRef]] = {}
+        self._task_members: Dict[int, Set[str]] = {}
+        self._recovery_pending: Dict[int, Deque[Tuple[int, NodeRef]]] = {}
+        self._recovery_kick: Dict[int, Signal] = {}
+        self._recovery_procs: Dict[int, object] = {}
+
+    # -- peer-selection policy ----------------------------------------------
+    def _policy_order(self, refs: List[NodeRef]) -> List[NodeRef]:
+        """Candidates ordered by ``config.selection_policy``.
+
+        ``proximity`` keeps collection order (nearest zones were
+        queried first — the pre-recovery behaviour, bit for bit);
+        ``random`` shuffles with the seeded ``selection`` stream;
+        ``failure_aware`` prefers peers with the fewest observed
+        crashes (stable within equal scores).
+        """
+        policy = self.overlay.config.selection_policy
+        out = list(refs)
+        if policy == "random":
+            self.overlay.rng.stream("selection").shuffle(out)
+        elif policy == "failure_aware":
+            history = self.overlay.failure_history
+            out.sort(key=lambda r: history.get(r.name, 0))
+        return out
 
     # -- public API -----------------------------------------------------------
     def submit(self, task: TaskSpec) -> Signal:
@@ -129,8 +174,9 @@ class Submitter(Peer):
             done.succeed(outcome)
             return
         timings.collected_at = self.sim.now
-        chosen = collected[:task.n_peers]
-        spares = collected[task.n_peers:]
+        ordered = self._policy_order(collected)
+        chosen = ordered[:task.n_peers]
+        spares = ordered[task.n_peers:]
 
         # Phase 2: proximity groups + coordinators (random grouping is
         # the ablation control — a seeded stream keeps runs replayable)
@@ -199,6 +245,14 @@ class Submitter(Peer):
         outcome.ranks = ranks
         n = len(ranks)
         rank_of = {ref.name: i for i, ref in enumerate(ranks)}
+        if self.overlay.config.recovery:
+            self._task_spec[task_id] = task
+            # the same list object as outcome.ranks: re-dispatch swaps
+            # propagate, so the outcome credits the peer that actually
+            # computed each rank
+            self._task_ranks[task_id] = ranks
+            self._task_members[task_id] = {r.name for r in ranks}
+            self._active_tasks.add(task_id)
         timings.compute_started_at = self.sim.now
         for gi, (group, coord) in enumerate(zip(reserved_groups, coordinators)):
             for ref in group:
@@ -222,9 +276,11 @@ class Submitter(Peer):
         res = yield AnyOf([results_sig,
                            self.sim.timeout(task.task_timeout, "timeout")])
         if res[1] == "timeout":
+            self._finish_task(task_id)
             outcome.reason = "computation timed out"
             done.succeed(outcome)
             return
+        self._finish_task(task_id)
         outcome.results = sorted(
             (r for batch in self._batches.pop(task_id) for r in batch.results),
             key=lambda r: r.rank,
@@ -250,7 +306,8 @@ class Submitter(Peer):
             done.succeed(outcome)
             return
         timings.collected_at = self.sim.now
-        ranks = sorted(collected[:task.n_peers], key=lambda r: int(r.ip))
+        ranks = sorted(self._policy_order(collected)[:task.n_peers],
+                       key=lambda r: int(r.ip))
         outcome.ranks = ranks
         n = len(ranks)
         # serial reservation: connect to every peer in succession
@@ -354,6 +411,152 @@ class Submitter(Peer):
             sig = self._task_results.pop(msg.task_id, None)
             if sig is not None and not sig.triggered:
                 sig.succeed(True)
+
+    # -- mid-computation recovery: subtask re-dispatch ------------------------------
+    def handle_SubtaskLost(self, msg: SubtaskLost) -> None:
+        """A coordinator reports a silent member: queue the rank for
+        re-dispatch and (re)start the per-task recovery worker."""
+        task_id = msg.task_id
+        if task_id not in self._active_tasks:
+            return
+        pending = self._recovery_pending.setdefault(task_id, deque())
+        if any(rank == msg.rank for rank, _coord in pending):
+            return
+        members = self._task_members.get(task_id)
+        if members is not None:
+            # the dead peer leaves the task; if it rejoins it becomes
+            # an ordinary (free) re-dispatch candidate again
+            members.discard(msg.peer.name)
+        pending.append((msg.rank, msg.sender))
+        self.overlay.stats.count("subtask_loss_reports")
+        kick = self._recovery_kick.get(task_id)
+        if kick is not None and not kick.triggered:
+            kick.succeed(None)
+        worker = self._recovery_procs.get(task_id)
+        if worker is None or not worker.alive:
+            self._recovery_procs[task_id] = self.sim.process(
+                self._recovery_worker(task_id),
+                name=f"{self.name}:recovery:{task_id}",
+            )
+
+    def _recovery_worker(self, task_id: int):
+        """Serial re-dispatch loop: one replacement hunt at a time, so
+        two lost ranks never race for the same candidate."""
+        while task_id in self._active_tasks:
+            pending = self._recovery_pending.get(task_id)
+            if not pending:
+                kick = Signal(f"{self.name}:recovery-kick:{task_id}")
+                self._recovery_kick[task_id] = kick
+                yield kick
+                continue
+            rank, coord = pending.popleft()
+            yield from self._redispatch(task_id, rank, coord)
+
+    def _redispatch(self, task_id: int, rank: int, coord: NodeRef):
+        """Find, reserve and re-dispatch a replacement for ``rank``.
+
+        Leftover spares were never reserved and rejoined peers
+        re-registered as free, so a fresh collection round finds both;
+        candidates are policy-ordered.  While nobody is available the
+        hunt retries every ``reserve_timeout`` (a crashed peer may
+        still rejoin) until the task completes or times out.
+        """
+        cfg = self.overlay.config
+        while task_id in self._active_tasks:
+            task = self._task_spec.get(task_id)
+            members = self._task_members.get(task_id)
+            if task is None or members is None:
+                return
+            collected = yield from collect_peers(
+                self, 2, task.requirements, task_id, CollectionLog()
+            )
+            pool = self._policy_order(
+                [r for r in collected if r.name not in members]
+            )
+            for ref in pool:
+                if task_id not in self._active_tasks:
+                    return  # task ended mid-hunt: stop reserving
+                sig = Signal(f"{self.name}:redsv:{task_id}:{rank}:{ref.name}")
+                self._reserve_sigs[(task_id, ref.name)] = sig
+                self.send(ref, Reserve(self.ref, task_id=task_id,
+                                       coordinator=coord))
+                result = yield AnyOf([
+                    sig, self.sim.timeout(cfg.reserve_timeout, "timeout"),
+                ])
+                if result[1] is True:
+                    self._reserve_sigs.pop((task_id, ref.name), None)
+                    if task_id in self._active_tasks:
+                        self._dispatch_replacement(task_id, rank, coord, ref)
+                        return
+                    # reserved, but the task ended while we waited: undo
+                    self.send(ref, ReserveCancel(self.ref, task_id=task_id))
+                    return
+                elif result[1] == "timeout":
+                    # leave the signal registered: a positive ack past
+                    # the timeout still reserved the peer, so release
+                    # it the moment the ack lands instead of leaking a
+                    # busy peer for the rest of the run
+                    sig._subscribe(
+                        lambda s, ref=ref: self._cancel_late_reserve(
+                            task_id, ref, s)
+                    )
+                else:
+                    self._reserve_sigs.pop((task_id, ref.name), None)
+            yield self.sim.timeout(cfg.reserve_timeout)
+
+    def _cancel_late_reserve(self, task_id: int, ref: NodeRef,
+                             sig: Signal) -> None:
+        """A reservation ack that arrived after the hunt gave up: the
+        peer is reserved for nothing — tell it to release.  If a later
+        hunt re-registered this (task, peer) key with a fresh signal,
+        that hunt owns the ack and no cancel is sent."""
+        if self._reserve_sigs.get((task_id, ref.name)) is sig:
+            self._reserve_sigs.pop((task_id, ref.name), None)
+            if sig._value is True:
+                self.send(ref, ReserveCancel(self.ref, task_id=task_id))
+
+    def _dispatch_replacement(self, task_id: int, rank: int,
+                              coord: NodeRef, ref: NodeRef) -> None:
+        """Hand ``rank`` to the reserved replacement and rewire."""
+        task = self._task_spec[task_id]
+        ranks = self._task_ranks[task_id]
+        members = self._task_members[task_id]
+        ranks[rank] = ref
+        members.add(ref.name)
+        n = len(ranks)
+        assignment = WorkAssignment(
+            task_id=task_id, rank=rank, nranks=n, workload=task.workload,
+            coordinator=coord, submitter=self.ref,
+            left=ranks[rank - 1] if rank > 0 else None,
+            right=ranks[rank + 1] if rank < n - 1 else None,
+            catch_up=True,
+        )
+        # rewire first (smaller messages land before the subtask): the
+        # coordinator swaps its reserved/monitoring entry, the halo
+        # neighbours swap channels and resync their boundary
+        recipients = {coord.name: coord}
+        for nb in (rank - 1, rank + 1):
+            if 0 <= nb < n:
+                recipients.setdefault(ranks[nb].name, ranks[nb])
+        for dst in recipients.values():
+            self.send(dst, RankUpdate(self.ref, task_id=task_id, rank=rank,
+                                      new_ref=ref))
+        self.send(coord, SubtaskMsg(
+            self.ref, task_id=task_id, rank=rank, final_dst=ref,
+            payload_bytes=task.workload.subtask_bytes, spec=assignment,
+        ))
+        self.overlay.stats.count("redispatched_subtasks")
+
+    def _finish_task(self, task_id: int) -> None:
+        """Stop recovery for a task that completed or timed out."""
+        self._active_tasks.discard(task_id)
+        kick = self._recovery_kick.pop(task_id, None)
+        if kick is not None and not kick.triggered:
+            kick.succeed(None)
+        self._recovery_procs.pop(task_id, None)
+        for store in (self._task_spec, self._task_ranks,
+                      self._task_members, self._recovery_pending):
+            store.pop(task_id, None)
 
 
 def _all_of_with_timeout(sim, signals, timeout):

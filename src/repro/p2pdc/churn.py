@@ -1,4 +1,4 @@
-"""Failure injection for robustness experiments.
+"""Failure injection and recovery schedules for robustness experiments.
 
 P2PDC's decentralization claims are about surviving exactly these
 events: a tracker crash (line repair + peer failover), a peer crash
@@ -9,9 +9,16 @@ Two ways to build a plan: script events explicitly
 (:meth:`ChurnPlan.crash_peer` and friends — the pre-existing
 churn-under-load scenario), or draw a *Poisson failure schedule* with
 :func:`poisson_peer_failures` — the §III-D churn-rate grids.  The
-Poisson draw is a pure function of ``(rate, targets, seed, window)``,
-so a scenario spec that carries those values always injects the same
-schedule, which is what makes churn sweeps cacheable.
+recovery side mirrors it: :func:`rejoin_events` derives a seeded
+rejoin schedule (exponential downtimes) from a crash schedule, so a
+crashed peer re-enters the overlay, re-registers with its tracker and
+becomes available for subtask re-dispatch.
+
+Every draw is a pure function of ``(rate, targets, seed, window)``, so
+a scenario spec that carries those values always injects the same
+schedule, which is what makes churn sweeps cacheable.  Crash and
+rejoin schedules use *separate* seeds: changing the rejoin rate never
+perturbs who crashes when.
 """
 
 from __future__ import annotations
@@ -30,17 +37,33 @@ def poisson_peer_failures(
     start: float = 0.0,
     horizon: float = 8.0,
     max_failures: int = 0,
+    kind: str = "peer",
 ) -> List["ChurnEvent"]:
-    """A deterministic Poisson schedule of peer crashes.
+    """A deterministic Poisson schedule of node crashes.
 
     ``rate`` is the expected number of crashes per simulated second
     across the whole population; inter-failure gaps are exponential
     draws from ``random.Random(seed)`` and each victim is drawn
-    uniformly from the peers not yet crashed.  Failures land in
+    uniformly from the targets not yet crashed.  Failures land in
     ``[start, start + horizon)``; at most ``max_failures`` are
-    generated (0 → bounded only by the population size).
+    generated (0 → bounded only by the population size).  ``kind``
+    selects the event type (``"peer"`` for peers, ``"tracker"`` for
+    tracker churn).
     """
-    if rate <= 0 or not targets:
+    if rate < 0:
+        raise ValueError(f"churn rate must be >= 0, got {rate!r}")
+    if start < 0:
+        raise ValueError(f"churn start must be >= 0, got {start!r}")
+    if horizon <= 0:
+        raise ValueError(f"churn horizon must be > 0, got {horizon!r}")
+    if max_failures < 0:
+        raise ValueError(
+            f"churn max_failures must be >= 0, got {max_failures!r}"
+        )
+    if kind not in ("peer", "tracker"):
+        raise ValueError(f"churn kind must be 'peer' or 'tracker', "
+                         f"got {kind!r}")
+    if rate == 0 or not targets:
         return []
     rng = random.Random(seed)
     pool = list(targets)
@@ -51,16 +74,49 @@ def poisson_peer_failures(
         if t >= start + horizon:
             break
         victim = pool.pop(rng.randrange(len(pool)))
-        events.append(ChurnEvent(time=t, kind="peer", target=victim))
+        events.append(ChurnEvent(time=t, kind=kind, target=victim))
         if max_failures and len(events) >= max_failures:
             break
     return events
 
 
+def rejoin_events(
+    crashes: Sequence["ChurnEvent"],
+    rejoin_rate: float,
+    seed: int,
+    delay: float = 0.0,
+) -> List["ChurnEvent"]:
+    """A deterministic rejoin schedule derived from a crash schedule.
+
+    Every ``"peer"`` crash gets a matching ``"peer-rejoin"`` event
+    after a downtime of ``delay`` plus an exponential draw with rate
+    ``rejoin_rate`` (mean downtime ``delay + 1/rejoin_rate``).  Draws
+    come from ``random.Random(seed)`` in crash-time order, so the
+    schedule is a pure function of ``(crashes, rejoin_rate, delay,
+    seed)`` — and because the seed is independent of the crash seed,
+    sweeping the rejoin rate never changes who crashes when.
+    """
+    if rejoin_rate <= 0:
+        raise ValueError(
+            f"rejoin rate must be > 0 to draw rejoins, got {rejoin_rate!r}"
+        )
+    if delay < 0:
+        raise ValueError(f"rejoin delay must be >= 0, got {delay!r}")
+    rng = random.Random(seed)
+    out: List[ChurnEvent] = []
+    for event in sorted(crashes, key=lambda e: e.time):
+        if event.kind != "peer":
+            continue
+        downtime = delay + rng.expovariate(rejoin_rate)
+        out.append(ChurnEvent(time=event.time + downtime,
+                              kind="peer-rejoin", target=event.target))
+    return out
+
+
 @dataclass
 class ChurnEvent:
     time: float
-    kind: str   # "peer" | "tracker" | "server-down" | "server-up"
+    kind: str   # "peer" | "peer-rejoin" | "tracker" | "server-down" | "server-up"
     target: str = ""
 
 
@@ -70,6 +126,10 @@ class ChurnPlan:
 
     def crash_peer(self, time: float, name: str) -> "ChurnPlan":
         self.events.append(ChurnEvent(time, "peer", name))
+        return self
+
+    def rejoin_peer(self, time: float, name: str) -> "ChurnPlan":
+        self.events.append(ChurnEvent(time, "peer-rejoin", name))
         return self
 
     def crash_tracker(self, time: float, name: str) -> "ChurnPlan":
@@ -90,7 +150,9 @@ class ChurnPlan:
         that lands inside the deployment-settle window) fire at the
         earliest possible instant instead of crashing the scheduler —
         a peer that "failed during deployment" is simply down from the
-        start.
+        start.  Events are armed in list order, so a crash and its
+        rejoin that both clamp to the same instant still fire
+        crash-first as long as the list is time-sorted.
         """
         for event in self.events:
             overlay.sim.schedule_at(max(event.time, overlay.now),
@@ -102,6 +164,13 @@ class ChurnPlan:
             overlay.server.crash()
         elif event.kind == "server-up":
             overlay.server.revive()
+        elif event.kind == "peer-rejoin":
+            actor = overlay.registry.get(event.target)
+            if actor is None:
+                raise KeyError(f"rejoin target {event.target!r} not found")
+            if not actor.alive:
+                actor.revive()
+                overlay.stats.count("peer_rejoins")
         else:
             actor = overlay.registry.get(event.target)
             if actor is None:

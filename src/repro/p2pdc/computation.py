@@ -65,6 +65,10 @@ class WorkAssignment:
     submitter: NodeRef
     left: Optional[NodeRef] = None   # rank - 1
     right: Optional[NodeRef] = None  # rank + 1
+    #: Re-dispatched subtask: restart from iteration 0 and use
+    #: non-blocking halo receives (freshest-iterate) while catching up
+    #: with neighbours that are already deep into the computation.
+    catch_up: bool = False
 
 
 def channel_context_for(peer_a, peer_b, scheme: Scheme) -> ChannelContext:
@@ -81,7 +85,13 @@ def channel_context_for(peer_a, peer_b, scheme: Scheme) -> ChannelContext:
 
 
 class SubtaskExecution:
-    """One peer's execution of one subtask (runs as a desim process)."""
+    """One peer's execution of one subtask (runs as a desim process).
+
+    Halo partners are tracked *by rank*, not by peer identity: when a
+    neighbour dies and its rank is re-dispatched, :meth:`rewire` swaps
+    in the replacement's channel, hands it a boundary-resync halo, and
+    wakes any receive blocked on the dead peer.
+    """
 
     def __init__(self, peer, assignment: WorkAssignment) -> None:
         self.peer = peer
@@ -90,12 +100,44 @@ class SubtaskExecution:
         self.rng = peer.overlay.rng.stream(f"compute:{peer.name}")
         self.iterations_done = 0
         self.stopped_early = False
+        a = assignment
+        self._neighbors: Dict[int, NodeRef] = {}
+        if a.left is not None:
+            self._neighbors[a.rank - 1] = a.left
+        if a.right is not None:
+            self._neighbors[a.rank + 1] = a.right
+        self._endpoints = {
+            rank: self._endpoint(ref)
+            for rank, ref in self._neighbors.items()
+        }
+        self._rewired = Signal(f"{peer.name}:rewire:{a.task_id}")
 
     # -- helpers ------------------------------------------------------------
     def _endpoint(self, neighbor: NodeRef):
         scheme = self.assignment.workload.scheme
         channel = self.peer.overlay.data_channel(self.peer, neighbor, scheme)
         return channel.endpoint_for(self.peer.host)
+
+    def rewire(self, rank: int, new_ref: NodeRef) -> None:
+        """Rank ``rank`` was re-dispatched to ``new_ref``: swap the
+        channel, resync the boundary, wake a blocked receive."""
+        if rank not in self._neighbors:
+            return
+        if self._neighbors[rank].name == new_ref.name:
+            return  # duplicate update (e.g. coordinator + neighbour roles)
+        a = self.assignment
+        self._neighbors[rank] = new_ref
+        self._endpoints[rank] = self._endpoint(new_ref)
+        # boundary resync: the replacement needs our freshest iterate
+        # to start computing at all
+        self._endpoints[rank].send(
+            a.workload.halo_bytes,
+            data=("halo-resync", a.rank, self.iterations_done),
+        )
+        fired, self._rewired = self._rewired, Signal(
+            f"{self.peer.name}:rewire:{a.task_id}"
+        )
+        fired.succeed(rank)
 
     def _noisy(self, seconds: float) -> float:
         frac = self.assignment.workload.noise_frac
@@ -107,23 +149,26 @@ class SubtaskExecution:
     def run(self):
         a = self.assignment
         w = a.workload
-        neighbors = [n for n in (a.left, a.right) if n is not None]
-        endpoints = {n.name: self._endpoint(n) for n in neighbors}
         base_time = w.iteration_time(a.rank, a.nranks)
         nit = w.effective_nit()
+        # A re-dispatched subtask catches up without blocking on halos:
+        # its neighbours are far ahead, so it iterates on the freshest
+        # boundary available (the resync halo, then whatever arrives).
+        blocking = w.scheme is Scheme.SYNC and not a.catch_up
         for it in range(nit):
             # compute burst
             yield self.sim.timeout(self._noisy(base_time))
             # halo exchange with both neighbours (sends first, then
             # receives — full duplex, both directions overlap)
-            for n in neighbors:
-                endpoints[n.name].send(w.halo_bytes, data=("halo", a.rank, it))
-            if w.scheme is Scheme.SYNC:
-                for n in neighbors:
-                    yield from self._recv_halo(endpoints[n.name], n)
+            for rank in list(self._neighbors):
+                self._endpoints[rank].send(w.halo_bytes,
+                                           data=("halo", a.rank, it))
+            if blocking:
+                for rank in list(self._neighbors):
+                    yield from self._recv_halo(rank)
             else:
-                for n in neighbors:
-                    endpoints[n.name].try_recv()  # freshest iterate, if any
+                for rank in list(self._neighbors):
+                    self._endpoints[rank].try_recv()  # freshest iterate
             self.iterations_done = it + 1
             # periodic convergence check through the hierarchy
             if w.check_every > 0 and (it + 1) % w.check_every == 0:
@@ -134,18 +179,32 @@ class SubtaskExecution:
                     break
         return self._result()
 
-    def _recv_halo(self, endpoint, neighbor: NodeRef):
+    def _recv_halo(self, rank: int):
         w = self.assignment.workload
-        recv = endpoint.recv()
-        if w.halo_timeout is None:
-            yield recv
-            return
-        timed = AnyOf([recv, self.sim.timeout(w.halo_timeout, "timeout")])
-        result = yield timed
-        if result[1] == "timeout":
+        # one deadline for the whole wait: a rewire wake-up (even for
+        # the other neighbour) must not restart the halo timeout
+        deadline = (self.sim.timeout(w.halo_timeout, "timeout")
+                    if w.halo_timeout is not None else None)
+        recv = recv_endpoint = None
+        while True:
+            endpoint = self._endpoints[rank]
+            if recv is None or recv_endpoint is not endpoint:
+                # (re)arm only when the channel changed — the pending
+                # getter on an unchanged endpoint stays valid, and
+                # re-arming it would swallow the next halo
+                recv = endpoint.recv()
+                recv_endpoint = endpoint
+            waits = [recv, self._rewired]
+            if deadline is not None:
+                waits.append(deadline)
+            index, _value = yield AnyOf(waits)
+            if index == 0:
+                return
+            if index == 1:
+                continue  # a neighbour was re-dispatched; retry the recv
             raise PeerComputeError(
-                f"{self.peer.name}: halo from {neighbor.name} timed out "
-                f"(rank {self.assignment.rank})"
+                f"{self.peer.name}: halo from {self._neighbors[rank].name} "
+                f"timed out (rank {self.assignment.rank})"
             )
 
     def _convergence_check(self, check_index: int, it: int):

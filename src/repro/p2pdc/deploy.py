@@ -20,6 +20,7 @@ from typing import List, Optional
 from ..net import TcpModel
 from ..platforms import PlatformSpec
 from .allocation import Submitter
+from .churn import ChurnPlan
 from .overlay import Overlay, OverlayConfig
 from .peer import Peer
 from .server import Server
@@ -33,12 +34,23 @@ class Deployment:
     trackers: List[Tracker]
     peers: List[Peer]
     submitter: Optional[Submitter] = None
-    #: failure events armed on the overlay (scripted + Poisson-drawn)
+    #: failure/rejoin events armed on the overlay (scripted + Poisson)
     churn_events: List = field(default_factory=list)
 
     @property
     def sim(self):
         return self.overlay.sim
+
+    @property
+    def crash_events(self) -> List:
+        """The armed events that crash a node (rejoins excluded)."""
+        return [e for e in self.churn_events
+                if e.kind in ("peer", "tracker", "server-down")]
+
+    def arm_churn(self, plan: ChurnPlan) -> None:
+        """Arm a churn plan post-settle and record its events."""
+        plan.arm(self.overlay)
+        self.churn_events = plan.events
 
 
 def deploy_overlay(
@@ -57,7 +69,9 @@ def deploy_overlay(
     ``n_peers`` compute peers are placed on the first hosts (default:
     all hosts).  When ``join_peers`` the peers join the overlay through
     the protocol, and when ``settle`` the simulation runs until every
-    peer is accepted into a zone.
+    peer is accepted into a zone.  Failure injection is armed on the
+    returned deployment via :meth:`Deployment.arm_churn` — churn
+    targets (peer/tracker names) only exist once this returns.
     """
     hosts = platform.hosts if n_peers is None else platform.take_hosts(n_peers)
     if not hosts:

@@ -288,6 +288,55 @@ class ResultBatch(Message):
         return 128 + sum(r.size_bytes for r in self.results)
 
 
+# -- mid-computation recovery (churn recovery subsystem) --------------------------------
+
+@dataclass
+class ComputePing(Message):
+    """Coordinator liveness probe to a computing group member."""
+
+    task_id: int = 0
+    SIZE = 64
+
+
+@dataclass
+class ComputePong(Message):
+    """Member's liveness reply (only while it computes this task)."""
+
+    task_id: int = 0
+    SIZE = 64
+
+
+@dataclass
+class SubtaskLost(Message):
+    """Coordinator → submitter: a computing member went silent; its
+    rank's subtask needs re-dispatch."""
+
+    task_id: int = 0
+    rank: int = 0
+    peer: NodeRef = None  # type: ignore[assignment]
+    SIZE = 160
+
+
+@dataclass
+class RankUpdate(Message):
+    """Submitter → coordinator / halo neighbours: ``rank`` is now
+    computed by ``new_ref`` (re-dispatch rewiring)."""
+
+    task_id: int = 0
+    rank: int = 0
+    new_ref: NodeRef = None  # type: ignore[assignment]
+    SIZE = 160
+
+
+@dataclass
+class ReserveCancel(Message):
+    """Submitter → peer: a re-dispatch reservation it will never use
+    (the task ended, or the ack arrived past the timeout) — release."""
+
+    task_id: int = 0
+    SIZE = 96
+
+
 # -- convergence control (through the coordinator hierarchy) ----------------------------
 
 @dataclass

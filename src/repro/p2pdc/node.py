@@ -33,6 +33,9 @@ class NodeActor:
         self.process = None
         self._req_counter = 0
         self._pending: Dict[int, Signal] = {}
+        #: Incarnation counter: timers armed before a crash must not
+        #: fire into a revived incarnation (bumped by crash()).
+        self._timer_epoch = 0
         overlay.register(self)
 
     # -- identity ------------------------------------------------------------
@@ -58,10 +61,13 @@ class NodeActor:
         if not self.alive:
             return
         self.alive = False
+        self._timer_epoch += 1
         self.mailbox.clear()
         if self.process is not None:
             self.process.interrupt("crash")
         self.overlay.stats.count("crashes")
+        history = self.overlay.failure_history
+        history[self.name] = history.get(self.name, 0) + 1
 
     def revive(self) -> None:
         """Restart after an outage (used for the server come-back)."""
@@ -104,17 +110,25 @@ class NodeActor:
         self.overlay.transport(self, dst, msg)
 
     def set_timer(self, delay: float, tag: str, payload: Any = None) -> None:
+        epoch = self._timer_epoch
+
         def fire() -> None:
-            if self.alive:
+            if self.alive and self._timer_epoch == epoch:
                 self.mailbox.put(TimerFire(self.ref, tag, payload))
 
         self.sim.schedule(delay, fire)
 
     def every(self, interval: float, tag: str) -> None:
-        """Start a periodic timer (stops when the node dies)."""
+        """Start a periodic timer (stops when the node dies).
+
+        The chain is bound to the current incarnation: after a crash
+        (even one followed by a revive) it goes quiet, and the revived
+        node re-arms whichever timers it needs.
+        """
+        epoch = self._timer_epoch
 
         def fire() -> None:
-            if not self.alive:
+            if not self.alive or self._timer_epoch != epoch:
                 return
             self.mailbox.put(TimerFire(self.ref, tag, None))
             self.sim.schedule(interval, fire)

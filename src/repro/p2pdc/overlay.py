@@ -23,6 +23,14 @@ from .node import NodeActor
 from .stats import OverlayStats
 
 
+#: Peer-selection policies (failure_aware follows Dubey & Tokekar 2012:
+#: rank candidates by their observed failure history).  Must match
+#: repro.scenarios.spec.SELECTION_POLICIES — the spec layer stays
+#: import-light, so the tuple is mirrored there (drift is pinned by
+#: tests/test_churn_recovery.py).
+SELECTION_POLICIES = ("proximity", "random", "failure_aware")
+
+
 @dataclass(frozen=True)
 class OverlayConfig:
     """Protocol constants (paper values where given)."""
@@ -30,6 +38,7 @@ class OverlayConfig:
     neighbor_set_size: int = 6        # |N|, half per side
     cmax: int = 32                    # max peers per group (paper: 32)
     grouping: str = "proximity"       # "proximity" (paper) | "random"
+    selection_policy: str = "proximity"  # peer choice: see SELECTION_POLICIES
     state_update_interval: float = 30.0
     peer_expiry: float = 75.0         # tracker drops silent peers after T
     update_ack_timeout: float = 10.0  # peer declares tracker dead after T
@@ -38,12 +47,30 @@ class OverlayConfig:
     reserve_timeout: float = 15.0
     stats_report_interval: float = 60.0
     bootstrap_tracker_count: int = 4  # trackers handed out by the server
+    #: Mid-computation recovery (subtask re-dispatch).  Off by default:
+    #: with recovery disabled the protocol behaves exactly as before
+    #: (no coordinator liveness probes, no re-dispatch traffic).
+    recovery: bool = False
+    compute_ping_interval: float = 2.0  # coordinator → member liveness probe
+    compute_ping_timeout: float = 5.0   # silent member declared lost after T
 
     def __post_init__(self) -> None:
         if self.grouping not in ("proximity", "random"):
             raise ValueError(
                 f"grouping must be 'proximity' or 'random', "
                 f"got {self.grouping!r}"
+            )
+        if self.selection_policy not in SELECTION_POLICIES:
+            raise ValueError(
+                f"selection_policy must be one of {SELECTION_POLICIES}, "
+                f"got {self.selection_policy!r}"
+            )
+        if self.compute_ping_interval <= 0:
+            raise ValueError("compute_ping_interval must be > 0")
+        if self.compute_ping_timeout <= self.compute_ping_interval:
+            raise ValueError(
+                "compute_ping_timeout must exceed compute_ping_interval "
+                "(a live member must be able to pong in time)"
             )
 
 
@@ -63,6 +90,9 @@ class Overlay:
         self.config = config
         self.rng = RngRegistry(seed)
         self.stats = OverlayStats()
+        #: Observed crash counts per node name — the reputation signal
+        #: the failure-aware selection policy scores candidates by.
+        self.failure_history: Dict[str, int] = {}
         self.registry: Dict[str, NodeActor] = {}
         self.server = None
         self.trackers: List = []

@@ -20,6 +20,8 @@ from ..desim import AnyOf, Signal
 from .computation import PeerComputeError, SubtaskExecution, WorkAssignment
 from .ip import proximity
 from .messages import (
+    ComputePing,
+    ComputePong,
     ConvergenceDecision,
     ConvergenceReport,
     GetTrackers,
@@ -31,10 +33,13 @@ from .messages import (
     PeerBusy,
     PeerFree,
     PeerJoin,
+    RankUpdate,
     Reserve,
     ReserveAck,
+    ReserveCancel,
     ResultBatch,
     StateUpdate,
+    SubtaskLost,
     SubtaskMsg,
     SubtaskResult,
     TrackersReply,
@@ -57,6 +62,15 @@ class GroupDuty:
     expected_results: int = 0
     reports: Dict[int, Dict[int, float]] = field(default_factory=dict)
     batch_sent: bool = False
+    # -- recovery bookkeeping (only used when config.recovery) ------------
+    rank_of: Dict[str, int] = field(default_factory=dict)
+    #: The ranks this group owns — stable under re-dispatch, unlike
+    #: rank_of whose name→rank entries are overwritten when a rejoined
+    #: ex-member takes over a different rank.
+    ranks: Set[int] = field(default_factory=set)
+    last_heard: Dict[str, float] = field(default_factory=dict)
+    decided: Dict[int, bool] = field(default_factory=dict)
+    reported_checks: Set[int] = field(default_factory=set)
 
 
 class Peer(NodeActor):
@@ -81,6 +95,7 @@ class Peer(NodeActor):
         self._duties: Dict[int, GroupDuty] = {}
         self._reserve_sigs: Dict[Tuple[int, str], Signal] = {}
         self._compute_procs: list = []
+        self._executions: Dict[int, SubtaskExecution] = {}
         self.completed_subtasks: List[SubtaskResult] = []
         self.rejoin_count = 0
 
@@ -193,26 +208,36 @@ class Peer(NodeActor):
 
     # -- subtask execution ---------------------------------------------------------------
     def handle_SubtaskMsg(self, msg: SubtaskMsg) -> None:
+        duty = self._duties.get(msg.task_id)
+        if duty is not None and msg.final_dst is not None:
+            # coordinator: remember who computes which rank (the
+            # compute monitor reports losses per rank)
+            duty.rank_of[msg.final_dst.name] = msg.rank
+            duty.ranks.add(msg.rank)
         if msg.final_dst is not None and msg.final_dst.name != self.name:
             # coordinator relay toward the computing peer
             self.send(msg.final_dst, msg)
             return
         assignment: WorkAssignment = msg.spec
+        execution = SubtaskExecution(self, assignment)
+        self._executions[msg.task_id] = execution
         proc = self.sim.process(
-            self._execute(assignment), name=f"{self.name}:task{msg.task_id}"
+            self._execute(execution), name=f"{self.name}:task{msg.task_id}"
         )
         self._compute_procs.append(proc)
 
-    def _execute(self, assignment: WorkAssignment):
-        execution = SubtaskExecution(self, assignment)
+    def _execute(self, execution: SubtaskExecution):
+        assignment = execution.assignment
         try:
             result = yield from execution.run()
         except PeerComputeError:
             self.overlay.stats.count("subtask_failures")
+            self._executions.pop(assignment.task_id, None)
             self._release()
             return
         self.completed_subtasks.append(result)
         self.send(assignment.coordinator, result)
+        self._executions.pop(assignment.task_id, None)
         self._release()
 
     def register_decision(self, task_id: int, check_index: int) -> Signal:
@@ -223,7 +248,10 @@ class Peer(NodeActor):
     def handle_ConvergenceDecision(self, msg: ConvergenceDecision) -> None:
         duty = self._duties.get(msg.task_id)
         if duty is not None and msg.final_dst is None:
-            # coordinator: fan the decision out to the group
+            # coordinator: record the verdict (late reports from a
+            # re-dispatched subtask get an immediate replay), then fan
+            # the decision out to the group
+            duty.decided[msg.check_index] = msg.stop
             for ref in duty.reserved:
                 if ref.name != self.name:
                     self.send(
@@ -287,19 +315,111 @@ class Peer(NodeActor):
                 reserved=list(duty.reserved), failed=list(duty.failed),
             ),
         )
+        if cfg.recovery:
+            # liveness monitoring of the computing members starts with
+            # the reservation: a member that goes silent mid-compute is
+            # reported to the submitter for subtask re-dispatch
+            now = self.sim.now
+            duty.last_heard = {ref.name: now for ref in duty.reserved
+                               if ref.name != self.name}
+            self.set_timer(cfg.compute_ping_interval, "compute_monitor",
+                           duty.task_id)
+
+    # -- compute-liveness monitoring (churn recovery) ---------------------------
+    def timer_compute_monitor(self, task_id) -> None:
+        duty = self._duties.get(task_id)
+        if duty is None or duty.batch_sent:
+            return  # group done: let the monitor chain die
+        cfg = self.overlay.config
+        now = self.sim.now
+        done_ranks = {r.rank for r in duty.results}
+        for ref in list(duty.reserved):
+            if ref.name == self.name:
+                continue
+            rank = duty.rank_of.get(ref.name)
+            if rank is not None and rank in done_ranks:
+                continue  # result already in: nothing left to lose
+            last = duty.last_heard.setdefault(ref.name, now)
+            if now - last > cfg.compute_ping_timeout and rank is not None:
+                # silent past the timeout: its unfinished subtask goes
+                # back to the submitter's pending pool.  A member whose
+                # rank is not known yet (died between reservation and
+                # dispatch) stays under watch — the subtask relay will
+                # name its rank and the next sweep reports it.
+                duty.reserved = [r for r in duty.reserved
+                                 if r.name != ref.name]
+                duty.last_heard.pop(ref.name, None)
+                self.overlay.stats.count("subtasks_lost")
+                self.send(duty.submitter, SubtaskLost(
+                    self.ref, task_id=task_id, rank=rank, peer=ref,
+                ))
+            else:
+                self.send(ref, ComputePing(self.ref, task_id=task_id))
+        self.set_timer(cfg.compute_ping_interval, "compute_monitor", task_id)
+
+    def handle_ComputePing(self, msg: ComputePing) -> None:
+        # pong only while actually computing this task — a peer that
+        # crashed and rejoined must read as dead for its old subtask
+        if self.current_task == msg.task_id:
+            self.send(msg.sender, ComputePong(self.ref, task_id=msg.task_id))
+
+    def handle_ComputePong(self, msg: ComputePong) -> None:
+        duty = self._duties.get(msg.task_id)
+        if duty is not None:
+            duty.last_heard[msg.sender.name] = self.sim.now
+
+    def handle_RankUpdate(self, msg: RankUpdate) -> None:
+        duty = self._duties.get(msg.task_id)
+        if duty is not None and msg.rank in duty.ranks:
+            # coordinator of the group that owns this rank: the rank is
+            # now computed by new_ref — swap it into the reserved set
+            # and monitor it.  (A coordinator that receives this as a
+            # mere halo neighbour of another group must not adopt the
+            # replacement into its own duty.)
+            duty.reserved = [
+                r for r in duty.reserved
+                if r.name != msg.new_ref.name
+                and duty.rank_of.get(r.name) != msg.rank
+            ]
+            duty.reserved.append(msg.new_ref)
+            duty.reserved.sort(key=lambda r: int(r.ip))
+            duty.rank_of[msg.new_ref.name] = msg.rank
+            duty.last_heard[msg.new_ref.name] = self.sim.now
+        execution = self._executions.get(msg.task_id)
+        if execution is not None:
+            # halo neighbour: swap the channel to the replacement
+            execution.rewire(msg.rank, msg.new_ref)
 
     def handle_ReserveAck(self, msg: ReserveAck) -> None:
         sig = self._reserve_sigs.get((msg.task_id, msg.sender.name))
         if sig is not None and not sig.triggered:
             sig.succeed(msg.accepted)
 
+    def handle_ReserveCancel(self, msg: ReserveCancel) -> None:
+        # release only an *idle* reservation: a peer already computing
+        # (or relaying as coordinator) this task keeps its state
+        if (self.current_task == msg.task_id
+                and msg.task_id not in self._executions
+                and msg.task_id not in self._duties):
+            self._release()
+
     def handle_ConvergenceReport(self, msg: ConvergenceReport) -> None:
         duty = self._duties.get(msg.task_id)
         if duty is None:
             return
+        if msg.check_index in duty.decided:
+            # a re-dispatched subtask catching up through an already-
+            # decided check: replay the verdict so it keeps iterating
+            self.send(msg.sender, ConvergenceDecision(
+                self.ref, task_id=msg.task_id, check_index=msg.check_index,
+                stop=duty.decided[msg.check_index], final_dst=msg.sender,
+            ))
+            return
         bucket = duty.reports.setdefault(msg.check_index, {})
         bucket[msg.rank] = msg.residual
-        if len(bucket) == duty.expected_results:
+        if (len(bucket) == duty.expected_results
+                and msg.check_index not in duty.reported_checks):
+            duty.reported_checks.add(msg.check_index)
             self.send(
                 duty.submitter,
                 GroupConvergence(
@@ -314,6 +434,11 @@ class Peer(NodeActor):
         duty = self._duties.get(msg.task_id)
         if duty is None:
             return
+        if any(r.rank == msg.rank for r in duty.results):
+            # conservation: a rank completes exactly once — a late
+            # result racing its own loss report is dropped
+            self.overlay.stats.count("duplicate_results")
+            return
         duty.results.append(msg)
         if len(duty.results) >= duty.expected_results and not duty.batch_sent:
             duty.batch_sent = True
@@ -326,12 +451,36 @@ class Peer(NodeActor):
                 ),
             )
 
-    # -- failure --------------------------------------------------------------------
+    # -- failure / recovery ---------------------------------------------------------
     def crash(self) -> None:
         for proc in self._compute_procs:
             if proc.alive:
                 proc.interrupt("peer crash")
         super().crash()
+
+    def on_revive(self) -> None:
+        """Churn rejoin: come back with fresh protocol state and
+        re-register through the locally stored tracker list.
+
+        Any subtask the peer held at crash time is gone (the
+        coordinator's compute monitor reports it lost); the rejoined
+        peer is free and immediately eligible for re-dispatch.
+        """
+        self.busy = False
+        self.current_task = None
+        self.current_coordinator = None
+        self._duties.clear()
+        self._executions.clear()
+        self._compute_procs.clear()
+        self._decisions.clear()
+        self._reserve_sigs.clear()
+        self.joined = False
+        self.tracker = None
+        self.rejoin_count += 1
+        self._join_signal = Signal(f"{self.name}:rejoined")
+        self._join_candidates = self._ranked_trackers()
+        self._join_attempt = 0
+        self._try_join()
 
 
 def _all_or_timeout(sim, signals, timeout):

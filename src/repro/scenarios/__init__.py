@@ -24,12 +24,14 @@ from .runner import (
     ResultCache,
     ScenarioResult,
     SweepRunner,
+    execute_reference,
     expand_grid,
     run_cached,
     run_scenario,
 )
 from .spec import (
     ChurnEventSpec,
+    ChurnProfile,
     PlatformPlan,
     ProtocolPlan,
     ScenarioSpec,
@@ -38,6 +40,7 @@ from .spec import (
 
 __all__ = [
     "ChurnEventSpec",
+    "ChurnProfile",
     "NamedScenario",
     "PEER_COUNTS",
     "PlatformPlan",
@@ -49,6 +52,7 @@ __all__ = [
     "SweepRunner",
     "WorkloadPlan",
     "build_platform",
+    "execute_reference",
     "expand_grid",
     "get_scenario",
     "pick_hosts",

@@ -19,10 +19,14 @@ manifest* (point names, spec hashes, and results) under
 scenario name; with ``--no-cache`` no manifest is written and
 ``--label`` is rejected).  ``compare`` diffs two
 manifests — by label in the cache directory, or by explicit path —
-and renders a markdown (default) or JSON report::
+and renders a markdown (default) or JSON report; ``--over AXIS``
+aggregates over a shared axis (e.g. seeds) instead of matching on
+it::
 
     python -m repro.scenarios compare churn-base churn-grid
     python -m repro.scenarios compare a b --format json --out diff.json
+    python -m repro.scenarios compare norejoin rejoin \
+        --metric makespan --over seed
 
 See ``repro.analysis.compare_sweeps`` for the matching rules.
 """
@@ -225,7 +229,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
     a = SweepData.from_manifest(_load_manifest(args.a, args.cache_dir))
     b = SweepData.from_manifest(_load_manifest(args.b, args.cache_dir))
-    comparison = compare_sweeps(a, b, metric=args.metric)
+    comparison = compare_sweeps(a, b, metric=args.metric,
+                                over=tuple(args.over or ()))
     text = (comparison.to_json() if args.format == "json"
             else comparison.to_markdown())
     if args.out:
@@ -284,6 +289,10 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--metric", default="t",
                          help="result field or metric to compare "
                               "(default: t; e.g. makespan, sim_events)")
+    compare.add_argument("--over", action="append", metavar="AXIS",
+                         help="aggregate over this shared grid axis "
+                              "instead of matching on it (repeatable; "
+                              "e.g. --over seed)")
     compare.add_argument("--format", choices=("markdown", "json"),
                          default="markdown", help="report format")
     compare.add_argument("--out", default=None,

@@ -218,6 +218,29 @@ SCENARIOS: Dict[str, NamedScenario] = {
             ),
         ),
         _named(
+            "recovery-grid",
+            "Churn recovery: rejoin rate × selection policy × seed, fixed churn",
+            ScenarioSpec(
+                name="recovery-grid", kind="reference",
+                platform=CLUSTER_PLAN,
+                workload=WorkloadPlan(app="obstacle", n=1024, nit=100),
+                n_peers=8, deploy_peers=16, n_zones=2, spares=4,
+                # rate 1.2 over the 4 s horizon kills most baseline
+                # runs (see churn-grid), so the rejoin_rate=0 column is
+                # the failing control and every completion at
+                # rejoin_rate>0 is recovery at work — with the makespan
+                # paying for detection + re-dispatch + recompute.
+                churn_profile=ChurnProfile(rate=1.2, horizon=4.0),
+                time_limit=600.0,
+            ),
+            (
+                ("churn_profile.rejoin_rate", (0.0, 0.5, 2.0)),
+                ("selection_policy",
+                 ("proximity", "random", "failure_aware")),
+                ("seed", (2011, 2013)),
+            ),
+        ),
+        _named(
             "heterogeneous-multisite",
             "Full P2PDC run across WAN-separated sites (grouping pays off)",
             ScenarioSpec(

@@ -31,9 +31,10 @@ Usage::
                         {"n_peers": (2, 4), "tcp.window": (65536, 4194304)})
     runner.run(specs)
 
-Reference-kind results carry ``metrics["completed"]`` (and, under
-churn, ``metrics["churn_failures"]``); under failure injection a
-non-completion is ``ok`` — the datum, not an error.
+Reference-kind results carry ``metrics["completed"]`` plus the churn
+and recovery counters (``churn_failures``, ``rejoined_peers``,
+``redispatched_subtasks``); under failure injection a non-completion
+is ``ok`` — the datum, not an error.
 """
 
 from __future__ import annotations
@@ -142,6 +143,7 @@ def _deploy(spec: ScenarioSpec):
         OverlayConfig,
         deploy_overlay,
         poisson_peer_failures,
+        rejoin_events,
     )
     from . import platforms
 
@@ -149,20 +151,25 @@ def _deploy(spec: ScenarioSpec):
     deploy_n = spec.deploy_peers or spec.n_peers
     n_zones = spec.n_zones or _auto_zones(deploy_n)
     t = spec.timers
+    profile = spec.churn_profile
     config = OverlayConfig(
         cmax=spec.protocol.cmax,
         grouping=spec.protocol.grouping,
+        selection_policy=spec.selection_policy,
         state_update_interval=t.state_update_interval,
         peer_expiry=t.peer_expiry,
         update_ack_timeout=t.update_ack_timeout,
         reserve_timeout=t.reserve_timeout,
+        # rejoin_rate is the recovery axis: > 0 turns on coordinator
+        # liveness monitoring and subtask re-dispatch; at 0 the
+        # protocol runs exactly as before (SCHEMA_VERSION 2 dynamics)
+        recovery=profile.rejoin_rate > 0,
     )
     dep = deploy_overlay(
         platform, n_peers=deploy_n, n_zones=n_zones, config=config,
         seed=spec.seed, tcp=_tcp_model(spec),
     )
     events = [ChurnEvent(e.time, e.kind, e.target) for e in spec.churn]
-    profile = spec.churn_profile
     if profile.rate > 0:
         events.extend(poisson_peer_failures(
             profile.rate,
@@ -172,14 +179,31 @@ def _deploy(spec: ScenarioSpec):
             horizon=profile.horizon,
             max_failures=profile.max_failures,
         ))
+    if profile.tracker_churn_rate > 0:
+        events.extend(poisson_peer_failures(
+            profile.tracker_churn_rate,
+            [t.name for t in dep.trackers],
+            derive_seed(spec.seed, "tracker-churn"),
+            start=profile.start,
+            horizon=profile.horizon,
+            kind="tracker",
+        ))
+    if profile.rejoin_rate > 0 and events:
+        # a separate seed stream: sweeping the rejoin rate never
+        # perturbs the crash schedule it recovers from
+        events.extend(rejoin_events(
+            [e for e in events if e.kind == "peer"],
+            profile.rejoin_rate,
+            derive_seed(spec.seed, "rejoin"),
+            delay=profile.rejoin_delay,
+        ))
     if events:
-        plan = ChurnPlan(events=sorted(events, key=lambda e: e.time))
-        plan.arm(dep.overlay)
-        dep.churn_events = plan.events
+        dep.arm_churn(ChurnPlan(events=sorted(events, key=lambda e: e.time)))
     return dep
 
 
-def _run_reference(spec: ScenarioSpec) -> ScenarioResult:
+def _submit_reference(spec: ScenarioSpec):
+    """Deploy the overlay and submit the workload; ``(dep, signal)``."""
     from ..p2pdc import TaskSpec
     from ..p2psap import Scheme
     from . import workloads
@@ -195,13 +219,41 @@ def _run_reference(spec: ScenarioSpec) -> ScenarioResult:
         sig = dep.submitter.submit_flat(task)
     else:
         sig = dep.submitter.submit(task)
-    n_churn = float(len(dep.churn_events))
+    return dep, sig
+
+
+def execute_reference(spec: ScenarioSpec):
+    """Run a reference scenario and return ``(deployment, outcome)``.
+
+    The property-test harness uses this to assert protocol-level
+    invariants (subtask conservation, rank uniqueness) that the
+    aggregated :class:`ScenarioResult` cannot express; an engine-level
+    ``RuntimeError`` propagates to the caller.
+    """
+    dep, sig = _submit_reference(spec)
+    dep.overlay.run_until(sig, limit=1e7)
+    return dep, sig.value
+
+
+def _recovery_metrics(dep) -> Dict[str, float]:
+    counters = dep.overlay.stats.counters
+    return {
+        "churn_failures": float(len(dep.crash_events)),
+        "rejoined_peers": float(counters.get("peer_rejoins", 0)),
+        "redispatched_subtasks": float(
+            counters.get("redispatched_subtasks", 0)
+        ),
+    }
+
+
+def _run_reference(spec: ScenarioSpec) -> ScenarioResult:
+    dep, sig = _submit_reference(spec)
 
     def failed(reason: str, ok: bool, **extra: float) -> ScenarioResult:
         return ScenarioResult(
             name=spec.name, spec_hash=spec.spec_hash(), kind=spec.kind,
             t=0.0, ok=ok, reason=reason,
-            metrics={"completed": 0.0, "churn_failures": n_churn, **extra},
+            metrics={"completed": 0.0, **_recovery_metrics(dep), **extra},
         )
 
     try:
@@ -219,7 +271,7 @@ def _run_reference(spec: ScenarioSpec) -> ScenarioResult:
                       sim_events=float(dep.sim.event_count))
     metrics = {
         "completed": 1.0,
-        "churn_failures": n_churn,
+        **_recovery_metrics(dep),
         "makespan": timings.total_time,
         "collection_time": timings.collection_time,
         "allocation_time": timings.allocation_time,

@@ -45,7 +45,11 @@ from .. import __version__ as _ENGINE_VERSION
 #: simulation behaviour invalidate stale on-disk cache entries.
 #: 2: tcp / timers / churn_profile / time_limit spec fields; replay
 #: hot-path rework (ulp-level rate changes possible).
-SCHEMA_VERSION = 2
+#: 3: churn recovery subsystem — churn_profile.{rejoin_rate,
+#: rejoin_delay, tracker_churn_rate}, selection_policy, and the
+#: recovery metrics (redispatched_subtasks, rejoined_peers) in every
+#: reference result payload.
+SCHEMA_VERSION = 3
 
 PLATFORM_KINDS = ("cluster", "lan", "xdsl", "multisite")
 SCENARIO_KINDS = ("reference", "predict", "deploy")
@@ -54,6 +58,9 @@ APPS = ("obstacle", "heat")
 SCHEMES = ("sync", "async")
 ALLOCATIONS = ("hierarchical", "flat")
 GROUPINGS = ("proximity", "random")
+# mirror of repro.p2pdc.overlay.SELECTION_POLICIES (this module stays
+# import-light for pool workers; equality is pinned by the tests)
+SELECTION_POLICIES = ("proximity", "random", "failure_aware")
 
 
 def _check(value: str, allowed: Tuple[str, ...], what: str) -> None:
@@ -191,20 +198,53 @@ class ChurnProfile:
     and victims uniformly from the not-yet-crashed peers, so the same
     spec always injects the same schedule.  ``rate == 0`` disables
     injection (the default — baseline grids stay churn-free).
+
+    The recovery side: ``rejoin_rate > 0`` enables the churn recovery
+    subsystem — every crashed peer rejoins after a downtime of
+    ``rejoin_delay`` plus an exponential draw at ``rejoin_rate`` (its
+    own seed stream, so sweeping it never changes who crashes when),
+    coordinators monitor their computing members, and a dead member's
+    subtask is re-dispatched to a spare or rejoined peer.  At
+    ``rejoin_rate == 0`` the subsystem is off and the protocol behaves
+    exactly as before.  ``tracker_churn_rate`` adds a Poisson crash
+    schedule over the trackers (line repair + peer failover exercise).
     """
 
     rate: float = 0.0
     start: float = 0.0
     horizon: float = 8.0
     max_failures: int = 0  # 0 → bounded only by the population
+    rejoin_rate: float = 0.0    # 0 → crashed peers stay down, no recovery
+    rejoin_delay: float = 0.0   # minimum downtime before a rejoin
+    tracker_churn_rate: float = 0.0  # Poisson tracker crashes
 
     def __post_init__(self) -> None:
         if self.rate < 0:
-            raise ValueError("churn rate must be >= 0")
+            raise ValueError(f"churn rate must be >= 0, got {self.rate!r}")
         if self.horizon <= 0:
-            raise ValueError("churn horizon must be > 0")
-        if self.start < 0 or self.max_failures < 0:
-            raise ValueError("churn start/max_failures must be >= 0")
+            raise ValueError(
+                f"churn horizon must be > 0, got {self.horizon!r}"
+            )
+        if self.start < 0:
+            raise ValueError(f"churn start must be >= 0, got {self.start!r}")
+        if self.max_failures < 0:
+            raise ValueError(
+                f"churn max_failures must be >= 0, got {self.max_failures!r}"
+            )
+        if self.rejoin_rate < 0:
+            raise ValueError(
+                f"churn rejoin_rate must be >= 0 (0 disables recovery), "
+                f"got {self.rejoin_rate!r}"
+            )
+        if self.rejoin_delay < 0:
+            raise ValueError(
+                f"churn rejoin_delay must be >= 0, got {self.rejoin_delay!r}"
+            )
+        if self.tracker_churn_rate < 0:
+            raise ValueError(
+                f"churn tracker_churn_rate must be >= 0, "
+                f"got {self.tracker_churn_rate!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -229,11 +269,14 @@ class ScenarioSpec:
 
     ``churn`` holds scripted failure events at fixed instants;
     ``churn_profile`` injects seeded Poisson peer failures on top (the
-    churn-rate grid axis).  ``time_limit`` caps the simulated seconds a
-    reference computation may take before it counts as not completed
-    (0 → engine default); churn grids set it so a wave of failures
-    produces a bounded "did not complete" data point instead of an
-    unbounded simulation.
+    churn-rate grid axis) and, with ``rejoin_rate > 0``, enables the
+    churn recovery subsystem (peer rejoin + subtask re-dispatch).
+    ``selection_policy`` picks how the submitter orders peer
+    candidates — initial choice and re-dispatch replacements alike.
+    ``time_limit`` caps the simulated seconds a reference computation
+    may take before it counts as not completed (0 → engine default);
+    churn grids set it so a wave of failures produces a bounded "did
+    not complete" data point instead of an unbounded simulation.
     """
 
     name: str
@@ -250,12 +293,14 @@ class ScenarioSpec:
     n_zones: int = 0
     spares: int = 0
     host_policy: str = "pack"
+    selection_policy: str = "proximity"
     seed: int = 2011
     time_limit: float = 0.0
 
     def __post_init__(self) -> None:
         _check(self.kind, SCENARIO_KINDS, "scenario kind")
         _check(self.host_policy, HOST_POLICIES, "host policy")
+        _check(self.selection_policy, SELECTION_POLICIES, "selection policy")
         if self.n_peers < 1:
             raise ValueError("n_peers must be >= 1")
         if self.time_limit < 0:
@@ -264,7 +309,8 @@ class ScenarioSpec:
     @property
     def has_churn(self) -> bool:
         """Whether any failure injection is configured."""
-        return bool(self.churn) or self.churn_profile.rate > 0
+        return (bool(self.churn) or self.churn_profile.rate > 0
+                or self.churn_profile.tracker_churn_rate > 0)
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:

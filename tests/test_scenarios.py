@@ -59,7 +59,7 @@ class TestSpec:
         the deliberate acknowledgment that existing caches invalidate.
         """
         spec = ScenarioSpec(name="x")
-        assert spec.spec_hash() == "af937a0f100b27fa"
+        assert spec.spec_hash() == "22d363aa5112a813"
         rebuilt = ScenarioSpec.from_dict(
             json.loads(json.dumps(spec.to_dict()))
         )
@@ -86,6 +86,9 @@ class TestSpec:
             tiny_spec(tcp=TcpPlan(window=65536.0)),
             tiny_spec(timers=TimerPlan(peer_expiry=90.0)),
             tiny_spec(churn_profile=ChurnProfile(rate=0.5)),
+            tiny_spec(churn_profile=ChurnProfile(rate=0.5, rejoin_rate=1.0)),
+            tiny_spec(churn_profile=ChurnProfile(tracker_churn_rate=0.1)),
+            tiny_spec(selection_policy="failure_aware"),
             tiny_spec(time_limit=100.0),
         ]
         hashes = {base.spec_hash()} | {v.spec_hash() for v in variants}
