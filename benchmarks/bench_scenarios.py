@@ -108,6 +108,45 @@ def test_recovery_grid_smoke():
     assert int(rows[2][4]) > 0
 
 
+def test_coordinator_grid_smoke():
+    """One representative point per coordinator-recovery regime, timed
+    — so the cost of the election subsystem (CoordPing probes, duty
+    checkpoints, hand-offs, gap re-dispatch) is tracked from day one.
+    The full 18-point grid is the registered scenario; this smoke
+    covers the regimes without paying the whole grid in CI.
+    """
+    base = SCENARIOS["coordinator-grid"].base
+    hot = base.with_override("churn_profile.coordinator_churn_rate", 1.5)
+    cases = [
+        ("baseline (no churn)", base),
+        ("coordinator churn, no election",
+         hot.with_override("recovery.election", False)),
+        ("coordinator churn + election", hot),
+    ]
+    rows = []
+    for label, spec in cases:
+        t0 = time.perf_counter()
+        result = run_scenario(spec)
+        wall = time.perf_counter() - t0
+        rows.append([
+            label, f"{wall:.2f}", f"{result.t:.2f}",
+            f"{result.metrics['completed']:.0f}",
+            f"{result.metrics['elections']:.0f}",
+            f"{result.metrics.get('handoff_latency', 0.0):.1f}",
+            f"{result.metrics['sim_events']:.0f}",
+        ])
+    emit("coordinator_grid_smoke", format_table(
+        ["regime", "wall [s]", "sim t [s]", "completed",
+         "elections", "handoff lat [s]", "sim events"],
+        rows,
+    ))
+    # the election point must actually recover a coordinator crash:
+    # completed, with at least one hand-off — otherwise this bench
+    # times the wrong thing
+    assert rows[1][3] == "0" and rows[2][3] == "1"
+    assert int(rows[2][4]) > 0
+
+
 # ---------------------------------------------------------------------------
 # replay hot path (the churn-grid inner loop)
 # ---------------------------------------------------------------------------

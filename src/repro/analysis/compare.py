@@ -162,9 +162,11 @@ class ComparisonRow:
 #: Metrics that are meaningful on non-completed points too (injected
 #: crash counts and the recovery counters): these aggregate over every
 #: ``ok`` point, not only the completed ones — a run that *failed
-#: despite* three re-dispatches is exactly the datum to read.
+#: despite* three re-dispatches (or an election) is exactly the datum
+#: to read.
 CHURN_METRICS = frozenset(
-    {"churn_failures", "rejoined_peers", "redispatched_subtasks"}
+    {"churn_failures", "rejoined_peers", "redispatched_subtasks",
+     "coordinator_crashes", "elections", "handoff_latency"}
 )
 
 
@@ -302,9 +304,20 @@ def compare_sweeps(
     instead of matching — ``over=("seed",)`` turns per-seed rows into
     seed-averaged completion probabilities and makespans, which is how
     the recovery grids read a survivors' makespan-degradation ratio
-    out of mixed-outcome seed pools.
+    out of mixed-outcome seed pools.  An ``over`` axis that neither
+    sweep carries is an error (a typo would otherwise silently change
+    nothing and the report would lie about what was aggregated).
     """
     axes_a, axes_b = a.axes(), b.axes()
+    known = set(axes_a) | set(axes_b)
+    unknown = [axis for axis in over if axis not in known]
+    if unknown:
+        raise ValueError(
+            f"--over axis {', '.join(repr(x) for x in unknown)} not in "
+            f"either sweep; axes of {a.label!r}: "
+            f"{', '.join(axes_a) or '(none)'}; axes of {b.label!r}: "
+            f"{', '.join(axes_b) or '(none)'}"
+        )
     shared = [axis for axis in axes_a
               if axis in axes_b and axis not in set(over)]
 

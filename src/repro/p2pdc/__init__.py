@@ -8,7 +8,13 @@ P2PSAP channels, and failure handling.
 """
 
 from .allocation import Submitter, TaskOutcome, TaskSpec
-from .churn import ChurnEvent, ChurnPlan, poisson_peer_failures, rejoin_events
+from .churn import (
+    ChurnEvent,
+    ChurnPlan,
+    CoordinatorChurn,
+    poisson_peer_failures,
+    rejoin_events,
+)
 from .collection import CollectionLog, collect_peers
 from .computation import (
     PeerComputeError,
@@ -38,6 +44,7 @@ __all__ = [
     "ChurnPlan",
     "poisson_peer_failures",
     "CollectionLog",
+    "CoordinatorChurn",
     "Deployment",
     "GroupDuty",
     "IPv4",

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from ..desim import AnyOf, Signal
+from .churn import ChurnPlan, poisson_peer_failures
 from .collection import CollectionLog, collect_peers
 from .computation import WorkAssignment, WorkloadSpec
 from .groups import (
@@ -45,6 +46,8 @@ from .groups import (
 )
 from .messages import (
     ConvergenceDecision,
+    CoordHandoff,
+    DispatchGap,
     GroupAssign,
     GroupConvergence,
     GroupReady,
@@ -116,6 +119,46 @@ class Submitter(Peer):
         self._recovery_pending: Dict[int, Deque[Tuple[int, NodeRef]]] = {}
         self._recovery_kick: Dict[int, Signal] = {}
         self._recovery_procs: Dict[int, object] = {}
+        # -- coordinator recovery (stand-in hand-offs) --------------------
+        #: Verdict of every decided convergence check, so a stand-in
+        #: re-reporting a check its predecessor already carried gets
+        #: the recorded decision replayed instead of a stalled bucket.
+        self._decided_checks: Dict[int, Dict[int, bool]] = {}
+        #: (task, group) → the global ranks that group owns; used to
+        #: re-relay dispatches that died in flight with a coordinator.
+        self._task_group_ranks: Dict[Tuple[int, int], List[int]] = {}
+        #: (task, old coordinator name) → its elected stand-in, so
+        #: in-flight re-dispatch hunts resolve to the live coordinator.
+        self._coord_successor: Dict[Tuple[int, str], NodeRef] = {}
+        #: Dispatch-time coordinator-churn draws made so far: later
+        #: tasks in one overlay session derive fresh seeds so their
+        #: schedules are independent samples, not replays of task 1's.
+        self._coord_churn_draws = 0
+
+    # -- subtask dispatch (single constructor for every dispatch path) ------
+    def _send_subtask(self, task_id: int, rank: int,
+                      ranks: List[NodeRef], workload: WorkloadSpec,
+                      coord: NodeRef, ref: NodeRef,
+                      catch_up: bool = False,
+                      via: Optional[NodeRef] = None) -> None:
+        """Build and send one subtask dispatch: the assignment wires
+        the halo neighbours from the current rank map, the message
+        travels ``via`` (the relaying coordinator by default) toward
+        ``ref``.  Initial dispatch, flat dispatch, re-dispatch and
+        DispatchGap re-relay all construct through here, so the wiring
+        can never drift between paths."""
+        n = len(ranks)
+        assignment = WorkAssignment(
+            task_id=task_id, rank=rank, nranks=n, workload=workload,
+            coordinator=coord, submitter=self.ref,
+            left=ranks[rank - 1] if rank > 0 else None,
+            right=ranks[rank + 1] if rank < n - 1 else None,
+            catch_up=catch_up,
+        )
+        self.send(via if via is not None else coord, SubtaskMsg(
+            self.ref, task_id=task_id, rank=rank, final_dst=ref,
+            payload_bytes=workload.subtask_bytes, spec=assignment,
+        ))
 
     # -- peer-selection policy ----------------------------------------------
     def _policy_order(self, refs: List[NodeRef]) -> List[NodeRef]:
@@ -200,8 +243,12 @@ class Submitter(Peer):
         # Phase 3: parallel reservation through coordinators; on
         # failures, patch the groups with spares and re-assign (the
         # coordinator re-reserves — already-reserved peers re-ack).
+        # With election enabled, a group whose coordinator never
+        # answers gets a new coordinator appointed from its own
+        # members — the pre-dispatch dual of the stand-in election.
         reserved_groups: List[List[NodeRef]] = []
         assign_lists = [list(g) for g in groups]
+        tried_coords = [{coord.name} for coord in coordinators]
         for attempt in range(3):
             ready_sigs = []
             for gi, (group, coord) in enumerate(zip(assign_lists, coordinators)):
@@ -214,9 +261,33 @@ class Submitter(Peer):
                 self.sim, ready_sigs, self.overlay.config.reserve_timeout * 3
             )
             if readies == "timeout":
-                outcome.reason = "group reservation timed out"
-                done.succeed(outcome)
-                return
+                missing = [gi for gi, sig in enumerate(ready_sigs)
+                           if not sig.triggered]
+                replaced = 0
+                if self.overlay.config.election and attempt < 2:
+                    for gi in missing:
+                        candidates = [r for r in assign_lists[gi]
+                                      if r.name not in tried_coords[gi]]
+                        if candidates:
+                            old = coordinators[gi]
+                            coordinators[gi] = pick_coordinator(candidates)
+                            tried_coords[gi].add(coordinators[gi].name)
+                            replaced += 1
+                            # stand the replaced coordinator down: if
+                            # it was merely slow (not dead) it drops
+                            # its duty and rejoins as a plain member
+                            self.send(old, CoordHandoff(
+                                self.ref, task_id=task_id, group_index=gi,
+                                old=old, new=coordinators[gi],
+                                demoted=True,
+                            ))
+                if not replaced:
+                    outcome.reason = "group reservation timed out"
+                    done.succeed(outcome)
+                    return
+                self.overlay.stats.count("coordinator_reappointments",
+                                         replaced)
+                continue
             readies = sorted(readies, key=lambda m: m.group_index)
             failed = [ref for msg in readies for ref in msg.failed]
             reserved_groups = [list(msg.reserved) for msg in readies]
@@ -255,22 +326,14 @@ class Submitter(Peer):
             self._active_tasks.add(task_id)
         timings.compute_started_at = self.sim.now
         for gi, (group, coord) in enumerate(zip(reserved_groups, coordinators)):
+            if self.overlay.config.recovery:
+                self._task_group_ranks[(task_id, gi)] = sorted(
+                    rank_of[ref.name] for ref in group
+                )
             for ref in group:
-                r = rank_of[ref.name]
-                assignment = WorkAssignment(
-                    task_id=task_id, rank=r, nranks=n, workload=task.workload,
-                    coordinator=coord, submitter=self.ref,
-                    left=ranks[r - 1] if r > 0 else None,
-                    right=ranks[r + 1] if r < n - 1 else None,
-                )
-                self.send(
-                    coord,
-                    SubtaskMsg(
-                        self.ref, task_id=task_id, rank=r, final_dst=ref,
-                        payload_bytes=task.workload.subtask_bytes,
-                        spec=assignment,
-                    ),
-                )
+                self._send_subtask(task_id, rank_of[ref.name], ranks,
+                                   task.workload, coord, ref)
+        self._arm_coordinator_churn(coordinators)
 
         # Phase 5: await all result batches (convergence handled by handlers)
         res = yield AnyOf([results_sig,
@@ -340,16 +403,9 @@ class Submitter(Peer):
         self._duties[task_id] = duty
         timings.compute_started_at = self.sim.now
         for r, ref in enumerate(ranks):
-            assignment = WorkAssignment(
-                task_id=task_id, rank=r, nranks=n, workload=task.workload,
-                coordinator=self.ref, submitter=self.ref,
-                left=ranks[r - 1] if r > 0 else None,
-                right=ranks[r + 1] if r < n - 1 else None,
-            )
-            self.send(ref, SubtaskMsg(self.ref, task_id=task_id, rank=r,
-                                      final_dst=ref,
-                                      payload_bytes=task.workload.subtask_bytes,
-                                      spec=assignment))
+            # no coordinator tier: the submitter dispatches directly
+            self._send_subtask(task_id, r, ranks, task.workload,
+                               self.ref, ref, via=ref)
         res = yield AnyOf([results_sig,
                            self.sim.timeout(task.task_timeout, "timeout")])
         if res[1] == "timeout":
@@ -372,11 +428,30 @@ class Submitter(Peer):
         self.resolve_request(msg.req_id, msg)
 
     def handle_GroupReady(self, msg: GroupReady) -> None:
+        coords = self._task_coordinators.get(msg.task_id)
+        if (coords is not None and msg.group_index < len(coords)
+                and coords[msg.group_index].name != msg.sender.name):
+            # a late GroupReady from a coordinator this group no longer
+            # uses (re-appointed away while its reservation dragged):
+            # accepting it would leave two live coordinators owning
+            # the same group
+            return
         sig = self._group_ready.pop((msg.task_id, msg.group_index), None)
         if sig is not None and not sig.triggered:
             sig.succeed(msg)
 
     def handle_GroupConvergence(self, msg: GroupConvergence) -> None:
+        decided = self._decided_checks.setdefault(msg.task_id, {})
+        verdict = decided.get(msg.check_index)
+        if verdict is not None:
+            # a stand-in coordinator re-reporting a check its
+            # predecessor already carried: replay the recorded verdict
+            # to it directly instead of waiting on a stalled bucket
+            self.send(msg.sender, ConvergenceDecision(
+                self.ref, task_id=msg.task_id, check_index=msg.check_index,
+                stop=verdict, final_dst=None,
+            ))
+            return
         key = (msg.task_id, msg.check_index)
         bucket = self._convergence.setdefault(key, {})
         bucket[msg.group_index] = msg.residual
@@ -385,6 +460,7 @@ class Submitter(Peer):
         del self._convergence[key]
         tol = self._task_tol.get(msg.task_id, 0.0)
         stop = tol > 0.0 and max(bucket.values()) <= tol
+        decided[msg.check_index] = stop
         for coord in self._task_coordinators.get(msg.task_id, []):
             if coord.name == self.name:
                 # flat mode: we are the coordinator — fan out directly
@@ -411,6 +487,103 @@ class Submitter(Peer):
             sig = self._task_results.pop(msg.task_id, None)
             if sig is not None and not sig.triggered:
                 sig.succeed(True)
+
+    # -- coordinator recovery: hand-offs and dispatch gaps --------------------------
+    def _arm_coordinator_churn(self, coordinators: List[NodeRef]) -> None:
+        """Draw and arm the coordinator-targeted Poisson crash schedule
+        (configured by the scenario runner) over the coordinators just
+        appointed — they only exist from dispatch time on."""
+        churn = self.overlay.coordinator_churn
+        if churn is None or churn.rate <= 0:
+            return
+        from ..desim.rng import derive_seed
+
+        targets: List[str] = []
+        for ref in coordinators:
+            if ref.name != self.name and ref.name not in targets:
+                targets.append(ref.name)
+        # the first task draws straight from the configured seed; each
+        # later task in the same overlay session derives a fresh one,
+        # so its schedule is an independent sample, not a replay of
+        # task 1's offsets.  (A per-submitter counter, never the
+        # process-global task id: the draw must stay a pure function
+        # of the spec for the result cache to be sound.)
+        self._coord_churn_draws += 1
+        seed = (churn.seed if self._coord_churn_draws == 1
+                else derive_seed(churn.seed,
+                                 f"task-{self._coord_churn_draws}"))
+        events = poisson_peer_failures(
+            churn.rate, targets, seed,
+            start=self.sim.now + churn.start, horizon=churn.horizon,
+            max_failures=churn.max_failures, kind="coordinator",
+        )
+        if events:
+            ChurnPlan(events=events).arm(self.overlay)
+
+    def handle_CoordHandoff(self, msg: CoordHandoff) -> None:
+        """A stand-in coordinator took over a group: route every future
+        decision, re-dispatch and rank update to it."""
+        coords = self._task_coordinators.get(msg.task_id)
+        if coords is None:
+            return
+        old_name = msg.old.name if msg.old is not None else None
+        for i, ref in enumerate(coords):
+            if ref.name == old_name:
+                coords[i] = msg.new
+        if old_name is not None:
+            self._coord_successor[(msg.task_id, old_name)] = msg.new
+        # the new coordinator is current: a stale entry naming a
+        # successor *for it* (e.g. from a duel it later re-won) would
+        # close a cycle and resolve hunts to a dead node
+        self._coord_successor.pop((msg.task_id, msg.new.name), None)
+        pending = self._recovery_pending.get(msg.task_id)
+        if pending:
+            refreshed = [(rank, msg.new if coord.name == old_name else coord)
+                         for rank, coord in pending]
+            pending.clear()
+            pending.extend(refreshed)
+        # the verdict history died with the old coordinator: replay it,
+        # so catch-up subtasks sailing through already-decided checks
+        # get instant decisions instead of stalling a bucket forever
+        for check_index, stop in sorted(
+                self._decided_checks.get(msg.task_id, {}).items()):
+            self.send(msg.new, ConvergenceDecision(
+                self.ref, task_id=msg.task_id, check_index=check_index,
+                stop=stop, final_dst=None,
+            ))
+        self.overlay.stats.count("coordinator_handoffs")
+
+    def _live_coordinator(self, task_id: int, coord: NodeRef) -> NodeRef:
+        """Resolve a coordinator ref through the hand-off successor
+        chain (identity when no hand-off happened)."""
+        seen = set()
+        while coord.name not in seen:
+            seen.add(coord.name)
+            successor = self._coord_successor.get((task_id, coord.name))
+            if successor is None:
+                return coord
+            coord = successor
+        return coord
+
+    def handle_DispatchGap(self, msg: DispatchGap) -> None:
+        """A stand-in found group ranks with no known computer — their
+        dispatch died in flight with the old coordinator.  Re-relay
+        those subtasks (catch-up mode) through the stand-in."""
+        task_id = msg.task_id
+        if task_id not in self._active_tasks:
+            return
+        group_ranks = self._task_group_ranks.get((task_id, msg.group_index))
+        task = self._task_spec.get(task_id)
+        ranks = self._task_ranks.get(task_id)
+        if group_ranks is None or task is None or ranks is None:
+            return
+        known = set(msg.known_ranks)
+        for rank in group_ranks:
+            if rank in known:
+                continue
+            self._send_subtask(task_id, rank, ranks, task.workload,
+                               msg.sender, ranks[rank], catch_up=True)
+            self.overlay.stats.count("gap_redispatches")
 
     # -- mid-computation recovery: subtask re-dispatch ------------------------------
     def handle_SubtaskLost(self, msg: SubtaskLost) -> None:
@@ -463,6 +636,9 @@ class Submitter(Peer):
         """
         cfg = self.overlay.config
         while task_id in self._active_tasks:
+            # a hand-off may have replaced the reporting coordinator
+            # while this hunt was collecting or waiting: re-resolve
+            coord = self._live_coordinator(task_id, coord)
             task = self._task_spec.get(task_id)
             members = self._task_members.get(task_id)
             if task is None or members is None:
@@ -518,19 +694,13 @@ class Submitter(Peer):
     def _dispatch_replacement(self, task_id: int, rank: int,
                               coord: NodeRef, ref: NodeRef) -> None:
         """Hand ``rank`` to the reserved replacement and rewire."""
+        coord = self._live_coordinator(task_id, coord)
         task = self._task_spec[task_id]
         ranks = self._task_ranks[task_id]
         members = self._task_members[task_id]
         ranks[rank] = ref
         members.add(ref.name)
         n = len(ranks)
-        assignment = WorkAssignment(
-            task_id=task_id, rank=rank, nranks=n, workload=task.workload,
-            coordinator=coord, submitter=self.ref,
-            left=ranks[rank - 1] if rank > 0 else None,
-            right=ranks[rank + 1] if rank < n - 1 else None,
-            catch_up=True,
-        )
         # rewire first (smaller messages land before the subtask): the
         # coordinator swaps its reserved/monitoring entry, the halo
         # neighbours swap channels and resync their boundary
@@ -541,10 +711,8 @@ class Submitter(Peer):
         for dst in recipients.values():
             self.send(dst, RankUpdate(self.ref, task_id=task_id, rank=rank,
                                       new_ref=ref))
-        self.send(coord, SubtaskMsg(
-            self.ref, task_id=task_id, rank=rank, final_dst=ref,
-            payload_bytes=task.workload.subtask_bytes, spec=assignment,
-        ))
+        self._send_subtask(task_id, rank, ranks, task.workload, coord, ref,
+                           catch_up=True)
         self.overlay.stats.count("redispatched_subtasks")
 
     def _finish_task(self, task_id: int) -> None:
@@ -555,8 +723,12 @@ class Submitter(Peer):
             kick.succeed(None)
         self._recovery_procs.pop(task_id, None)
         for store in (self._task_spec, self._task_ranks,
-                      self._task_members, self._recovery_pending):
+                      self._task_members, self._recovery_pending,
+                      self._decided_checks):
             store.pop(task_id, None)
+        for keyed in (self._task_group_ranks, self._coord_successor):
+            for key in [k for k in keyed if k[0] == task_id]:
+                del keyed[key]
 
 
 def _all_of_with_timeout(sim, signals, timeout):

@@ -60,9 +60,9 @@ def poisson_peer_failures(
         raise ValueError(
             f"churn max_failures must be >= 0, got {max_failures!r}"
         )
-    if kind not in ("peer", "tracker"):
-        raise ValueError(f"churn kind must be 'peer' or 'tracker', "
-                         f"got {kind!r}")
+    if kind not in ("peer", "tracker", "coordinator"):
+        raise ValueError(f"churn kind must be 'peer', 'tracker' or "
+                         f"'coordinator', got {kind!r}")
     if rate == 0 or not targets:
         return []
     rng = random.Random(seed)
@@ -116,8 +116,36 @@ def rejoin_events(
 @dataclass
 class ChurnEvent:
     time: float
-    kind: str   # "peer" | "peer-rejoin" | "tracker" | "server-down" | "server-up"
+    #: "peer" | "peer-rejoin" | "tracker" | "coordinator" |
+    #: "server-down" | "server-up" — "coordinator" crashes a peer that
+    #: holds a group duty (drawn at dispatch time, once coordinators
+    #: exist), and is counted separately in the failure metrics.
+    kind: str
     target: str = ""
+
+
+@dataclass(frozen=True)
+class CoordinatorChurn:
+    """Dispatch-time coordinator-targeted Poisson churn parameters.
+
+    Coordinators only exist once allocation appoints them, so the
+    schedule cannot be drawn at deployment: the scenario runner stores
+    these parameters on the overlay and the submitter draws and arms
+    the schedule right after subtask dispatch, over the appointed
+    coordinator names.  ``start`` offsets the window from the dispatch
+    instant (mirroring ``ChurnProfile.start``)."""
+
+    rate: float
+    seed: int
+    start: float = 0.0
+    horizon: float = 8.0
+    max_failures: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError(
+                f"coordinator churn rate must be >= 0, got {self.rate!r}"
+            )
 
 
 @dataclass
@@ -155,6 +183,7 @@ class ChurnPlan:
         crash-first as long as the list is time-sorted.
         """
         for event in self.events:
+            overlay.armed_churn.append(event)
             overlay.sim.schedule_at(max(event.time, overlay.now),
                                     self._fire, overlay, event)
 

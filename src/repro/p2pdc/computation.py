@@ -210,16 +210,17 @@ class SubtaskExecution:
     def _convergence_check(self, check_index: int, it: int):
         a = self.assignment
         sig = self.peer.register_decision(a.task_id, check_index)
-        self.peer.send(
-            a.coordinator,
-            ConvergenceReport(
-                self.peer.ref,
-                task_id=a.task_id,
-                rank=a.rank,
-                check_index=check_index,
-                residual=a.workload.residual(it),
-            ),
+        report = ConvergenceReport(
+            self.peer.ref,
+            task_id=a.task_id,
+            rank=a.rank,
+            check_index=check_index,
+            residual=a.workload.residual(it),
         )
+        # remembered so that, if the coordinator dies while we block on
+        # the decision, the report can be re-sent to its stand-in
+        self.peer.note_report(report)
+        self.peer.send(a.coordinator, report)
         decision = yield sig
         return bool(decision)
 

@@ -43,9 +43,12 @@ class Deployment:
 
     @property
     def crash_events(self) -> List:
-        """The armed events that crash a node (rejoins excluded)."""
-        return [e for e in self.churn_events
-                if e.kind in ("peer", "tracker", "server-down")]
+        """Every armed event that crashes a node (rejoins excluded) —
+        read from the overlay's arming log, so coordinator-targeted
+        schedules armed at dispatch time (after deployment) count."""
+        return [e for e in self.overlay.armed_churn
+                if e.kind in ("peer", "tracker", "coordinator",
+                              "server-down")]
 
     def arm_churn(self, plan: ChurnPlan) -> None:
         """Arm a churn plan post-settle and record its events."""

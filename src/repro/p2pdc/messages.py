@@ -337,6 +337,78 @@ class ReserveCancel(Message):
     SIZE = 96
 
 
+# -- coordinator recovery (stand-in election) -------------------------------------------
+
+@dataclass
+class CoordPing(Message):
+    """Member liveness probe to its coordinator — the dual of
+    :class:`ComputePing` (only sent when election is enabled)."""
+
+    task_id: int = 0
+    SIZE = 64
+
+
+@dataclass
+class CoordPong(Message):
+    """Coordinator's liveness reply (only while it holds the duty)."""
+
+    task_id: int = 0
+    SIZE = 64
+
+
+@dataclass
+class DutyCheckpoint(Message):
+    """Coordinator → members: replicated duty state, piggybacked on
+    the compute-monitor cadence, so survivors can elect a stand-in and
+    resume monitoring after a coordinator crash."""
+
+    task_id: int = 0
+    group_index: int = 0
+    submitter: NodeRef = None  # type: ignore[assignment]
+    reserved: List[NodeRef] = field(default_factory=list)
+    rank_of: Dict[str, int] = field(default_factory=dict)
+    expected_results: int = 0
+    decided: Dict[int, bool] = field(default_factory=dict)
+    version: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return (160 + 48 * len(self.reserved) + 8 * len(self.rank_of)
+                + 8 * len(self.decided))
+
+
+@dataclass
+class CoordHandoff(Message):
+    """Stand-in → members / submitter / tracker: ``new`` has taken
+    over the group duty for ``task_id`` from ``old``.  ``demoted``
+    marks a hand-off whose ``old`` is alive but out-ranked (a duel
+    loser, or a slow coordinator re-appointed away pre-dispatch) —
+    recipients must not treat it as dead."""
+
+    task_id: int = 0
+    group_index: int = 0
+    old: NodeRef = None  # type: ignore[assignment]
+    new: NodeRef = None  # type: ignore[assignment]
+    demoted: bool = False
+    SIZE = 192
+
+
+@dataclass
+class DispatchGap(Message):
+    """Stand-in → submitter: ranks this group should own but whose
+    dispatch died in flight with the old coordinator — re-relay them
+    (ranks already known to the stand-in are listed, the submitter
+    re-sends the rest of the group's ranks)."""
+
+    task_id: int = 0
+    group_index: int = 0
+    known_ranks: Tuple[int, ...] = ()
+
+    @property
+    def size_bytes(self) -> int:
+        return 96 + 8 * len(self.known_ranks)
+
+
 # -- convergence control (through the coordinator hierarchy) ----------------------------
 
 @dataclass

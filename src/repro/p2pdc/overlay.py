@@ -53,6 +53,16 @@ class OverlayConfig:
     recovery: bool = False
     compute_ping_interval: float = 2.0  # coordinator → member liveness probe
     compute_ping_timeout: float = 5.0   # silent member declared lost after T
+    #: Coordinator recovery (stand-in election).  Off by default, and
+    #: only valid on top of ``recovery``: with election disabled the
+    #: protocol behaves exactly as before (no CoordPing probes, no
+    #: duty checkpoints, no elections).
+    election: bool = False
+    coord_ping_interval: float = 2.0   # member → coordinator liveness probe
+    coord_ping_timeout: float = 5.0    # silent coordinator declared lost after T
+    #: The k-th election candidate claims the duty after k·backoff of
+    #: silence, so a dead front-runner never blocks the hand-off.
+    election_backoff: float = 2.0
 
     def __post_init__(self) -> None:
         if self.grouping not in ("proximity", "random"):
@@ -72,6 +82,21 @@ class OverlayConfig:
                 "compute_ping_timeout must exceed compute_ping_interval "
                 "(a live member must be able to pong in time)"
             )
+        if self.election and not self.recovery:
+            raise ValueError(
+                "election requires the recovery subsystem: a stand-in "
+                "coordinator re-dispatches lost subtasks through it "
+                "(enable recovery, or disable election)"
+            )
+        if self.coord_ping_interval <= 0:
+            raise ValueError("coord_ping_interval must be > 0")
+        if self.coord_ping_timeout <= self.coord_ping_interval:
+            raise ValueError(
+                "coord_ping_timeout must exceed coord_ping_interval "
+                "(a live coordinator must be able to pong in time)"
+            )
+        if self.election_backoff <= 0:
+            raise ValueError("election_backoff must be > 0")
 
 
 class Overlay:
@@ -92,7 +117,19 @@ class Overlay:
         self.stats = OverlayStats()
         #: Observed crash counts per node name — the reputation signal
         #: the failure-aware selection policy scores candidates by.
+        #: Never reset between tasks: it is the overlay session's
+        #: long-memory reputation store, so the failure-aware policy
+        #: separates from proximity on the first selection of a later
+        #: task (Dubey & Tokekar 2012).
         self.failure_history: Dict[str, int] = {}
+        #: Every churn event armed on this overlay — scripted plans and
+        #: the dispatch-time coordinator-targeted draws alike — so
+        #: failure metrics see injections armed after deployment.
+        self.armed_churn: List = []
+        #: Coordinator-targeted churn parameters (set by the scenario
+        #: runner); the submitter draws and arms the schedule at
+        #: dispatch time, once the coordinators exist.
+        self.coordinator_churn = None
         self.registry: Dict[str, NodeActor] = {}
         self.server = None
         self.trackers: List = []

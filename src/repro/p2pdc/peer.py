@@ -24,6 +24,11 @@ from .messages import (
     ComputePong,
     ConvergenceDecision,
     ConvergenceReport,
+    CoordHandoff,
+    CoordPing,
+    CoordPong,
+    DispatchGap,
+    DutyCheckpoint,
     GetTrackers,
     GroupAssign,
     GroupConvergence,
@@ -71,6 +76,11 @@ class GroupDuty:
     last_heard: Dict[str, float] = field(default_factory=dict)
     decided: Dict[int, bool] = field(default_factory=dict)
     reported_checks: Set[int] = field(default_factory=set)
+    # -- replication bookkeeping (only used when config.election) ---------
+    #: Bumped whenever election-relevant state changes; the monitor
+    #: broadcasts a DutyCheckpoint when it outruns ``checkpointed``.
+    version: int = 0
+    checkpointed: int = -1
 
 
 class Peer(NodeActor):
@@ -98,6 +108,21 @@ class Peer(NodeActor):
         self._executions: Dict[int, SubtaskExecution] = {}
         self.completed_subtasks: List[SubtaskResult] = []
         self.rejoin_count = 0
+        # -- coordinator recovery (member side, config.election) -----------
+        #: Latest replicated duty snapshot per task (from checkpoints).
+        self._checkpoints: Dict[int, DutyCheckpoint] = {}
+        #: Tasks with a live coordinator-monitor timer chain (one chain
+        #: per task; the chain discards its entry when it dies).
+        self._coord_watch: Set[int] = set()
+        #: When the coordinator of each task was last heard from.
+        self._coord_heard: Dict[int, float] = {}
+        #: Coordinators declared lost per task (never re-adopted).
+        self._dead_coords: Dict[int, Set[str]] = {}
+        #: Claim-timer epoch per task: bumping it cancels a scheduled
+        #: stand-in claim (a hand-off from an earlier candidate won).
+        self._claim_epoch: Dict[int, int] = {}
+        #: Latest convergence report per task (re-sent to a stand-in).
+        self._last_reports: Dict[int, ConvergenceReport] = {}
 
     # -- membership ---------------------------------------------------------------
     def join_overlay(self, tracker_list: Optional[List[NodeRef]] = None) -> Signal:
@@ -200,9 +225,20 @@ class Peer(NodeActor):
                                          accepted=True))
 
     def _release(self) -> None:
+        task_id = self.current_task
         self.busy = False
         self.current_task = None
         self.current_coordinator = None
+        if task_id is not None:
+            # member-side coordinator-recovery state dies with the
+            # reservation (completed results stay in completed_subtasks
+            # for post-release re-sends to a stand-in)
+            self._checkpoints.pop(task_id, None)
+            self._coord_heard.pop(task_id, None)
+            self._dead_coords.pop(task_id, None)
+            self._claim_epoch.pop(task_id, None)
+            self._last_reports.pop(task_id, None)
+            self._coord_watch.discard(task_id)
         if self.tracker is not None:
             self.send(self.tracker, PeerFree(self.ref))
 
@@ -214,9 +250,35 @@ class Peer(NodeActor):
             # compute monitor reports losses per rank)
             duty.rank_of[msg.final_dst.name] = msg.rank
             duty.ranks.add(msg.rank)
+            duty.version += 1
         if msg.final_dst is not None and msg.final_dst.name != self.name:
             # coordinator relay toward the computing peer
             self.send(msg.final_dst, msg)
+            return
+        if msg.task_id in self._executions:
+            # duplicate dispatch (e.g. a DispatchGap re-relay racing
+            # the original): the first one wins
+            return
+        done = next((r for r in self.completed_subtasks
+                     if r.task_id == msg.task_id and r.rank == msg.rank),
+                    None)
+        if done is not None:
+            # this exact rank was computed by a previous incarnation
+            # and the result may have died with a crashed coordinator:
+            # re-send it instead of recomputing, and free the
+            # reservation so the peer can serve other lost ranks
+            self.overlay.stats.count("resent_completed_results")
+            self.send(msg.spec.coordinator, done)
+            if self.current_task == msg.task_id:
+                self._release()
+            return
+        if self.current_task != msg.task_id:
+            # not reserved for this task — e.g. a re-relay addressed to
+            # a rank holder that crashed and rejoined as a free peer.
+            # Dropping it keeps the reservation protocol honest: the
+            # coordinator's monitor sees the rank silent and the
+            # submitter re-dispatches it with a proper reservation.
+            self.overlay.stats.count("unreserved_dispatches")
             return
         assignment: WorkAssignment = msg.spec
         execution = SubtaskExecution(self, assignment)
@@ -225,6 +287,19 @@ class Peer(NodeActor):
             self._execute(execution), name=f"{self.name}:task{msg.task_id}"
         )
         self._compute_procs.append(proc)
+        cfg = self.overlay.config
+        if (cfg.election and assignment.coordinator.name != self.name
+                and msg.task_id not in self._coord_watch):
+            # member side of coordinator recovery: watch our
+            # coordinator for as long as we compute this task.  The
+            # subtask arrived through the coordinator's own relay, so
+            # the clock starts *now* — a reservation-era checkpoint
+            # timestamp must not count a long allocation stall (e.g. a
+            # pre-dispatch reappointment) as coordinator silence.
+            self._coord_watch.add(msg.task_id)
+            self._coord_heard[msg.task_id] = self.sim.now
+            self.set_timer(cfg.coord_ping_interval, "coord_monitor",
+                           msg.task_id)
 
     def _execute(self, execution: SubtaskExecution):
         assignment = execution.assignment
@@ -245,13 +320,22 @@ class Peer(NodeActor):
         self._decisions[(task_id, check_index)] = sig
         return sig
 
+    def note_report(self, report: ConvergenceReport) -> None:
+        """Remember the latest convergence report per task, so it can
+        be re-sent to a stand-in coordinator after a hand-off."""
+        self._last_reports[report.task_id] = report
+
     def handle_ConvergenceDecision(self, msg: ConvergenceDecision) -> None:
         duty = self._duties.get(msg.task_id)
-        if duty is not None and msg.final_dst is None:
+        if (duty is not None and msg.final_dst is None
+                and duty.decided.get(msg.check_index) is not msg.stop):
             # coordinator: record the verdict (late reports from a
             # re-dispatched subtask get an immediate replay), then fan
-            # the decision out to the group
+            # the decision out to the group.  A verdict already known
+            # (the submitter's decided-history replay after a
+            # hand-off) is not re-recorded or re-broadcast.
             duty.decided[msg.check_index] = msg.stop
+            duty.version += 1
             for ref in duty.reserved:
                 if ref.name != self.name:
                     self.send(
@@ -324,6 +408,12 @@ class Peer(NodeActor):
                                if ref.name != self.name}
             self.set_timer(cfg.compute_ping_interval, "compute_monitor",
                            duty.task_id)
+            if cfg.election:
+                # seed the replicated duty state right away: even a
+                # pre-dispatch coordinator crash must leave the
+                # survivors a snapshot to elect from
+                duty.version += 1
+                self._broadcast_checkpoint(duty)
 
     # -- compute-liveness monitoring (churn recovery) ---------------------------
     def timer_compute_monitor(self, task_id) -> None:
@@ -349,12 +439,16 @@ class Peer(NodeActor):
                 duty.reserved = [r for r in duty.reserved
                                  if r.name != ref.name]
                 duty.last_heard.pop(ref.name, None)
+                duty.version += 1
                 self.overlay.stats.count("subtasks_lost")
                 self.send(duty.submitter, SubtaskLost(
                     self.ref, task_id=task_id, rank=rank, peer=ref,
                 ))
             else:
                 self.send(ref, ComputePing(self.ref, task_id=task_id))
+        if cfg.election and duty.version != duty.checkpointed:
+            # piggyback the duty replication on the monitor cadence
+            self._broadcast_checkpoint(duty)
         self.set_timer(cfg.compute_ping_interval, "compute_monitor", task_id)
 
     def handle_ComputePing(self, msg: ComputePing) -> None:
@@ -367,6 +461,238 @@ class Peer(NodeActor):
         duty = self._duties.get(msg.task_id)
         if duty is not None:
             duty.last_heard[msg.sender.name] = self.sim.now
+
+    # -- coordinator recovery: stand-in election (config.election) ---------------
+    def _broadcast_checkpoint(self, duty: GroupDuty) -> None:
+        """Replicate the duty state to every group member, so any
+        survivor can reconstruct it after a coordinator crash."""
+        checkpoint = DutyCheckpoint(
+            self.ref, task_id=duty.task_id, group_index=duty.group_index,
+            submitter=duty.submitter, reserved=list(duty.reserved),
+            rank_of=dict(duty.rank_of),
+            expected_results=duty.expected_results,
+            decided=dict(duty.decided), version=duty.version,
+        )
+        duty.checkpointed = duty.version
+        for ref in duty.reserved:
+            if ref.name != self.name:
+                self.send(ref, checkpoint)
+
+    def handle_CoordPing(self, msg: CoordPing) -> None:
+        # pong only while actually holding the duty — a coordinator
+        # that crashed and rejoined must read as dead for its old group
+        duty = self._duties.get(msg.task_id)
+        if duty is not None:
+            # the member's probe doubles as a member-liveness sample
+            duty.last_heard[msg.sender.name] = self.sim.now
+            self.send(msg.sender, CoordPong(self.ref, task_id=msg.task_id))
+
+    def handle_CoordPong(self, msg: CoordPong) -> None:
+        if self.current_task == msg.task_id:
+            self._coord_heard[msg.task_id] = self.sim.now
+
+    def handle_DutyCheckpoint(self, msg: DutyCheckpoint) -> None:
+        current = self._checkpoints.get(msg.task_id)
+        if current is None or msg.version >= current.version:
+            self._checkpoints[msg.task_id] = msg
+        if self.current_task == msg.task_id:
+            # a checkpoint proves the coordinator alive
+            self._coord_heard[msg.task_id] = self.sim.now
+
+    def timer_coord_monitor(self, task_id) -> None:
+        cfg = self.overlay.config
+        if (not cfg.election or self.current_task != task_id
+                or task_id in self._duties):
+            # released, or promoted to (stand-in) coordinator
+            self._coord_watch.discard(task_id)
+            return
+        coord = self.current_coordinator
+        if coord is None or coord.name == self.name:
+            self._coord_watch.discard(task_id)
+            return
+        now = self.sim.now
+        heard = self._coord_heard.setdefault(task_id, now)
+        if now - heard > cfg.coord_ping_timeout:
+            dead = self._dead_coords.setdefault(task_id, set())
+            if coord.name not in dead:
+                dead.add(coord.name)
+                self.overlay.stats.count("coordinator_losses_detected")
+                self._begin_claim(task_id, coord)
+            # the chain stays alive: if the election stalls (no
+            # checkpoint survived anywhere) the run times out and the
+            # non-completion is reported honestly
+        else:
+            self.send(coord, CoordPing(self.ref, task_id=task_id))
+        self.set_timer(cfg.coord_ping_interval, "coord_monitor", task_id)
+
+    def _election_order(self, checkpoint: DutyCheckpoint,
+                        dead: Set[str]) -> List[NodeRef]:
+        """Deterministic stand-in candidate order: lowest rank alive
+        first; under the failure-aware policy, candidates with the
+        fewest observed crashes come first and rank breaks the tie.
+        Every survivor computes the same list from the same checkpoint,
+        so the k-th candidate's claim delay staggers cleanly."""
+        candidates = [r for r in checkpoint.reserved if r.name not in dead]
+        unranked = len(checkpoint.rank_of) + len(candidates) + 1
+
+        def rank_key(ref: NodeRef) -> int:
+            return checkpoint.rank_of.get(ref.name, unranked)
+
+        if self.overlay.config.selection_policy == "failure_aware":
+            history = self.overlay.failure_history
+            return sorted(candidates, key=lambda r: (
+                history.get(r.name, 0), rank_key(r), int(r.ip)))
+        return sorted(candidates, key=lambda r: (rank_key(r), int(r.ip)))
+
+    def _begin_claim(self, task_id: int, dead_coord: NodeRef) -> None:
+        checkpoint = self._checkpoints.get(task_id)
+        if checkpoint is None:
+            return  # no replicated state here; another survivor may hold it
+        order = self._election_order(checkpoint,
+                                     self._dead_coords.get(task_id, set()))
+        names = [r.name for r in order]
+        if self.name not in names:
+            return
+        epoch = self._claim_epoch.get(task_id, 0) + 1
+        self._claim_epoch[task_id] = epoch
+        delay = names.index(self.name) * self.overlay.config.election_backoff
+        self.set_timer(delay, "claim_standin", (task_id, epoch, dead_coord))
+
+    def timer_claim_standin(self, payload) -> None:
+        task_id, epoch, dead_coord = payload
+        if (self._claim_epoch.get(task_id) != epoch
+                or not self.overlay.config.election
+                or self.current_task != task_id
+                or task_id in self._duties):
+            return
+        coord = self.current_coordinator
+        if (coord is not None
+                and coord.name not in self._dead_coords.get(task_id, set())):
+            return  # a hand-off landed while we were backing off
+        self._claim_standin(task_id, dead_coord)
+
+    def _claim_standin(self, task_id: int, dead_coord: NodeRef) -> None:
+        """Become the group's stand-in coordinator: rebuild the duty
+        from the replicated checkpoint, resume monitoring and
+        re-dispatch, and announce the hand-off to the members, the
+        submitter and the tracker."""
+        checkpoint = self._checkpoints[task_id]
+        cfg = self.overlay.config
+        now = self.sim.now
+        duty = GroupDuty(
+            task_id=task_id, group_index=checkpoint.group_index,
+            submitter=checkpoint.submitter,
+            peers=list(checkpoint.reserved),
+            # the dead coordinator stays reserved: its rank goes
+            # through the normal silent-member loss path, *after*
+            # re-sent results had a chance to mark it done
+            reserved=list(checkpoint.reserved),
+            expected_results=checkpoint.expected_results,
+            rank_of=dict(checkpoint.rank_of),
+            ranks=set(checkpoint.rank_of.values()),
+            decided=dict(checkpoint.decided),
+            reported_checks=set(checkpoint.decided),
+        )
+        duty.version = checkpoint.version + 1
+        duty.last_heard = {r.name: now for r in duty.reserved
+                           if r.name != self.name}
+        self._duties[task_id] = duty
+        self.current_coordinator = self.ref
+        execution = self._executions.get(task_id)
+        if execution is not None:
+            # our own subtask now reports to us
+            execution.assignment.coordinator = self.ref
+        self.overlay.stats.count("coordinator_elections")
+        self.overlay.stats.observe(
+            "handoff_latency", now - self._coord_heard.get(task_id, now))
+        handoff = CoordHandoff(self.ref, task_id=task_id,
+                               group_index=checkpoint.group_index,
+                               old=dead_coord, new=self.ref)
+        for ref in duty.reserved:
+            if ref.name not in (self.name, dead_coord.name):
+                self.send(ref, handoff)
+        self.send(duty.submitter, handoff)
+        if self.tracker is not None:
+            # re-register the duty with the zone: the stand-in stays
+            # busy and the dead coordinator's record is dropped early
+            self.send(self.tracker, handoff)
+        # dispatches that died in flight with the old coordinator: ask
+        # the submitter to re-relay every group rank we have never seen
+        self.send(duty.submitter, DispatchGap(
+            self.ref, task_id=task_id, group_index=checkpoint.group_index,
+            known_ranks=tuple(sorted(duty.ranks)),
+        ))
+        # our own pending convergence report re-enters the rebuilt duty
+        report = self._last_reports.get(task_id)
+        if (report is not None
+                and (task_id, report.check_index) in self._decisions):
+            self.handle_ConvergenceReport(report)
+        self.set_timer(cfg.compute_ping_interval, "compute_monitor", task_id)
+        self._broadcast_checkpoint(duty)
+
+    def handle_CoordHandoff(self, msg: CoordHandoff) -> None:
+        new = msg.new
+        dead = self._dead_coords.setdefault(msg.task_id, set())
+        if msg.old is not None and not msg.demoted:
+            # a demoted predecessor is alive (out-ranked, not crashed):
+            # it stays a legitimate candidate for future elections
+            dead.add(msg.old.name)
+        dead.discard(new.name)
+        # cancel any scheduled claim of our own: this hand-off won
+        self._claim_epoch[msg.task_id] = (
+            self._claim_epoch.get(msg.task_id, 0) + 1)
+        # results we completed may have died unreported in the old
+        # coordinator's duty state: re-send (the stand-in dedups by rank)
+        for result in self.completed_subtasks:
+            if result.task_id == msg.task_id and new.name != self.name:
+                self.send(new, result)
+        duty = self._duties.get(msg.task_id)
+        if duty is not None and new.name != self.name:
+            # duelling claims (detection skew beat the backoff grid):
+            # deterministic arbitration — the earlier candidate in the
+            # election order keeps the duty
+            checkpoint = self._checkpoints.get(msg.task_id)
+            order = ([r.name for r in self._election_order(checkpoint, dead)]
+                     if checkpoint is not None else [])
+            if (self.name in order and new.name in order
+                    and order.index(self.name) < order.index(new.name)):
+                # we precede the other claimer: keep the duty, and
+                # re-announce so members/submitter that processed the
+                # losing hand-off last are routed back to us (the
+                # loser is demoted, not dead — the tracker is skipped
+                # so its zone record survives)
+                reannounce = CoordHandoff(
+                    self.ref, task_id=msg.task_id,
+                    group_index=duty.group_index, old=new, new=self.ref,
+                    demoted=True)
+                for ref in duty.reserved:
+                    if ref.name not in (self.name, new.name):
+                        self.send(ref, reannounce)
+                self.send(new, reannounce)
+                self.send(duty.submitter, reannounce)
+                return
+            del self._duties[msg.task_id]
+            if (self.current_task == msg.task_id
+                    and msg.task_id not in self._coord_watch):
+                # demoted back to a plain member: resume watching the
+                # coordinator that out-ranked us
+                self._coord_watch.add(msg.task_id)
+                self.set_timer(self.overlay.config.coord_ping_interval,
+                               "coord_monitor", msg.task_id)
+        if self.current_task != msg.task_id or new.name == self.name:
+            return
+        self.current_coordinator = new
+        self._coord_heard[msg.task_id] = self.sim.now
+        execution = self._executions.get(msg.task_id)
+        if execution is not None:
+            execution.assignment.coordinator = new
+        # a convergence report the old coordinator swallowed: re-send
+        # the stored message, so the stand-in's bucket for the blocked
+        # check can fill (same object the claim path replays)
+        report = self._last_reports.get(msg.task_id)
+        if (report is not None
+                and (msg.task_id, report.check_index) in self._decisions):
+            self.send(new, report)
 
     def handle_RankUpdate(self, msg: RankUpdate) -> None:
         duty = self._duties.get(msg.task_id)
@@ -385,6 +711,7 @@ class Peer(NodeActor):
             duty.reserved.sort(key=lambda r: int(r.ip))
             duty.rank_of[msg.new_ref.name] = msg.rank
             duty.last_heard[msg.new_ref.name] = self.sim.now
+            duty.version += 1
         execution = self._executions.get(msg.task_id)
         if execution is not None:
             # halo neighbour: swap the channel to the replacement
@@ -474,6 +801,12 @@ class Peer(NodeActor):
         self._compute_procs.clear()
         self._decisions.clear()
         self._reserve_sigs.clear()
+        self._checkpoints.clear()
+        self._coord_watch.clear()
+        self._coord_heard.clear()
+        self._dead_coords.clear()
+        self._claim_epoch.clear()
+        self._last_reports.clear()
         self.joined = False
         self.tracker = None
         self.rejoin_count += 1

@@ -11,11 +11,26 @@ from typing import Dict, List, Optional
 class OverlayStats:
     counters: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     bytes_by_type: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    #: Observed samples (sum, count) per key — e.g. handoff latency.
+    samples: Dict[str, List[float]] = field(
+        default_factory=lambda: defaultdict(lambda: [0.0, 0.0])
+    )
     control_messages: int = 0
     control_bytes: float = 0.0
 
     def count(self, key: str, n: int = 1) -> None:
         self.counters[key] += n
+
+    def observe(self, key: str, value: float) -> None:
+        """Record one sample of a continuous quantity."""
+        bucket = self.samples[key]
+        bucket[0] += value
+        bucket[1] += 1.0
+
+    def mean(self, key: str) -> float:
+        """Mean of observed samples for ``key`` (0.0 when none)."""
+        total, n = self.samples.get(key, (0.0, 0.0))
+        return total / n if n else 0.0
 
     def message(self, type_name: str, size: float) -> None:
         self.control_messages += 1

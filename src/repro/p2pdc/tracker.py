@@ -25,6 +25,7 @@ from .ip import IPv4, proximity
 from .messages import (
     AdjacencyPing,
     AdjacencyPong,
+    CoordHandoff,
     GetTrackers,
     MoreTrackersReply,
     MoreTrackersRequest,
@@ -305,6 +306,21 @@ class Tracker(NodeActor):
         record = self.zone.get(msg.sender.name)
         if record is not None:
             record.busy = True
+
+    def handle_CoordHandoff(self, msg: CoordHandoff) -> None:
+        """A stand-in coordinator re-registers its duty with the zone:
+        the stand-in stays busy, and the dead coordinator's record is
+        dropped right away instead of waiting out the expiry sweep.
+        Only a *busy* record is dropped — a free one belongs to a new
+        incarnation that already crashed, rejoined and re-registered
+        before the election resolved, and must stay collectable."""
+        record = self.zone.get(msg.sender.name)
+        if record is not None:
+            record.busy = True
+        old = self.zone.get(msg.old.name) if msg.old is not None else None
+        if old is not None and old.busy:
+            del self.zone[msg.old.name]
+            self.overlay.stats.count("coordinator_death_notices")
 
     def handle_PeerFree(self, msg: PeerFree) -> None:
         record = self.zone.get(msg.sender.name)

@@ -51,6 +51,10 @@ DEFAULT_CACHE_DIR = os.environ.get(
 
 
 def _parse_value(text: str) -> Any:
+    if text.lower() in ("true", "false"):
+        # boolean spec fields (e.g. recovery.election) — a bare string
+        # would be truthy either way and silently lie
+        return text.lower() == "true"
     for cast in (int, float):
         try:
             return cast(text)
@@ -229,8 +233,11 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
     a = SweepData.from_manifest(_load_manifest(args.a, args.cache_dir))
     b = SweepData.from_manifest(_load_manifest(args.b, args.cache_dir))
-    comparison = compare_sweeps(a, b, metric=args.metric,
-                                over=tuple(args.over or ()))
+    try:
+        comparison = compare_sweeps(a, b, metric=args.metric,
+                                    over=tuple(args.over or ()))
+    except ValueError as exc:
+        raise _UsageError(str(exc)) from None
     text = (comparison.to_json() if args.format == "json"
             else comparison.to_markdown())
     if args.out:

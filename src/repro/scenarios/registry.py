@@ -31,6 +31,7 @@ from .spec import (
     ChurnProfile,
     PlatformPlan,
     ProtocolPlan,
+    RecoveryPlan,
     ScenarioSpec,
     WorkloadPlan,
 )
@@ -235,6 +236,36 @@ SCENARIOS: Dict[str, NamedScenario] = {
             ),
             (
                 ("churn_profile.rejoin_rate", (0.0, 0.5, 2.0)),
+                ("selection_policy",
+                 ("proximity", "random", "failure_aware")),
+                ("seed", (2011, 2013)),
+            ),
+        ),
+        _named(
+            "coordinator-grid",
+            "Coordinator recovery: coordinator churn rate × policy × seed",
+            ScenarioSpec(
+                name="coordinator-grid", kind="reference",
+                platform=CLUSTER_PLAN,
+                workload=WorkloadPlan(app="obstacle", n=1024, nit=100),
+                n_peers=8, deploy_peers=16, n_zones=2, spares=4,
+                # cmax=4 splits the 8 peers into two groups, so the
+                # coordinator-targeted Poisson draw has two victims to
+                # choose from and elections can run per group
+                protocol=ProtocolPlan(cmax=4),
+                # no member churn: the axis targets coordinators only,
+                # armed at dispatch over the appointed coordinators;
+                # rejoin_rate enables the recovery subsystem the
+                # stand-in re-dispatches through (no member crashes →
+                # no rejoin events are ever drawn from it)
+                churn_profile=ChurnProfile(rate=0.0, horizon=4.0,
+                                           rejoin_rate=1.0,
+                                           coordinator_churn_rate=0.0),
+                recovery=RecoveryPlan(election=True),
+                time_limit=600.0,
+            ),
+            (
+                ("churn_profile.coordinator_churn_rate", (0.0, 0.6, 1.5)),
                 ("selection_policy",
                  ("proximity", "random", "failure_aware")),
                 ("seed", (2011, 2013)),

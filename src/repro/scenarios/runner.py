@@ -140,6 +140,7 @@ def _deploy(spec: ScenarioSpec):
     from ..p2pdc import (
         ChurnEvent,
         ChurnPlan,
+        CoordinatorChurn,
         OverlayConfig,
         deploy_overlay,
         poisson_peer_failures,
@@ -164,11 +165,24 @@ def _deploy(spec: ScenarioSpec):
         # liveness monitoring and subtask re-dispatch; at 0 the
         # protocol runs exactly as before (SCHEMA_VERSION 2 dynamics)
         recovery=profile.rejoin_rate > 0,
+        # election rides on recovery: with it off, v3 dynamics
+        # reproduce bit for bit (no CoordPing, checkpoints, elections)
+        election=spec.recovery.election,
     )
     dep = deploy_overlay(
         platform, n_peers=deploy_n, n_zones=n_zones, config=config,
         seed=spec.seed, tcp=_tcp_model(spec),
     )
+    if profile.coordinator_churn_rate > 0:
+        # coordinators only exist once allocation appoints them: the
+        # submitter draws and arms this schedule at dispatch time
+        dep.overlay.coordinator_churn = CoordinatorChurn(
+            rate=profile.coordinator_churn_rate,
+            seed=derive_seed(spec.seed, "coordinator-churn"),
+            start=profile.start,
+            horizon=profile.horizon,
+            max_failures=profile.max_failures,
+        )
     events = [ChurnEvent(e.time, e.kind, e.target) for e in spec.churn]
     if profile.rate > 0:
         events.extend(poisson_peer_failures(
@@ -236,14 +250,26 @@ def execute_reference(spec: ScenarioSpec):
 
 
 def _recovery_metrics(dep) -> Dict[str, float]:
-    counters = dep.overlay.stats.counters
-    return {
+    stats = dep.overlay.stats
+    counters = stats.counters
+    metrics = {
         "churn_failures": float(len(dep.crash_events)),
         "rejoined_peers": float(counters.get("peer_rejoins", 0)),
         "redispatched_subtasks": float(
             counters.get("redispatched_subtasks", 0)
         ),
+        "coordinator_crashes": float(
+            len([e for e in dep.crash_events if e.kind == "coordinator"])
+        ),
+        "elections": float(counters.get("coordinator_elections", 0)),
     }
+    if counters.get("coordinator_elections"):
+        # mean blackout a group saw between last coordinator contact
+        # and its stand-in's claim.  Absent (not 0.0) when no election
+        # ran, so `compare` aggregates over real hand-offs only — a
+        # zero-fill would dilute the pool's headline latency.
+        metrics["handoff_latency"] = stats.mean("handoff_latency")
+    return metrics
 
 
 def _run_reference(spec: ScenarioSpec) -> ScenarioResult:

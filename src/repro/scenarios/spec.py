@@ -49,7 +49,12 @@ from .. import __version__ as _ENGINE_VERSION
 #: rejoin_delay, tracker_churn_rate}, selection_policy, and the
 #: recovery metrics (redispatched_subtasks, rejoined_peers) in every
 #: reference result payload.
-SCHEMA_VERSION = 3
+#: 4: coordinator recovery — churn_profile.coordinator_churn_rate
+#: (dispatch-time Poisson crashes over the appointed coordinators),
+#: the recovery.election toggle (stand-in election), and the
+#: election metrics (coordinator_crashes, elections, handoff_latency)
+#: in every reference result payload.
+SCHEMA_VERSION = 4
 
 PLATFORM_KINDS = ("cluster", "lan", "xdsl", "multisite")
 SCENARIO_KINDS = ("reference", "predict", "deploy")
@@ -208,6 +213,14 @@ class ChurnProfile:
     ``rejoin_rate == 0`` the subsystem is off and the protocol behaves
     exactly as before.  ``tracker_churn_rate`` adds a Poisson crash
     schedule over the trackers (line repair + peer failover exercise).
+
+    ``coordinator_churn_rate`` targets the *coordinators*: the
+    schedule is drawn at dispatch time over the appointed coordinator
+    names (they only exist once allocation picks them), with the same
+    ``start``/``horizon``/``max_failures`` window relative to the
+    dispatch instant.  Without ``recovery.election`` a coordinator
+    crash mid-computation kills its whole group; with election the
+    surviving members hand the duty to a stand-in.
     """
 
     rate: float = 0.0
@@ -217,6 +230,7 @@ class ChurnProfile:
     rejoin_rate: float = 0.0    # 0 → crashed peers stay down, no recovery
     rejoin_delay: float = 0.0   # minimum downtime before a rejoin
     tracker_churn_rate: float = 0.0  # Poisson tracker crashes
+    coordinator_churn_rate: float = 0.0  # Poisson coordinator crashes
 
     def __post_init__(self) -> None:
         if self.rate < 0:
@@ -244,6 +258,33 @@ class ChurnProfile:
             raise ValueError(
                 f"churn tracker_churn_rate must be >= 0, "
                 f"got {self.tracker_churn_rate!r}"
+            )
+        if self.coordinator_churn_rate < 0:
+            raise ValueError(
+                f"churn coordinator_churn_rate must be >= 0, "
+                f"got {self.coordinator_churn_rate!r}"
+            )
+
+
+@dataclass(frozen=True)
+class RecoveryPlan:
+    """Recovery-subsystem toggles beyond the rejoin axis.
+
+    ``election`` enables coordinator recovery: members monitor their
+    coordinator (CoordPing/Pong), elect a deterministic stand-in from
+    the survivors when it goes silent, and the stand-in rebuilds the
+    duty from replicated checkpoints and re-registers with submitter
+    and tracker.  It rides on the recovery subsystem (compute
+    monitoring + re-dispatch), so a spec with election on and
+    ``churn_profile.rejoin_rate == 0`` is rejected at parse time (and
+    again at deploy time by ``OverlayConfig``)."""
+
+    election: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.election, bool):
+            raise ValueError(
+                f"recovery.election must be a bool, got {self.election!r}"
             )
 
 
@@ -288,6 +329,7 @@ class ScenarioSpec:
     timers: TimerPlan = TimerPlan()
     churn: Tuple[ChurnEventSpec, ...] = ()
     churn_profile: ChurnProfile = ChurnProfile()
+    recovery: RecoveryPlan = RecoveryPlan()
     n_peers: int = 4
     deploy_peers: int = 0
     n_zones: int = 0
@@ -305,12 +347,19 @@ class ScenarioSpec:
             raise ValueError("n_peers must be >= 1")
         if self.time_limit < 0:
             raise ValueError("time_limit must be >= 0 (0 = default)")
+        if self.recovery.election and self.churn_profile.rejoin_rate <= 0:
+            raise ValueError(
+                "recovery.election requires the recovery subsystem: "
+                "set churn_profile.rejoin_rate > 0 (a stand-in "
+                "coordinator re-dispatches lost subtasks through it)"
+            )
 
     @property
     def has_churn(self) -> bool:
         """Whether any failure injection is configured."""
         return (bool(self.churn) or self.churn_profile.rate > 0
-                or self.churn_profile.tracker_churn_rate > 0)
+                or self.churn_profile.tracker_churn_rate > 0
+                or self.churn_profile.coordinator_churn_rate > 0)
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -330,6 +379,7 @@ class ScenarioSpec:
         d["timers"] = TimerPlan(**d.get("timers", {}))
         d["churn"] = tuple(ChurnEventSpec(**e) for e in d.get("churn", ()))
         d["churn_profile"] = ChurnProfile(**d.get("churn_profile", {}))
+        d["recovery"] = RecoveryPlan(**d.get("recovery", {}))
         return cls(**d)
 
     # -- hashing -----------------------------------------------------------

@@ -234,3 +234,83 @@ class TestCompareSweeps:
         b = SweepData("b", [_point("g[time_limit=inf]", 2.0)])
         cmp = compare_sweeps(a, b)
         assert cmp.rows[0].n_a == cmp.rows[0].n_b == 1
+
+
+class TestCompareOverAxisEdgeCases:
+    """`compare --over AXIS` beyond the happy path: single-point
+    sweeps, all-failed seed pools, and mismatched-axis errors."""
+
+    def test_single_point_sweeps_compare_on_the_whole_sweep(self):
+        """Unexpanded bases carry no grid labels: axes are empty, the
+        diff is one '(all)' row, and --over has nothing to drop."""
+        a = SweepData("solo-a", [_point("flat-allocation", 2.0,
+                                        completed=1.0)])
+        b = SweepData("solo-b", [_point("flat-allocation", 3.0,
+                                        completed=1.0)])
+        cmp = compare_sweeps(a, b)
+        assert cmp.shared_axes == []
+        (row,) = cmp.rows
+        assert row.key == {}
+        assert row.ratio == pytest.approx(1.5)
+        assert "(all)" in cmp.to_markdown()
+
+    def test_over_with_all_failed_seed_pool_renders_dashes(self):
+        """A seed pool where every point hard-failed aggregates to
+        None everywhere — rendered as em-dashes, never a crash."""
+        a = SweepData("base", [
+            _point("g[rate=1,seed=1]", 0.0, ok=False, completed=0.0),
+            _point("g[rate=1,seed=2]", 0.0, ok=False, completed=0.0),
+        ])
+        b = SweepData("fixed", [
+            _point("g[rate=1,seed=1]", 2.0, completed=1.0),
+            _point("g[rate=1,seed=2]", 2.2, completed=1.0),
+        ])
+        cmp = compare_sweeps(a, b, metric="makespan", over=("seed",))
+        (row,) = cmp.rows
+        assert row.n_a == 2  # the points exist ...
+        assert row.mean_a is None and row.completion_a is None  # ... dataless
+        assert row.completion_b == 1.0
+        assert row.delta is None and row.ratio is None
+        md = cmp.to_markdown()
+        assert "—" in md
+        assert "nan" not in md
+
+    def test_over_axis_in_neither_sweep_is_an_error(self):
+        a = SweepData("a", [_point("g[rate=0,seed=1]", 1.0)])
+        b = SweepData("b", [_point("g[rate=0,seed=1]", 1.0)])
+        with pytest.raises(ValueError, match="sede"):
+            compare_sweeps(a, b, over=("sede",))  # the typo is caught
+        # the message names the axes that do exist, for the fix
+        with pytest.raises(ValueError, match="rate"):
+            compare_sweeps(a, b, over=("sede",))
+
+    def test_over_axis_on_one_side_only_aggregates_not_errors(self):
+        """An axis swept on one side only was never shared: --over on
+        it is legitimate (the single-sided points aggregate)."""
+        a = SweepData("a", [_point("g[rate=0]", 1.0)])
+        b = SweepData("b", [
+            _point("g[rate=0,seed=1]", 2.0),
+            _point("g[rate=0,seed=2]", 4.0),
+        ])
+        cmp = compare_sweeps(a, b, over=("seed",))
+        (row,) = cmp.rows
+        assert row.key == {"rate": "0"}
+        assert row.mean_b == pytest.approx(3.0)
+
+    def test_cli_over_typo_exits_with_usage_error(self, tmp_path,
+                                                  capsys):
+        import json
+
+        from repro.scenarios.cli import main
+
+        sweeps = tmp_path / "sweeps"
+        sweeps.mkdir()
+        for label in ("a", "b"):
+            (sweeps / f"{label}.json").write_text(json.dumps(
+                {"label": label,
+                 "points": [_point("g[rate=0,seed=1]", 1.0)]}))
+        code = main(["compare", "a", "b", "--over", "sede",
+                     "--cache-dir", str(tmp_path)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "sede" in err and "seed" in err

@@ -59,7 +59,7 @@ class TestSpec:
         the deliberate acknowledgment that existing caches invalidate.
         """
         spec = ScenarioSpec(name="x")
-        assert spec.spec_hash() == "22d363aa5112a813"
+        assert spec.spec_hash() == "4d8363ca9c4a1a35"
         rebuilt = ScenarioSpec.from_dict(
             json.loads(json.dumps(spec.to_dict()))
         )
@@ -71,7 +71,12 @@ class TestSpec:
         assert a.spec_hash() == b.spec_hash()
 
     def test_any_field_change_changes_hash(self):
-        from repro.scenarios.spec import ChurnProfile, TcpPlan, TimerPlan
+        from repro.scenarios.spec import (
+            ChurnProfile,
+            RecoveryPlan,
+            TcpPlan,
+            TimerPlan,
+        )
 
         base = tiny_spec()
         variants = [
@@ -88,6 +93,10 @@ class TestSpec:
             tiny_spec(churn_profile=ChurnProfile(rate=0.5)),
             tiny_spec(churn_profile=ChurnProfile(rate=0.5, rejoin_rate=1.0)),
             tiny_spec(churn_profile=ChurnProfile(tracker_churn_rate=0.1)),
+            tiny_spec(churn_profile=ChurnProfile(
+                coordinator_churn_rate=0.4)),
+            tiny_spec(churn_profile=ChurnProfile(rejoin_rate=1.0),
+                      recovery=RecoveryPlan(election=True)),
             tiny_spec(selection_policy="failure_aware"),
             tiny_spec(time_limit=100.0),
         ]
