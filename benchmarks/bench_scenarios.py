@@ -22,7 +22,7 @@ import pathlib
 import time
 
 import pytest
-from conftest import emit
+from conftest import append_bench_record, emit
 
 from repro.analysis import format_table
 from repro.scenarios import SCENARIOS, SweepRunner, expand_grid, ScenarioSpec
@@ -57,12 +57,17 @@ def test_sweep_cache_overhead(benchmark, tmp_path):
     disk = SweepRunner(cache_dir=tmp_path)
     disk.run(specs, parallel=False)
 
-    emit("scenario_engine", format_table(
+    print(format_table(
         ["stage", "points", "served from cache"],
         [["cold sweep", str(len(specs)), "0"],
          ["warm memo", str(len(specs)), str(len(specs))],
          ["cold memo, disk cache", str(len(specs)), str(disk.hits)]],
     ))
+    append_bench_record("scenario_engine", {
+        "points": len(specs),
+        "disk_hits": disk.hits,
+        "warm_sweep_s": round(benchmark.stats.stats.min, 4),
+    })
     assert disk.hits == len(specs)
 
 
@@ -97,11 +102,19 @@ def test_recovery_grid_smoke():
             f"{result.metrics['redispatched_subtasks']:.0f}",
             f"{result.metrics['sim_events']:.0f}",
         ])
-    emit("recovery_grid_smoke", format_table(
+    print(format_table(
         ["regime", "wall [s]", "sim t [s]", "completed",
          "re-dispatched", "sim events"],
         rows,
     ))
+    append_bench_record("recovery_grid_smoke", {
+        "regimes": [
+            {"regime": r[0], "wall_s": float(r[1]), "sim_t_s": float(r[2]),
+             "completed": int(r[3]), "redispatched": int(r[4]),
+             "sim_events": int(r[5])}
+            for r in rows
+        ],
+    })
     # the recovery point must actually recover: completed, with work
     # re-dispatched — otherwise this bench times the wrong thing
     assert rows[1][3] == "0" and rows[2][3] == "1"
@@ -135,11 +148,19 @@ def test_coordinator_grid_smoke():
             f"{result.metrics.get('handoff_latency', 0.0):.1f}",
             f"{result.metrics['sim_events']:.0f}",
         ])
-    emit("coordinator_grid_smoke", format_table(
+    print(format_table(
         ["regime", "wall [s]", "sim t [s]", "completed",
          "elections", "handoff lat [s]", "sim events"],
         rows,
     ))
+    append_bench_record("coordinator_grid_smoke", {
+        "regimes": [
+            {"regime": r[0], "wall_s": float(r[1]), "sim_t_s": float(r[2]),
+             "completed": int(r[3]), "elections": int(r[4]),
+             "handoff_latency_s": float(r[5]), "sim_events": int(r[6])}
+            for r in rows
+        ],
+    })
     # the election point must actually recover a coordinator crash:
     # completed, with at least one hand-off — otherwise this bench
     # times the wrong thing

@@ -46,7 +46,11 @@ class Signal(Waitable):
 
     def __init__(self, name: str = "") -> None:
         self.name = name
-        self._callbacks: Optional[List[Callable[[Signal], None]]] = []
+        # Lazy: most signals in a reference run get 0 or 1 subscribers,
+        # so the list is only allocated on the second subscription.
+        # None means "no subscribers yet" while pending (``_state``
+        # owns the triggered/pending distinction).
+        self._callbacks: Optional[List[Callable[[Signal], None]]] = None
         self._value: Any = None
         self._exc: Optional[BaseException] = None
         self._state = Signal._PENDING
@@ -74,7 +78,16 @@ class Signal(Waitable):
 
     # -- triggering ------------------------------------------------------
     def succeed(self, value: Any = None) -> "Signal":
-        self._settle(Signal._OK, value, None)
+        # _settle inlined: succeed fires once per delivered message,
+        # timeout and transfer — the hottest call in a reference run
+        if self._state != Signal._PENDING:
+            raise RuntimeError(f"signal {self.name!r} already triggered")
+        self._state = Signal._OK
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
         return self
 
     def fail(self, exc: BaseException) -> "Signal":
@@ -90,12 +103,15 @@ class Signal(Waitable):
         self._value = value
         self._exc = exc
         callbacks, self._callbacks = self._callbacks, None
-        for cb in callbacks:  # type: ignore[union-attr]
-            cb(self)
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
 
     def _subscribe(self, callback: Callable[["Signal"], None]) -> None:
-        if self._callbacks is None:
+        if self._state != Signal._PENDING:
             callback(self)
+        elif self._callbacks is None:
+            self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
 
@@ -111,28 +127,44 @@ class AnyOf(Waitable):
     failing child propagates its exception.  Children that trigger
     later are ignored (their values are still retrievable from the
     child signals themselves).
+
+    Holds its outcome directly (no inner signal, no per-child lambda
+    for the subscription fan-in): a blocked halo receive builds one of
+    these per wait, so construction weight is hot-path cost.
     """
 
-    __slots__ = ("_children", "_done", "_winner")
+    __slots__ = ("_children", "_winner", "_value_", "_exc", "_state",
+                 "_callbacks")
 
     def __init__(self, children: Iterable[Waitable]) -> None:
         self._children = list(children)
         if not self._children:
             raise ValueError("AnyOf requires at least one child")
-        self._done = Signal("anyof")
         self._winner: Optional[int] = None
+        self._value_: Any = None
+        self._exc: Optional[BaseException] = None
+        self._state = Signal._PENDING
+        self._callbacks: Optional[List[Callable[[Waitable], None]]] = None
         for i, child in enumerate(self._children):
             child._subscribe(lambda c, i=i: self._on_child(i, c))
+            if self._state != Signal._PENDING:
+                break  # an already-triggered child settled us inline
 
     def _on_child(self, index: int, child: Waitable) -> None:
-        if self._done.triggered:
+        if self._state != Signal._PENDING:
             return
         self._winner = index
         exc = getattr(child, "exception", None)
         if exc is not None:
-            self._done.fail(exc)
+            self._state = Signal._FAILED
+            self._exc = exc
         else:
-            self._done.succeed((index, getattr(child, "_value", None)))
+            self._state = Signal._OK
+            self._value_ = (index, getattr(child, "_value", None))
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
 
     @property
     def winner(self) -> Optional[int]:
@@ -142,22 +174,31 @@ class AnyOf(Waitable):
     def _value(self) -> Any:
         # Uniform resume protocol: processes read `_value` off whatever
         # waitable woke them.
-        return self._done._value
+        return self._value_
 
     @property
     def exception(self) -> Optional[BaseException]:
-        return self._done.exception
+        return self._exc
 
     @property
     def triggered(self) -> bool:
-        return self._done.triggered
+        return self._state != Signal._PENDING
 
     @property
     def value(self) -> Any:
-        return self._done.value
+        if self._state == Signal._PENDING:
+            raise RuntimeError("AnyOf not triggered yet")
+        if self._state == Signal._FAILED:
+            raise self._exc  # type: ignore[misc]
+        return self._value_
 
     def _subscribe(self, callback: Callable[[Waitable], None]) -> None:
-        self._done._subscribe(lambda _s: callback(self))
+        if self._state != Signal._PENDING:
+            callback(self)
+        elif self._callbacks is None:
+            self._callbacks = [callback]
+        else:
+            self._callbacks.append(callback)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<AnyOf of {len(self._children)}>"

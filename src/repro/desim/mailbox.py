@@ -20,12 +20,15 @@ class Mailbox:
     getters are queued (getters are served FIFO too).
     """
 
-    __slots__ = ("name", "_items", "_getters")
+    __slots__ = ("name", "_items", "_getters", "_get_name")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._items: Deque[Any] = deque()
         self._getters: Deque[Signal] = deque()
+        # one shared name for every get-signal: a get happens per
+        # delivered message, so a per-get f-string is hot-path cost
+        self._get_name = f"mailbox-get:{name}"
 
     def __len__(self) -> int:
         return len(self._items)
@@ -44,7 +47,7 @@ class Mailbox:
         self._items.append(item)
 
     def get(self) -> Signal:
-        sig = Signal(f"mailbox-get:{self.name}")
+        sig = Signal(self._get_name)
         if self._items:
             sig.succeed(self._items.popleft())
         else:

@@ -44,7 +44,7 @@ class Process(Waitable):
         self._interrupt_pending: Optional[Interrupt] = None
         # First resume happens as a scheduled event at the current time
         # so process creation order, not call-stack depth, decides order.
-        sim.schedule(0.0, self._resume, None, None)
+        sim.call_later(0.0, self._resume, None, None)
 
     # -- Waitable ---------------------------------------------------------
     @property
@@ -108,7 +108,10 @@ class Process(Waitable):
             return
         if self._waiting_on is not waitable:
             return  # stale wake-up after an interrupt re-targeted us
-        exc = getattr(waitable, "exception", None)
+        if type(waitable) is Signal:  # the hot wait (mailbox, timeout)
+            exc = waitable._exc
+        else:
+            exc = getattr(waitable, "exception", None)
         if exc is not None:
             self._resume(None, exc)
         else:
@@ -124,7 +127,7 @@ class Process(Waitable):
         if self._done.triggered:
             return
         self._waiting_on = None  # detach: any pending wake-up becomes stale
-        self.sim.schedule(0.0, self._deliver_interrupt, Interrupt(cause))
+        self.sim.call_later(0.0, self._deliver_interrupt, Interrupt(cause))
 
     def _deliver_interrupt(self, exc: Interrupt) -> None:
         if self._done.triggered:

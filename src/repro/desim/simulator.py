@@ -3,6 +3,17 @@
 Time is a ``float`` in **seconds**.  Determinism: events scheduled for
 the same instant fire in scheduling order (a monotone sequence number
 breaks ties), so a seeded simulation replays identically.
+
+Reference hot path (see DESIGN.md): the agenda stores plain
+``(time, seq, call)`` tuples, so heap sift comparisons are C-level
+tuple compares instead of ``__lt__`` calls that build tuples on every
+comparison.  Cancellation is *lazy* — a cancelled or superseded entry
+stays in the heap until it surfaces — with a dead-entry counter that
+triggers a compacting rebuild when dead entries dominate, so
+cancel-heavy workloads (fluid-flow rate changes, ping/timeout chains)
+keep the heap bounded.  :meth:`Simulator.reschedule` re-arms a fired
+or cancelled handle in place: the hot periodic chains reuse one
+:class:`ScheduledCall` per chain instead of allocating one per fire.
 """
 
 from __future__ import annotations
@@ -13,24 +24,37 @@ from typing import Any, Callable, Generator, Optional
 
 from .events import Signal, Waitable
 
+#: Compaction kicks in once at least this many dead entries have
+#: accumulated *and* they outnumber the live ones (amortized O(1)).
+_COMPACT_MIN = 64
+
 
 class ScheduledCall:
-    """Handle for a scheduled callback; supports cancellation."""
+    """Handle for a scheduled callback; supports cancel + reschedule.
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    ``seq`` is the handle's *live* sequence number: a heap entry whose
+    recorded seq no longer matches was superseded by a reschedule and
+    is skipped when it surfaces.  ``pending`` is True while exactly one
+    live entry for this handle sits in the agenda.
+    """
 
-    def __init__(self, time: float, seq: int, fn: Callable, args: tuple) -> None:
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "pending", "_sim")
+
+    def __init__(self, sim: "Simulator", time: float, seq: int,
+                 fn: Callable, args: tuple) -> None:
+        self._sim = sim
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.pending = True
 
     def cancel(self) -> None:
-        self.cancelled = True
-
-    def __lt__(self, other: "ScheduledCall") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        if not self.cancelled:
+            self.cancelled = True
+            if self.pending:
+                self._sim._note_dead()
 
 
 class Simulator:
@@ -49,32 +73,94 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._agenda: list[ScheduledCall] = []
+        #: (time, seq, call) tuples — seq is unique, so heap compares
+        #: never reach the call object.
+        self._agenda: list = []
         self._seq: int = 0
+        self._dead: int = 0  # cancelled/superseded entries still heaped
         self._running = False
         self.event_count: int = 0  # executed callbacks, for microbenches
 
     # -- scheduling -------------------------------------------------------
     def schedule(self, delay: float, fn: Callable, *args: Any) -> ScheduledCall:
         """Run ``fn(*args)`` after ``delay`` simulated seconds."""
-        if delay < 0:
-            raise ValueError(f"negative delay {delay!r}")
-        if math.isnan(delay):
-            raise ValueError("NaN delay")
+        if not delay >= 0.0:  # one branch rejects negatives AND NaN
+            raise ValueError(f"negative or NaN delay {delay!r}")
         self._seq += 1
-        call = ScheduledCall(self.now + delay, self._seq, fn, args)
-        heapq.heappush(self._agenda, call)
+        call = ScheduledCall(self, self.now + delay, self._seq, fn, args)
+        heapq.heappush(self._agenda, (call.time, self._seq, call))
         return call
 
     def schedule_at(self, time: float, fn: Callable, *args: Any) -> ScheduledCall:
         """Run ``fn(*args)`` at absolute simulated ``time`` (>= now)."""
         return self.schedule(time - self.now, fn, *args)
 
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, so no
+        cancellation — and no ``ScheduledCall`` allocation.
+
+        The hot one-shot chains (timeouts, protocol-overhead hops,
+        process resumes, batched reshares) never cancel, so they skip
+        the handle entirely; the agenda entry's third slot is a plain
+        ``(fn, args)`` tuple.  One sequence number is consumed, exactly
+        like ``schedule``, so interleaving with handled events keeps
+        the same deterministic order.
+        """
+        if not delay >= 0.0:
+            raise ValueError(f"negative or NaN delay {delay!r}")
+        self._seq += 1
+        heapq.heappush(self._agenda, (self.now + delay, self._seq, (fn, args)))
+
+    def reschedule(self, call: ScheduledCall, delay: float,
+                   *args: Any) -> ScheduledCall:
+        """Re-arm ``call`` to run ``call.fn(*args)`` after ``delay``.
+
+        Equivalent to ``call.cancel()`` + a fresh :meth:`schedule` of
+        the same function — one sequence number is consumed either way,
+        so event ordering is byte-identical — but the handle object is
+        reused: the hot ping/expiry chains allocate nothing per fire.
+        Works on fired, cancelled, *and* still-pending handles (a
+        pending handle's old entry goes stale in place).
+        """
+        if not delay >= 0.0:
+            raise ValueError(f"negative or NaN delay {delay!r}")
+        if call.pending and not call.cancelled:
+            self._note_dead()  # the old live entry is now stale
+        call.cancelled = False
+        call.pending = True
+        call.time = self.now + delay
+        self._seq += 1
+        call.seq = self._seq
+        call.args = args
+        heapq.heappush(self._agenda, (call.time, self._seq, call))
+        return call
+
+    # -- dead-entry accounting ---------------------------------------------
+    def _note_dead(self) -> None:
+        self._dead += 1
+        if (self._dead >= _COMPACT_MIN
+                and self._dead * 2 >= len(self._agenda)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop dead entries and re-heapify (bounds the agenda under
+        cancel-heavy workloads; ordering of live entries is unchanged
+        because it lives entirely in the (time, seq) keys)."""
+        # in place: run loops hold a local alias to the agenda list
+        # (tuple entries are call_later one-shots — always live)
+        self._agenda[:] = [
+            entry for entry in self._agenda
+            if entry[2].__class__ is tuple
+            or (entry[1] == entry[2].seq and not entry[2].cancelled)
+        ]
+        heapq.heapify(self._agenda)
+        self._dead = 0
+
     # -- waitable factories ------------------------------------------------
     def timeout(self, delay: float, value: Any = None) -> Signal:
         """A signal that succeeds ``delay`` seconds from now."""
-        sig = Signal(f"timeout({delay:g})")
-        self.schedule(delay, sig.succeed, value)
+        sig = Signal("timeout")
+        self.call_later(delay, sig.succeed, value)
         return sig
 
     def event(self, name: str = "") -> Signal:
@@ -90,21 +176,43 @@ class Simulator:
     # -- main loop ---------------------------------------------------------
     def peek(self) -> float:
         """Time of the next event, or ``inf`` when agenda is empty."""
-        while self._agenda and self._agenda[0].cancelled:
-            heapq.heappop(self._agenda)
-        return self._agenda[0].time if self._agenda else math.inf
+        agenda = self._agenda
+        while agenda:
+            _time, seq, call = agenda[0]
+            if call.__class__ is tuple:
+                return _time  # call_later one-shot: always live
+            if seq == call.seq and not call.cancelled:
+                return _time
+            heapq.heappop(agenda)
+            self._dead -= 1
+            if seq == call.seq:
+                call.pending = False  # its own (cancelled) entry left
+        return math.inf
 
     def step(self) -> None:
         """Execute the single next event."""
+        pop = heapq.heappop
+        agenda = self._agenda
         while True:
-            call = heapq.heappop(self._agenda)
-            if not call.cancelled:
+            time, seq, call = pop(agenda)
+            if call.__class__ is tuple:
+                fn, args = call
                 break
-        if call.time < self.now - 1e-12:
+            if seq != call.seq:  # superseded by reschedule
+                self._dead -= 1
+                continue
+            call.pending = False
+            if call.cancelled:
+                self._dead -= 1
+                continue
+            fn, args = call.fn, call.args
+            break
+        if time < self.now - 1e-12:
             raise RuntimeError("time went backwards")  # pragma: no cover
-        self.now = max(self.now, call.time)
+        if time > self.now:
+            self.now = time
         self.event_count += 1
-        call.fn(*call.args)
+        fn(*args)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the agenda empties or the clock passes ``until``.
@@ -134,14 +242,46 @@ class Simulator:
 
         Raises ``RuntimeError`` if the agenda drains (deadlock) or the
         ``limit`` is passed first.
+
+        This is the reference-execution driver, so the loop is fused:
+        one heap pop per event (no separate peek + step validation)
+        and a subscription flag instead of a ``triggered`` property
+        chain per event.
         """
-        while not waitable.triggered:
-            nxt = self.peek()
-            if nxt is math.inf:
-                raise RuntimeError(
-                    f"deadlock: agenda empty at t={self.now:g} while waiting"
-                )
-            if nxt > limit:
+        if waitable.triggered:
+            return waitable.value
+        fired: list = []
+        waitable._subscribe(fired.append)
+        pop = heapq.heappop
+        agenda = self._agenda
+        while not fired:
+            while True:
+                if not agenda:
+                    raise RuntimeError(
+                        f"deadlock: agenda empty at t={self.now:g} while waiting"
+                    )
+                time, seq, call = agenda[0]
+                if call.__class__ is tuple:
+                    fn, args = call
+                    break
+                if seq != call.seq:  # superseded by reschedule
+                    pop(agenda)
+                    self._dead -= 1
+                    continue
+                if call.cancelled:
+                    pop(agenda)
+                    self._dead -= 1
+                    call.pending = False
+                    continue
+                fn, args = call.fn, call.args
+                break
+            if time > limit:
                 raise RuntimeError(f"time limit {limit:g}s exceeded")
-            self.step()
+            pop(agenda)
+            if call.__class__ is not tuple:
+                call.pending = False
+            if time > self.now:
+                self.now = time
+            self.event_count += 1
+            fn(*args)
         return waitable.value

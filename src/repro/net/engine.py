@@ -30,7 +30,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..desim import Signal, Simulator
 from ..desim.simulator import ScheduledCall
@@ -64,14 +64,18 @@ class _RouteInfo:
     doubles as the solver's class key — flows holding the same
     ``_RouteInfo`` are exchangeable."""
 
-    __slots__ = ("route", "latency", "cap", "ceiling")
+    __slots__ = ("route", "latency", "cap", "ceiling", "thresholds")
 
     def __init__(self, route, latency: float, cap: float,
-                 ceiling: float) -> None:
+                 ceiling: float, thresholds: tuple) -> None:
         self.route = route
         self.latency = latency
         self.cap = cap
         self.ceiling = ceiling
+        #: per crossed link: the ceiling-load level past which it can
+        #: saturate (bandwidth · factor · (1+eps)), precomputed so the
+        #: per-flow track/untrack bookkeeping does no arithmetic
+        self.thresholds = thresholds
 
 
 class _Flow:
@@ -115,6 +119,7 @@ class FluidNetwork:
         sim: Simulator,
         topology: Topology,
         tcp: TcpModel = TcpModel(),
+        route_intern: Optional[Dict[Tuple[str, str], _RouteInfo]] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -122,7 +127,14 @@ class FluidNetwork:
         self._active: Dict[int, _Flow] = {}
         self._ids = itertools.count()
         self._last_update = 0.0
-        self._routes: Dict[Tuple[str, str], _RouteInfo] = {}
+        # ``route_intern`` lets deployments over the same (topology,
+        # tcp) share one per-pair store across engine instances, so a
+        # sweep derives each route once per process instead of once
+        # per grid point.  Callers must key the shared dict on the tcp
+        # parameters too — caps fold the tcp model in.
+        self._routes: Dict[Tuple[str, str], _RouteInfo] = (
+            route_intern if route_intern is not None else {}
+        )
         self._routes_version = topology.version
         self._reshare_pending = False
         # Incremental constraint bookkeeping: per-link sum of active
@@ -132,6 +144,18 @@ class FluidNetwork:
         self._ceiling_load: Dict[Link, float] = {}
         self._link_flows: Dict[Link, Dict[int, _Flow]] = {}
         self._binding: set = set()
+        #: Active flows whose current rate differs from their ceiling
+        #: (constrained earlier, starved, or not yet rated): exactly
+        #: the flows — beyond those crossing a binding link — whose
+        #: rate a reshare can move, so the reshare never scans the
+        #: unaffected bulk of the active set.
+        self._off_ceiling: Dict[int, _Flow] = {}
+        #: Memoized solver outcomes: the halo phases pose the same
+        #: (classes × binding links) problem every iteration, so ~85%
+        #: of reshares replay a cached rate vector instead of solving.
+        #: Keyed on interned-route identity — stable for the engine's
+        #: life because ``_routes`` keeps every info alive.
+        self._solve_cache: Dict[Any, Dict[int, float]] = {}
         # cumulative statistics
         self.bytes_delivered = 0.0
         self.transfers_completed = 0
@@ -144,17 +168,28 @@ class FluidNetwork:
         dst: NetNode,
         nbytes: float,
         tag: Optional[str] = None,
-    ) -> Signal:
-        """Start a transfer; returns a signal succeeding with TransferInfo."""
+        callback=None,
+    ) -> Optional[Signal]:
+        """Start a transfer; returns a signal succeeding with TransferInfo.
+
+        With ``callback`` the completion is delivered as a direct
+        ``callback(TransferInfo)`` instead — same invocation instant,
+        no per-flow signal object (the control plane and the channel
+        layer send one flow per message, so the ceremony is hot) —
+        and ``None`` is returned.
+        """
         if nbytes < 0:
             raise ValueError("negative transfer size")
         fid = next(self._ids)
-        done = Signal(f"xfer:{src.name}->{dst.name}#{fid}")
+        done = callback if callback is not None else Signal("xfer")
         info = self._route_info(src, dst)
         flow = _Flow(fid, src, dst, nbytes, info, done, self.sim.now, tag)
         # Phase 1: latency, then the flow starts consuming bandwidth.
-        self.sim.schedule(info.latency, self._activate, flow)
-        return done
+        # The same handle is re-armed for the data phase (_set_rate
+        # swaps the callback to _complete): one ScheduledCall serves a
+        # flow for its whole life.
+        flow.completion = self.sim.schedule(info.latency, self._activate, flow)
+        return done if callback is None else None
 
     def _route_info(self, src: NetNode, dst: NetNode) -> _RouteInfo:
         """The interned (route, latency, rate-cap) triple of a pair.
@@ -165,6 +200,7 @@ class FluidNetwork:
         on, exactly as the per-send lookup behaved)."""
         if self._routes_version != self.topology.version:
             self._routes.clear()
+            self._solve_cache.clear()  # keys hold interned-route ids
             self._routes_version = self.topology.version
         key = (src.name, dst.name)
         info = self._routes.get(key)
@@ -179,7 +215,11 @@ class FluidNetwork:
                     min(l.bandwidth for l in route)
                     * self.tcp.bandwidth_factor,
                 )
-            info = _RouteInfo(route, latency, cap, ceiling)
+            factor = self.tcp.bandwidth_factor
+            thresholds = tuple(
+                l.bandwidth * factor * (1 + BINDING_EPS) for l in route
+            )
+            info = _RouteInfo(route, latency, cap, ceiling, thresholds)
             self._routes[key] = info
         return info
 
@@ -206,7 +246,8 @@ class FluidNetwork:
             # Same-host or zero-byte message: latency-only.
             self._finish(flow)
             return
-        self._advance_progress()
+        if self.sim.now != self._last_update:
+            self._advance_progress()
         self._active[flow.fid] = flow
         self._track(flow)
         # Uncontended arrival: if no crossed link can saturate, the
@@ -216,48 +257,65 @@ class FluidNetwork:
         # access-bottlenecked ones).
         binding = self._binding
         if binding and not binding.isdisjoint(flow.info.route):
+            # unrated until the solver runs: the pending reshare must
+            # see it even if its links leave the binding set meanwhile
+            self._off_ceiling[flow.fid] = flow
             self._request_reshare()
         else:
             self._set_rate(flow, flow.info.ceiling)
 
     def _set_rate(self, flow: _Flow, rate: float) -> None:
-        if (flow.completion is not None
-                and not flow.completion.cancelled):
+        completion = flow.completion
+        if completion is not None and not completion.cancelled:
             if rate == flow.rate:
                 return
-            flow.completion.cancel()
         flow.rate = rate
+        if rate != flow.info.ceiling:
+            self._off_ceiling[flow.fid] = flow
+        else:
+            self._off_ceiling.pop(flow.fid, None)
         if rate <= 0.0:
-            flow.completion = None  # starved; will reshare on next change
+            # starved; will reshare on next change
+            if completion is not None:
+                completion.cancel()
             return
         eta = flow.remaining / rate if math.isfinite(rate) else 0.0
-        flow.completion = self.sim.schedule(eta, self._complete, flow)
+        if completion is None:  # pragma: no cover - send() always arms it
+            flow.completion = self.sim.schedule(eta, self._complete, flow)
+        else:
+            # one handle per flow for its whole life: reschedule marks
+            # the heaped entry stale in place of a cancel + fresh push
+            # (and retargets the latency-phase handle on first use)
+            completion.fn = self._complete
+            self.sim.reschedule(completion, eta, flow)
 
     def _track(self, flow: _Flow) -> None:
-        ceiling = flow.info.ceiling
-        factor = self.tcp.bandwidth_factor
-        for link in flow.info.route:
-            load = self._ceiling_load.get(link, 0.0) + ceiling
-            self._ceiling_load[link] = load
+        info = flow.info
+        ceiling = info.ceiling
+        ceiling_load = self._ceiling_load
+        for link, threshold in zip(info.route, info.thresholds):
+            load = ceiling_load.get(link, 0.0) + ceiling
+            ceiling_load[link] = load
             self._link_flows.setdefault(link, {})[flow.fid] = flow
-            if load > link.bandwidth * factor * (1 + BINDING_EPS):
+            if load > threshold:
                 self._binding.add(link)
 
     def _untrack(self, flow: _Flow) -> None:
-        ceiling = flow.info.ceiling
-        factor = self.tcp.bandwidth_factor
-        for link in flow.info.route:
+        info = flow.info
+        ceiling = info.ceiling
+        ceiling_load = self._ceiling_load
+        for link, threshold in zip(info.route, info.thresholds):
             flows = self._link_flows[link]
             del flows[flow.fid]
             if not flows:
                 # reset exactly: idle links shed accumulated float drift
                 del self._link_flows[link]
-                del self._ceiling_load[link]
+                del ceiling_load[link]
                 self._binding.discard(link)
                 continue
-            load = self._ceiling_load[link] - ceiling
-            self._ceiling_load[link] = load
-            if load <= link.bandwidth * factor * (1 + BINDING_EPS):
+            load = ceiling_load[link] - ceiling
+            ceiling_load[link] = load
+            if load <= threshold:
                 self._binding.discard(link)
 
     def _advance_progress(self) -> None:
@@ -281,13 +339,14 @@ class FluidNetwork:
         """
         if not self._reshare_pending:
             self._reshare_pending = True
-            self.sim.schedule(0.0, self._run_reshare)
+            self.sim.call_later(0.0, self._run_reshare)
 
     def _run_reshare(self) -> None:
         self._reshare_pending = False
         if not self._active:
             return
-        self._advance_progress()  # no-op unless a caller skipped it
+        if self.sim.now != self._last_update:
+            self._advance_progress()  # no-op unless a caller skipped it
         self.reshare_count += 1
         # Solve only the *residual* problem: flows crossing a link that
         # could saturate at current ceilings.  Everything else runs at
@@ -297,47 +356,82 @@ class FluidNetwork:
         # are exchangeable, so the solver sees one entry with a
         # multiplicity instead of one entry per flow.
         binding = self._binding
-        alloc: Dict[int, float] = {}
+        # A reshare can only move flows that cross a link which could
+        # saturate, plus flows whose rate is currently away from their
+        # ceiling (constrained earlier, starved, or unrated): collect
+        # exactly those instead of doing per-flow work on the whole
+        # active set.  The candidate *set* is gathered from the
+        # (id-hash-ordered) binding links, but candidates are visited
+        # in _active's iteration order below, never in set order.
+        active = self._active
+        if not binding:
+            # no link can saturate: every off-ceiling flow (and only
+            # those) climbs back to its ceiling, visited in the exact
+            # order the full _active scan would have reached them
+            off = self._off_ceiling
+            if off:
+                for flow in [f for fid, f in active.items() if fid in off]:
+                    self._set_rate(flow, flow.info.ceiling)
+            return
+        fids = set(self._off_ceiling)
+        for link in binding:
+            fids.update(self._link_flows[link])
+        # Candidates in _active's (activation) iteration order — the
+        # exact order the full scan this replaces visited them, so
+        # solver input order, freeze order and completion sequencing
+        # are byte-identical to the pre-fast-core engine.
+        candidates = [f for fid, f in active.items() if fid in fids]
+        rates: Dict[int, float] = {}
         if binding:
-            # Iterate the (insertion-ordered) active dict, not the
-            # binding set: solver input order must be deterministic so
-            # reruns are byte-identical.
-            classes: Dict[int, List[_Flow]] = {}
-            routes: Dict[int, List[Link]] = {}
-            caps: Dict[int, float] = {}
-            for flow in self._active.values():
+            # Group by interned-route class and build the solve-cache
+            # key first; solver inputs are only materialized on a miss
+            # (the halo phases repeat the same problem every iteration).
+            counts: Dict[int, list] = {}
+            order: List[int] = []
+            for flow in candidates:
                 info = flow.info
                 cid = id(info)
-                bucket = classes.get(cid)
-                if bucket is not None:
-                    bucket.append(flow)
-                    continue
-                if binding.isdisjoint(info.route):
-                    continue
-                constrained = [l for l in info.route if l in binding]
-                classes[cid] = [flow]
-                routes[cid] = constrained
-                caps[cid] = info.ceiling
-            rates = progressive_fill(
-                routes,
-                caps,
-                {cid: len(flows) for cid, flows in classes.items()},
-                bandwidth_factor=self.tcp.bandwidth_factor,
+                entry = counts.get(cid)
+                if entry is None:
+                    counts[cid] = [info, 1]
+                    order.append(cid)
+                else:
+                    entry[1] += 1
+            key = (
+                tuple((cid, counts[cid][1]) for cid in order),
+                tuple(sorted(map(id, binding))),
             )
-            for cid, flows in classes.items():
-                rate = rates[cid]
-                for flow in flows:
-                    alloc[flow.fid] = rate
-        for flow in self._active.values():
+            rates = self._solve_cache.get(key)
+            if rates is None:
+                routes: Dict[int, List[Link]] = {}
+                caps: Dict[int, float] = {}
+                sizes: Dict[int, int] = {}
+                for cid in order:
+                    info, n = counts[cid]
+                    if binding.isdisjoint(info.route):
+                        continue
+                    routes[cid] = [l for l in info.route if l in binding]
+                    caps[cid] = info.ceiling
+                    sizes[cid] = n
+                rates = progressive_fill(
+                    routes, caps, sizes,
+                    bandwidth_factor=self.tcp.bandwidth_factor,
+                )
+                self._solve_cache[key] = rates
+        for flow in candidates:
             # rate-unchanged flows keep their scheduled completion —
             # _set_rate skips the heap churn (flows on disjoint links
             # are the common case in halo phases)
-            self._set_rate(flow, alloc.get(flow.fid, flow.info.ceiling))
+            rate = rates.get(id(flow.info))
+            self._set_rate(flow,
+                           rate if rate is not None else flow.info.ceiling)
 
     def _complete(self, flow: _Flow) -> None:
-        self._advance_progress()
+        if self.sim.now != self._last_update:
+            self._advance_progress()
         flow.remaining = 0.0
         del self._active[flow.fid]
+        self._off_ceiling.pop(flow.fid, None)
         # Departure from all-slack links frees capacity nobody was
         # contending for: remaining rates are unaffected, skip the
         # solver (mirror of the uncontended-arrival case).
@@ -353,13 +447,16 @@ class FluidNetwork:
     def _finish(self, flow: _Flow) -> None:
         self.bytes_delivered += flow.size
         self.transfers_completed += 1
-        flow.done.succeed(
-            TransferInfo(
-                src=flow.src.name,
-                dst=flow.dst.name,
-                size=flow.size,
-                start=flow.start,
-                end=self.sim.now,
-                tag=flow.tag,
-            )
+        info = TransferInfo(
+            src=flow.src.name,
+            dst=flow.dst.name,
+            size=flow.size,
+            start=flow.start,
+            end=self.sim.now,
+            tag=flow.tag,
         )
+        done = flow.done
+        if done.__class__ is Signal:
+            done.succeed(info)
+        else:  # plain callback (same invocation instant as a succeed)
+            done(info)

@@ -23,7 +23,7 @@ from .computation import (
     WorkloadSpec,
     channel_context_for,
 )
-from .deploy import Deployment, deploy_overlay
+from .deploy import Deployment, ZonePlan, deploy_overlay, plan_zones
 from .groups import (
     assign_ranks,
     group_by_proximity,
@@ -65,7 +65,9 @@ __all__ = [
     "Tracker",
     "WorkAssignment",
     "WorkloadSpec",
+    "ZonePlan",
     "assign_ranks",
+    "plan_zones",
     "channel_context_for",
     "closest",
     "collect_peers",

@@ -110,6 +110,8 @@ class SubtaskExecution:
             rank: self._endpoint(ref)
             for rank, ref in self._neighbors.items()
         }
+        # iterated twice per iteration: rebuilt only on rewire
+        self._endpoint_items = list(self._endpoints.items())
         self._rewired = Signal(f"{peer.name}:rewire:{a.task_id}")
 
     # -- helpers ------------------------------------------------------------
@@ -128,6 +130,7 @@ class SubtaskExecution:
         a = self.assignment
         self._neighbors[rank] = new_ref
         self._endpoints[rank] = self._endpoint(new_ref)
+        self._endpoint_items = list(self._endpoints.items())
         # boundary resync: the replacement needs our freshest iterate
         # to start computing at all
         self._endpoints[rank].send(
@@ -159,16 +162,17 @@ class SubtaskExecution:
             # compute burst
             yield self.sim.timeout(self._noisy(base_time))
             # halo exchange with both neighbours (sends first, then
-            # receives — full duplex, both directions overlap)
-            for rank in list(self._neighbors):
-                self._endpoints[rank].send(w.halo_bytes,
-                                           data=("halo", a.rank, it))
+            # receives — full duplex, both directions overlap).  A
+            # rewire mid-iteration swaps self._endpoint_items, so the
+            # snapshot taken per loop mirrors the old list() copies.
+            for _rank, endpoint in self._endpoint_items:
+                endpoint.send(w.halo_bytes, data=("halo", a.rank, it))
             if blocking:
-                for rank in list(self._neighbors):
+                for rank, _endpoint in list(self._endpoint_items):
                     yield from self._recv_halo(rank)
             else:
-                for rank in list(self._neighbors):
-                    self._endpoints[rank].try_recv()  # freshest iterate
+                for _rank, endpoint in self._endpoint_items:
+                    endpoint.try_recv()  # freshest iterate
             self.iterations_done = it + 1
             # periodic convergence check through the hierarchy
             if w.check_every > 0 and (it + 1) % w.check_every == 0:
@@ -181,6 +185,13 @@ class SubtaskExecution:
 
     def _recv_halo(self, rank: int):
         w = self.assignment.workload
+        # Fast path: the halo already arrived (the common case when
+        # both sides compute in near lock-step) — consume it without
+        # building the recv-signal/AnyOf machinery.  Identical to the
+        # slow path consuming the queued item via an immediately-
+        # triggered signal: neither schedules a simulator event.
+        if w.halo_timeout is None and self._endpoints[rank].try_recv() is not None:
+            return
         # one deadline for the whole wait: a rewire wake-up (even for
         # the other neighbour) must not restart the halo timeout
         deadline = (self.sim.timeout(w.halo_timeout, "timeout")

@@ -56,6 +56,46 @@ class Deployment:
         self.churn_events = plan.events
 
 
+@dataclass(frozen=True)
+class ZonePlan:
+    """Precomputed zone layout: the pure derivation of a deployment.
+
+    Everything here is a function of (platform, n_peers, n_zones)
+    alone — host selection, contiguous zone chunks, tracker/peer names
+    and IP strings — so sweep runners cache one plan per deployment
+    shape and grid points that differ only in churn/policy axes skip
+    re-deriving it (see ``repro.scenarios.runner``)."""
+
+    hosts: tuple
+    n_zones: int
+    #: per zone: (tracker_name, tracker_ip, ((peer_name, peer_ip, host), ...))
+    zones: tuple
+
+
+def plan_zones(
+    platform: PlatformSpec, n_peers: Optional[int] = None, n_zones: int = 4
+) -> ZonePlan:
+    """Derive the zone layout ``deploy_overlay`` realizes."""
+    hosts = platform.hosts if n_peers is None else platform.take_hosts(n_peers)
+    if not hosts:
+        raise ValueError("platform has no hosts for the overlay")
+    n_zones = max(1, min(n_zones, len(hosts)))
+    # contiguous host chunks become zones (host order correlates with
+    # physical locality in all three platform builders)
+    base, extra = divmod(len(hosts), n_zones)
+    zones, start = [], 0
+    for z in range(n_zones):
+        size = base + (1 if z < extra else 0)
+        chunk = hosts[start:start + size]
+        start += size
+        zones.append((
+            f"tracker-{z}", f"10.{z}.0.1",
+            tuple((f"p-{z}-{k}", f"10.{z}.{1 + k // 250}.{k % 250 + 2}", h)
+                  for k, h in enumerate(chunk)),
+        ))
+    return ZonePlan(hosts=tuple(hosts), n_zones=n_zones, zones=tuple(zones))
+
+
 def deploy_overlay(
     platform: PlatformSpec,
     n_peers: Optional[int] = None,
@@ -66,6 +106,8 @@ def deploy_overlay(
     with_submitter: bool = True,
     join_peers: bool = True,
     settle: bool = True,
+    plan: Optional[ZonePlan] = None,
+    route_intern: Optional[dict] = None,
 ) -> Deployment:
     """Deploy server + core trackers + peers over a platform.
 
@@ -75,34 +117,31 @@ def deploy_overlay(
     peer is accepted into a zone.  Failure injection is armed on the
     returned deployment via :meth:`Deployment.arm_churn` — churn
     targets (peer/tracker names) only exist once this returns.
+
+    ``plan`` short-circuits the zone derivation with a cached
+    :class:`ZonePlan` (it must come from :func:`plan_zones` with the
+    same arguments); ``route_intern`` shares one per-pair route store
+    across deployments on the same (platform, tcp) — both are the
+    sweep runner's deployment-template fast path.
     """
-    hosts = platform.hosts if n_peers is None else platform.take_hosts(n_peers)
-    if not hosts:
-        raise ValueError("platform has no hosts for the overlay")
-    n_zones = max(1, min(n_zones, len(hosts)))
-    overlay = Overlay(platform, config, seed=seed, tcp=tcp)
+    if plan is None:
+        plan = plan_zones(platform, n_peers, n_zones)
+    hosts = list(plan.hosts)
+    n_zones = plan.n_zones
+    overlay = Overlay(platform, config, seed=seed, tcp=tcp,
+                      route_intern=route_intern)
 
     server = overlay.create_server(hosts[0], "10.255.0.1")
 
-    # contiguous host chunks become zones (host order correlates with
-    # physical locality in all three platform builders)
-    base, extra = divmod(len(hosts), n_zones)
-    zones, start = [], 0
-    for z in range(n_zones):
-        size = base + (1 if z < extra else 0)
-        zones.append(hosts[start:start + size])
-        start += size
-
     trackers: List[Tracker] = []
     peers: List[Peer] = []
-    for z, zone_hosts in enumerate(zones):
+    for tracker_name, tracker_ip, zone_peers in plan.zones:
         tracker = overlay.create_tracker(
-            zone_hosts[0], f"10.{z}.0.1", name=f"tracker-{z}"
+            zone_peers[0][2], tracker_ip, name=tracker_name
         )
         trackers.append(tracker)
-        for k, host in enumerate(zone_hosts):
-            ip = f"10.{z}.{1 + k // 250}.{k % 250 + 2}"
-            peers.append(overlay.create_peer(host, ip, name=f"p-{z}-{k}"))
+        for peer_name, peer_ip, host in zone_peers:
+            peers.append(overlay.create_peer(host, peer_ip, name=peer_name))
 
     overlay.bootstrap_core()
 

@@ -36,12 +36,20 @@ class NodeActor:
         #: Incarnation counter: timers armed before a crash must not
         #: fire into a revived incarnation (bumped by crash()).
         self._timer_epoch = 0
+        #: identity is immutable, so the ref every message carries is
+        #: built once instead of per send
+        self._ref = NodeRef(name, ip, host.name, self.role)
+        #: per-message-type bound handler cache (None = unhandled)
+        self._handlers: Dict[type, Any] = {}
+        #: reusable ScheduledCall per timer tag — a chain that re-arms
+        #: from its own firing reuses one handle for its whole life
+        self._timer_calls: Dict[str, Any] = {}
         overlay.register(self)
 
     # -- identity ------------------------------------------------------------
     @property
     def ref(self) -> NodeRef:
-        return NodeRef(self.name, self.ip, self.host.name, self.role)
+        return self._ref
 
     def __repr__(self) -> str:
         status = "up" if self.alive else "down"
@@ -92,13 +100,18 @@ class NodeActor:
             return
 
     def _dispatch(self, msg: Message) -> None:
-        if isinstance(msg, TimerFire):
+        cls = type(msg)
+        if cls is TimerFire:
             handler = getattr(self, f"timer_{msg.tag}", None)
             if handler is None:
                 raise RuntimeError(f"{self.name}: no timer handler {msg.tag!r}")
             handler(msg.payload)
             return
-        handler = getattr(self, f"handle_{type(msg).__name__}", None)
+        try:
+            handler = self._handlers[cls]
+        except KeyError:
+            handler = getattr(self, f"handle_{cls.__name__}", None)
+            self._handlers[cls] = handler
         if handler is None:
             self.overlay.stats.count("unhandled_messages")
             return
@@ -109,14 +122,36 @@ class NodeActor:
         """Asynchronous control-plane send over the network."""
         self.overlay.transport(self, dst, msg)
 
+    def _timer_fire(self, epoch: int, tag: str, payload: Any) -> None:
+        if self.alive and self._timer_epoch == epoch:
+            self.mailbox.put(TimerFire(self._ref, tag, payload))
+
     def set_timer(self, delay: float, tag: str, payload: Any = None) -> None:
-        epoch = self._timer_epoch
+        # Reuse the tag's handle when its previous firing is done
+        # (sequential re-arm chains — the overwhelmingly common shape);
+        # concurrent same-tag timers fall back to a fresh handle.
+        call = self._timer_calls.get(tag)
+        if call is not None and not call.pending:
+            self.sim.reschedule(call, delay, self._timer_epoch, tag, payload)
+        else:
+            self._timer_calls[tag] = self.sim.schedule(
+                delay, self._timer_fire, self._timer_epoch, tag, payload
+            )
 
-        def fire() -> None:
-            if self.alive and self._timer_epoch == epoch:
-                self.mailbox.put(TimerFire(self.ref, tag, payload))
-
-        self.sim.schedule(delay, fire)
+    def _every_fire(self, epoch: int, tag: str, interval: float) -> None:
+        if not self.alive or self._timer_epoch != epoch:
+            return
+        self.mailbox.put(TimerFire(self._ref, tag, None))
+        # re-arm *after* delivery, exactly like the closure chain this
+        # replaces: handlers that run inline off the put consume their
+        # sequence numbers first
+        call = self._timer_calls.get(("every", tag))
+        if call is not None and not call.pending:
+            self.sim.reschedule(call, interval, epoch, tag, interval)
+        else:  # pragma: no cover - chain re-entry cannot overlap itself
+            self._timer_calls[("every", tag)] = self.sim.schedule(
+                interval, self._every_fire, epoch, tag, interval
+            )
 
     def every(self, interval: float, tag: str) -> None:
         """Start a periodic timer (stops when the node dies).
@@ -125,15 +160,9 @@ class NodeActor:
         (even one followed by a revive) it goes quiet, and the revived
         node re-arms whichever timers it needs.
         """
-        epoch = self._timer_epoch
-
-        def fire() -> None:
-            if not self.alive or self._timer_epoch != epoch:
-                return
-            self.mailbox.put(TimerFire(self.ref, tag, None))
-            self.sim.schedule(interval, fire)
-
-        self.sim.schedule(interval, fire)
+        self._timer_calls[("every", tag)] = self.sim.schedule(
+            interval, self._every_fire, self._timer_epoch, tag, interval
+        )
 
     # -- request/reply correlation ------------------------------------------------
     def new_request(self) -> tuple[int, Signal]:

@@ -108,10 +108,12 @@ class Overlay:
         config: OverlayConfig = OverlayConfig(),
         seed: int = 0,
         tcp: TcpModel = TcpModel(),
+        route_intern: Optional[dict] = None,
     ) -> None:
         self.platform = platform
         self.sim = Simulator()
-        self.net = FluidNetwork(self.sim, platform.topology, tcp=tcp)
+        self.net = FluidNetwork(self.sim, platform.topology, tcp=tcp,
+                                route_intern=route_intern)
         self.config = config
         self.rng = RngRegistry(seed)
         self.stats = OverlayStats()
@@ -152,17 +154,17 @@ class Overlay:
         if target is None:
             raise KeyError(f"unknown destination {dst.name!r}")
         size = msg.size_bytes
-        self.stats.message(type(msg).__name__, size)
-        done = self.net.send(src.host, target.host, size,
-                             tag=type(msg).__name__)
+        type_name = type(msg).__name__
+        self.stats.message(type_name, size)
 
-        def deliver(_sig) -> None:
+        def deliver(_info) -> None:
             if target.alive:
                 target.mailbox.put(msg)
             else:
                 self.stats.count("dropped_to_dead")
 
-        done._subscribe(deliver)
+        self.net.send(src.host, target.host, size, tag=type_name,
+                      callback=deliver)
 
     # -- factories ---------------------------------------------------------------
     def create_server(self, host: Host, ip: str | IPv4, name: str = "server"):

@@ -4,7 +4,15 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional
+
+
+@lru_cache(maxsize=None)
+def _msg_key(type_name: str) -> str:
+    """``msg:<Type>`` counter keys, interned (one per message type,
+    not one f-string per delivered message)."""
+    return f"msg:{type_name}"
 
 
 @dataclass
@@ -36,7 +44,7 @@ class OverlayStats:
         self.control_messages += 1
         self.control_bytes += size
         self.bytes_by_type[type_name] += size
-        self.counters[f"msg:{type_name}"] += 1
+        self.counters[_msg_key(type_name)] += 1
 
     def get(self, key: str) -> int:
         return self.counters.get(key, 0)

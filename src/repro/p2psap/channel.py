@@ -88,6 +88,11 @@ class Channel:
         self.a = ChannelEndpoint(self, host_a, host_b)
         self.b = ChannelEndpoint(self, host_b, host_a)
         self.closed = False
+        # per-send f-strings are hot-path cost: the cid is fixed, so
+        # the signal name and wire tags are built once per channel
+        self._send_name = f"chan{self.cid}:send"
+        self._tag = f"chan{self.cid}"
+        self._ack_tag = f"chan{self.cid}:ack"
 
     def endpoints(self):
         return self.a, self.b
@@ -128,36 +133,38 @@ class Channel:
         dst = self.b if src is self.a else self.a
         self.stats.messages_sent += 1
         self.stats.bytes_sent += payload_bytes
-        done = Signal(f"chan{self.cid}:send")
+        done = Signal(self._send_name)
         wire = mode.wire_size(payload_bytes)
-
-        def start_transfer() -> None:
-            xfer = self.net.send(src.host, dst.host, wire, tag=f"chan{self.cid}")
-            xfer._subscribe(lambda _s: delivered())
-
-        def delivered() -> None:
-            # receiver-side protocol processing, then enqueue
-            self.sim.schedule(mode.per_message_overhead, enqueue)
-
-        def enqueue() -> None:
-            if mode.drop_stale and len(dst.inbox) > 0:
-                dst.inbox.clear()
-                self.stats.messages_dropped_stale += 1
-            dst.inbox.put((payload_bytes, data))
-            if mode.acked:
-                ack = self.net.send(dst.host, src.host, mode.header_bytes,
-                                    tag=f"chan{self.cid}:ack")
-                ack._subscribe(lambda _s: done.succeed(payload_bytes))
-            else:
-                pass  # unacked: sender already released
-
-        # sender-side protocol processing before the wire
-        self.sim.schedule(mode.per_message_overhead, start_transfer)
+        # sender-side protocol processing before the wire (bound
+        # methods with explicit args, not per-send closures: the halo
+        # exchange transmits per iteration per neighbour)
+        self.sim.call_later(mode.per_message_overhead, self._start_transfer,
+                            src, dst, mode, wire, payload_bytes, data, done)
         if not mode.acked:
             # sender is released after local processing + first byte out
-            self.sim.schedule(mode.per_message_overhead, done.succeed,
-                              payload_bytes)
+            self.sim.call_later(mode.per_message_overhead, done.succeed,
+                                payload_bytes)
         return done
+
+    def _start_transfer(self, src, dst, mode, wire, payload_bytes,
+                        data, done) -> None:
+        # receiver-side protocol processing after arrival, then enqueue
+        self.net.send(
+            src.host, dst.host, wire, tag=self._tag,
+            callback=lambda _info: self.sim.call_later(
+                mode.per_message_overhead, self._enqueue, src, dst, mode,
+                payload_bytes, data, done),
+        )
+
+    def _enqueue(self, src, dst, mode, payload_bytes, data, done) -> None:
+        if mode.drop_stale and len(dst.inbox) > 0:
+            dst.inbox.clear()
+            self.stats.messages_dropped_stale += 1
+        dst.inbox.put((payload_bytes, data))
+        if mode.acked:
+            self.net.send(dst.host, src.host, mode.header_bytes,
+                          tag=self._ack_tag,
+                          callback=lambda _info: done.succeed(payload_bytes))
 
     def close(self) -> None:
         self.closed = True

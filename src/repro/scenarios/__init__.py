@@ -28,6 +28,8 @@ from .runner import (
     expand_grid,
     run_cached,
     run_scenario,
+    shard_indices,
+    shard_specs,
 )
 from .spec import (
     ChurnEventSpec,
@@ -59,5 +61,7 @@ __all__ = [
     "run_cached",
     "run_scenario",
     "scenario_names",
+    "shard_indices",
+    "shard_specs",
     "spread_hosts",
 ]

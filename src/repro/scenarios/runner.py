@@ -43,7 +43,7 @@ import json
 import math
 import os
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
 from itertools import product
 from pathlib import Path
@@ -114,6 +114,55 @@ def _tcp_model(spec: ScenarioSpec):
                     window=spec.tcp.window)
 
 
+# ---------------------------------------------------------------------------
+# the deployment template cache
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _DeployTemplate:
+    """Everything about a deployment that is pure in the spec's
+    platform/topology sub-space: the built platform, the shared TCP
+    model, the resolved peer/zone counts, the zone layout, and a
+    per-(platform, tcp) route-intern store.  Grid points that differ
+    only in churn/policy/seed axes hit one template and skip
+    re-deriving platforms, routes and zone groupings."""
+
+    platform: Any
+    tcp: Any
+    deploy_n: int
+    n_zones: int
+    plan: Any
+    route_intern: Dict[Any, Any] = field(default_factory=dict)
+
+
+#: Per-process template cache, keyed on the frozen sub-plans that
+#: define the deployment shape.
+_TEMPLATES: Dict[Any, _DeployTemplate] = {}
+
+
+def _deploy_template(spec: ScenarioSpec) -> _DeployTemplate:
+    from ..p2pdc import plan_zones
+    from . import platforms
+
+    # the single owner of the shape derivation: _deploy reads these
+    # back off the template, so key and deployment cannot diverge
+    deploy_n = spec.deploy_peers or spec.n_peers
+    n_zones = spec.n_zones or _auto_zones(deploy_n)
+    key = (spec.platform, deploy_n, n_zones, spec.tcp)
+    template = _TEMPLATES.get(key)
+    if template is None:
+        platform = platforms.build_platform(spec.platform)
+        template = _DeployTemplate(
+            platform=platform,
+            tcp=_tcp_model(spec),
+            deploy_n=deploy_n,
+            n_zones=n_zones,
+            plan=plan_zones(platform, deploy_n, n_zones),
+        )
+        _TEMPLATES[key] = template
+    return template
+
+
 def _run_predict(spec: ScenarioSpec) -> ScenarioResult:
     from . import platforms, workloads
 
@@ -146,11 +195,9 @@ def _deploy(spec: ScenarioSpec):
         poisson_peer_failures,
         rejoin_events,
     )
-    from . import platforms
-
-    platform = platforms.build_platform(spec.platform)
-    deploy_n = spec.deploy_peers or spec.n_peers
-    n_zones = spec.n_zones or _auto_zones(deploy_n)
+    template = _deploy_template(spec)
+    deploy_n = template.deploy_n
+    n_zones = template.n_zones
     t = spec.timers
     profile = spec.churn_profile
     config = OverlayConfig(
@@ -170,8 +217,9 @@ def _deploy(spec: ScenarioSpec):
         election=spec.recovery.election,
     )
     dep = deploy_overlay(
-        platform, n_peers=deploy_n, n_zones=n_zones, config=config,
-        seed=spec.seed, tcp=_tcp_model(spec),
+        template.platform, n_peers=deploy_n, n_zones=n_zones, config=config,
+        seed=spec.seed, tcp=template.tcp, plan=template.plan,
+        route_intern=template.route_intern,
     )
     if profile.coordinator_churn_rate > 0:
         # coordinators only exist once allocation appoints them: the
@@ -331,13 +379,43 @@ def _run_deploy(spec: ScenarioSpec) -> ScenarioResult:
 # caching
 # ---------------------------------------------------------------------------
 
+def atomic_write_bytes(path: os.PathLike | str, blob: bytes) -> None:
+    """Write ``blob`` to ``path`` via tempfile + ``os.replace``.
+
+    The one atomic-write primitive for every on-disk store in the
+    sweep stack (results, manifests, traces, bench trajectories):
+    readers racing the write — concurrent shards sharing a cache
+    directory, a ``compare`` during a sweep — see either the old file
+    or the complete new one, never a truncated file.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(blob)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: os.PathLike | str, text: str) -> None:
+    """:func:`atomic_write_bytes` for str content."""
+    atomic_write_bytes(path, text.encode())
+
+
 class ResultCache:
     """On-disk JSON cache: one ``<spec-hash>.json`` file per result.
 
-    Writes are atomic (tempfile + rename), so concurrent sweeps on one
-    cache directory never see torn files.  Each entry stores the full
-    spec alongside the result; a hash collision or a stale schema is
-    treated as a miss.
+    Writes are atomic (tempfile + ``os.replace``), so concurrent
+    shards sharing one cache directory never read a truncated entry.
+    Each entry stores the full spec alongside the result; a hash
+    collision or a stale schema is treated as a miss.  Because entries
+    are content-addressed, merging two caches is a plain file copy
+    (see ``merge-shards``).
     """
 
     def __init__(self, root: os.PathLike | str) -> None:
@@ -360,22 +438,30 @@ class ResultCache:
 
     def put(self, spec: ScenarioSpec, result: ScenarioResult) -> None:
         """Store ``result`` under ``spec``'s hash (atomic write)."""
-        path = self._path(spec.spec_hash())
         payload = json.dumps(
             {"spec": spec.hash_payload(), "result": result.to_dict()},
             sort_keys=True, indent=1,
         )
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                fh.write(payload)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(self._path(spec.spec_hash()), payload)
+
+    def absorb(self, other_root: os.PathLike | str) -> int:
+        """Union another cache directory into this one (file copy).
+
+        Entries are content-addressed, so identical hashes mean
+        identical content — existing files are kept, new ones are
+        copied atomically.  Returns the number of entries copied.
+        """
+        copied = 0
+        other = Path(other_root)
+        if not other.is_dir():
+            return 0
+        for src in sorted(other.glob("*.json")):
+            dst = self.root / src.name
+            if dst.exists():
+                continue
+            atomic_write_text(dst, src.read_text())
+            copied += 1
+        return copied
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))
@@ -433,9 +519,50 @@ def expand_grid(
 
 
 def _pool_run(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker entry point: rebuild the spec, run it, ship plain data."""
-    spec = ScenarioSpec.from_dict(payload)
-    return run_cached(spec).to_dict()
+    """Worker entry point: rebuild the spec, run it, ship plain data.
+
+    The worker writes its own result into the shared on-disk cache
+    *before* returning, so a killed sweep (or shard) resumes from
+    everything it completed rather than recomputing the whole grid.
+    """
+    from . import workloads
+
+    # unconditional: a forked worker inherits the parent's module
+    # global, which may point at a different sweep's cache directory
+    workloads.set_trace_cache_dir(payload.get("trace_cache"))
+    spec = ScenarioSpec.from_dict(payload["spec"])
+    cache_dir = payload.get("cache_dir")
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return run_cached(spec, cache).to_dict()
+
+
+def shard_indices(
+    specs: Sequence[ScenarioSpec], index: int, count: int
+) -> List[int]:
+    """Positions of shard ``index`` (0-based) of ``count`` in ``specs``.
+
+    Partitioning is by spec hash — a pure function of each point, so
+    every machine derives the same split from the same grid without
+    coordination, and relabelling a sweep never moves points between
+    shards.  This is the single owner of the partition predicate; the
+    CLI and :func:`shard_specs` both derive from it.
+    """
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    if not 0 <= index < count:
+        raise ValueError(
+            f"shard index must be in [0, {count}), got {index}"
+        )
+    return [i for i, s in enumerate(specs)
+            if int(s.spec_hash(), 16) % count == index]
+
+
+def shard_specs(
+    specs: Sequence[ScenarioSpec], index: int, count: int
+) -> List[ScenarioSpec]:
+    """The shard ``index`` (0-based) of ``count`` for a spec list
+    (input order preserved within the shard; see :func:`shard_indices`)."""
+    return [specs[i] for i in shard_indices(specs, index, count)]
 
 
 class SweepRunner:
@@ -445,7 +572,9 @@ class SweepRunner:
     ----------
     cache_dir:
         Directory for the on-disk result cache (None → in-process memo
-        only).
+        only).  Also hosts the persistent trace cache (``traces/``
+        subdirectory) that spares every pool worker the multi-second
+        dPerf calibration cold start.
     max_workers:
         Process pool width for cache misses (None → ``os.cpu_count()``,
         capped by the number of misses; 1 forces serial in-process).
@@ -457,19 +586,31 @@ class SweepRunner:
         max_workers: Optional[int] = None,
     ) -> None:
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.trace_cache_dir = (
+            str(Path(cache_dir) / "traces") if cache_dir is not None else None
+        )
         self.max_workers = max_workers
         self.hits = 0
         self.misses = 0
 
     # -- execution ---------------------------------------------------------
     def run(
-        self, specs: Sequence[ScenarioSpec], parallel: bool = True
+        self,
+        specs: Sequence[ScenarioSpec],
+        parallel: bool = True,
+        on_result: Optional[Any] = None,
     ) -> List[ScenarioResult]:
         """Run ``specs`` (cache-first), preserving input order.
 
         Duplicate spec hashes are computed once.  With ``parallel``
         (the default) cache misses execute in a process pool; results
         are identical to a serial run because the runner is pure.
+
+        ``on_result(spec, result)`` — when given — is invoked once per
+        *computed* miss as it lands (completion order), which is the
+        incremental-manifest hook: a sweep killed mid-flight has
+        recorded everything it finished.  Cache hits are returned but
+        not streamed (they were already durable).
         """
         results: List[Optional[ScenarioResult]] = [None] * len(specs)
         miss_index: Dict[str, List[int]] = {}
@@ -488,14 +629,27 @@ class SweepRunner:
         misses = [specs[slots[0]] for slots in miss_index.values()]
         self.misses += len(misses)
         workers = self._effective_workers(len(misses))
-        if parallel and workers > 1:
-            computed = self._run_pool(misses, workers)
+        pooled = parallel and workers > 1
+        if pooled:
+            computed = self._run_pool(misses, workers, on_result)
         else:
-            computed = [run_scenario(spec) for spec in misses]
+            from . import workloads
+
+            # unconditional: clears a previous runner's directory too
+            workloads.set_trace_cache_dir(self.trace_cache_dir)
+            computed = []
+            for spec in misses:
+                result = run_scenario(spec)
+                computed.append(result)
+                if on_result is not None:
+                    on_result(spec, result)
         for spec, result in zip(misses, computed):
             key = spec.spec_hash()
             _MEMO[key] = result
-            if self.cache is not None:
+            if self.cache is not None and not pooled:
+                # pool workers already persisted their own results
+                # (run_cached in _pool_run) — re-writing identical
+                # entries here would double the sweep's cache I/O
                 self.cache.put(spec, result)
             for i in miss_index[key]:
                 results[i] = result
@@ -517,13 +671,57 @@ class SweepRunner:
         width = self.max_workers or os.cpu_count() or 1
         return max(1, min(width, n_misses))
 
+    def _prime_templates(self, misses: Sequence[ScenarioSpec]) -> None:
+        """Pay per-sweep one-time costs once, in the parent.
+
+        Trace generation (the dPerf calibration) lands in the
+        persistent trace cache, so workers load a pickle instead of
+        re-interpreting mini-C; platforms are built so fork-started
+        workers inherit them copy-on-write.  Both are pure derivations
+        of the spec, so priming cannot change any result.
+        """
+        from . import platforms, workloads
+
+        workloads.set_trace_cache_dir(self.trace_cache_dir)
+        seen = set()
+        for spec in misses:
+            platforms.build_platform(spec.platform)
+            if spec.kind not in ("reference", "predict"):
+                continue
+            w = spec.workload
+            recipe = (w.app, spec.n_peers, w.level, w.n, w.nit)
+            if recipe not in seen:
+                seen.add(recipe)
+                workloads.traces(*recipe)
+
     def _run_pool(
-        self, misses: Sequence[ScenarioSpec], workers: int
+        self, misses: Sequence[ScenarioSpec], workers: int,
+        on_result: Optional[Any] = None,
     ) -> List[ScenarioResult]:
-        payloads = [spec.to_dict() for spec in misses]
+        self._prime_templates(misses)
+        cache_dir = str(self.cache.root) if self.cache is not None else None
+        payloads = [
+            {"spec": spec.to_dict(), "cache_dir": cache_dir,
+             "trace_cache": self.trace_cache_dir}
+            for spec in misses
+        ]
+        computed: List[Optional[ScenarioResult]] = [None] * len(misses)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            raw = list(pool.map(_pool_run, payloads))
-        return [ScenarioResult.from_dict(d) for d in raw]
+            futures = {
+                pool.submit(_pool_run, payload): i
+                for i, payload in enumerate(payloads)
+            }
+            for future in as_completed(futures):
+                i = futures[future]
+                result = ScenarioResult.from_dict(future.result())
+                computed[i] = result
+                if on_result is not None:
+                    on_result(misses[i], result)
+        # every slot must be filled: a silent gap here would shift the
+        # caller's zip(misses, computed) and cache results under wrong
+        # spec hashes
+        assert all(r is not None for r in computed)
+        return computed  # type: ignore[return-value]
 
     # -- reporting ---------------------------------------------------------
     @property

@@ -392,10 +392,20 @@ class ScenarioSpec:
         return d
 
     def spec_hash(self) -> str:
-        """Stable 16-hex-digit content hash of this spec."""
-        blob = json.dumps(self.hash_payload(), sort_keys=True,
-                          separators=(",", ":"))
-        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+        """Stable 16-hex-digit content hash of this spec.
+
+        Memoized per instance (the spec is frozen, so the hash cannot
+        change): sweep bookkeeping — cache lookups, shard partitioning,
+        incremental manifests — asks for it repeatedly, and the
+        ``asdict`` walk underneath is not free.
+        """
+        cached = self.__dict__.get("_spec_hash")
+        if cached is None:
+            blob = json.dumps(self.hash_payload(), sort_keys=True,
+                              separators=(",", ":"))
+            cached = hashlib.sha256(blob.encode()).hexdigest()[:16]
+            object.__setattr__(self, "_spec_hash", cached)
+        return cached
 
     # -- grid expansion ----------------------------------------------------
     def with_override(self, path: str, value: Any) -> "ScenarioSpec":

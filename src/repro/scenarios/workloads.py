@@ -13,10 +13,15 @@ owner of the calibration constants.
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, List, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple
 
+from .. import __version__ as _ENGINE_VERSION
 from ..apps import heat, obstacle
 from ..dperf import DPerfPredictor, ScalePlan
 from ..p2pdc import WorkloadSpec
@@ -115,14 +120,78 @@ def scale_plan(app: str, nprocs: int, n: int, nit: int) -> ScalePlan:
     )
 
 
+# ---------------------------------------------------------------------------
+# the on-disk trace cache (collaborative profiling-run reuse)
+# ---------------------------------------------------------------------------
+
+#: Directory for the persistent trace cache, or ``None`` (disabled).
+#: Trace generation is the cold-start cost every sweep worker pays
+#: (mini-C calibration ≈ seconds per (app, nprocs)); the disk cache
+#: makes it a one-time cost shared across processes, shards and — with
+#: a copied cache directory — machines.  Entries are pickles of pure
+#: deterministic data, keyed by a content hash of the full trace
+#: recipe, so a shared directory is safe to union by file copy.
+_TRACE_CACHE_DIR: Optional[Path] = (
+    Path(os.environ["REPRO_TRACE_CACHE"])
+    if os.environ.get("REPRO_TRACE_CACHE") else None
+)
+
+
+def set_trace_cache_dir(path: Optional[os.PathLike | str]) -> None:
+    """Point the persistent trace cache at ``path`` (None disables)."""
+    global _TRACE_CACHE_DIR
+    _TRACE_CACHE_DIR = Path(path) if path is not None else None
+
+
+def _trace_key(app: str, nprocs: int, level: str, n: int, nit: int) -> str:
+    blob = f"{_ENGINE_VERSION}:{app}:{nprocs}:{level}:{n}:{nit}"
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+def _trace_cache_load(key: str):
+    if _TRACE_CACHE_DIR is None:
+        return None
+    try:
+        with open(_TRACE_CACHE_DIR / f"{key}.trace.pkl", "rb") as fh:
+            return pickle.load(fh)
+    except (OSError, pickle.PickleError, EOFError, AttributeError):
+        return None  # miss or torn/stale entry: recompute below
+
+
+def _trace_cache_store(key: str, value) -> None:
+    if _TRACE_CACHE_DIR is None:
+        return
+    from .runner import atomic_write_bytes
+
+    try:
+        _TRACE_CACHE_DIR.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(
+            _TRACE_CACHE_DIR / f"{key}.trace.pkl",
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+    except OSError:
+        pass  # cache is best-effort; the computed value is still used
+
+
 @lru_cache(maxsize=256)
 def traces(app: str, nprocs: int, level: str, n: int, nit: int):
-    """Scaled traces of the target instance at one GCC level."""
-    return predictor(app).traces_for(
+    """Scaled traces of the target instance at one GCC level.
+
+    Served (in order) from the in-process memo, the persistent trace
+    cache, or a fresh calibration + scale-up (which then populates
+    both).
+    """
+    key = _trace_key(app, nprocs, level, n, nit)
+    cached = _trace_cache_load(key)
+    if cached is not None:
+        return cached
+    out = predictor(app).traces_for(
         calibration_runs(app, nprocs), level,
         scale=scale_plan(app, nprocs, n, nit),
         app=app, extra_meta={"n": str(n), "nit": str(nit)},
     )
+    _trace_cache_store(key, out)
+    return out
 
 
 def iteration_seconds(

@@ -1,0 +1,179 @@
+"""The reference-path fast core: reschedule, lazy compaction, pins.
+
+The desim agenda rework (tuple entries, ``reschedule()`` handle reuse,
+lazy-deletion compaction, ``call_later`` one-shots) must be invisible
+to the simulation itself: events fire in the same order, the same
+callbacks execute, and a churn-heavy scenario produces byte-identical
+``sim_events``.  These tests pin that contract and the new mechanics.
+"""
+
+import math
+
+import pytest
+
+from repro.desim import Simulator
+from repro.desim.simulator import _COMPACT_MIN
+
+
+# ---------------------------------------------------------------------------
+# reschedule()
+# ---------------------------------------------------------------------------
+
+def test_reschedule_fired_handle_reuses_object():
+    sim = Simulator()
+    fired = []
+    call = sim.schedule(1.0, fired.append, "a")
+    sim.run()
+    assert fired == ["a"]
+    again = sim.reschedule(call, 2.0, "b")
+    assert again is call  # the handle is reused, not replaced
+    sim.run()
+    assert fired == ["a", "b"]
+    assert sim.now == 3.0
+
+
+def test_reschedule_pending_handle_supersedes_old_entry():
+    sim = Simulator()
+    fired = []
+    call = sim.schedule(1.0, fired.append, "early")
+    sim.reschedule(call, 5.0, "late")
+    sim.schedule(2.0, fired.append, "mid")
+    sim.run()
+    assert fired == ["mid", "late"]  # the 1.0s entry went stale in place
+    assert sim.now == 5.0
+
+
+def test_reschedule_cancelled_handle_revives_it():
+    sim = Simulator()
+    fired = []
+    call = sim.schedule(1.0, fired.append, "x")
+    call.cancel()
+    sim.reschedule(call, 3.0, "y")
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_reschedule_consumes_one_seq_like_cancel_plus_schedule():
+    """Interleaving with independent events must order exactly as the
+    cancel+push idiom it replaces (one sequence number per re-arm)."""
+    def run(re_arm):
+        sim = Simulator()
+        fired = []
+        call = sim.schedule(1.0, fired.append, "chain")
+        re_arm(sim, call, fired)
+        sim.schedule(2.0, fired.append, "other")  # same instant as re-arm
+        sim.run()
+        return fired
+
+    def with_reschedule(sim, call, fired):
+        sim.reschedule(call, 2.0, "rearmed")
+
+    def with_cancel_push(sim, call, fired):
+        call.cancel()
+        sim.schedule(2.0, fired.append, "rearmed")
+
+    assert run(with_reschedule) == run(with_cancel_push)
+
+
+def test_reschedule_rejects_bad_delay():
+    sim = Simulator()
+    call = sim.schedule(1.0, lambda: None)
+    with pytest.raises(ValueError):
+        sim.reschedule(call, -1.0)
+    with pytest.raises(ValueError):
+        sim.reschedule(call, float("nan"))
+
+
+def test_call_later_orders_with_schedule():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "handled")
+    sim.call_later(1.0, fired.append, "oneshot")
+    sim.schedule(1.0, fired.append, "handled2")
+    sim.run()
+    assert fired == ["handled", "oneshot", "handled2"]
+    assert sim.event_count == 3
+
+
+def test_call_later_rejects_bad_delay():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.call_later(-0.5, lambda: None)
+
+
+# ---------------------------------------------------------------------------
+# lazy-deletion compaction
+# ---------------------------------------------------------------------------
+
+def test_agenda_stays_bounded_under_cancel_heavy_workload():
+    """The microbench contract: a ping chain that arms and cancels a
+    far-future timeout per round (the classic watchdog pattern) must
+    not grow the heap without bound — lazy deletion plus the
+    compaction threshold keeps it within a small multiple of the live
+    set."""
+    sim = Simulator()
+    peak = 0
+    for round_ in range(5000):
+        watchdog = sim.schedule(1e6 + round_, lambda: None)  # never fires
+        sim.schedule(0.001, lambda: None)
+        sim.run(until=sim.now + 0.01)
+        watchdog.cancel()  # the chain re-arms next round
+        peak = max(peak, len(sim._agenda))
+    assert peak <= 4 * _COMPACT_MIN, (
+        f"agenda peaked at {peak} entries for ~1 live timer; "
+        f"compaction is not bounding cancelled entries"
+    )
+    assert sim._dead <= len(sim._agenda)
+
+
+def test_compaction_preserves_live_ordering():
+    sim = Simulator()
+    fired = []
+    # far-future live events, interleaved with a mass of cancellations
+    for i in range(50):
+        sim.schedule(100.0 + i, fired.append, i)
+    doomed = [sim.schedule(500.0 + i, fired.append, "dead") for i in range(300)]
+    for call in doomed:
+        call.cancel()  # crosses the compaction threshold
+    assert len(sim._agenda) < 350  # compaction ran
+    sim.run()
+    assert fired == list(range(50))
+
+
+def test_reschedule_heavy_chain_keeps_heap_small():
+    """One handle re-armed thousands of times leaves at most one live
+    entry (plus bounded staleness) in the agenda."""
+    sim = Simulator()
+    ticks = []
+    call = sim.schedule(1.0, ticks.append, 0)
+
+    sim.run()
+    for i in range(1, 2000):
+        sim.reschedule(call, 1.0, i)
+        sim.run()
+    assert ticks == list(range(2000))
+    assert len(sim._agenda) == 0
+
+
+# ---------------------------------------------------------------------------
+# the sim_events pins (byte-identical pre/post fast core)
+# ---------------------------------------------------------------------------
+
+#: Recorded at commit fe5b13e (PR 4, pre fast core): the fast core must
+#: reproduce these exactly — same events, same order, same count.
+SIM_EVENTS_PINS = {
+    # churn-heavy recovery point: Poisson crashes + rejoins + re-dispatch
+    ("recovery-grid", "churn_profile.rejoin_rate", 2.0): 14257.0,
+    # election-heavy coordinator point: crashes + stand-in elections
+    ("coordinator-grid", "churn_profile.coordinator_churn_rate", 1.5): 15976.0,
+}
+
+
+@pytest.mark.parametrize("grid,axis,value", sorted(SIM_EVENTS_PINS))
+def test_churn_heavy_sim_events_pinned(grid, axis, value):
+    from repro.scenarios import SCENARIOS
+    from repro.scenarios.runner import run_scenario
+
+    spec = SCENARIOS[grid].base.with_override(axis, value)
+    result = run_scenario(spec)
+    assert result.metrics["sim_events"] == SIM_EVENTS_PINS[(grid, axis, value)]

@@ -1,0 +1,214 @@
+"""Sharded sweeps: deterministic partitioning, byte-identical merges.
+
+The contract of docs/sharding.md: every machine derives the same
+shard split from the grid alone (partitioning is by spec hash — no
+coordination), a killed shard resumes from its cache, and
+``merge-shards`` reassembles a manifest byte-identical to the
+unsharded sweep — or refuses, loudly, when the shards disagree.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import SCENARIOS, expand_grid, shard_specs
+from repro.scenarios.cli import main
+from repro.scenarios.runner import clear_memo
+
+
+#: A cheap all-deploy grid: no workload calibration, each point only
+#: builds and settles a small overlay (~tens of ms).
+DEPLOY_ARGS = [
+    "--set", "platform.n_hosts=32", "--set", "n_peers=4,6,8",
+    "--set", "n_zones=1,2", "--set", "seed=2011,2013",
+]
+DEPLOY_GRID = {
+    "platform.n_hosts": (32,), "n_peers": (4, 6, 8),
+    "n_zones": (1, 2), "seed": (2011, 2013),
+}
+
+
+def _sweep(cache: Path, *extra: str) -> int:
+    return main(["sweep", "large-overlay-512", "--serial", "--label", "g",
+                 "--cache-dir", str(cache)] + DEPLOY_ARGS + list(extra))
+
+
+def _manifest(cache: Path, name: str = "g.json") -> Path:
+    return cache / "sweeps" / name
+
+
+class TestShardSpecs:
+    def _specs(self):
+        return expand_grid(SCENARIOS["large-overlay-512"].base, DEPLOY_GRID)
+
+    def test_partition_is_disjoint_and_complete(self):
+        specs = self._specs()
+        seen = []
+        for i in range(3):
+            seen.extend(s.spec_hash() for s in shard_specs(specs, i, 3))
+        assert sorted(seen) == sorted(s.spec_hash() for s in specs)
+        assert len(seen) == len(specs)
+
+    def test_partition_is_stable_under_relabelling(self):
+        # the split is a pure function of each point, not of the list
+        specs = self._specs()
+        renamed = [s.with_override("name", f"other-{i}")
+                   for i, s in enumerate(specs)]
+        for i in range(3):
+            assert ([s.spec_hash() for s in shard_specs(specs, i, 3)]
+                    == [s.spec_hash() for s in shard_specs(renamed, i, 3)])
+
+    def test_single_shard_is_identity(self):
+        specs = self._specs()
+        assert shard_specs(specs, 0, 1) == specs
+
+    def test_bad_geometry_rejected(self):
+        specs = self._specs()
+        with pytest.raises(ValueError):
+            shard_specs(specs, 3, 3)
+        with pytest.raises(ValueError):
+            shard_specs(specs, -1, 3)
+        with pytest.raises(ValueError):
+            shard_specs(specs, 0, 0)
+
+
+class TestShardedCli:
+    def test_three_shard_union_is_byte_identical(self, tmp_path):
+        clear_memo()
+        plain = tmp_path / "plain"
+        assert _sweep(plain) == 0
+        clear_memo()
+        sharded = tmp_path / "sharded"
+        for i in range(3):
+            assert _sweep(sharded, "--shard", f"{i}/3") == 0
+        assert main(["merge-shards", "g", "--cache-dir", str(sharded)]) == 0
+        assert (_manifest(sharded).read_bytes()
+                == _manifest(plain).read_bytes())
+
+    def test_shard_manifest_records_geometry(self, tmp_path):
+        clear_memo()
+        cache = tmp_path / "c"
+        assert _sweep(cache, "--shard", "1/3") == 0
+        payload = json.loads(_manifest(cache, "g.shard1of3.json").read_text())
+        assert payload["shard"]["index"] == 1
+        assert payload["shard"]["count"] == 3
+        assert payload["shard"]["n_points"] == 12
+        assert all("index" in p for p in payload["points"])
+        assert "partial" not in payload
+
+    def test_merge_missing_shard_is_clean_error(self, tmp_path, capsys):
+        clear_memo()
+        cache = tmp_path / "c"
+        assert _sweep(cache, "--shard", "0/3") == 0
+        assert main(["merge-shards", "g", "--cache-dir", str(cache)]) == 2
+        err = capsys.readouterr().err
+        assert "incomplete" in err
+
+    def test_merge_rejects_conflicting_spec_hashes(self, tmp_path, capsys):
+        """Two shards claiming the same point name with different spec
+        hashes were run from different grids or schema versions; the
+        merge must refuse rather than silently mix them."""
+        clear_memo()
+        cache = tmp_path / "c"
+        for i in range(2):
+            assert _sweep(cache, "--shard", f"{i}/2") == 0
+        path = _manifest(cache, "g.shard1of2.json")
+        payload = json.loads(path.read_text())
+        victim = payload["points"][0]
+        other = json.loads(
+            _manifest(cache, "g.shard0of2.json").read_text())["points"][0]
+        victim["name"] = other["name"]  # same label, different spec hash
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        assert main(["merge-shards", "g", "--cache-dir", str(cache)]) == 2
+        assert "conflicting spec hashes" in capsys.readouterr().err
+
+    def test_merge_rejects_partial_manifest(self, tmp_path, capsys):
+        clear_memo()
+        cache = tmp_path / "c"
+        for i in range(2):
+            assert _sweep(cache, "--shard", f"{i}/2") == 0
+        path = _manifest(cache, "g.shard0of2.json")
+        payload = json.loads(path.read_text())
+        payload["partial"] = True
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        assert main(["merge-shards", "g", "--cache-dir", str(cache)]) == 2
+        assert "partial" in capsys.readouterr().err
+
+    def test_merge_rejects_mixed_geometry(self, tmp_path, capsys):
+        clear_memo()
+        cache = tmp_path / "c"
+        assert _sweep(cache, "--shard", "0/2") == 0
+        assert _sweep(cache, "--shard", "1/3") == 0
+        assert main(["merge-shards", "g", "--cache-dir", str(cache)]) == 2
+        assert "geometry" in capsys.readouterr().err
+
+    def test_merge_absorbs_shard_caches(self, tmp_path):
+        """Cross-machine flow: each shard ran with its own cache dir;
+        --from-cache unions the content-addressed results."""
+        clear_memo()
+        caches = [tmp_path / f"m{i}" for i in range(2)]
+        for i, cache in enumerate(caches):
+            assert _sweep(cache, "--shard", f"{i}/2") == 0
+        target = tmp_path / "merged"
+        target.mkdir()
+        shards = [str(_manifest(c, f"g.shard{i}of2.json"))
+                  for i, c in enumerate(caches)]
+        assert main(["merge-shards", "g", "--cache-dir", str(target),
+                     "--shards"] + shards
+                    + ["--from-cache", str(caches[0]),
+                       "--from-cache", str(caches[1])]) == 0
+        clear_memo()
+        # every point of the full grid is now served from the union
+        rerun = tmp_path / "merged"
+        assert _sweep(rerun) == 0
+        manifest = json.loads(_manifest(rerun).read_text())
+        assert len(manifest["points"]) == 12
+
+    def test_bad_shard_argument_is_usage_error(self, tmp_path, capsys):
+        cache = tmp_path / "c"
+        assert _sweep(cache, "--shard", "3/3") == 2
+        assert "--shard expects" in capsys.readouterr().err
+        assert _sweep(cache, "--shard", "nonsense") == 2
+
+    def test_compare_rejects_partial_manifest(self, tmp_path, capsys):
+        """A killed sweep leaves `"partial": true` at the label path;
+        compare must refuse it rather than report over a fragment."""
+        clear_memo()
+        cache = tmp_path / "c"
+        assert _sweep(cache) == 0
+        path = _manifest(cache)
+        payload = json.loads(path.read_text())
+        payload["partial"] = True
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        assert main(["compare", "g", "g", "--cache-dir", str(cache)]) == 2
+        assert "partial manifest" in capsys.readouterr().err
+
+    def test_incremental_manifest_marks_progress(self, tmp_path):
+        """During a sweep the manifest on disk is a partial record of
+        what finished; the final write clears the marker.  (A killed
+        shard therefore leaves both the partial manifest and the
+        worker-written cache entries behind — the resume path.)"""
+        clear_memo()
+        cache = tmp_path / "c"
+        stages = []
+        from repro.scenarios import cli as cli_mod
+
+        original = cli_mod._dump_manifest
+
+        def spy(payload, path):
+            stages.append((payload.get("partial", False),
+                           len(payload["points"])))
+            original(payload, path)
+
+        cli_mod._dump_manifest = spy
+        try:
+            assert _sweep(cache) == 0
+        finally:
+            cli_mod._dump_manifest = original
+        assert stages[-1] == (False, 12)  # final manifest: complete
+        partials = [n for partial, n in stages if partial]
+        assert partials == sorted(partials)  # grows monotonically
+        assert len(partials) == 12  # one incremental write per point
+        final = json.loads(_manifest(cache).read_text())
+        assert "partial" not in final
