@@ -168,6 +168,58 @@ def test_coordinator_grid_smoke():
     assert int(rows[2][4]) > 0
 
 
+def test_prediction_grid_smoke():
+    """One representative point per prediction regime, timed — so the
+    cost of prediction-guided selection (candidate enumeration, group
+    scoring through the warm trace caches) is tracked from day one.
+    The full 30-point grid is the registered scenario; this smoke
+    covers the regimes without paying the whole grid in CI.
+    """
+    base = SCENARIOS["prediction-grid"].base
+    cases = [
+        ("predicted (zero error)",
+         base.with_override("selection_policy", "predicted")),
+        ("oracle",
+         base.with_override("selection_policy", "oracle")),
+        ("random (blind)",
+         base.with_override("selection_policy", "random")),
+        ("predicted, flip@1.0 (worst case)",
+         base.with_override("selection_policy", "predicted")
+             .with_override("prediction_error.kind", "flip")
+             .with_override("prediction_error.level", 1.0)),
+    ]
+    rows = []
+    for label, spec in cases:
+        t0 = time.perf_counter()
+        result = run_scenario(spec)
+        wall = time.perf_counter() - t0
+        rows.append([
+            label, f"{wall:.2f}", f"{result.metrics['makespan']:.4f}",
+            f"{result.metrics['completed']:.0f}",
+            f"{result.metrics.get('prediction_candidates', 0.0):.0f}",
+            f"{result.metrics['sim_events']:.0f}",
+        ])
+    print(format_table(
+        ["regime", "wall [s]", "makespan [s]", "completed",
+         "candidates", "sim events"],
+        rows,
+    ))
+    append_bench_record("prediction_grid_smoke", {
+        "regimes": [
+            {"regime": r[0], "wall_s": float(r[1]), "makespan_s": float(r[2]),
+             "completed": int(r[3]), "candidates": int(r[4]),
+             "sim_events": int(r[5])}
+            for r in rows
+        ],
+    })
+    # the headline must hold or this bench times the wrong thing:
+    # predicted strictly beats the blind policy at zero error and
+    # matches the omniscient oracle on the uniform-latency platform
+    assert float(rows[0][2]) < float(rows[2][2])
+    assert float(rows[0][2]) == float(rows[1][2])
+    assert int(rows[0][4]) > 0 and int(rows[2][4]) == 0
+
+
 # ---------------------------------------------------------------------------
 # replay hot path (the churn-grid inner loop)
 # ---------------------------------------------------------------------------

@@ -288,6 +288,164 @@ def _fmt(value: Optional[float]) -> str:
     return f"{value:.4g}"
 
 
+@dataclass
+class GapRow:
+    """One aggregated cell of a prediction-gap report."""
+
+    key: Dict[str, str]
+    n: int = 0
+    mean: Optional[float] = None
+    completion: Optional[float] = None
+    baseline_mean: Optional[float] = None
+
+    @property
+    def gap(self) -> Optional[float]:
+        """``mean / baseline_mean`` — 1.0 means the policy matched the
+        omniscient baseline; larger is worse."""
+        if not self.baseline_mean or self.mean is None:
+            return None
+        return self.mean / self.baseline_mean
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key, "n": self.n, "mean": self.mean,
+            "completion": self.completion,
+            "baseline_mean": self.baseline_mean, "gap": self.gap,
+        }
+
+
+@dataclass
+class GapReport:
+    """Predicted-vs-oracle gap table over one sweep.
+
+    Rows are the sweep's grid cells (aggregated over ``over`` axes);
+    each row's ``gap`` divides its mean metric by the mean of the
+    *baseline* policy's cell sharing the axes the baseline actually
+    carries.  Axes the baseline never sweeps — the prediction-error
+    axes, which only ``predicted`` points carry — broadcast: every
+    error level of a cell divides by the same oracle mean, which is
+    what makes gap-vs-level curves comparable.
+    """
+
+    label: str
+    metric: str
+    baseline: str
+    axes: List[str]
+    rows: List[GapRow] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label, "metric": self.metric,
+            "baseline": self.baseline, "axes": self.axes,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def to_markdown(self) -> str:
+        show_completion = any(
+            row.completion is not None for row in self.rows
+        )
+        lines = [
+            f"# Prediction gap: `{self.label}`",
+            "",
+            f"- metric: `{self.metric}` "
+            f"(mean over completed points of each cell)",
+            f"- baseline: `{self.baseline}` "
+            "(gap = cell mean / matching baseline mean)",
+            f"- cells on: {', '.join(self.axes) or '(whole sweep)'}",
+            "",
+        ]
+        header = ["key", "n", self.metric, f"{self.baseline} {self.metric}",
+                  "gap"]
+        if show_completion:
+            header.append("P(complete)")
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "---|" * len(header))
+        for row in self.rows:
+            key = ", ".join(
+                f"{k}={v}" for k, v in row.key.items() if v != ""
+            ) or "(all)"
+            cells = [key, str(row.n), _fmt(row.mean),
+                     _fmt(row.baseline_mean), _fmt(row.gap)]
+            if show_completion:
+                cells.append(_fmt(row.completion))
+            lines.append("| " + " | ".join(cells) + " |")
+        return "\n".join(lines) + "\n"
+
+
+def prediction_gap(
+    data: SweepData, metric: str = "makespan", *,
+    policy_axis: str = "selection_policy", baseline: str = "oracle",
+    over: Sequence[str] = ("seed",),
+) -> GapReport:
+    """The prediction-gap readout of one policy-ablation sweep.
+
+    Cells group the sweep's points on every carried grid axis except
+    the ``over`` ones (which aggregate, like :func:`compare_sweeps`);
+    a point that doesn't carry an axis at all — the main policy sheet
+    has no ``prediction_error.*`` labels — keys that axis as empty, so
+    sheets of the same sweep land in distinct rows rather than mixing.
+    Each cell is then divided by the ``baseline`` policy's cell that
+    matches it on the axes baseline points themselves carry.
+
+    The headline is monotonicity: aggregated over error kinds and
+    seeds, ``predicted``'s gap to ``oracle`` must widen as
+    ``prediction_error.level`` grows, while policies that never read a
+    prediction (``random``) keep a level-independent gap.
+    """
+    axes = data.axes()
+    if policy_axis not in axes:
+        raise ValueError(
+            f"sweep {data.label!r} has no {policy_axis!r} axis; "
+            f"carried axes: {', '.join(axes) or '(none)'}"
+        )
+    unknown = [axis for axis in over if axis not in axes]
+    if unknown:
+        raise ValueError(
+            f"--over axis {', '.join(repr(x) for x in unknown)} not in "
+            f"sweep {data.label!r}; carried axes: {', '.join(axes)}"
+        )
+    row_axes = [axis for axis in axes if axis not in set(over)]
+
+    groups: Dict[Tuple[str, ...], List[dict]] = {}
+    labels: Dict[Tuple[str, ...], Dict[str, str]] = {}
+    base_axes: set = set()
+    for point in data.points:
+        label = parse_point_label(point["name"])
+        key = tuple(
+            _canon(label[axis]) if axis in label else ""
+            for axis in row_axes
+        )
+        groups.setdefault(key, []).append(point)
+        labels.setdefault(key, dict(zip(row_axes, key)))
+        if label.get(policy_axis) == baseline:
+            base_axes.update(label)
+    base_axes = {a for a in base_axes if a in row_axes and a != policy_axis}
+
+    def base_key(cell: Mapping[str, str]) -> Tuple[Tuple[str, str], ...]:
+        return tuple(sorted((a, cell.get(a, "")) for a in base_axes))
+
+    base_means: Dict[Tuple[Tuple[str, str], ...], Optional[float]] = {}
+    for key, points in groups.items():
+        if labels[key].get(policy_axis) == baseline:
+            _, mean, _ = _aggregate(points, metric)
+            base_means[base_key(labels[key])] = mean
+
+    rows = []
+    for key in sorted(groups, key=lambda k: tuple(_sort_token(v)
+                                                  for v in k)):
+        cell = labels[key]
+        n, mean, completion = _aggregate(groups[key], metric)
+        rows.append(GapRow(
+            key=cell, n=n, mean=mean, completion=completion,
+            baseline_mean=base_means.get(base_key(cell)),
+        ))
+    return GapReport(label=data.label, metric=metric, baseline=baseline,
+                     axes=row_axes, rows=rows)
+
+
 def compare_sweeps(
     a: SweepData, b: SweepData, metric: str = "t",
     over: Sequence[str] = (),

@@ -35,6 +35,14 @@ from .messages import NodeRef
 from .node import NodeActor
 from .overlay import Overlay, OverlayConfig
 from .peer import GroupDuty, Peer
+from .prediction import (
+    PREDICTION_ERROR_KINDS,
+    PredictionError,
+    candidate_groups,
+    oracle_makespan,
+    peer_score,
+    predict_makespan,
+)
 from .server import Server
 from .stats import OverlayStats, TaskTimings
 from .tracker import PeerRecord, Tracker
@@ -53,9 +61,11 @@ __all__ = [
     "Overlay",
     "OverlayConfig",
     "OverlayStats",
+    "PREDICTION_ERROR_KINDS",
     "Peer",
     "PeerComputeError",
     "PeerRecord",
+    "PredictionError",
     "Server",
     "SubtaskExecution",
     "Submitter",
@@ -68,6 +78,7 @@ __all__ = [
     "ZonePlan",
     "assign_ranks",
     "plan_zones",
+    "candidate_groups",
     "channel_context_for",
     "closest",
     "collect_peers",
@@ -75,7 +86,10 @@ __all__ = [
     "deploy_overlay",
     "group_by_proximity",
     "group_randomly",
+    "oracle_makespan",
+    "peer_score",
     "pick_coordinator",
+    "predict_makespan",
     "proximity",
     "rejoin_events",
 ]

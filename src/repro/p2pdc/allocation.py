@@ -24,8 +24,12 @@ peers are free at their trackers), reserves it, and re-dispatches the
 subtask with ``catch_up=True`` while rewiring the halo neighbours via
 ``RankUpdate``.  Candidates are ordered by the configured
 ``selection_policy`` — ``proximity`` (collection order, the v2
-behaviour), ``random`` (seeded shuffle) or ``failure_aware`` (fewest
-observed failures first, Dubey & Tokekar 2012).
+behaviour), ``random`` (seeded shuffle), ``failure_aware`` (fewest
+observed failures first, Dubey & Tokekar 2012), or the
+prediction-guided pair: ``predicted`` enumerates candidate groups and
+ranks them by dPerf-priced makespan (optionally corrupted by the
+configured prediction error — the ablation axis), ``oracle`` ranks by
+the true simulated makespan (see :mod:`repro.p2pdc.prediction`).
 """
 
 from __future__ import annotations
@@ -61,6 +65,12 @@ from .messages import (
     SubtaskResult,
 )
 from .peer import Peer
+from .prediction import (
+    candidate_groups,
+    oracle_makespan,
+    peer_score,
+    predict_makespan,
+)
 from .stats import TaskTimings
 
 _task_ids = iter(range(1, 1_000_000))
@@ -161,14 +171,19 @@ class Submitter(Peer):
         ))
 
     # -- peer-selection policy ----------------------------------------------
-    def _policy_order(self, refs: List[NodeRef]) -> List[NodeRef]:
+    def _policy_order(self, refs: List[NodeRef],
+                      workload: Optional[WorkloadSpec] = None
+                      ) -> List[NodeRef]:
         """Candidates ordered by ``config.selection_policy``.
 
         ``proximity`` keeps collection order (nearest zones were
         queried first — the pre-recovery behaviour, bit for bit);
         ``random`` shuffles with the seeded ``selection`` stream;
         ``failure_aware`` prefers peers with the fewest observed
-        crashes (stable within equal scores).
+        crashes (stable within equal scores); ``predicted``/``oracle``
+        sort by individual predicted cost (re-dispatch hunts and the
+        flat baseline score peers one at a time — group enumeration
+        only happens in :meth:`_prediction_select`).
         """
         policy = self.overlay.config.selection_policy
         out = list(refs)
@@ -177,7 +192,98 @@ class Submitter(Peer):
         elif policy == "failure_aware":
             history = self.overlay.failure_history
             out.sort(key=lambda r: history.get(r.name, 0))
+        elif policy in ("predicted", "oracle"):
+            error = self._prediction_error() if policy == "predicted" else None
+            out.sort(key=lambda r: peer_score(
+                workload, r.name, self._declared_speed(r), error
+            ))
         return out
+
+    def _prediction_error(self):
+        """The configured corruption, or None when inactive — level 0
+        is the pure predictor, not a degenerate noise model."""
+        error = self.overlay.config.prediction_error
+        return error if error.active else None
+
+    def _declared_speed(self, ref: NodeRef) -> float:
+        """A candidate's declared clock speed.  Peers publish it in
+        their resource vector at join time, so reading it back models
+        the tracker-collected resource declaration, not an
+        out-of-band measurement."""
+        actor = self.overlay.actor(ref)
+        if actor is None:
+            return self.host.speed
+        return float(getattr(actor, "resources", {}).get(
+            "speed", actor.host.speed
+        ))
+
+    def _route_latency(self, name_a: str, name_b: str) -> float:
+        """True route latency between two peers' hosts — the oracle's
+        halo-coupling term (omniscient by construction)."""
+        a = self.overlay.registry.get(name_a)
+        b = self.overlay.registry.get(name_b)
+        if a is None or b is None:
+            return 0.0
+        return self.overlay.net.topology.route_latency(a.host, b.host)
+
+    def _select_peers(self, collected: List[NodeRef], task: TaskSpec
+                      ) -> Tuple[List[NodeRef], List[NodeRef]]:
+        """Split the collected pool into computing peers and spares.
+
+        Classic policies order the whole pool and cut at ``n_peers``
+        (exactly the pre-prediction behaviour); the prediction-guided
+        policies enumerate candidate groups instead.
+        """
+        if self.overlay.config.selection_policy in ("predicted", "oracle"):
+            return self._prediction_select(collected, task)
+        ordered = self._policy_order(collected)
+        return ordered[:task.n_peers], ordered[task.n_peers:]
+
+    def _prediction_select(self, collected: List[NodeRef], task: TaskSpec
+                           ) -> Tuple[List[NodeRef], List[NodeRef]]:
+        """Prediction-guided group choice (``predicted`` / ``oracle``).
+
+        Every candidate group is a deployment sketch: members in IP
+        order (the exact rank numbering ``assign_ranks`` will give
+        them) with their declared speeds, priced through the warm
+        trace caches.  ``predicted`` ranks sketches by predicted
+        makespan, corrupted by the configured prediction error if any;
+        ``oracle`` ranks by the true simulated makespan (true speeds
+        plus halo coupling, never corrupted) — the upper bound the
+        ablation measures against.  Spares keep individual-score order
+        so re-dispatch replacements follow the same preference.
+        """
+        policy = self.overlay.config.selection_policy
+        workload = task.workload
+        error = self._prediction_error() if policy == "predicted" else None
+        speeds = {r.name: self._declared_speed(r) for r in collected}
+
+        # best-individual-first pool: the windowed enumeration
+        # fallback and the spare ordering both want it (IP tie-break
+        # keeps equal-speed pools deterministic)
+        pool = sorted(collected, key=lambda r: (
+            peer_score(workload, r.name, speeds[r.name], error), int(r.ip)
+        ))
+
+        def sketch(group) -> tuple:
+            ranked = sorted(group, key=lambda r: int(r.ip))
+            return tuple((r.name, speeds[r.name]) for r in ranked)
+
+        def score(group) -> float:
+            if policy == "oracle":
+                return oracle_makespan(workload, sketch(group),
+                                       self._route_latency)
+            return predict_makespan(workload, sketch(group), error)
+
+        candidates = candidate_groups(pool, task.n_peers)
+        best = min(candidates, key=lambda g: (
+            score(g), tuple(sorted(r.name for r in g))
+        ))
+        chosen = sorted(best, key=lambda r: int(r.ip))
+        taken = {r.name for r in chosen}
+        spares = [r for r in pool if r.name not in taken]
+        self.overlay.stats.count("prediction_candidates", len(candidates))
+        return chosen, spares
 
     # -- public API -----------------------------------------------------------
     def submit(self, task: TaskSpec) -> Signal:
@@ -217,9 +323,7 @@ class Submitter(Peer):
             done.succeed(outcome)
             return
         timings.collected_at = self.sim.now
-        ordered = self._policy_order(collected)
-        chosen = ordered[:task.n_peers]
-        spares = ordered[task.n_peers:]
+        chosen, spares = self._select_peers(collected, task)
 
         # Phase 2: proximity groups + coordinators (random grouping is
         # the ablation control — a seeded stream keeps runs replayable)
@@ -369,8 +473,10 @@ class Submitter(Peer):
             done.succeed(outcome)
             return
         timings.collected_at = self.sim.now
-        ranks = sorted(self._policy_order(collected)[:task.n_peers],
-                       key=lambda r: int(r.ip))
+        ranks = sorted(
+            self._policy_order(collected, task.workload)[:task.n_peers],
+            key=lambda r: int(r.ip),
+        )
         outcome.ranks = ranks
         n = len(ranks)
         # serial reservation: connect to every peer in succession
@@ -647,7 +753,8 @@ class Submitter(Peer):
                 self, 2, task.requirements, task_id, CollectionLog()
             )
             pool = self._policy_order(
-                [r for r in collected if r.name not in members]
+                [r for r in collected if r.name not in members],
+                task.workload,
             )
             for ref in pool:
                 if task_id not in self._active_tasks:

@@ -46,6 +46,12 @@ class WorkloadSpec:
     halo_timeout: Optional[float] = None
     result_bytes: int = 1024
     subtask_bytes: int = 8192
+    #: Clock speed the iteration_time bursts were priced at (the dPerf
+    #: 3 GHz reference).  0 keeps every burst absolute — the
+    #: homogeneous behaviour, bit for bit; > 0 scales each burst by
+    #: ``reference_speed / host.speed``, so heterogeneous node clocks
+    #: actually move the reference makespan (and group choice matters).
+    reference_speed: float = 0.0
 
     def effective_nit(self) -> int:
         if self.scheme is Scheme.ASYNC:
@@ -153,6 +159,13 @@ class SubtaskExecution:
         a = self.assignment
         w = a.workload
         base_time = w.iteration_time(a.rank, a.nranks)
+        speed = self.peer.host.speed
+        if w.reference_speed > 0 and speed != w.reference_speed:
+            # traces were priced at the reference clock: a slower host
+            # stretches every burst, a faster one shrinks it (exact
+            # no-op on homogeneous platforms — the guard keeps the
+            # pre-heterogeneity event streams bit-identical)
+            base_time *= w.reference_speed / speed
         nit = w.effective_nit()
         # A re-dispatched subtask catches up without blocking on halos:
         # its neighbours are far ahead, so it iterates on the freshest

@@ -20,15 +20,19 @@ from ..platforms import PlatformSpec
 from .ip import IPv4
 from .messages import Message, NodeRef
 from .node import NodeActor
+from .prediction import PredictionError
 from .stats import OverlayStats
 
 
 #: Peer-selection policies (failure_aware follows Dubey & Tokekar 2012:
-#: rank candidates by their observed failure history).  Must match
+#: rank candidates by their observed failure history; predicted ranks
+#: candidate groups by dPerf-priced makespan, oracle by the true
+#: simulated makespan — see repro.p2pdc.prediction).  Must match
 #: repro.scenarios.spec.SELECTION_POLICIES — the spec layer stays
 #: import-light, so the tuple is mirrored there (drift is pinned by
 #: tests/test_churn_recovery.py).
-SELECTION_POLICIES = ("proximity", "random", "failure_aware")
+SELECTION_POLICIES = ("proximity", "random", "failure_aware",
+                      "predicted", "oracle")
 
 
 @dataclass(frozen=True)
@@ -63,6 +67,13 @@ class OverlayConfig:
     #: The k-th election candidate claims the duty after k·backoff of
     #: silence, so a dead front-runner never blocks the hand-off.
     election_backoff: float = 2.0
+    #: Prediction-error ablation: seeded corruption of the scores the
+    #: ``predicted`` policy ranks candidate groups by.  Inactive by
+    #: default (level 0 — the uncorrupted predictor), and only valid
+    #: with ``selection_policy="predicted"``: no other policy reads a
+    #: makespan prediction, so a configured corruption would silently
+    #: do nothing.
+    prediction_error: PredictionError = PredictionError()
 
     def __post_init__(self) -> None:
         if self.grouping not in ("proximity", "random"):
@@ -81,6 +92,14 @@ class OverlayConfig:
             raise ValueError(
                 "compute_ping_timeout must exceed compute_ping_interval "
                 "(a live member must be able to pong in time)"
+            )
+        if (self.prediction_error.active
+                and self.selection_policy != "predicted"):
+            raise ValueError(
+                "prediction_error requires selection_policy='predicted': "
+                "no other policy consumes makespan predictions, so the "
+                "configured corruption would silently do nothing (set "
+                "the policy, or drop the error level to 0)"
             )
         if self.election and not self.recovery:
             raise ValueError(

@@ -1,0 +1,216 @@
+"""Prediction-guided peer selection (closing the dPerf loop).
+
+The paper builds a performance predictor (dPerf) and a scheduler
+(P2PDC) but never connects them: selection policies pick computing
+peers blind to predicted makespan.  This module supplies the missing
+link — a cheap analytic makespan model over a *candidate group sketch*
+(the members in rank order with their declared clock speeds), priced
+from the same :class:`~repro.p2pdc.computation.WorkloadSpec` numbers
+the reference execution runs on.  Those numbers come out of the warm
+per-process dPerf trace caches, so scoring hundreds of candidate
+groups costs hundreds of float multiplies, not a recalibration each.
+
+Three pieces:
+
+- :func:`predict_makespan` — what the ``predicted`` policy ranks by,
+  optionally corrupted by a seeded :class:`PredictionError` (the
+  ablation axis: multiplicative noise, adversarial sign flips, or
+  stale-trace speed decay);
+- :func:`oracle_makespan` — the omniscient upper bound: true speeds
+  (never corrupted) plus the synchronous halo-coupling term the
+  predictor ignores.  On a contention-free platform with uniform link
+  latency the coupling is a constant offset, so oracle ordering
+  coincides with zero-error predicted ordering — the consistency
+  property the test harness pins;
+- :func:`candidate_groups` — deterministic candidate enumeration with
+  a windowed fallback that never loses the individually-best group.
+
+Error draws are seeded per candidate key (``derive_seed`` over the
+member names), so scores are independent of evaluation order and the
+same configuration always corrupts the same way.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..desim.rng import derive_seed
+
+#: Degradation models of the prediction-error ablation.
+PREDICTION_ERROR_KINDS = ("noise", "flip", "stale")
+
+#: Candidate-group enumeration switches from exhaustive combinations
+#: to score-ordered windows above this count (C(12, 8) = 495 — the
+#: registry grids' collection pools stay exhaustive).
+CANDIDATE_CAP = 512
+
+#: (name, declared speed) pairs in rank order — the deployment sketch
+#: a candidate group is scored as.
+Members = Sequence[Tuple[str, float]]
+
+
+@dataclass(frozen=True)
+class PredictionError:
+    """Seeded corruption of predicted-makespan scores.
+
+    ``level == 0`` (the default) is the uncorrupted predictor.  At
+    ``level > 0``:
+
+    - ``noise``: each candidate's score is scaled by
+      ``exp(N(0, level))`` — multiplicative log-normal noise;
+    - ``flip``: each candidate's score is negated with probability
+      ``min(1, level)`` — at 1.0 the ranking is exactly inverted,
+      the adversarial worst case the robustness bound is measured at;
+    - ``stale``: every declared speed is pulled toward the reference
+      clock by weight ``min(1, level)`` — at 1.0 all nodes look
+      identical and the predictor degenerates to tie-break order.
+    """
+
+    kind: str = "noise"
+    level: float = 0.0
+    seed: int = 2011
+
+    def __post_init__(self) -> None:
+        if self.kind not in PREDICTION_ERROR_KINDS:
+            raise ValueError(
+                f"prediction error kind must be one of "
+                f"{PREDICTION_ERROR_KINDS}, got {self.kind!r}"
+            )
+        if self.level < 0:
+            raise ValueError(
+                f"prediction error level must be >= 0, got {self.level!r}"
+            )
+
+    @property
+    def active(self) -> bool:
+        return self.level > 0
+
+    def skewed_speed(self, speed: float, reference: float) -> float:
+        """The speed the stale predictor believes (geometric pull
+        toward the reference clock); identity for the other kinds."""
+        if self.kind != "stale" or self.level <= 0:
+            return speed
+        w = min(1.0, self.level)
+        return speed ** (1.0 - w) * reference ** w
+
+    def corrupt(self, score: float, key: str) -> float:
+        """Corrupt one candidate's score (noise / flip kinds).
+
+        ``key`` identifies the candidate (member names), so the draw
+        is a pure function of (seed, candidate) — independent of how
+        many other candidates were scored before it.
+        """
+        if self.level <= 0 or self.kind == "stale":
+            return score
+        rng = random.Random(
+            derive_seed(self.seed, f"prediction-error:{key}")
+        )
+        if self.kind == "noise":
+            return score * math.exp(rng.gauss(0.0, self.level))
+        # flip: adversarial inversion with probability min(1, level)
+        if rng.random() < min(1.0, self.level):
+            return -score
+        return score
+
+
+def _burst(workload, rank: int, n: int, speed: float) -> float:
+    """One member's compute burst per iteration: the trace-priced
+    reference burst stretched (or shrunk) to its clock.  With no
+    reference pricing the burst degrades to a speed-relative cost —
+    the ordering survives, the absolute seconds do not."""
+    ref = workload.reference_speed
+    base = workload.iteration_time(rank, n)
+    if ref > 0:
+        return base * (ref / speed)
+    return base / speed
+
+
+def predict_makespan(workload, members: Members,
+                     error: Optional[PredictionError] = None) -> float:
+    """Predicted makespan of ``workload`` on a candidate group.
+
+    ``members`` is the deployment sketch in rank order (IP order —
+    exactly how ``assign_ranks`` will number the group).  The model
+    prices the synchronous scheme's lock-step: every iteration lasts
+    as long as its slowest rank, so the makespan is ``effective_nit ×
+    max_rank(burst)``.  ``error`` corrupts the declared speeds
+    (``stale``) or the final score (``noise``/``flip``).
+    """
+    n = len(members)
+    worst = 0.0
+    for rank, (name, speed) in enumerate(members):
+        if error is not None:
+            speed = error.skewed_speed(
+                speed, workload.reference_speed or speed
+            )
+        worst = max(worst, _burst(workload, rank, n, speed))
+    score = workload.effective_nit() * worst
+    if error is not None:
+        score = error.corrupt(
+            score, "|".join(name for name, _speed in members)
+        )
+    return score
+
+
+def oracle_makespan(workload, members: Members,
+                    latency_of: Callable[[str, str], float]) -> float:
+    """True reference-simulated makespan of a candidate group.
+
+    The omniscient upper bound of the ablation: the same compute model
+    as :func:`predict_makespan` but with the *true* speeds — never
+    corrupted — plus the halo-coupling term the predictor ignores.
+    Under the synchronous scheme rank ``i`` cannot start iteration
+    ``k + 1`` before its neighbours' iteration-``k`` halos arrive, so
+    the steady-state period is ``max(burst_i, max_adjacent(burst_j +
+    latency_ij))``.
+    """
+    n = len(members)
+    bursts = [
+        _burst(workload, rank, n, speed)
+        for rank, (_name, speed) in enumerate(members)
+    ]
+    period = max(bursts)
+    for i in range(n - 1):
+        lat = latency_of(members[i][0], members[i + 1][0])
+        period = max(period, bursts[i] + lat, bursts[i + 1] + lat)
+    return workload.effective_nit() * period
+
+
+def peer_score(workload, name: str, speed: float,
+               error: Optional[PredictionError] = None) -> float:
+    """Predicted cost of one peer alone — the single-member makespan.
+
+    Orders re-dispatch candidates and leftover spares by the same
+    preference the group choice used, and pre-orders the pool the
+    windowed enumeration fallback slides over.
+    """
+    if workload is not None:
+        return predict_makespan(workload, ((name, speed),), error)
+    # no workload in hand (defensive): rank by bare speed, corrupted
+    score = 1.0 / speed
+    return score if error is None else error.corrupt(score, name)
+
+
+def candidate_groups(ordered: Sequence, n: int,
+                     cap: int = CANDIDATE_CAP) -> List[Tuple]:
+    """Candidate member groups of size ``n`` from a pre-scored pool.
+
+    ``ordered`` must be sorted best-individual-score-first.  When the
+    full combination count fits under ``cap``, every subset is a
+    candidate (exhaustive enumeration); otherwise the candidates are
+    the ``len - n + 1`` contiguous windows of the scored ordering —
+    window 0 is the ``n`` individually-best peers, which is the argmin
+    group under the max-based makespan model, so the fallback never
+    loses the optimum the exhaustive pass would find.
+    """
+    if n < 1:
+        raise ValueError(f"candidate group size must be >= 1, got {n!r}")
+    if len(ordered) <= n:
+        return [tuple(ordered)]
+    if math.comb(len(ordered), n) <= cap:
+        return [tuple(c) for c in combinations(ordered, n)]
+    return [tuple(ordered[i:i + n]) for i in range(len(ordered) - n + 1)]

@@ -31,6 +31,14 @@ it::
     python -m repro.scenarios compare norejoin rejoin \
         --metric makespan --over seed
 
+``gap`` reads a single policy-ablation sweep (the prediction grid)
+and renders each cell's makespan divided by the omniscient-oracle
+cell it shadows — the prediction-gap table of docs/prediction-grid.md::
+
+    python -m repro.scenarios gap prediction-grid
+    python -m repro.scenarios gap prediction-grid \
+        --over seed --over prediction_error.kind
+
 Grids shard across machines deterministically (partitioned by spec
 hash, so no coordination is needed) and merge back into a manifest
 byte-identical to the unsharded sweep (docs/sharding.md)::
@@ -141,6 +149,11 @@ def cmd_show(args: argparse.Namespace) -> int:
         "base": entry.base.to_dict(),
         "points": [s.spec_hash() for s in entry.points()],
     }
+    if entry.extra:
+        payload["extra_grids"] = [
+            {path: list(values) for path, values in sheet}
+            for sheet in entry.extra
+        ]
     print(json.dumps(payload, indent=2))
     return 0
 
@@ -327,7 +340,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     _check_label_args(args)
     entry = _resolve(get_scenario, args.name)
     grid = _parse_sets(args.set or [])
-    full = _resolve(expand_grid, entry.base, grid or entry.grid_dict())
+    # --set replaces the registered grid wholesale; without it the
+    # entry's own points run — *including* extra grid sheets
+    # (prediction-grid's error ablation) that one cartesian product
+    # over the main grid cannot express
+    full = (_resolve(expand_grid, entry.base, grid) if grid
+            else entry.points())
     args.shard = _parse_shard(args.shard) if args.shard else None
     if args.shard is not None:
         index, count = args.shard
@@ -496,6 +514,30 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_gap(args: argparse.Namespace) -> int:
+    from ..analysis import SweepData, prediction_gap
+
+    data = SweepData.from_manifest(
+        _load_manifest(args.label, args.cache_dir)
+    )
+    try:
+        report = prediction_gap(
+            data, metric=args.metric, policy_axis=args.policy_axis,
+            baseline=args.baseline,
+            over=tuple(args.over) if args.over else ("seed",),
+        )
+    except ValueError as exc:
+        raise _UsageError(str(exc)) from None
+    text = (report.to_json() if args.format == "json"
+            else report.to_markdown())
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"# report written to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro.scenarios`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -577,6 +619,31 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                          help=f"where sweep manifests live "
                               f"(default {DEFAULT_CACHE_DIR})")
+
+    gap = sub.add_parser(
+        "gap",
+        help="predicted-vs-oracle gap table of one cached sweep",
+    )
+    gap.add_argument("label", help="sweep label or manifest path")
+    gap.add_argument("--metric", default="makespan",
+                     help="metric each cell averages (default: makespan)")
+    gap.add_argument("--baseline", default="oracle",
+                     help="policy every cell is divided by "
+                          "(default: oracle)")
+    gap.add_argument("--policy-axis", default="selection_policy",
+                     help="grid axis carrying the policy "
+                          "(default: selection_policy)")
+    gap.add_argument("--over", action="append", metavar="AXIS",
+                     help="aggregate over this grid axis instead of "
+                          "keeping it as a cell axis (repeatable; "
+                          "default: seed)")
+    gap.add_argument("--format", choices=("markdown", "json"),
+                     default="markdown", help="report format")
+    gap.add_argument("--out", default=None,
+                     help="write the report to a file instead of stdout")
+    gap.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                     help=f"where sweep manifests live "
+                          f"(default {DEFAULT_CACHE_DIR})")
     return parser
 
 
@@ -590,6 +657,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": cmd_sweep,
         "merge-shards": cmd_merge_shards,
         "compare": cmd_compare,
+        "gap": cmd_gap,
     }[args.command]
     try:
         return handler(args)

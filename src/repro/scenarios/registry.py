@@ -53,6 +53,19 @@ HETERO_GRID_PLAN = PlatformPlan(
     kind="multisite", n_sites=8, peers_per_site=8,
     speed_min=HETERO_SPEED_RANGE[0], speed_max=HETERO_SPEED_RANGE[1],
 )
+#: Heterogeneous *reference* platform of the prediction ablation: a
+#: campus LAN with the desktop-population clock spread.  Near-uniform
+#: link latency makes clock speed the discriminating signal — which
+#: group the submitter picks actually moves the makespan, and the
+#: zero-error predicted ordering provably coincides with the oracle's
+#: (the consistency property the test harness pins).  On WAN-separated
+#: multisite platforms proximity's co-located group is already optimal
+#: (halo latency dominates any clock gain), so nothing there separates
+#: informed selection from collection order.
+HETERO_REFERENCE_PLAN = PlatformPlan(
+    kind="lan", n_hosts=64,
+    speed_min=HETERO_SPEED_RANGE[0], speed_max=HETERO_SPEED_RANGE[1],
+)
 
 #: Obstacle target instance of the paper's evaluation (≈40 s at
 #: 2 peers / O0 on the 3 GHz reference).  Canonical: the experiment
@@ -69,32 +82,47 @@ _OBSTACLE_SHORT = WorkloadPlan(app="obstacle", n=1024, nit=100, level="O3")
 
 @dataclass(frozen=True)
 class NamedScenario:
-    """A registry entry: base spec + optional parameter grid."""
+    """A registry entry: base spec + optional parameter grid(s)."""
 
     name: str
     title: str
     base: ScenarioSpec
     grid: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+    #: Additional grids expanded over the same base, for entries whose
+    #: axes are not one cartesian product: the prediction-grid error
+    #: ablation only varies corruption under the predicted policy —
+    #: every other policy × level > 0 combination is rejected at spec
+    #: parse time, so it lives on separate sheets instead of blowing
+    #: up the main product with invalid cells.
+    extra: Tuple[Tuple[Tuple[str, Tuple[Any, ...]], ...], ...] = ()
 
     def grid_dict(self) -> Dict[str, Tuple[Any, ...]]:
-        """The grid as an ordered mapping (path → values)."""
+        """The main grid as an ordered mapping (path → values)."""
         return dict(self.grid)
 
     def points(self) -> List[ScenarioSpec]:
-        """Concrete specs for every grid point (base alone if no grid)."""
-        return expand_grid(self.base, self.grid_dict())
+        """Concrete specs for every grid point (base alone if no
+        grid), main sheet first, then the extra sheets in order."""
+        out = expand_grid(self.base, self.grid_dict())
+        for sheet in self.extra:
+            out.extend(expand_grid(self.base, dict(sheet)))
+        return out
 
     @property
     def n_points(self) -> int:
-        out = 1
-        for _, values in self.grid:
-            out *= len(values)
-        return out
+        def size(grid: Tuple[Tuple[str, Tuple[Any, ...]], ...]) -> int:
+            out = 1
+            for _, values in grid:
+                out *= len(values)
+            return out
+
+        return size(self.grid) + sum(size(sheet) for sheet in self.extra)
 
 
-def _named(name, title, base, grid=()):
+def _named(name, title, base, grid=(), extra=()):
     return NamedScenario(name=name, title=title, base=base,
-                         grid=tuple(grid))
+                         grid=tuple(grid),
+                         extra=tuple(tuple(sheet) for sheet in extra))
 
 
 _PEER_GRID = (("n_peers", PEER_COUNTS),)
@@ -269,6 +297,56 @@ SCENARIOS: Dict[str, NamedScenario] = {
                 ("selection_policy",
                  ("proximity", "random", "failure_aware")),
                 ("seed", (2011, 2013)),
+            ),
+        ),
+        _named(
+            "prediction-grid",
+            "Prediction-guided scheduling: policy × prediction error × churn",
+            ScenarioSpec(
+                name="prediction-grid", kind="reference",
+                platform=HETERO_REFERENCE_PLAN,
+                workload=WorkloadPlan(app="obstacle", n=1024, nit=100),
+                n_peers=8, deploy_peers=16, n_zones=2, spares=4,
+                # rejoin_rate > 0 keeps the recovery subsystem on for
+                # the whole grid, so the churn rows measure completion
+                # under recovery (see recovery-grid) while zero-churn
+                # rows never draw a rejoin event from it
+                churn_profile=ChurnProfile(rate=0.0, horizon=4.0,
+                                           rejoin_rate=0.5),
+                time_limit=600.0,
+            ),
+            (
+                ("selection_policy",
+                 ("predicted", "oracle", "proximity", "random")),
+                ("churn_profile.rate", (0.0, 1.2)),
+                ("seed", (2011, 2013)),
+            ),
+            extra=(
+                # the error ablation only exists under the predicted
+                # policy (any other policy × level > 0 is rejected at
+                # parse time), so it is a separate sheet over the same
+                # base rather than one cartesian product; the explicit
+                # churn axis keeps every point label carrying the same
+                # axes as the main sheet, which is what the gap report
+                # matches baselines on
+                (
+                    ("selection_policy", ("predicted",)),
+                    ("prediction_error.kind", ("noise", "flip", "stale")),
+                    ("prediction_error.level", (0.5, 1.0)),
+                    ("churn_profile.rate", (0.0,)),
+                    ("seed", (2011, 2013)),
+                ),
+                # graceful degradation under churn: the worst
+                # corruption (exactly inverted ranking, flip @ 1.0)
+                # must not lose completions against the
+                # prediction-free baselines
+                (
+                    ("selection_policy", ("predicted",)),
+                    ("prediction_error.kind", ("flip",)),
+                    ("prediction_error.level", (1.0,)),
+                    ("churn_profile.rate", (1.2,)),
+                    ("seed", (2011, 2013)),
+                ),
             ),
         ),
         _named(

@@ -191,6 +191,7 @@ def _deploy(spec: ScenarioSpec):
         ChurnPlan,
         CoordinatorChurn,
         OverlayConfig,
+        PredictionError,
         deploy_overlay,
         poisson_peer_failures,
         rejoin_events,
@@ -215,12 +216,28 @@ def _deploy(spec: ScenarioSpec):
         # election rides on recovery: with it off, v3 dynamics
         # reproduce bit for bit (no CoordPing, checkpoints, elections)
         election=spec.recovery.election,
+        # the prediction-error ablation axis; its own seed field (not
+        # derived from spec.seed) so sweeping corruption draws never
+        # perturbs churn/selection streams
+        prediction_error=PredictionError(
+            kind=spec.prediction_error.kind,
+            level=spec.prediction_error.level,
+            seed=spec.prediction_error.seed,
+        ),
     )
     dep = deploy_overlay(
         template.platform, n_peers=deploy_n, n_zones=n_zones, config=config,
         seed=spec.seed, tcp=template.tcp, plan=template.plan,
         route_intern=template.route_intern,
     )
+    if spec.failure_history:
+        # failure-history seeding: the reputation store rides the spec
+        # across runs, so a single-task scenario starts with informed
+        # counts instead of a cold store; seeded before any selection
+        # happens (the overlay has only settled at this point)
+        dep.overlay.failure_history.update(
+            {name: count for name, count in spec.failure_history}
+        )
     if profile.coordinator_churn_rate > 0:
         # coordinators only exist once allocation appoints them: the
         # submitter draws and arms this schedule at dispatch time
@@ -317,6 +334,13 @@ def _recovery_metrics(dep) -> Dict[str, float]:
         # ran, so `compare` aggregates over real hand-offs only — a
         # zero-fill would dilute the pool's headline latency.
         metrics["handoff_latency"] = stats.mean("handoff_latency")
+    if counters.get("prediction_candidates"):
+        # candidate groups scored by the prediction-guided policies;
+        # absent (not 0.0) under the classic policies — the same
+        # absent-when-idle contract as handoff_latency
+        metrics["prediction_candidates"] = float(
+            counters["prediction_candidates"]
+        )
     return metrics
 
 

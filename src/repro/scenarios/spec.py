@@ -54,7 +54,13 @@ from .. import __version__ as _ENGINE_VERSION
 #: the recovery.election toggle (stand-in election), and the
 #: election metrics (coordinator_crashes, elections, handoff_latency)
 #: in every reference result payload.
-SCHEMA_VERSION = 4
+#: 5: prediction-guided scheduling — selection_policy gains
+#: "predicted"/"oracle", the prediction_error plan (seeded
+#: noise/flip/stale corruption of predicted-policy scores),
+#: failure_history seeding of the reputation store, and reference
+#: compute bursts now scale with heterogeneous node clocks
+#: (reference_speed pricing; homogeneous dynamics are bit-identical).
+SCHEMA_VERSION = 5
 
 PLATFORM_KINDS = ("cluster", "lan", "xdsl", "multisite")
 SCENARIO_KINDS = ("reference", "predict", "deploy")
@@ -65,7 +71,11 @@ ALLOCATIONS = ("hierarchical", "flat")
 GROUPINGS = ("proximity", "random")
 # mirror of repro.p2pdc.overlay.SELECTION_POLICIES (this module stays
 # import-light for pool workers; equality is pinned by the tests)
-SELECTION_POLICIES = ("proximity", "random", "failure_aware")
+SELECTION_POLICIES = ("proximity", "random", "failure_aware",
+                      "predicted", "oracle")
+# mirror of repro.p2pdc.prediction.PREDICTION_ERROR_KINDS (same
+# discipline; equality pinned by tests/test_predicted_policy.py)
+PREDICTION_ERROR_KINDS = ("noise", "flip", "stale")
 
 
 def _check(value: str, allowed: Tuple[str, ...], what: str) -> None:
@@ -289,6 +299,53 @@ class RecoveryPlan:
 
 
 @dataclass(frozen=True)
+class PredictionErrorPlan:
+    """Seeded corruption of the ``predicted`` policy's scores.
+
+    The ablation axis of the prediction-grid: ``level == 0`` is the
+    uncorrupted predictor (the default — makespans priced off the warm
+    dPerf trace caches, exact at the reference clock); ``level > 0``
+    selects a degradation of strength ``level`` under one of three
+    models:
+
+    - ``noise``: multiplicative log-normal noise — each candidate
+      group's score is scaled by ``exp(N(0, level))``;
+    - ``flip``: adversarial sign flips — each candidate's score is
+      negated with probability ``min(1, level)``, so at 1.0 the
+      ranking is exactly inverted (the worst case the
+      graceful-degradation bound is measured at);
+    - ``stale``: stale-trace decay — every declared speed is pulled
+      toward the reference clock by weight ``min(1, level)``, so at
+      1.0 all nodes look identical and the predictor degenerates to
+      tie-break order.
+
+    Draws are seeded per candidate (``derive_seed`` over the member
+    names), so scores are independent of evaluation order and the same
+    spec always corrupts the same way.  Only valid with
+    ``selection_policy="predicted"`` — rejected here at parse time and
+    again at deploy time by ``OverlayConfig`` (the same two-layer
+    guard as election-without-rejoin).
+    """
+
+    kind: str = "noise"
+    level: float = 0.0
+    seed: int = 2011
+
+    def __post_init__(self) -> None:
+        _check(self.kind, PREDICTION_ERROR_KINDS, "prediction_error kind")
+        if self.level < 0:
+            raise ValueError(
+                f"prediction_error level must be >= 0 (0 disables "
+                f"corruption), got {self.level!r}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Whether any corruption is configured."""
+        return self.level > 0
+
+
+@dataclass(frozen=True)
 class ChurnEventSpec:
     """One failure-injection event at an absolute simulated time."""
 
@@ -313,7 +370,11 @@ class ScenarioSpec:
     churn-rate grid axis) and, with ``rejoin_rate > 0``, enables the
     churn recovery subsystem (peer rejoin + subtask re-dispatch).
     ``selection_policy`` picks how the submitter orders peer
-    candidates — initial choice and re-dispatch replacements alike.
+    candidates — initial choice and re-dispatch replacements alike;
+    the prediction-guided pair (``predicted``/``oracle``) ranks whole
+    candidate groups by predicted (resp. true) makespan, with
+    ``prediction_error`` as the corruption ablation axis and
+    ``failure_history`` seeding the reputation store across runs.
     ``time_limit`` caps the simulated seconds a reference computation
     may take before it counts as not completed (0 → engine default);
     churn grids set it so a wave of failures produces a bounded "did
@@ -336,6 +397,15 @@ class ScenarioSpec:
     spares: int = 0
     host_policy: str = "pack"
     selection_policy: str = "proximity"
+    #: Corruption of the predicted policy's scores (the ablation
+    #: axis); only valid with ``selection_policy="predicted"``.
+    prediction_error: PredictionErrorPlan = PredictionErrorPlan()
+    #: Failure-history seeding: (peer name, observed crash count)
+    #: pairs loaded into the overlay's reputation store before the
+    #: first selection, so the store rides the spec across runs and a
+    #: single-task scenario exercises informed initial selection.
+    #: Names that match no deployed peer are kept but never bid.
+    failure_history: Tuple[Tuple[str, int], ...] = ()
     seed: int = 2011
     time_limit: float = 0.0
 
@@ -353,6 +423,22 @@ class ScenarioSpec:
                 "set churn_profile.rejoin_rate > 0 (a stand-in "
                 "coordinator re-dispatches lost subtasks through it)"
             )
+        if (self.prediction_error.active
+                and self.selection_policy != "predicted"):
+            raise ValueError(
+                "prediction_error requires selection_policy='predicted': "
+                "no other policy consumes makespan predictions, so the "
+                "configured corruption would silently do nothing (set "
+                "the policy, or drop the error level to 0)"
+            )
+        history = tuple(
+            (str(name), int(count)) for name, count in self.failure_history
+        )
+        if any(count < 0 for _name, count in history):
+            raise ValueError("failure_history counts must be >= 0")
+        # canonical tuple-of-pairs form, so JSON round-trips (lists of
+        # lists) hash and compare identically to native construction
+        object.__setattr__(self, "failure_history", history)
 
     @property
     def has_churn(self) -> bool:
@@ -366,6 +452,9 @@ class ScenarioSpec:
         """Plain-data form (JSON-safe, round-trips via from_dict)."""
         d = asdict(self)
         d["churn"] = [asdict(e) for e in self.churn]
+        d["failure_history"] = [
+            [name, count] for name, count in self.failure_history
+        ]
         return d
 
     @classmethod
@@ -380,6 +469,14 @@ class ScenarioSpec:
         d["churn"] = tuple(ChurnEventSpec(**e) for e in d.get("churn", ()))
         d["churn_profile"] = ChurnProfile(**d.get("churn_profile", {}))
         d["recovery"] = RecoveryPlan(**d.get("recovery", {}))
+        # absent in pre-v5 dicts: default to off, so old payloads parse
+        d["prediction_error"] = PredictionErrorPlan(
+            **d.get("prediction_error", {})
+        )
+        d["failure_history"] = tuple(
+            (str(name), int(count))
+            for name, count in d.get("failure_history", ())
+        )
         return cls(**d)
 
     # -- hashing -----------------------------------------------------------

@@ -26,6 +26,7 @@ from ..apps import heat, obstacle
 from ..dperf import DPerfPredictor, ScalePlan
 from ..p2pdc import WorkloadSpec
 from ..p2psap import Scheme
+from ..platforms.cluster import DEFAULT_NODE_SPEED
 from .spec import WorkloadPlan
 
 #: Calibration instance size dPerf actually interprets.
@@ -228,6 +229,12 @@ def make_workload(
         tol=plan.tol,
         result_bytes=4096,
         subtask_bytes=8192,
+        # the traces above are priced at the 3 GHz reference clock:
+        # declaring it lets heterogeneous hosts stretch/shrink bursts
+        # (and the predicted policy price candidate groups) while
+        # homogeneous platforms — host.speed == reference — run the
+        # exact pre-v5 event stream
+        reference_speed=DEFAULT_NODE_SPEED,
     )
 
 

@@ -59,7 +59,7 @@ class TestSpec:
         the deliberate acknowledgment that existing caches invalidate.
         """
         spec = ScenarioSpec(name="x")
-        assert spec.spec_hash() == "4d8363ca9c4a1a35"
+        assert spec.spec_hash() == "b4c8df23acfb9aec"
         rebuilt = ScenarioSpec.from_dict(
             json.loads(json.dumps(spec.to_dict()))
         )
