@@ -1,0 +1,90 @@
+"""S3 — serve-daemon benchmark: query throughput, cold vs memoized.
+
+Starts a real daemon on a loopback socket, prices a 50-query batch
+cold (every answer simulated), then replays the same batch memoized
+(every answer from the LRU memo).  Enforced, machine-independent:
+
+- the memoized replay must be **byte-identical** to the cold pass
+  (the determinism contract the serve test harness pins in depth);
+- memoized-answer throughput must be **>= 10x** the cold rate — the
+  whole point of a long-lived daemon over re-running sweeps.
+
+The queries/s figures land in ``benchmarks/BENCH_reference.json``
+under the ``serve`` section (CI uploads it), giving the serving tier
+the same machine-readable perf trajectory the reference path has.
+"""
+
+import json
+import time
+
+from conftest import append_bench_record
+
+from repro.serve import QueryEngine, ServeClient, ServeDaemon
+
+QUERIES = 50
+MIN_MEMO_SPEEDUP = 10.0
+
+
+def _query_payloads():
+    """50 distinct tiny queries: a deadline axis (pure memo-key
+    variety — same seed pool) crossed with a small workload axis."""
+    payloads = []
+    for i in range(QUERIES):
+        payloads.append({
+            "deadline": 0.5 + 0.01 * i,
+            "percentile": 90.0,
+            "pool": 3,
+            "n_peers": 2,
+            "workload": {"app": "heat", "n": 64, "nit": 20 + 5 * (i % 4),
+                         "level": "O1"},
+            "platform": {"kind": "cluster", "n_hosts": 8},
+        })
+    return payloads
+
+
+def test_serve_throughput(tmp_path):
+    engine = QueryEngine(cache_dir=tmp_path / "cache")
+    payloads = _query_payloads()
+    with ServeDaemon(engine, address="127.0.0.1:0") as daemon:
+        with ServeClient(daemon.address, timeout=120.0) as client:
+            t0 = time.perf_counter()
+            cold = client.request({"op": "batch", "queries": payloads})
+            cold_wall = time.perf_counter() - t0
+            assert cold["ok"], cold
+            t0 = time.perf_counter()
+            warm = client.request({"op": "batch", "queries": payloads})
+            warm_wall = time.perf_counter() - t0
+            assert warm["ok"], warm
+            stats = client.request({"op": "stats"})["stats"]
+
+    assert json.dumps(cold["answers"], sort_keys=True) == \
+        json.dumps(warm["answers"], sort_keys=True), \
+        "memoized replay drifted from the cold answers"
+    # every replayed query must be a memo hit: zero new simulations
+    assert stats["scenario_runs"] == engine.stats.get("scenario_runs")
+    assert stats["memo_hits"] >= QUERIES
+
+    cold_qps = QUERIES / cold_wall
+    warm_qps = QUERIES / warm_wall
+    speedup = warm_qps / cold_qps
+    print(f"cold: {QUERIES} queries in {cold_wall:.3f}s "
+          f"({cold_qps:.0f} q/s)")
+    print(f"memoized: {QUERIES} queries in {warm_wall:.3f}s "
+          f"({warm_qps:.0f} q/s, {speedup:.0f}x)")
+    assert speedup >= MIN_MEMO_SPEEDUP, (
+        f"memoized serving is only {speedup:.1f}x the cold rate "
+        f"(floor {MIN_MEMO_SPEEDUP}x) — the answer memo is not "
+        f"carrying the hot path"
+    )
+    append_bench_record(
+        "serve_throughput",
+        {
+            "queries": QUERIES,
+            "cold_wall_s": round(cold_wall, 4),
+            "cold_qps": round(cold_qps, 1),
+            "memoized_wall_s": round(warm_wall, 4),
+            "memoized_qps": round(warm_qps, 1),
+            "memo_speedup": round(speedup, 1),
+        },
+        section="serve",
+    )

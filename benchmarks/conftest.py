@@ -27,9 +27,11 @@ def emit(name: str, text: str) -> None:
     print(f"\n===== {name} =====\n{text}\n")
 
 
-def append_bench_record(name: str, record: dict) -> None:
-    """Append one timing record to the ``smoke`` section of
-    ``BENCH_reference.json``, so the perf trajectory of the
+def append_bench_record(name: str, record: dict,
+                        section: str = "smoke") -> None:
+    """Append one timing record to a section of
+    ``BENCH_reference.json`` (default ``smoke``; the serve-daemon
+    bench records under ``serve``), so the perf trajectory of the
     scenario-engine smokes is machine-readable across PRs instead of
     scattered over ``results/*.txt``.  The write is atomic (readers
     never see a torn file); concurrent appenders are last-writer-wins
@@ -40,7 +42,7 @@ def append_bench_record(name: str, record: dict) -> None:
         payload = json.loads(BENCH_REFERENCE.read_text())
     except (OSError, ValueError):
         payload = {}
-    smoke = payload.setdefault("smoke", {})
+    smoke = payload.setdefault(section, {})
     runs = smoke.setdefault(name, [])
     runs.append(record)
     del runs[:-MAX_SMOKE_RECORDS]

@@ -22,6 +22,8 @@ import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .percentiles import finite_or_none, pct_key, percentile
+
 
 def relative_error(predicted: float, reference: float) -> float:
     """Signed relative error (positive = over-prediction)."""
@@ -135,6 +137,11 @@ class ComparisonRow:
     mean_b: Optional[float] = None
     completion_a: Optional[float] = None
     completion_b: Optional[float] = None
+    #: Requested percentile columns (``compare --percentiles``):
+    #: ``pct_key(p)`` → estimate over the same completed-point values
+    #: the mean aggregates.  Empty when no percentiles were requested.
+    pcts_a: Dict[str, Optional[float]] = field(default_factory=dict)
+    pcts_b: Dict[str, Optional[float]] = field(default_factory=dict)
 
     @property
     def delta(self) -> Optional[float]:
@@ -149,7 +156,7 @@ class ComparisonRow:
         return self.mean_b / self.mean_a
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "key": self.key,
             "n_a": self.n_a, "n_b": self.n_b,
             "mean_a": self.mean_a, "mean_b": self.mean_b,
@@ -157,6 +164,10 @@ class ComparisonRow:
             "completion_a": self.completion_a,
             "completion_b": self.completion_b,
         }
+        if self.pcts_a or self.pcts_b:
+            out["pcts_a"] = self.pcts_a
+            out["pcts_b"] = self.pcts_b
+        return out
 
 
 #: Metrics that are meaningful on non-completed points too (injected
@@ -170,15 +181,21 @@ CHURN_METRICS = frozenset(
 )
 
 
-def _aggregate(points: Sequence[Mapping[str, Any]], metric: str):
-    """(n, mean metric over completed points, completion probability).
+def _aggregate(points: Sequence[Mapping[str, Any]], metric: str,
+               percentiles: Sequence[float] = ()):
+    """(n, mean metric over completed points, completion probability,
+    percentile estimates).
 
     Hard failures (``ok: false`` — engine errors, non-churn scenario
     failures) are excluded from *both* aggregates: only ``ok`` points
     count, matching the runner's contract that an engine error is
     never a completion-probability datum.  Timing metrics average over
     completed points only (a timed-out run has no makespan);
-    :data:`CHURN_METRICS` average over all ``ok`` points.
+    :data:`CHURN_METRICS` average over all ``ok`` points.  Requested
+    ``percentiles`` are estimated over the same value pool the mean
+    aggregates, by the shared :func:`~repro.analysis.percentiles
+    .percentile` estimator — so a sweep report's P99 is definitionally
+    the P99 a ``repro.serve`` answer quotes for the same pool.
     """
     values: List[float] = []
     completed: List[float] = []
@@ -199,7 +216,13 @@ def _aggregate(points: Sequence[Mapping[str, Any]], metric: str):
             values.append(value)
     mean = sum(values) / len(values) if values else None
     prob = sum(completed) / len(completed) if completed else None
-    return len(points), mean, prob
+    pcts = {
+        pct_key(p): finite_or_none(percentile(values, p))
+        for p in percentiles
+    } if values and percentiles else {
+        pct_key(p): None for p in percentiles
+    }
+    return len(points), mean, prob, pcts
 
 
 def _sort_token(value: str):
@@ -232,13 +255,18 @@ class SweepComparison:
     metric: str
     shared_axes: List[str]
     rows: List[ComparisonRow] = field(default_factory=list)
+    #: Percentile columns the rows carry (``compare --percentiles``).
+    percentiles: Tuple[float, ...] = ()
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "a": self.a, "b": self.b, "metric": self.metric,
             "shared_axes": self.shared_axes,
             "rows": [row.to_dict() for row in self.rows],
         }
+        if self.percentiles:
+            out["percentiles"] = list(self.percentiles)
+        return out
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
@@ -261,6 +289,9 @@ class SweepComparison:
         ]
         header = ["key", "n A", "n B", f"{self.metric} A",
                   f"{self.metric} B", "Δ (B−A)", "B/A"]
+        for p in self.percentiles:
+            label = pct_key(p).upper()
+            header += [f"{label} A", f"{label} B"]
         if show_completion:
             header += ["P(complete) A", "P(complete) B"]
         lines.append("| " + " | ".join(header) + " |")
@@ -274,6 +305,9 @@ class SweepComparison:
                 _fmt(row.mean_a), _fmt(row.mean_b),
                 _fmt(row.delta), _fmt(row.ratio),
             ]
+            for p in self.percentiles:
+                cells += [_fmt(row.pcts_a.get(pct_key(p))),
+                          _fmt(row.pcts_b.get(pct_key(p)))]
             if show_completion:
                 cells += [_fmt(row.completion_a), _fmt(row.completion_b)]
             lines.append("| " + " | ".join(cells) + " |")
@@ -430,14 +464,14 @@ def prediction_gap(
     base_means: Dict[Tuple[Tuple[str, str], ...], Optional[float]] = {}
     for key, points in groups.items():
         if labels[key].get(policy_axis) == baseline:
-            _, mean, _ = _aggregate(points, metric)
+            _, mean, _, _ = _aggregate(points, metric)
             base_means[base_key(labels[key])] = mean
 
     rows = []
     for key in sorted(groups, key=lambda k: tuple(_sort_token(v)
                                                   for v in k)):
         cell = labels[key]
-        n, mean, completion = _aggregate(groups[key], metric)
+        n, mean, completion, _ = _aggregate(groups[key], metric)
         rows.append(GapRow(
             key=cell, n=n, mean=mean, completion=completion,
             baseline_mean=base_means.get(base_key(cell)),
@@ -449,6 +483,7 @@ def prediction_gap(
 def compare_sweeps(
     a: SweepData, b: SweepData, metric: str = "t",
     over: Sequence[str] = (),
+    percentiles: Sequence[float] = (),
 ) -> SweepComparison:
     """Diff two sweeps: match on shared grid axes, aggregate the rest.
 
@@ -465,7 +500,15 @@ def compare_sweeps(
     out of mixed-outcome seed pools.  An ``over`` axis that neither
     sweep carries is an error (a typo would otherwise silently change
     nothing and the report would lie about what was aggregated).
+
+    ``percentiles`` adds tail columns (``percentiles=(99,)`` → P99 A /
+    P99 B) estimated by the shared serve-tier estimator over the same
+    per-row value pools the means aggregate — a sweep report reads the
+    tail the SLO daemon answers with, not just the mean.
     """
+    for p in percentiles:
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p!r}")
     axes_a, axes_b = a.axes(), b.axes()
     known = set(axes_a) | set(axes_b)
     unknown = [axis for axis in over if axis not in known]
@@ -496,13 +539,14 @@ def compare_sweeps(
     for key in keys:
         row = ComparisonRow(key=dict(zip(shared, key)))
         if key in groups_a:
-            row.n_a, row.mean_a, row.completion_a = _aggregate(
-                groups_a[key], metric
+            row.n_a, row.mean_a, row.completion_a, row.pcts_a = _aggregate(
+                groups_a[key], metric, percentiles
             )
         if key in groups_b:
-            row.n_b, row.mean_b, row.completion_b = _aggregate(
-                groups_b[key], metric
+            row.n_b, row.mean_b, row.completion_b, row.pcts_b = _aggregate(
+                groups_b[key], metric, percentiles
             )
         rows.append(row)
     return SweepComparison(a=a.label, b=b.label, metric=metric,
-                           shared_axes=shared, rows=rows)
+                           shared_axes=shared, rows=rows,
+                           percentiles=tuple(percentiles))

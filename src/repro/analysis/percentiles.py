@@ -1,0 +1,76 @@
+"""Empirical percentile estimation — the one estimator for SLO answers.
+
+Both readouts of a makespan pool — the ``repro.serve`` SLO answers and
+the ``compare --percentiles`` sweep columns — go through
+:func:`percentile`, so a P99 quoted by the query daemon is definitionally
+the P99 a sweep report shows for the same pool.  The estimator is the
+classic linear interpolation between closest ranks (numpy's default):
+for ``n`` sorted samples and percentile ``p``, the rank position is
+``h = (n - 1) * p / 100`` and the estimate interpolates between
+``x[floor(h)]`` and ``x[floor(h) + 1]``.
+
+Properties the tests pin:
+
+- monotone non-decreasing in ``p``;
+- invariant under sample permutation (the input is sorted internally);
+- exact order statistics at the rank points (``p = 100 k / (n - 1)``);
+- ``inf`` samples (non-completed runs under SLO semantics) propagate:
+  a percentile landing in the failed tail is ``inf``, never ``nan``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+#: The SLO summary percentiles every serve answer reports.
+SLO_PERCENTILES = (50.0, 90.0, 99.0, 99.9)
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile of ``samples`` (linear interpolation).
+
+    ``p`` is in ``[0, 100]``; ``samples`` need not be sorted and must
+    be non-empty.  Infinite samples sort last and propagate as ``inf``
+    (equal neighbours short-circuit, so two ``inf`` ranks never produce
+    ``inf - inf`` NaNs).
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample pool")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p!r}")
+    ordered = sorted(samples)
+    if any(math.isnan(x) for x in ordered):
+        raise ValueError("percentile over NaN samples")
+    h = (len(ordered) - 1) * p / 100.0
+    lo = math.floor(h)
+    frac = h - lo
+    if frac == 0.0 or lo + 1 >= len(ordered):
+        return ordered[lo]
+    a, b = ordered[lo], ordered[lo + 1]
+    if a == b:  # covers the inf-inf tail without NaN arithmetic
+        return a
+    return a + frac * (b - a)
+
+
+def pct_key(p: float) -> str:
+    """Canonical label of one percentile column (``99.9`` → ``"p99.9"``)."""
+    return f"p{p:g}"
+
+
+def percentile_summary(
+    samples: Sequence[float], ps: Sequence[float] = SLO_PERCENTILES
+) -> Dict[str, Optional[float]]:
+    """``{pct_key(p): percentile(samples, p)}`` with ``inf`` → ``None``.
+
+    The JSON-safe summary form shared by serve answers and sweep
+    reports: an infinite estimate (the percentile lands in the
+    non-completed tail) is reported as ``None`` — "no finite makespan
+    at this percentile" — because JSON has no ``inf``.
+    """
+    return {pct_key(p): finite_or_none(percentile(samples, p)) for p in ps}
+
+
+def finite_or_none(value: float) -> Optional[float]:
+    """``value`` if finite, else ``None`` (the JSON-safe form)."""
+    return value if math.isfinite(value) else None

@@ -36,6 +36,7 @@ from .node import NodeActor
 from .overlay import Overlay, OverlayConfig
 from .peer import GroupDuty, Peer
 from .prediction import (
+    GroupPricer,
     PREDICTION_ERROR_KINDS,
     PredictionError,
     candidate_groups,
@@ -55,6 +56,7 @@ __all__ = [
     "CoordinatorChurn",
     "Deployment",
     "GroupDuty",
+    "GroupPricer",
     "IPv4",
     "NodeActor",
     "NodeRef",

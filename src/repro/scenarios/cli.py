@@ -499,9 +499,21 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
     a = SweepData.from_manifest(_load_manifest(args.a, args.cache_dir))
     b = SweepData.from_manifest(_load_manifest(args.b, args.cache_dir))
+    percentiles: Tuple[float, ...] = ()
+    if args.percentiles:
+        try:
+            percentiles = tuple(
+                float(p) for p in args.percentiles.split(",") if p.strip()
+            )
+        except ValueError:
+            raise _UsageError(
+                f"--percentiles expects comma-separated numbers, "
+                f"got {args.percentiles!r}"
+            ) from None
     try:
         comparison = compare_sweeps(a, b, metric=args.metric,
-                                    over=tuple(args.over or ()))
+                                    over=tuple(args.over or ()),
+                                    percentiles=percentiles)
     except ValueError as exc:
         raise _UsageError(str(exc)) from None
     text = (comparison.to_json() if args.format == "json"
@@ -612,6 +624,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="aggregate over this shared grid axis "
                               "instead of matching on it (repeatable; "
                               "e.g. --over seed)")
+    compare.add_argument("--percentiles", default=None, metavar="P1,P2,...",
+                         help="add per-side percentile columns over the "
+                              "aggregated points (e.g. 50,99 — the same "
+                              "estimator repro.serve answers SLO queries "
+                              "with)")
     compare.add_argument("--format", choices=("markdown", "json"),
                          default="markdown", help="report format")
     compare.add_argument("--out", default=None,

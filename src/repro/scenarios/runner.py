@@ -431,42 +431,47 @@ def atomic_write_text(path: os.PathLike | str, text: str) -> None:
     atomic_write_bytes(path, text.encode())
 
 
-class ResultCache:
-    """On-disk JSON cache: one ``<spec-hash>.json`` file per result.
+class JsonCache:
+    """Content-addressed on-disk JSON store: one ``<hash>.json`` per
+    entry.
 
-    Writes are atomic (tempfile + ``os.replace``), so concurrent
-    shards sharing one cache directory never read a truncated entry.
-    Each entry stores the full spec alongside the result; a hash
-    collision or a stale schema is treated as a miss.  Because entries
-    are content-addressed, merging two caches is a plain file copy
-    (see ``merge-shards``).
+    The shared substrate of every durable cache tier in the stack —
+    scenario results here, SLO answers in ``repro.serve`` — factored
+    so each tier inherits the same contract: atomic writes (tempfile +
+    ``os.replace``, so concurrent readers never see a truncated
+    entry), torn-entry-reads-as-miss, and union-by-file-copy merging.
+    The directory is opened (and created) exactly once, at
+    construction; ``disk_reads``/``disk_writes`` count every
+    filesystem touch afterwards, which is what lets the serve tier
+    *pin* its hot path as syscall-free instead of asserting it.
     """
 
     def __init__(self, root: os.PathLike | str) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.disk_reads = 0
+        self.disk_writes = 0
 
-    def _path(self, spec_hash: str) -> Path:
-        return self.root / f"{spec_hash}.json"
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
 
-    def get(self, spec: ScenarioSpec) -> Optional[ScenarioResult]:
-        """The cached result for ``spec``, or None."""
-        path = self._path(spec.spec_hash())
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload under ``key``, or None (torn entry,
+        non-dict payload, and missing file all read as a miss)."""
+        self.disk_reads += 1
         try:
-            payload = json.loads(path.read_text())
+            payload = json.loads(self._path(key).read_text())
         except (OSError, ValueError):
             return None
-        if payload.get("spec") != spec.hash_payload():
-            return None
-        return ScenarioResult.from_dict(payload["result"])
+        return payload if isinstance(payload, dict) else None
 
-    def put(self, spec: ScenarioSpec, result: ScenarioResult) -> None:
-        """Store ``result`` under ``spec``'s hash (atomic write)."""
-        payload = json.dumps(
-            {"spec": spec.hash_payload(), "result": result.to_dict()},
-            sort_keys=True, indent=1,
+    def store(self, key: str, payload: Mapping[str, Any]) -> None:
+        """Atomically write ``payload`` under ``key``."""
+        self.disk_writes += 1
+        atomic_write_text(
+            self._path(key),
+            json.dumps(payload, sort_keys=True, indent=1),
         )
-        atomic_write_text(self._path(spec.spec_hash()), payload)
 
     def absorb(self, other_root: os.PathLike | str) -> int:
         """Union another cache directory into this one (file copy).
@@ -491,6 +496,29 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*.json"))
 
 
+class ResultCache(JsonCache):
+    """On-disk JSON cache: one ``<spec-hash>.json`` file per result.
+
+    Each entry stores the full spec alongside the result; a hash
+    collision or a stale schema is treated as a miss.  Because entries
+    are content-addressed, merging two caches is a plain file copy
+    (see ``merge-shards``).  Atomicity, miss semantics and the I/O
+    counters come from :class:`JsonCache`.
+    """
+
+    def get(self, spec: ScenarioSpec) -> Optional[ScenarioResult]:
+        """The cached result for ``spec``, or None."""
+        payload = self.load(spec.spec_hash())
+        if payload is None or payload.get("spec") != spec.hash_payload():
+            return None
+        return ScenarioResult.from_dict(payload["result"])
+
+    def put(self, spec: ScenarioSpec, result: ScenarioResult) -> None:
+        """Store ``result`` under ``spec``'s hash (atomic write)."""
+        self.store(spec.spec_hash(),
+                   {"spec": spec.hash_payload(), "result": result.to_dict()})
+
+
 def run_cached(
     spec: ScenarioSpec, cache: Optional[ResultCache] = None
 ) -> ScenarioResult:
@@ -509,6 +537,24 @@ def run_cached(
     if cache is not None:
         cache.put(spec, result)
     return result
+
+
+def memo_get(spec_hash: str) -> Optional["ScenarioResult"]:
+    """The in-process memo entry for ``spec_hash``, or None.
+
+    The serve tier resolves its scenario pools through the memo
+    *explicitly* (memo → disk → compute) instead of via
+    :func:`run_cached`, because it has to count each level's traffic:
+    a memo probe is free, a disk probe bumps the cache's I/O counters,
+    and a compute bumps the daemon's ``scenario_runs`` — the numbers
+    its no-resimulation and syscall-free-hot-path tests pin.
+    """
+    return _MEMO.get(spec_hash)
+
+
+def memo_put(spec_hash: str, result: "ScenarioResult") -> None:
+    """Install ``result`` in the in-process memo (see :func:`memo_get`)."""
+    _MEMO[spec_hash] = result
 
 
 def clear_memo() -> None:

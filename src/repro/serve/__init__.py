@@ -1,0 +1,63 @@
+"""Prediction-as-a-service: a long-lived SLO query daemon.
+
+The sweeps answer *"what happened"*; this package answers *"will it
+meet the deadline"* — as a service.  A daemon loads the warm
+per-process deployment state and the persistent dPerf trace cache
+once at startup, then answers queries of the form *(workload,
+platform, deadline T, percentile p, seed-pool size k)* by pricing the
+spec over a seeded scenario pool and reading empirical
+P50/P90/P99/P99.9 makespans off the pool, with a meet/miss verdict
+against the deadline.
+
+Layers (each its own module):
+
+- :mod:`~repro.serve.query` — :class:`QuerySpec` (frozen, hashed,
+  wire-safe) and :class:`Answer` (deterministic, byte-identical);
+- :mod:`~repro.serve.engine` — :class:`QueryEngine`: LRU answer memo
+  → on-disk answer tier → seed-pool compute, every level counted;
+- :mod:`~repro.serve.protocol` — newline-delimited JSON over
+  Unix/TCP sockets, plus the :class:`ServeClient` used by the CLI and
+  the test harness;
+- :mod:`~repro.serve.daemon` — :class:`ServeDaemon`: acceptor thread,
+  bounded worker pools, request timeout, graceful drain on SIGTERM;
+- :mod:`~repro.serve.cli` — ``python -m repro.serve
+  {start,query,batch,stats}``.
+
+See ``docs/serving.md`` for the query schema, SLO semantics, cache
+tiers, and drain behaviour.
+"""
+
+from .daemon import DEFAULT_REQUEST_TIMEOUT, DEFAULT_WORKERS, ServeDaemon
+from .engine import (
+    DEFAULT_MEMO_CAPACITY,
+    AnswerCache,
+    QueryEngine,
+    ServeStats,
+)
+from .protocol import (
+    MAX_BATCH,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServeClient,
+)
+from .query import SERVE_SCHEMA_VERSION, Answer, QuerySpec, compute_answer
+
+__all__ = [
+    "Answer",
+    "AnswerCache",
+    "DEFAULT_MEMO_CAPACITY",
+    "DEFAULT_REQUEST_TIMEOUT",
+    "DEFAULT_WORKERS",
+    "MAX_BATCH",
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QueryEngine",
+    "QuerySpec",
+    "SERVE_SCHEMA_VERSION",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeStats",
+    "compute_answer",
+]

@@ -1,0 +1,177 @@
+"""The wire protocol: newline-delimited JSON requests and replies.
+
+One request per line, one reply per line, UTF-8, over a Unix or TCP
+stream socket.  Every request is an object carrying ``op`` plus
+op-specific fields; every reply carries ``ok`` and either the result
+payload or ``error``/``detail``.  The contract the adversarial tests
+pin: *any* malformed input — garbage bytes, truncated JSON, unknown
+ops or schema versions, oversized lines or batches — yields a clean
+``ok: false`` reply (or, for unframeable input, a dropped connection)
+and the daemon keeps serving everyone else.
+
+Requests optionally carry ``protocol``; when present it must equal
+:data:`PROTOCOL_VERSION` — a client from the future gets a clean
+version error, not a misparse.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: Wire protocol version; requests may pin it via a ``protocol`` field.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one request/reply line (framing sanity, not a quota).
+MAX_LINE_BYTES = 1_000_000
+
+#: Hard cap on queries in one ``batch`` request.
+MAX_BATCH = 256
+
+#: The ops a daemon understands.
+OPS = ("ping", "query", "batch", "price", "stats", "shutdown")
+
+
+class ProtocolError(Exception):
+    """A malformed request (maps to a clean ``ok: false`` reply)."""
+
+    def __init__(self, error: str, detail: str = "") -> None:
+        super().__init__(detail or error)
+        self.error = error
+        self.detail = detail
+
+    def reply(self) -> Dict[str, Any]:
+        return error_reply(self.error, self.detail)
+
+
+def error_reply(error: str, detail: str = "") -> Dict[str, Any]:
+    """A clean failure reply."""
+    reply: Dict[str, Any] = {"ok": False, "error": error}
+    if detail:
+        reply["detail"] = detail
+    return reply
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """One canonical reply/request line (sorted keys — byte identity)."""
+    return (
+        json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def parse_request(line: bytes) -> Dict[str, Any]:
+    """Decode and validate one request line's envelope.
+
+    Raises :class:`ProtocolError` on anything malformed: non-UTF-8 or
+    non-JSON bytes, a non-object payload, a ``protocol`` field that
+    isn't this version, or an ``op`` outside :data:`OPS`.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            "line-too-long",
+            f"request line exceeds {MAX_LINE_BYTES} bytes",
+        )
+    try:
+        request = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError("bad-json", str(exc)) from None
+    if not isinstance(request, dict):
+        raise ProtocolError(
+            "bad-request",
+            f"request must be an object, got {type(request).__name__}",
+        )
+    version = request.get("protocol", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "bad-protocol-version",
+            f"daemon speaks protocol {PROTOCOL_VERSION}, "
+            f"request pinned {version!r}",
+        )
+    op = request.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            "unknown-op",
+            f"op must be one of {', '.join(OPS)}, got {op!r}",
+        )
+    return request
+
+
+# -- addresses --------------------------------------------------------------
+def parse_address(address: str) -> Tuple[int, Any]:
+    """An ``--address`` string to a (family, sockaddr) pair.
+
+    ``host:port`` (with a numeric port) is TCP; anything else is a
+    Unix socket path.
+    """
+    host, sep, port = address.rpartition(":")
+    if sep and host and port.isdigit():
+        return socket.AF_INET, (host, int(port))
+    return socket.AF_UNIX, address
+
+
+# -- framing ----------------------------------------------------------------
+def read_lines(sock: socket.socket) -> Iterator[bytes]:
+    """Yield newline-terminated frames from a stream socket.
+
+    Stops cleanly on EOF.  A frame growing past :data:`MAX_LINE_BYTES`
+    without a newline is unframeable — no reply can be matched to it —
+    so it raises :class:`ProtocolError` and the connection is dropped.
+    """
+    buf = b""
+    while True:
+        while b"\n" in buf:
+            line, buf = buf.split(b"\n", 1)
+            if line:
+                yield line
+        if len(buf) > MAX_LINE_BYTES:
+            raise ProtocolError(
+                "line-too-long",
+                f"unterminated frame exceeds {MAX_LINE_BYTES} bytes",
+            )
+        chunk = sock.recv(65536)
+        if not chunk:
+            return
+        buf += chunk
+
+
+class ServeClient:
+    """A minimal blocking client (one request, one reply, in order)."""
+
+    def __init__(self, address: str, timeout: float = 30.0) -> None:
+        family, sockaddr = parse_address(address)
+        self.sock = socket.socket(family, socket.SOCK_STREAM)
+        self.sock.settimeout(timeout)
+        self.sock.connect(sockaddr)
+        self._lines = read_lines(self.sock)
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object, block for its reply."""
+        self.sock.sendall(encode(message))
+        try:
+            line = next(self._lines)
+        except StopIteration:
+            raise ConnectionError("daemon closed the connection") from None
+        return json.loads(line.decode("utf-8"))
+
+    def request_raw(self, payload: bytes) -> Dict[str, Any]:
+        """Send raw bytes (the adversarial tests' hook), block for a
+        reply line."""
+        self.sock.sendall(payload)
+        try:
+            line = next(self._lines)
+        except StopIteration:
+            raise ConnectionError("daemon closed the connection") from None
+        return json.loads(line.decode("utf-8"))
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

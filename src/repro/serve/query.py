@@ -1,0 +1,341 @@
+"""SLO query specifications and their answers.
+
+A :class:`QuerySpec` is the serving tier's unit of work: *will this
+workload on this platform meet deadline ``T`` at percentile ``p``?*
+It is a frozen, hashable dataclass — the same discipline as
+:class:`~repro.scenarios.spec.ScenarioSpec` — so a query can be
+shipped over the wire as plain JSON, hashed into a memo key, and
+re-answered years later byte-identically.
+
+Answering a query prices the spec over a *seed pool*: ``pool``
+reference scenarios differing only in seed (``seed_base + i``), whose
+makespans form the empirical distribution the percentiles are read
+from.  SLO semantics over the pool:
+
+- a completed run contributes its makespan;
+- a non-completed run (churn, timeout) contributes ``+inf`` — it
+  missed every deadline, which is exactly what the tail must see;
+- the verdict is ``meets = makespan@p <= deadline`` with an infinite
+  estimate never meeting.
+
+The percentile estimator is the shared
+:func:`repro.analysis.percentiles.percentile`, so a daemon answer and
+a ``compare --percentiles`` column over the same pool agree exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .. import __version__ as _ENGINE_VERSION
+from ..analysis.percentiles import (
+    SLO_PERCENTILES,
+    finite_or_none,
+    pct_key,
+    percentile,
+)
+from ..scenarios.runner import ScenarioResult
+from ..scenarios.spec import (
+    SCHEMA_VERSION,
+    ChurnEventSpec,
+    ChurnProfile,
+    PlatformPlan,
+    PredictionErrorPlan,
+    ProtocolPlan,
+    RecoveryPlan,
+    ScenarioSpec,
+    TcpPlan,
+    TimerPlan,
+    WorkloadPlan,
+)
+
+#: Bump when query semantics or the answer payload change: it salts
+#: the query hash (alongside the scenario SCHEMA_VERSION and the
+#: package version), so stale on-disk answers invalidate exactly like
+#: stale scenario results.
+SERVE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One SLO query: workload × platform × deadline × percentile ×
+    seed pool.
+
+    The scenario-shaping fields mirror
+    :class:`~repro.scenarios.spec.ScenarioSpec` field-for-field
+    (sub-plans reused verbatim), so any grid point a sweep can run,
+    the daemon can answer — and a sweep over the same axes warms the
+    same result cache a query resolves through.  The one fixed choice
+    is ``kind``: pool members always run the full ``reference``
+    protocol simulation (an SLO verdict should price what would
+    actually happen, not a trace replay).  ``pool`` is the seed pool
+    size ``k``; the ``i``-th pool member runs at seed
+    ``seed_base + i``.
+    """
+
+    deadline: float
+    percentile: float = 99.0
+    pool: int = 5
+    seed_base: int = 2011
+    workload: WorkloadPlan = WorkloadPlan()
+    platform: PlatformPlan = PlatformPlan()
+    protocol: ProtocolPlan = ProtocolPlan()
+    tcp: TcpPlan = TcpPlan()
+    timers: TimerPlan = TimerPlan()
+    churn: Tuple[ChurnEventSpec, ...] = ()
+    churn_profile: ChurnProfile = ChurnProfile()
+    recovery: RecoveryPlan = RecoveryPlan()
+    n_peers: int = 4
+    deploy_peers: int = 0
+    n_zones: int = 0
+    spares: int = 0
+    host_policy: str = "pack"
+    selection_policy: str = "proximity"
+    prediction_error: PredictionErrorPlan = PredictionErrorPlan()
+    failure_history: Tuple[Tuple[str, int], ...] = ()
+    time_limit: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.deadline > 0:
+            raise ValueError(f"deadline must be > 0, got {self.deadline!r}")
+        if not 0.0 < self.percentile <= 100.0:
+            raise ValueError(
+                f"percentile must be in (0, 100], got {self.percentile!r}"
+            )
+        if self.pool < 1:
+            raise ValueError(f"pool must be >= 1, got {self.pool!r}")
+        if self.seed_base < 0:
+            raise ValueError(f"seed_base must be >= 0, got {self.seed_base!r}")
+        # canonical tuple forms (wire JSON arrives as lists), so
+        # round-tripped queries hash and compare like native ones —
+        # the same normalization ScenarioSpec applies
+        object.__setattr__(self, "churn", tuple(self.churn))
+        object.__setattr__(
+            self,
+            "failure_history",
+            tuple((str(n), int(c)) for n, c in self.failure_history),
+        )
+        # delegate the cross-field guards (policy names, churn ranges,
+        # election-requires-rejoin, prediction_error-requires-predicted)
+        # to ScenarioSpec: building the pool base at construction time
+        # surfaces a bad query immediately, as a ValueError the
+        # protocol layer turns into a clean reply
+        self._base_spec()
+
+    # -- scenario derivation ------------------------------------------------
+    def _base_spec(self, seed: Optional[int] = None) -> ScenarioSpec:
+        return ScenarioSpec(
+            name="serve",
+            kind="reference",
+            workload=self.workload,
+            platform=self.platform,
+            protocol=self.protocol,
+            tcp=self.tcp,
+            timers=self.timers,
+            churn=self.churn,
+            churn_profile=self.churn_profile,
+            recovery=self.recovery,
+            n_peers=self.n_peers,
+            deploy_peers=self.deploy_peers,
+            n_zones=self.n_zones,
+            spares=self.spares,
+            host_policy=self.host_policy,
+            selection_policy=self.selection_policy,
+            prediction_error=self.prediction_error,
+            failure_history=self.failure_history,
+            time_limit=self.time_limit,
+            seed=self.seed_base if seed is None else seed,
+        )
+
+    def scenario_specs(self) -> Tuple[ScenarioSpec, ...]:
+        """The seed pool: ``pool`` reference specs at consecutive seeds.
+
+        Point names carry a ``[seed=...]`` grid label, so a manifest
+        built from the same pool is ``compare``-able (the
+        "query the grid you just swept" path works both directions).
+        """
+        qh = self.query_hash()
+        return tuple(
+            replace(
+                self._base_spec(self.seed_base + i),
+                name=f"serve:{qh}[seed={self.seed_base + i}]",
+            )
+            for i in range(self.pool)
+        )
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-safe, round-trips via from_dict)."""
+        d = asdict(self)
+        d["churn"] = [asdict(e) for e in self.churn]
+        d["failure_history"] = [
+            [name, count] for name, count in self.failure_history
+        ]
+        return d
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QuerySpec":
+        """Rebuild a query from its to_dict() form.
+
+        Unknown keys are rejected (a typo'd field in a wire request
+        must not silently price a different query), as are non-mapping
+        sub-plan payloads.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(f"query must be an object, got {type(data).__name__}")
+        d = dict(data)
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(d) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown query field(s): {', '.join(unknown)}"
+            )
+        plans = {
+            "workload": WorkloadPlan, "platform": PlatformPlan,
+            "protocol": ProtocolPlan, "tcp": TcpPlan, "timers": TimerPlan,
+            "churn_profile": ChurnProfile, "recovery": RecoveryPlan,
+            "prediction_error": PredictionErrorPlan,
+        }
+        for name, plan_cls in plans.items():
+            if name in d:
+                sub = d[name]
+                if not isinstance(sub, Mapping):
+                    raise ValueError(f"query field {name!r} must be an object")
+                try:
+                    d[name] = plan_cls(**sub)
+                except TypeError as exc:
+                    raise ValueError(f"bad {name!r} payload: {exc}") from None
+        if "churn" in d:
+            events = d["churn"]
+            if not isinstance(events, Sequence) or isinstance(events, str):
+                raise ValueError("query field 'churn' must be an array")
+            try:
+                d["churn"] = tuple(ChurnEventSpec(**e) for e in events)
+            except TypeError as exc:
+                raise ValueError(f"bad 'churn' payload: {exc}") from None
+        try:
+            return cls(**d)
+        except TypeError as exc:
+            raise ValueError(f"bad query payload: {exc}") from None
+
+    # -- hashing ------------------------------------------------------------
+    def hash_payload(self) -> Dict[str, Any]:
+        """Everything that defines the answer."""
+        d = self.to_dict()
+        d["schema"] = SCHEMA_VERSION
+        d["serve_schema"] = SERVE_SCHEMA_VERSION
+        d["engine"] = _ENGINE_VERSION
+        return d
+
+    def query_hash(self) -> str:
+        """Stable 16-hex-digit content hash (memoized per instance)."""
+        cached = self.__dict__.get("_query_hash")
+        if cached is None:
+            blob = json.dumps(self.hash_payload(), sort_keys=True,
+                              separators=(",", ":"))
+            cached = hashlib.sha256(blob.encode()).hexdigest()[:16]
+            object.__setattr__(self, "_query_hash", cached)
+        return cached
+
+    # -- grid-style overrides ----------------------------------------------
+    def with_override(self, path: str, value: Any) -> "QuerySpec":
+        """A copy with one (possibly dotted) field replaced — the same
+        override grammar the scenarios CLI uses for ``--set``."""
+        head, _, rest = path.partition(".")
+        names = {f.name for f in fields(self)}
+        if head not in names:
+            raise KeyError(f"unknown query field {head!r}")
+        if not rest:
+            return replace(self, **{head: value})
+        sub = getattr(self, head)
+        sub_names = {f.name for f in fields(sub)}
+        if rest not in sub_names:
+            raise KeyError(f"unknown field {rest!r} in {head}")
+        return replace(self, **{head: replace(sub, **{rest: value})})
+
+
+@dataclass
+class Answer:
+    """The daemon's reply to one :class:`QuerySpec`.
+
+    ``samples`` is the sorted makespan pool with ``None`` marking
+    non-completed runs (they sort last — JSON has no ``inf``);
+    ``percentiles`` is the fixed SLO summary (P50/P90/P99/P99.9);
+    ``value`` is the makespan at the *requested* percentile and
+    ``meets`` the verdict against the deadline.  Everything is plain
+    deterministic data: :meth:`canonical_json` is the byte-identity
+    contract the concurrency harness pins.
+    """
+
+    query_hash: str
+    pool: int
+    completed: int
+    deadline: float
+    percentile: float
+    value: Optional[float]
+    meets: bool
+    percentiles: Dict[str, Optional[float]] = field(default_factory=dict)
+    samples: List[Optional[float]] = field(default_factory=list)
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of the pool that completed."""
+        return self.completed / self.pool if self.pool else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-safe)."""
+        d = asdict(self)
+        d["completion_rate"] = self.completion_rate
+        return d
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Answer":
+        """Rebuild an answer from its to_dict() form."""
+        d = dict(data)
+        d.pop("completion_rate", None)  # derived, not stored state
+        return cls(**d)
+
+    def canonical_json(self) -> str:
+        """Deterministic serialization (the byte-identity contract)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+def compute_answer(
+    query: QuerySpec, results: Sequence[ScenarioResult]
+) -> Answer:
+    """Fold a seed pool's results into one SLO answer.
+
+    A run that did not complete — protocol-level non-completion under
+    churn *or* a hard engine error — contributes ``+inf``: under SLO
+    semantics it missed every deadline, and hiding it would bias the
+    tail optimistic.
+    """
+    if len(results) != query.pool:
+        raise ValueError(
+            f"expected {query.pool} pool results, got {len(results)}"
+        )
+    makespans: List[float] = []
+    for result in results:
+        done = result.ok and result.metrics.get("completed") == 1.0
+        makespans.append(result.metrics["makespan"] if done else math.inf)
+    makespans.sort()
+    value = finite_or_none(percentile(makespans, query.percentile))
+    return Answer(
+        query_hash=query.query_hash(),
+        pool=query.pool,
+        completed=sum(1 for m in makespans if math.isfinite(m)),
+        deadline=query.deadline,
+        percentile=query.percentile,
+        value=value,
+        meets=value is not None and value <= query.deadline,
+        percentiles={
+            pct_key(p): finite_or_none(percentile(makespans, p))
+            for p in SLO_PERCENTILES
+        },
+        samples=[finite_or_none(m) for m in makespans],
+    )

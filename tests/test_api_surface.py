@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.experiments",
     "repro.scenarios",
+    "repro.serve",
 ]
 
 

@@ -32,9 +32,10 @@ def test_readme_mentions_all_deliverable_paths():
         assert path in text
 
 
-def _readme_cli_lines():
-    """`python -m repro.scenarios …` commands from README bash blocks,
-    with backslash continuations joined and comments stripped."""
+def _readme_cli_lines(module="repro.scenarios"):
+    """`python -m <module> …` commands from README bash blocks, with
+    backslash continuations joined, comments and env-var prefixes
+    stripped."""
     blocks = re.findall(r"```bash\n(.*?)```", README.read_text(), re.DOTALL)
     lines, buf = [], ""
     for block in blocks:
@@ -45,7 +46,11 @@ def _readme_cli_lines():
                 buf = line[:-1].strip()
                 continue
             line = line.split("#", 1)[0].strip()
-            if line.startswith("python -m repro.scenarios"):
+            if line.startswith("PYTHONPATH=src "):
+                line = line[len("PYTHONPATH=src "):]
+            if line.endswith(" &"):
+                line = line[:-2]
+            if line.startswith(f"python -m {module}"):
                 lines.append(line)
     return lines
 
@@ -71,3 +76,22 @@ def test_readme_cli_examples_stay_runnable(capsys):
         if args.command in ("list", "show"):
             assert main(argv) == 0
             capsys.readouterr()
+
+
+def test_readme_serve_examples_stay_parseable():
+    """Every serve-CLI example parses against the real parser, and its
+    --set overrides name real query fields."""
+    from repro.scenarios.cli import _parse_value
+    from repro.serve.cli import build_parser
+    from repro.serve.query import QuerySpec
+
+    lines = _readme_cli_lines(module="repro.serve")
+    assert lines, "README lost its serve-CLI examples"
+    parser = build_parser()
+    probe = QuerySpec(deadline=1.0)
+    for line in lines:
+        argv = shlex.split(line)[3:]  # drop `python -m repro.serve`
+        args = parser.parse_args(argv)  # SystemExit(2) = stale example
+        for pair in getattr(args, "set", None) or []:
+            path, _, value = pair.partition("=")
+            probe.with_override(path, _parse_value(value))  # KeyError = stale

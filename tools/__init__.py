@@ -1,0 +1,1 @@
+"""Repository tooling (CI helpers, not part of the repro package)."""

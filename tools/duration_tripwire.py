@@ -1,0 +1,75 @@
+"""CI per-test duration tripwire.
+
+A single slow test is a flakiness/perf regression in the making:
+catch it the moment it lands, not when the suite times out months
+later.  CI pipes the tier-1 ``--durations`` report through
+:func:`main`; any test phase over :data:`TRIPWIRE_SECONDS` fails the
+build — unless the test is on the :data:`EXEMPT` list, which exists
+for exactly one kind of test: a harness whose *job* is sustained load
+(the serve soak), where wall-clock is the workload, not an accident.
+
+The threshold lives here — one constant — so the CI step, the exempt
+soak test, and any future long-running harness all read the same
+number instead of each hard-coding its own.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import List, Sequence, Tuple
+
+#: The per-test budget (seconds) CI enforces on every phase
+#: (setup/call/teardown) of every tier-1 test.
+TRIPWIRE_SECONDS = 20.0
+
+#: Substrings of test node ids exempt from the tripwire.  Keep this
+#: list painfully short and each entry justified: an exempt test's
+#: duration is bounded only by the suite timeout.
+EXEMPT: Tuple[str, ...] = (
+    # the serve soak harness: >=5k queries across concurrent clients
+    # with a pinned throughput floor — sustained wall-clock is the
+    # point of the test, not a regression
+    "tests/test_serve.py::test_soak_",
+)
+
+_DURATION_RE = re.compile(
+    r"\s*(\d+(?:\.\d+)?)s\s+(call|setup|teardown)\s+(\S+)"
+)
+
+
+def is_exempt(node_id: str) -> bool:
+    """Whether a test node id is on the exemption list."""
+    return any(marker in node_id for marker in EXEMPT)
+
+
+def check(lines: Sequence[str],
+          limit: float = TRIPWIRE_SECONDS) -> List[str]:
+    """The over-budget, non-exempt duration lines of a pytest
+    ``--durations`` report."""
+    slow = []
+    for line in lines:
+        m = _DURATION_RE.match(line)
+        if m and float(m.group(1)) > limit and not is_exempt(m.group(3)):
+            slow.append(line.strip())
+    return slow
+
+
+def main(argv: Sequence[str]) -> int:
+    """``python tools/duration_tripwire.py <durations-report>``"""
+    if len(argv) != 1:
+        print("usage: python tools/duration_tripwire.py "
+              "<durations-report>", file=sys.stderr)
+        return 2
+    with open(argv[0]) as fh:
+        slow = check(fh.readlines())
+    if slow:
+        print(f"tests over the {TRIPWIRE_SECONDS}s tripwire:")
+        print("\n".join(slow))
+        return 1
+    print(f"no non-exempt test over {TRIPWIRE_SECONDS}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
