@@ -1,0 +1,97 @@
+"""S4 — fleet benchmark: work-stealing actually buys wall clock.
+
+Runs the same 8-point churn grid twice from cold caches: once with a
+single fleet worker, once with two.  Each point is heavy enough
+(``workload.nit=400`` => ~0.5-1s of simulation) that compute dominates
+the fixed per-worker costs (one Python subprocess start plus one
+platform/trace warm-up each), so two stealing workers must finish
+measurably faster than one.  Enforced, machine-independent:
+
+- both runs **complete** (no poison, every point done);
+- both workers in the 2-worker run **claim at least one point** — the
+  steal happened, the second worker was not decorative;
+- the 2-worker wall clock beats the 1-worker wall clock by at least
+  ``MIN_STEAL_SPEEDUP`` (a modest floor: the fixed warm-up is paid
+  per worker, so perfect 2x is not on the table at this grid size).
+  The floor is only enforced when the host exposes >= 2 CPUs — on a
+  single core two compute-bound workers cannot win, so there the
+  bench still pins completion and the steal split, and records the
+  walls, but skips the speedup assertion.
+
+The wall clocks and speedup land in ``benchmarks/BENCH_reference.json``
+under the ``fleet`` section (CI uploads it), alongside the serve and
+reference trajectories.
+"""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+from conftest import append_bench_record
+
+import repro
+from repro.fleet import FleetDispatcher
+from repro.scenarios import SCENARIOS, expand_grid
+from repro.scenarios.runner import clear_memo
+
+SCENARIO = "churn-grid"
+#: 8 seeds x nit=400: ~0.5-1s of simulated churn per point.
+GRID = {
+    "workload.nit": (400,),
+    "seed": (2011, 2012, 2013, 2014, 2015, 2016, 2017, 2018),
+}
+MIN_STEAL_SPEEDUP = 1.1
+
+
+def _spawn_env():
+    """Worker-subprocess env with the repo's src on PYTHONPATH, so the
+    bench passes regardless of how pytest itself was launched."""
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_FLEET_FAULT", None)
+    return env
+
+
+def _run_fleet(cache_dir, workers):
+    clear_memo()  # no in-process seeding: every point goes to a worker
+    specs = expand_grid(SCENARIOS[SCENARIO].base, GRID)
+    dispatcher = FleetDispatcher(
+        specs, label=f"bench-{workers}w", scenario=SCENARIO,
+        cache_dir=cache_dir, workers=workers, wall_timeout=300.0,
+        spawn_env=_spawn_env(),
+    )
+    t0 = time.perf_counter()
+    outcome = dispatcher.run()
+    wall = time.perf_counter() - t0
+    assert outcome.complete, outcome.poisoned
+    assert outcome.cached == 0  # cold cache: all points computed
+    return outcome, wall
+
+
+def test_fleet_steal_speedup(tmp_path):
+    one, one_wall = _run_fleet(tmp_path / "one", workers=1)
+    two, two_wall = _run_fleet(tmp_path / "two", workers=2)
+
+    stealers = {w: n for w, n in two.worker_points.items() if n > 0}
+    assert len(stealers) == 2, two.worker_points  # both pulled weight
+
+    speedup = one_wall / two_wall
+    cores = len(os.sched_getaffinity(0))
+    append_bench_record("fleet_steal", {
+        "points": len(one.points),
+        "cores": cores,
+        "one_worker_s": round(one_wall, 3),
+        "two_worker_s": round(two_wall, 3),
+        "speedup": round(speedup, 3),
+        "two_worker_split": stealers,
+    }, section="fleet")
+    if cores < 2:
+        pytest.skip(f"single-CPU host ({cores} core): the steal "
+                    f"speedup floor needs real parallelism")
+    assert speedup >= MIN_STEAL_SPEEDUP, (
+        f"2-worker fleet only {speedup:.2f}x faster than 1 worker "
+        f"({two_wall:.1f}s vs {one_wall:.1f}s); want >= "
+        f"{MIN_STEAL_SPEEDUP}x"
+    )

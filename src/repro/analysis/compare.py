@@ -16,6 +16,7 @@ that against the no-recovery baseline's completed runs.
 
 from __future__ import annotations
 
+import html as _html
 import json
 import math
 import re
@@ -312,6 +313,130 @@ class SweepComparison:
                 cells += [_fmt(row.completion_a), _fmt(row.completion_b)]
             lines.append("| " + " | ".join(cells) + " |")
         return "\n".join(lines) + "\n"
+
+    #: ``to_html`` flags a row as a regression/improvement when its
+    #: B/A ratio leaves this band (5% either way).
+    HTML_RATIO_BAND = 0.05
+
+    def to_html(self) -> str:
+        """Self-contained static HTML regression report.
+
+        One file, inline CSS, no scripts or external assets — safe to
+        archive as a CI artifact or mail around.  Rows whose ``B/A``
+        ratio exceeds ``1 + HTML_RATIO_BAND`` are highlighted as
+        regressions (B slower/worse on an increasing metric), rows
+        below ``1 - HTML_RATIO_BAND`` as improvements; rows missing
+        from one side are flagged unmatched.
+        """
+        esc = _html.escape
+        show_completion = any(
+            row.completion_a is not None or row.completion_b is not None
+            for row in self.rows
+        )
+        header = ["key", "n A", "n B", f"{self.metric} A",
+                  f"{self.metric} B", "Δ (B−A)", "B/A"]
+        for p in self.percentiles:
+            label = pct_key(p).upper()
+            header += [f"{label} A", f"{label} B"]
+        if show_completion:
+            header += ["P(complete) A", "P(complete) B"]
+
+        body_rows: List[str] = []
+        regressions = improvements = unmatched = 0
+        for row in self.rows:
+            if row.n_a == 0 or row.n_b == 0:
+                cls, badge = "unmatched", "one side only"
+                unmatched += 1
+            elif row.ratio is not None and \
+                    row.ratio > 1 + self.HTML_RATIO_BAND:
+                cls, badge = "regression", f"+{(row.ratio - 1) * 100:.1f}%"
+                regressions += 1
+            elif row.ratio is not None and \
+                    row.ratio < 1 - self.HTML_RATIO_BAND:
+                cls, badge = "improvement", f"−{(1 - row.ratio) * 100:.1f}%"
+                improvements += 1
+            else:
+                cls, badge = "", ""
+            key = ", ".join(f"{k}={v}" for k, v in row.key.items()) \
+                or "(all)"
+            cells = [esc(key), str(row.n_a), str(row.n_b),
+                     _fmt(row.mean_a), _fmt(row.mean_b),
+                     _fmt(row.delta), _fmt(row.ratio)]
+            for p in self.percentiles:
+                cells += [_fmt(row.pcts_a.get(pct_key(p))),
+                          _fmt(row.pcts_b.get(pct_key(p)))]
+            if show_completion:
+                cells += [_fmt(row.completion_a), _fmt(row.completion_b)]
+            if badge:
+                # the B/A cell carries the regression badge
+                cells[6] += f' <span class="badge">{esc(badge)}</span>'
+            tds = "".join(
+                f"<td>{c}</td>" if i == 0
+                else f'<td class="num">{c}</td>'
+                for i, c in enumerate(cells)
+            )
+            row_cls = f" class=\"{cls}\"" if cls else ""
+            body_rows.append(f"<tr{row_cls}>{tds}</tr>")
+
+        ths = "".join(f"<th>{esc(h)}</th>" for h in header)
+        summary_bits = [f"{len(self.rows)} matched keys"]
+        if regressions:
+            summary_bits.append(f"{regressions} regression"
+                                f"{'s' if regressions != 1 else ''}")
+        if improvements:
+            summary_bits.append(f"{improvements} improvement"
+                                f"{'s' if improvements != 1 else ''}")
+        if unmatched:
+            summary_bits.append(f"{unmatched} unmatched")
+        axes = ", ".join(self.shared_axes) or "(whole sweep)"
+        pct_note = (" Percentile columns use the serve-tier estimator "
+                    "over the same per-row pools the means aggregate."
+                    if self.percentiles else "")
+        return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>Sweep comparison: {esc(self.a)} vs {esc(self.b)}</title>
+<style>
+ body {{ font: 14px/1.5 -apple-system, "Segoe UI", Roboto, sans-serif;
+        margin: 2rem auto; max-width: 72rem; padding: 0 1rem;
+        color: #1c2733; }}
+ h1 {{ font-size: 1.3rem; }}
+ code {{ background: #f0f2f5; padding: .1em .3em; border-radius: 3px; }}
+ p.meta {{ color: #5a6775; }}
+ table {{ border-collapse: collapse; width: 100%; }}
+ th, td {{ border: 1px solid #d7dde3; padding: .35em .6em;
+          text-align: left; }}
+ td.num {{ text-align: right; font-variant-numeric: tabular-nums; }}
+ th {{ background: #f0f2f5; }}
+ tr.regression td {{ background: #fdecea; }}
+ tr.improvement td {{ background: #e9f7ef; }}
+ tr.unmatched td {{ background: #fff8e1; color: #7a6a1f; }}
+ .badge {{ font-size: .8em; border-radius: 3px; padding: 0 .35em;
+          background: rgba(0,0,0,.08); white-space: nowrap; }}
+ footer {{ margin-top: 1.5rem; color: #8a95a1; font-size: .85em; }}
+</style>
+</head>
+<body>
+<h1>Sweep comparison: <code>{esc(self.a)}</code> vs
+ <code>{esc(self.b)}</code></h1>
+<p class="meta">metric <code>{esc(self.metric)}</code>
+ (mean over completed points of each matched group) ·
+ matched on {esc(axes)} · A = <code>{esc(self.a)}</code>,
+ B = <code>{esc(self.b)}</code></p>
+<p class="meta">{esc(" · ".join(summary_bits))} · rows shaded when
+ B/A leaves the ±{self.HTML_RATIO_BAND * 100:.0f}% band.{pct_note}</p>
+<table>
+<thead><tr>{ths}</tr></thead>
+<tbody>
+{chr(10).join(body_rows)}
+</tbody>
+</table>
+<footer>Static report rendered by repro.analysis — no scripts, no
+ external assets.</footer>
+</body>
+</html>
+"""
 
 
 def _fmt(value: Optional[float]) -> str:

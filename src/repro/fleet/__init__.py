@@ -1,0 +1,38 @@
+"""Work-stealing sweep fleet + the consolidated results store.
+
+- :mod:`repro.fleet.protocol` — the shared-directory wire: atomic
+  rename claims, heartbeats, retry/backoff, poison quarantine.
+- :mod:`repro.fleet.worker` — one steal-compute-persist loop.
+- :mod:`repro.fleet.dispatcher` — spawns/supervises workers, requeues
+  dead workers' points, writes the byte-identical sweep manifest.
+- :mod:`repro.fleet.store` — append-only cross-sweep result index
+  (``<cache>/store/index.jsonl``) behind ``fleet compare --html``,
+  ``fleet backfill`` and the serve daemon's store tier.
+"""
+
+from .dispatcher import FleetDispatcher, FleetError, FleetOutcome
+from .protocol import (
+    DEFAULT_BACKOFF_BASE,
+    DEFAULT_LIVENESS_TIMEOUT,
+    DEFAULT_MAX_RETRIES,
+    FleetDirs,
+    backoff_delay,
+    requeue_task,
+)
+from .store import ResultStore
+from .worker import FleetWorker, default_worker_id
+
+__all__ = [
+    "DEFAULT_BACKOFF_BASE",
+    "DEFAULT_LIVENESS_TIMEOUT",
+    "DEFAULT_MAX_RETRIES",
+    "FleetDirs",
+    "FleetDispatcher",
+    "FleetError",
+    "FleetOutcome",
+    "FleetWorker",
+    "ResultStore",
+    "backoff_delay",
+    "default_worker_id",
+    "requeue_task",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.fleet`` — see :mod:`repro.fleet.cli`."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

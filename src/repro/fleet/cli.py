@@ -1,0 +1,309 @@
+"""Command-line front end for the sweep fleet and the results store.
+
+::
+
+    python -m repro.fleet run churn-grid --workers 4
+    python -m repro.fleet run fig10-cluster-o3 \
+        --set n_peers=2,4,8 --set seed=2011,2013 --label churn-b
+    python -m repro.fleet worker --fleet-dir .scenario-cache/fleet/churn-b
+    python -m repro.fleet backfill
+    python -m repro.fleet store
+    python -m repro.fleet compare churn-a churn-b --html report.html
+
+``run`` is the dispatcher: it expands the grid exactly like
+``repro.scenarios sweep`` (same ``--set`` grammar, shared parser),
+resolves cache hits in-process, and hands the remaining points to a
+work-stealing worker fleet — local processes it spawns, plus any
+remote ``worker`` attached to the same fleet directory over a shared
+mount.  The resulting manifest is byte-identical to an unsharded
+serial sweep of the same grid.
+
+``backfill`` absorbs pre-store sweep manifests into the consolidated
+``<cache>/store/index.jsonl``; ``store`` lists what the index holds;
+``compare`` diffs two labels **from the store** (falling back to
+sweep manifests for labels never indexed) and can render a static
+HTML regression report with ``--html``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..params import parse_grid_sets
+from ..scenarios.cli import DEFAULT_CACHE_DIR, _load_manifest, _UsageError
+from ..scenarios.manifest import sweeps_dir
+from ..scenarios.registry import get_scenario
+from ..scenarios.runner import expand_grid
+from .dispatcher import FleetDispatcher, FleetError, FleetOutcome
+from .protocol import (
+    DEFAULT_BACKOFF_BASE,
+    DEFAULT_LIVENESS_TIMEOUT,
+    DEFAULT_MAX_RETRIES,
+    HEARTBEAT_INTERVAL,
+)
+from .store import ResultStore
+from .worker import FleetWorker
+
+
+def _resolve(fn, *args):
+    try:
+        return fn(*args)
+    except KeyError as exc:
+        raise _UsageError(exc.args[0]) from None
+
+
+def _print_outcome(outcome: FleetOutcome) -> None:
+    print(f"# fleet {outcome.label!r}: {len(outcome.points)} points "
+          f"({outcome.cached} from cache, {outcome.computed} computed) "
+          f"in {outcome.wall:.1f}s")
+    for worker, n in outcome.worker_points.items():
+        if worker != "cache":
+            print(f"#   {worker}: {n} points")
+    if outcome.reassignments:
+        moved = ", ".join(f"p{i} ×{n}" for i, n in
+                          sorted(outcome.reassignments.items()))
+        print(f"# reassigned after worker death: {moved}")
+    if outcome.poisoned:
+        for index, record in outcome.poisoned.items():
+            print(f"# POISON p{index} {record.get('name', '?')!r}: "
+                  f"{record.get('reason', 'retry budget exhausted')}")
+        print(f"# manifest is PARTIAL ({len(outcome.poisoned)} poisoned "
+              f"points); compare will refuse it until they resolve")
+    if outcome.manifest_path is not None:
+        print(f"# sweep manifest: {outcome.manifest_path}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    entry = _resolve(get_scenario, args.name)
+    try:
+        grid = parse_grid_sets(args.set or [])
+    except ValueError as exc:
+        raise _UsageError(str(exc)) from None
+    specs = (_resolve(expand_grid, entry.base, grid) if grid
+             else entry.points())
+    label = args.label or entry.name
+    if not label or label != Path(label).name or label in (".", ".."):
+        raise _UsageError(f"--label must be a plain file name, "
+                          f"got {label!r}")
+    try:
+        dispatcher = FleetDispatcher(
+            specs, label=label, scenario=entry.name,
+            cache_dir=args.cache_dir, workers=args.workers,
+            liveness_timeout=args.liveness_timeout,
+            max_retries=args.max_retries,
+            backoff_base=args.backoff_base,
+            wall_timeout=args.wall_timeout,
+        )
+        outcome = dispatcher.run()
+    except FleetError as exc:
+        raise _UsageError(str(exc)) from None
+    _print_outcome(outcome)
+    return 0 if outcome.complete else 1
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    try:
+        worker = FleetWorker(
+            args.fleet_dir, cache_dir=args.cache_dir,
+            worker_id=args.worker_id,
+            heartbeat_interval=args.heartbeat_interval,
+            poll_interval=args.poll_interval,
+        )
+    except (OSError, ValueError, KeyError) as exc:
+        raise _UsageError(f"cannot attach to fleet "
+                          f"{args.fleet_dir!r}: {exc}") from None
+    done = worker.run()
+    print(f"# worker {worker.worker_id}: {done} points computed")
+    return 0
+
+
+def cmd_backfill(args: argparse.Namespace) -> int:
+    store = ResultStore(args.cache_dir)
+    stats = store.backfill(sweeps_dir(args.cache_dir))
+    print(f"# backfill: {stats['points']} points indexed from "
+          f"{stats['manifests']} manifests "
+          f"({stats['skipped_manifests']} skipped, "
+          f"{store.skipped} duplicate points)")
+    print(f"# store: {len(store)} records at {store.index_path}")
+    return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    store = ResultStore(args.cache_dir)
+    labels = store.labels()
+    if not labels:
+        print(f"# store is empty ({store.index_path}); run a fleet or "
+              f"`python -m repro.fleet backfill`")
+        return 0
+    width = max(len(label) for label in labels)
+    for label in sorted(labels):
+        print(f"{label:<{width}}  {labels[label]:>5} pt")
+    print(f"# {len(store)} records at {store.index_path}")
+    return 0
+
+
+def _sweep_data(ref: str, store: ResultStore, cache_dir: str):
+    """A label's points — store-first, manifests as the fallback."""
+    from ..analysis import SweepData
+
+    points = store.sweep_points(ref)
+    if points:
+        return SweepData(label=ref, points=points)
+    return SweepData.from_manifest(_load_manifest(ref, cache_dir))
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from ..analysis import compare_sweeps
+
+    store = ResultStore(args.cache_dir)
+    a = _sweep_data(args.a, store, args.cache_dir)
+    b = _sweep_data(args.b, store, args.cache_dir)
+    percentiles: Tuple[float, ...] = ()
+    if args.percentiles:
+        try:
+            percentiles = tuple(
+                float(p) for p in args.percentiles.split(",") if p.strip()
+            )
+        except ValueError:
+            raise _UsageError(
+                f"--percentiles expects comma-separated numbers, "
+                f"got {args.percentiles!r}"
+            ) from None
+    try:
+        comparison = compare_sweeps(a, b, metric=args.metric,
+                                    over=tuple(args.over or ()),
+                                    percentiles=percentiles)
+    except ValueError as exc:
+        raise _UsageError(str(exc)) from None
+    if args.html:
+        Path(args.html).write_text(comparison.to_html())
+        print(f"# HTML report written to {args.html}")
+        return 0
+    text = (comparison.to_json() if args.format == "json"
+            else comparison.to_markdown())
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"# report written to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.fleet`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet",
+        description="Work-stealing sweep fleet over the shared "
+                    "result cache, plus the consolidated results store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_cache_dir(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                       help=f"shared cache root "
+                            f"(default {DEFAULT_CACHE_DIR})")
+
+    run = sub.add_parser(
+        "run", help="drive a scenario grid over a work-stealing fleet"
+    )
+    run.add_argument("name", help="registered scenario name")
+    run.add_argument("--set", action="append", metavar="PATH=V1,V2,...",
+                     help="grid values for one (dotted) spec field; "
+                          "repeatable — same grammar as scenarios sweep")
+    run.add_argument("--label", default=None,
+                     help="sweep/store label (default: the scenario name)")
+    run.add_argument("--workers", type=int, default=2,
+                     help="local worker processes to spawn (default 2; "
+                          "0 = remote workers only)")
+    run.add_argument("--liveness-timeout", type=float,
+                     default=DEFAULT_LIVENESS_TIMEOUT,
+                     help="seconds of heartbeat silence before a worker "
+                          "is presumed dead and its points requeued")
+    run.add_argument("--max-retries", type=int,
+                     default=DEFAULT_MAX_RETRIES,
+                     help="per-point retry budget before quarantine")
+    run.add_argument("--backoff-base", type=float,
+                     default=DEFAULT_BACKOFF_BASE,
+                     help="exponential requeue backoff base (seconds)")
+    run.add_argument("--wall-timeout", type=float, default=None,
+                     help="abort the fleet after this many seconds")
+    add_cache_dir(run)
+
+    worker = sub.add_parser(
+        "worker", help="attach one work-stealing worker to a fleet dir"
+    )
+    worker.add_argument("--fleet-dir", required=True,
+                        help="the fleet coordination directory "
+                             "(<cache>/fleet/<label>)")
+    worker.add_argument("--cache-dir", default=None,
+                        help="shared cache root (default: the fleet "
+                             "dir's grandparent)")
+    worker.add_argument("--worker-id", default=None,
+                        help="stable worker id (default: <host>-<pid>)")
+    worker.add_argument("--heartbeat-interval", type=float,
+                        default=HEARTBEAT_INTERVAL)
+    worker.add_argument("--poll-interval", type=float, default=0.1)
+
+    backfill = sub.add_parser(
+        "backfill",
+        help="absorb historical sweep manifests into the store index",
+    )
+    add_cache_dir(backfill)
+
+    store = sub.add_parser(
+        "store", help="list the consolidated store's labels"
+    )
+    add_cache_dir(store)
+
+    compare = sub.add_parser(
+        "compare",
+        help="diff two labels from the consolidated store",
+    )
+    compare.add_argument("a", help="store label, sweep label, or "
+                                   "manifest path (baseline)")
+    compare.add_argument("b", help="store label, sweep label, or "
+                                   "manifest path")
+    compare.add_argument("--metric", default="t",
+                         help="result field or metric to compare "
+                              "(default: t)")
+    compare.add_argument("--over", action="append", metavar="AXIS",
+                         help="aggregate over this shared grid axis "
+                              "instead of matching on it (repeatable)")
+    compare.add_argument("--percentiles", default=None,
+                         metavar="P1,P2,...",
+                         help="add per-side percentile columns")
+    compare.add_argument("--format", choices=("markdown", "json"),
+                         default="markdown", help="text report format")
+    compare.add_argument("--out", default=None,
+                         help="write the text report to a file")
+    compare.add_argument("--html", default=None, metavar="PATH",
+                         help="write a static HTML regression report "
+                              "instead of the text formats")
+    add_cache_dir(compare)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "run": cmd_run,
+        "worker": cmd_worker,
+        "backfill": cmd_backfill,
+        "store": cmd_store,
+        "compare": cmd_compare,
+    }[args.command]
+    try:
+        return handler(args)
+    except _UsageError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,272 @@
+"""The work-stealing wire: a shared directory of atomic files.
+
+The fleet coordinates over the same substrate the result cache
+already trusts — atomic filesystem operations on a shared directory
+(local disk for a process pool, a shared mount for remote machines).
+No sockets, no broker: any machine that can see the cache directory
+can attach a worker.
+
+Layout, under ``<cache>/fleet/<label>/``::
+
+    grid.json            the full task list (dispatcher writes once)
+    queue/p<idx>.json    one claimable task per pending point
+    active/p<idx>.<wid>.json   a claimed task, owned by worker <wid>
+    done/p<idx>.json     the finished point (name, hash, result, worker)
+    poison/p<idx>.json   a quarantined point (exhausted its retries)
+    workers/<wid>.json   heartbeat: ts, pid, current point
+    stop                 dispatcher's "all points resolved" flag
+
+**Claiming is a rename.**  ``os.rename(queue/p7.json,
+active/p7.<wid>.json)`` is atomic: exactly one worker wins, every
+loser gets ``FileNotFoundError`` and steals the next task.  There is
+no partial state — a task is either claimable, owned, done, or
+quarantined.
+
+**Liveness is a heartbeat.**  Workers rewrite their heartbeat file
+(atomically) every interval; the dispatcher treats a stale heartbeat
+as a dead worker and *requeues* its active tasks with an attempt
+count and a backoff ``not_before`` timestamp.  A task whose attempts
+exceed the retry budget is moved to ``poison/`` with its full attempt
+history — a poison point is quarantined and reported, never retried
+forever.
+
+Timestamps are ``time.time()`` from whichever machine wrote them;
+liveness comparisons assume loosely synchronized clocks (NTP-level),
+which shared-filesystem fleets already require for mtime sanity.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..scenarios.runner import atomic_write_text
+
+#: Default seconds between worker heartbeats.
+HEARTBEAT_INTERVAL = 0.5
+
+#: Default seconds of heartbeat silence before a worker is presumed
+#: dead and its tasks are requeued.
+DEFAULT_LIVENESS_TIMEOUT = 10.0
+
+#: Default retry budget per point (first run + this many retries).
+DEFAULT_MAX_RETRIES = 3
+
+#: Default base of the exponential requeue backoff (seconds).
+DEFAULT_BACKOFF_BASE = 0.5
+
+
+class FleetDirs:
+    """Path bundle for one fleet run's coordination directory."""
+
+    def __init__(self, root: os.PathLike | str) -> None:
+        self.root = Path(root)
+        self.grid_path = self.root / "grid.json"
+        self.queue = self.root / "queue"
+        self.active = self.root / "active"
+        self.done = self.root / "done"
+        self.poison = self.root / "poison"
+        self.workers = self.root / "workers"
+        self.stop_path = self.root / "stop"
+
+    def create(self) -> "FleetDirs":
+        for d in (self.queue, self.active, self.done, self.poison,
+                  self.workers):
+            d.mkdir(parents=True, exist_ok=True)
+        return self
+
+    # -- tasks --------------------------------------------------------------
+    @staticmethod
+    def task_name(index: int) -> str:
+        return f"p{index:06d}.json"
+
+    def enqueue(self, task: Dict[str, Any]) -> None:
+        """Make a task claimable (atomic write into ``queue/``)."""
+        atomic_write_text(self.queue / self.task_name(task["index"]),
+                          json.dumps(task, sort_keys=True))
+
+    def claim(self, index: int, worker_id: str) -> Optional[Dict[str, Any]]:
+        """Try to claim queued task ``index`` for ``worker_id``.
+
+        Returns the task payload on success, None when another worker
+        won the rename race (or the task left the queue meanwhile).
+        """
+        src = self.queue / self.task_name(index)
+        dst = self.active / f"p{index:06d}.{worker_id}.json"
+        try:
+            payload = json.loads(src.read_text())
+        except (OSError, ValueError):
+            return None
+        try:
+            os.rename(src, dst)
+        except FileNotFoundError:
+            return None  # lost the race: someone else owns it now
+        return payload
+
+    def queued_tasks(self) -> List[Dict[str, Any]]:
+        """Claimable tasks in index order (unreadable files skipped)."""
+        out = []
+        for path in sorted(self.queue.glob("p*.json")):
+            try:
+                out.append(json.loads(path.read_text()))
+            except (OSError, ValueError):
+                continue  # mid-rename or torn: not claimable right now
+        return out
+
+    def active_claims(self) -> List[Dict[str, Any]]:
+        """Owned tasks: payload + ``worker`` parsed from the filename."""
+        out = []
+        for path in sorted(self.active.glob("p*.json")):
+            stem = path.name[:-len(".json")]
+            _point, _, worker = stem.partition(".")
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            payload["worker"] = worker
+            payload["_path"] = str(path)
+            out.append(payload)
+        return out
+
+    def release(self, index: int, worker_id: str) -> None:
+        """Drop a worker's claim file (after done/poison is durable)."""
+        try:
+            os.unlink(self.active / f"p{index:06d}.{worker_id}.json")
+        except FileNotFoundError:
+            pass
+
+    # -- completion ---------------------------------------------------------
+    def mark_done(self, record: Dict[str, Any]) -> None:
+        """Record a finished point (atomic; idempotent — reruns of a
+        deterministic point write identical bytes)."""
+        atomic_write_text(self.done / self.task_name(record["index"]),
+                          json.dumps(record, sort_keys=True))
+
+    def done_records(self) -> Dict[int, Dict[str, Any]]:
+        out: Dict[int, Dict[str, Any]] = {}
+        for path in sorted(self.done.glob("p*.json")):
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            out[record["index"]] = record
+        return out
+
+    def mark_poison(self, task: Dict[str, Any], reason: str) -> None:
+        payload = dict(task)
+        payload.pop("_path", None)
+        payload["reason"] = reason
+        atomic_write_text(self.poison / self.task_name(task["index"]),
+                          json.dumps(payload, sort_keys=True))
+
+    def poison_records(self) -> Dict[int, Dict[str, Any]]:
+        out: Dict[int, Dict[str, Any]] = {}
+        for path in sorted(self.poison.glob("p*.json")):
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            out[record["index"]] = record
+        return out
+
+    # -- liveness -----------------------------------------------------------
+    def beat(self, worker_id: str, point: Optional[int],
+             points_done: int = 0) -> None:
+        """Rewrite a worker's heartbeat (atomic)."""
+        atomic_write_text(self.workers / f"{worker_id}.json", json.dumps({
+            "worker": worker_id, "ts": time.time(), "pid": os.getpid(),
+            "point": point, "points_done": points_done,
+        }, sort_keys=True))
+
+    def heartbeats(self) -> Dict[str, Dict[str, Any]]:
+        out: Dict[str, Dict[str, Any]] = {}
+        for path in self.workers.glob("*.json"):
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            out[record["worker"]] = record
+        return out
+
+    # -- lifecycle ----------------------------------------------------------
+    def write_grid(self, payload: Dict[str, Any]) -> None:
+        atomic_write_text(self.grid_path,
+                          json.dumps(payload, indent=1, sort_keys=True))
+
+    def read_grid(self) -> Dict[str, Any]:
+        return json.loads(self.grid_path.read_text())
+
+    def signal_stop(self) -> None:
+        atomic_write_text(self.stop_path, json.dumps({"ts": time.time()}))
+
+    @property
+    def stopped(self) -> bool:
+        return self.stop_path.exists()
+
+
+@dataclass
+class Requeue:
+    """Outcome of one dead-claim sweep (dispatcher bookkeeping)."""
+
+    requeued: List[int]
+    poisoned: List[int]
+
+
+def backoff_delay(attempt: int, base: float) -> float:
+    """Exponential requeue backoff: ``base * 2**(attempt-1)``."""
+    return base * (2 ** max(0, attempt - 1))
+
+
+def requeue_task(dirs: FleetDirs, task: Dict[str, Any], *,
+                 max_retries: int, backoff_base: float,
+                 reason: str) -> bool:
+    """Return a dead worker's task to the queue (or quarantine it).
+
+    The task's ``attempt`` counter is bumped and its attempt history
+    appended (``{"attempt", "at", "not_before", "reason"}`` — the
+    monotone backoff trail the fault tests pin).  After
+    ``max_retries`` requeues the point is poison: moved to
+    ``poison/`` with its full history, never retried again.  Returns
+    True when the task went back to the queue, False when it was
+    quarantined.
+
+    The active claim file is removed *after* the requeued/poison
+    record is durable, so a dispatcher crash between the two steps
+    leaves a duplicate claim (harmless: the done record and the
+    result cache are both idempotent), never a lost point.
+    """
+    attempt = int(task.get("attempt", 1)) + 1
+    now = time.time()
+    not_before = now + backoff_delay(attempt - 1, backoff_base)
+    history = list(task.get("attempts", []))
+    history.append({"attempt": attempt, "at": now,
+                    "not_before": not_before, "reason": reason})
+    requeued = dict(task)
+    requeued.pop("_path", None)
+    requeued.pop("worker", None)
+    requeued.update(attempt=attempt, not_before=not_before,
+                    attempts=history)
+    poisoned = attempt > max_retries
+    if poisoned:
+        dirs.mark_poison(requeued, reason=f"exceeded {max_retries} "
+                                          f"retries ({reason})")
+        # a quarantined point must not stay claimable: drop any queue
+        # entry it may still have (it normally has none — poison comes
+        # from active claims — but a stale one would undo quarantine)
+        try:
+            os.unlink(dirs.queue / dirs.task_name(task["index"]))
+        except FileNotFoundError:
+            pass
+    else:
+        dirs.enqueue(requeued)
+    path = task.get("_path")
+    if path:
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+    return not poisoned

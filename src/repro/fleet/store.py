@@ -1,0 +1,198 @@
+"""The consolidated results store: one index across every sweep.
+
+A sweep manifest records what *one* run did; the result cache holds
+content-addressed entries with no notion of history.  The store is
+the missing join: an **append-only** ``<cache>/store/index.jsonl``
+whose records key every result by spec hash *and* by the label of the
+sweep that produced it, across all historical sweeps sharing the
+cache.  That turns a pile of cached scenario results into a queryable
+asset:
+
+- ``fleet compare A B --html`` renders a regression report between
+  any two labels ever recorded, without re-reading their manifests;
+- the serve daemon probes the store as an extra resolution tier, so a
+  result computed by *any* fleet or backfilled from *any* old
+  manifest warms SLO queries;
+- ``fleet backfill`` absorbs pre-store sweep manifests, so history
+  written before the index existed joins it.
+
+Appends are one ``O_APPEND`` write of one line per record — safe
+under concurrent fleet workers on a local filesystem — and readers
+skip torn trailing lines, so a reader racing a writer sees a valid
+prefix.  Records are deduplicated on ``(label, spec_hash)``:
+re-running a sweep re-lands the same results without bloating the
+index.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from ..scenarios.runner import ScenarioResult
+from ..scenarios.spec import ScenarioSpec
+
+
+class ResultStore:
+    """Append-only cross-sweep result index (see module doc).
+
+    Lives under ``<cache_dir>/store/``; the index file is created
+    lazily on first append, so opening a store for reading never
+    mutates the cache directory tree beyond its own folder.
+    """
+
+    def __init__(self, cache_dir: os.PathLike | str) -> None:
+        self.root = Path(cache_dir) / "store"
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.index_path = self.root / "index.jsonl"
+        #: (label, spec_hash) pairs already present — the dedup set.
+        #: Loaded once; appends through this instance keep it current.
+        self._seen: Set[Tuple[str, str]] = {
+            (r["label"], r["spec_hash"]) for r in self.entries()
+        }
+        self.appended = 0
+        self.skipped = 0
+
+    # -- writing ------------------------------------------------------------
+    def record(self, spec: ScenarioSpec, result: ScenarioResult,
+               label: str, scenario: str) -> bool:
+        """Append one result record (dedup'd on label × spec hash).
+
+        Returns True when a record was actually appended.  This is the
+        shape :attr:`~repro.scenarios.runner.ResultCache.on_put` hooks
+        feed — fleet workers index each result as it lands.
+        """
+        return self.record_raw({
+            "spec_hash": result.spec_hash,
+            "name": spec.name,
+            "label": label,
+            "scenario": scenario,
+            "result": result.to_dict(),
+        })
+
+    def record_raw(self, record: Dict[str, Any]) -> bool:
+        """Append a pre-shaped record (``backfill`` path); dedup'd."""
+        key = (record["label"], record["spec_hash"])
+        if key in self._seen:
+            self.skipped += 1
+            return False
+        self._seen.add(key)
+        payload = dict(record)
+        payload.setdefault("ts", time.time())
+        line = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        # one O_APPEND write per record: concurrent fleet workers each
+        # land whole lines; interleaving between lines is fine, torn
+        # lines (a crash mid-write) are skipped by readers
+        fd = os.open(self.index_path,
+                     os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, line.encode())
+        finally:
+            os.close(fd)
+        self.appended += 1
+        return True
+
+    # -- reading ------------------------------------------------------------
+    def entries(self) -> Iterator[Dict[str, Any]]:
+        """Every index record, in append order (torn lines skipped)."""
+        try:
+            text = self.index_path.read_text()
+        except FileNotFoundError:
+            return
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn trailing line: a writer was killed
+            if isinstance(record, dict) and "spec_hash" in record:
+                yield record
+
+    def labels(self) -> Dict[str, int]:
+        """Recorded sweep labels → number of indexed points."""
+        out: Dict[str, int] = {}
+        for record in self.entries():
+            out[record["label"]] = out.get(record["label"], 0) + 1
+        return out
+
+    def sweep_points(self, label: str) -> List[Dict[str, Any]]:
+        """A label's points in manifest shape (``name`` + ``result``),
+        ready for :class:`repro.analysis.compare.SweepData`.
+
+        Deduplicated per spec hash (newest record wins, first-seen
+        order kept): a reassignment race that indexed a point twice
+        must not double-weight it in a comparison.
+        """
+        by_hash: Dict[str, Dict[str, Any]] = {}
+        for record in self.entries():
+            if record["label"] != label:
+                continue
+            entry = {"name": record["name"],
+                     "spec_hash": record["spec_hash"],
+                     "result": record["result"]}
+            if record["spec_hash"] in by_hash:
+                by_hash[record["spec_hash"]].update(entry)
+            else:
+                by_hash[record["spec_hash"]] = entry
+        return list(by_hash.values())
+
+    def get_result(self, spec_hash: str) -> Optional[ScenarioResult]:
+        """Newest indexed result for ``spec_hash``, or None.
+
+        Content-addressed trust: the hash covers the full spec payload
+        (schema version included), so serving an indexed result is
+        exactly as safe as serving a per-spec cache file — the serve
+        tier probes this after a result-cache miss.
+        """
+        found: Optional[Dict[str, Any]] = None
+        for record in self.entries():
+            if record["spec_hash"] == spec_hash:
+                found = record
+        if found is None:
+            return None
+        return ScenarioResult.from_dict(found["result"])
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    # -- backfill -----------------------------------------------------------
+    def backfill(self, sweeps: os.PathLike | str) -> Dict[str, int]:
+        """Absorb every complete sweep manifest under ``sweeps``.
+
+        Partial manifests (killed sweeps) and shard manifests are
+        skipped — the store indexes *finished* sweeps; merge or rerun
+        first.  Returns ``{"manifests": ..., "points": ...,
+        "skipped_manifests": ...}``.
+        """
+        sweeps = Path(sweeps)
+        manifests = points = skipped = 0
+        if not sweeps.is_dir():
+            return {"manifests": 0, "points": 0, "skipped_manifests": 0}
+        for path in sorted(sweeps.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                skipped += 1
+                continue
+            if (not isinstance(payload, dict) or "points" not in payload
+                    or "label" not in payload or payload.get("partial")
+                    or "shard" in payload):
+                skipped += 1
+                continue
+            manifests += 1
+            for entry in payload["points"]:
+                if self.record_raw({
+                    "spec_hash": entry["spec_hash"],
+                    "name": entry["name"],
+                    "label": payload["label"],
+                    "scenario": payload.get("scenario", ""),
+                    "result": entry["result"],
+                }):
+                    points += 1
+        return {"manifests": manifests, "points": points,
+                "skipped_manifests": skipped}

@@ -1,0 +1,56 @@
+"""The one ``--set`` grammar shared by every CLI.
+
+``python -m repro.scenarios sweep --set path=v1,v2`` and
+``python -m repro.serve query --set path=value`` used to carry their
+own parsers; this module is the single owner of both forms, so a
+value spells the same typed thing everywhere — ``recovery.election=
+true`` is the boolean ``True`` whether it shapes a sweep grid or an
+SLO query (the cross-CLI parity contract of
+``tests/test_cli_params.py``).
+
+All helpers raise ``ValueError`` on malformed input; each CLI wraps
+that into its own clean usage error.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence, Tuple
+
+
+def parse_value(text: str) -> Any:
+    """One ``--set`` value: bool, int, float, or bare string.
+
+    Booleans first (``true``/``false``, case-insensitive) — a bare
+    string would be truthy either way and silently lie for boolean
+    spec fields like ``recovery.election``.
+    """
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def parse_scalar_set(pair: str) -> Tuple[str, Any]:
+    """``path=value`` → ``(path, typed value)`` (the query-CLI form)."""
+    path, eq, value = pair.partition("=")
+    if not eq or not path:
+        raise ValueError(f"--set expects path=value, got {pair!r}")
+    return path, parse_value(value)
+
+
+def parse_grid_sets(pairs: Sequence[str]) -> Dict[str, Tuple[Any, ...]]:
+    """``path=v1[,v2,...]`` pairs → an expand_grid-shaped mapping
+    (the sweep-CLI form; later pairs for the same path win)."""
+    grid: Dict[str, Tuple[Any, ...]] = {}
+    for pair in pairs:
+        path, eq, values = pair.partition("=")
+        if not eq or not path or not values:
+            raise ValueError(
+                f"--set expects path=v1[,v2,...], got {pair!r}"
+            )
+        grid[path] = tuple(parse_value(v) for v in values.split(","))
+    return grid

@@ -60,13 +60,14 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..params import parse_grid_sets, parse_value
+from .manifest import dump_manifest, manifest_payload, point_entry, sweeps_dir
 from .registry import get_scenario, scenario_names, SCENARIOS
 from .runner import (
     ResultCache,
     ScenarioResult,
     SweepRunner,
     atomic_write_bytes,
-    atomic_write_text,
     expand_grid,
     shard_indices,
 )
@@ -77,28 +78,17 @@ DEFAULT_CACHE_DIR = os.environ.get(
     "REPRO_SCENARIO_CACHE", os.path.join(".", ".scenario-cache")
 )
 
-
-def _parse_value(text: str) -> Any:
-    if text.lower() in ("true", "false"):
-        # boolean spec fields (e.g. recovery.election) — a bare string
-        # would be truthy either way and silently lie
-        return text.lower() == "true"
-    for cast in (int, float):
-        try:
-            return cast(text)
-        except ValueError:
-            continue
-    return text
+# the one --set grammar, shared with repro.serve's with_override and
+# repro.fleet run (repro.params) — kept under the historical private
+# names this module always exported
+_parse_value = parse_value
 
 
 def _parse_sets(pairs: Sequence[str]) -> Dict[str, Tuple[Any, ...]]:
-    grid: Dict[str, Tuple[Any, ...]] = {}
-    for pair in pairs:
-        path, eq, values = pair.partition("=")
-        if not eq or not values:
-            raise SystemExit(f"--set expects path=v1[,v2,...], got {pair!r}")
-        grid[path] = tuple(_parse_value(v) for v in values.split(","))
-    return grid
+    try:
+        return parse_grid_sets(pairs)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _print_results(results: Sequence[ScenarioResult],
@@ -158,8 +148,13 @@ def cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
-def _sweeps_dir(cache_dir: str) -> Path:
-    return Path(cache_dir) / "sweeps"
+# canonical manifest helpers live in .manifest (shared with the fleet
+# dispatcher — byte-identity across writers); historical private names
+# kept for this module's own call sites
+_sweeps_dir = sweeps_dir
+_dump_manifest = dump_manifest
+_manifest_payload = manifest_payload
+_point_entry = point_entry
 
 
 def _check_label(label: str | None) -> None:
@@ -180,23 +175,6 @@ def _check_label_args(args: argparse.Namespace) -> None:
             "--label needs the on-disk cache to record a sweep "
             "manifest; drop --no-cache"
         )
-
-
-def _dump_manifest(payload: Dict[str, Any], path: Path) -> None:
-    """One canonical serializer for every manifest writer: merged
-    shard manifests must be *byte-identical* to unsharded ones."""
-    path.parent.mkdir(parents=True, exist_ok=True)
-    atomic_write_text(path, json.dumps(payload, indent=1, sort_keys=True))
-
-
-def _manifest_payload(label: str, scenario: str,
-                      points: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
-    return {"label": label, "scenario": scenario, "points": list(points)}
-
-
-def _point_entry(spec: ScenarioSpec, result: ScenarioResult) -> Dict[str, Any]:
-    return {"name": spec.name, "spec_hash": result.spec_hash,
-            "result": result.to_dict()}
 
 
 def _manifest_path(args: argparse.Namespace, scenario: str) -> Path:
@@ -516,8 +494,12 @@ def cmd_compare(args: argparse.Namespace) -> int:
                                     percentiles=percentiles)
     except ValueError as exc:
         raise _UsageError(str(exc)) from None
-    text = (comparison.to_json() if args.format == "json"
-            else comparison.to_markdown())
+    if args.format == "html":
+        text = comparison.to_html()
+    elif args.format == "json":
+        text = comparison.to_json()
+    else:
+        text = comparison.to_markdown()
     if args.out:
         Path(args.out).write_text(text)
         print(f"# report written to {args.out}")
@@ -629,7 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "aggregated points (e.g. 50,99 — the same "
                               "estimator repro.serve answers SLO queries "
                               "with)")
-    compare.add_argument("--format", choices=("markdown", "json"),
+    compare.add_argument("--format", choices=("markdown", "json", "html"),
                          default="markdown", help="report format")
     compare.add_argument("--out", default=None,
                          help="write the report to a file instead of stdout")

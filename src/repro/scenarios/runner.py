@@ -40,6 +40,7 @@ is ``ok`` — the datum, not an error.
 from __future__ import annotations
 
 import json
+import logging
 import math
 import os
 import tempfile
@@ -54,6 +55,8 @@ from .spec import ScenarioSpec
 #: In-process memo: spec hash → result.  Shared by every SweepRunner
 #: and by run_cached, so repeated experiment calls are near-free.
 _MEMO: Dict[str, "ScenarioResult"] = {}
+
+_LOG = logging.getLogger("repro.scenarios.cache")
 
 
 @dataclass
@@ -444,6 +447,15 @@ class JsonCache:
     construction; ``disk_reads``/``disk_writes`` count every
     filesystem touch afterwards, which is what lets the serve tier
     *pin* its hot path as syscall-free instead of asserting it.
+
+    Read-error semantics: a *missing file* and a *torn entry*
+    (interrupted ``os.replace``, half-written JSON) are legitimate
+    misses — recompute and move on.  An *environmental* read error
+    (permissions, I/O failure, a directory where a file should be) is
+    not: silently recomputing would mask a broken cache forever.
+    Those bump ``cache_read_errors``, log the path once, and the
+    **second consecutive** failure of the same entry re-raises — one
+    transient blip recovers, a persistent fault surfaces.
     """
 
     def __init__(self, root: os.PathLike | str) -> None:
@@ -451,17 +463,47 @@ class JsonCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.disk_reads = 0
         self.disk_writes = 0
+        self.cache_read_errors = 0
+        self._read_failures: Dict[str, int] = {}
+        self._logged_paths: set = set()
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
     def load(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored payload under ``key``, or None (torn entry,
-        non-dict payload, and missing file all read as a miss)."""
+        non-dict payload, and missing file all read as a miss).
+
+        Environmental read errors — anything besides a missing file —
+        are counted, logged once per path, tolerated once, and
+        re-raised on the second consecutive failure of the same entry
+        (see the class doc).
+        """
         self.disk_reads += 1
+        path = self._path(key)
         try:
-            payload = json.loads(self._path(key).read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except FileNotFoundError:
+            self._read_failures.pop(key, None)
+            return None
+        except OSError as exc:
+            self.cache_read_errors += 1
+            failures = self._read_failures.get(key, 0) + 1
+            self._read_failures[key] = failures
+            if str(path) not in self._logged_paths:
+                self._logged_paths.add(str(path))
+                _LOG.warning(
+                    "cache read failed for %s (%s); treating as a miss",
+                    path, exc,
+                )
+            if failures >= 2:
+                raise
+            return None
+        self._read_failures.pop(key, None)
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            # torn entry (interrupted write): a legitimate miss
             return None
         return payload if isinstance(payload, dict) else None
 
@@ -504,7 +546,20 @@ class ResultCache(JsonCache):
     are content-addressed, merging two caches is a plain file copy
     (see ``merge-shards``).  Atomicity, miss semantics and the I/O
     counters come from :class:`JsonCache`.
+
+    ``on_put`` is the consolidated-store index hook: when set (fleet
+    workers point it at :class:`repro.fleet.store.ResultStore`), every
+    newly computed result is appended to the cross-sweep index the
+    moment it becomes durable — the cache stays the single producer of
+    durable results, and the index can never record a result the cache
+    doesn't hold.
     """
+
+    def __init__(self, root: os.PathLike | str,
+                 on_put: Optional[Any] = None) -> None:
+        super().__init__(root)
+        #: Optional ``callable(spec, result)`` invoked after each put.
+        self.on_put = on_put
 
     def get(self, spec: ScenarioSpec) -> Optional[ScenarioResult]:
         """The cached result for ``spec``, or None."""
@@ -514,9 +569,12 @@ class ResultCache(JsonCache):
         return ScenarioResult.from_dict(payload["result"])
 
     def put(self, spec: ScenarioSpec, result: ScenarioResult) -> None:
-        """Store ``result`` under ``spec``'s hash (atomic write)."""
+        """Store ``result`` under ``spec``'s hash (atomic write),
+        then fire the index hook."""
         self.store(spec.spec_hash(),
                    {"spec": spec.hash_payload(), "result": result.to_dict()})
+        if self.on_put is not None:
+            self.on_put(spec, result)
 
 
 def run_cached(

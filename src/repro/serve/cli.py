@@ -22,7 +22,8 @@ import json
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
-from ..scenarios.cli import DEFAULT_CACHE_DIR, _parse_value
+from ..params import parse_scalar_set
+from ..scenarios.cli import DEFAULT_CACHE_DIR
 from .daemon import DEFAULT_REQUEST_TIMEOUT, DEFAULT_WORKERS, ServeDaemon
 from .engine import QueryEngine
 from .protocol import PROTOCOL_VERSION, ServeClient
@@ -42,10 +43,10 @@ def _build_query(args: argparse.Namespace) -> QuerySpec:
             seed_base=args.seed_base,
         )
         for pair in args.set or []:
-            path, eq, value = pair.partition("=")
-            if not eq:
-                raise _UsageError(f"--set expects path=value, got {pair!r}")
-            query = query.with_override(path, _parse_value(value))
+            # repro.params owns the --set grammar for every CLI: a
+            # value types identically here and in a sweep --set
+            path, value = parse_scalar_set(pair)
+            query = query.with_override(path, value)
     except (KeyError, ValueError) as exc:
         raise _UsageError(str(exc)) from None
     return query

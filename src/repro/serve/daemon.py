@@ -21,11 +21,12 @@ import os
 import signal
 import socket
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor, TimeoutError as FutureTimeout
 from typing import Any, Dict, List, Optional
 
 from ..scenarios.spec import PlatformPlan, WorkloadPlan
-from .engine import QueryEngine
+from .engine import ComputeAbandoned, QueryEngine
 from .protocol import (
     MAX_BATCH,
     MAX_LINE_BYTES,
@@ -243,16 +244,34 @@ class ServeDaemon:
 
     # -- request handling ----------------------------------------------------
     def _handle_line(self, line: bytes) -> Dict[str, Any]:
-        """One frame to one reply — *never* raises."""
+        """One frame to one reply — *never* raises.
+
+        The request's deadline is stamped *here* and carried into the
+        engine: when ``future.result`` times out below, the abandoned
+        worker thread consults that same deadline inside the engine
+        and bails (``ComputeAbandoned``) instead of simulating the
+        rest of a pool nobody is waiting for — the compute lock frees
+        within one scenario run, not one full pool.
+        """
         try:
             request = parse_request(line)
         except ProtocolError as exc:
             self.engine.stats.bump("protocol_errors")
             return exc.reply()
-        future = self._req_pool.submit(self._dispatch, request)
+        deadline = time.monotonic() + self.request_timeout
+        future = self._req_pool.submit(self._dispatch, request, deadline)
         try:
             return future.result(timeout=self.request_timeout)
         except FutureTimeout:
+            self.engine.stats.bump("request_timeouts")
+            return error_reply(
+                "timeout",
+                f"request exceeded {self.request_timeout}s",
+            )
+        except ComputeAbandoned:
+            # the worker noticed the expired deadline before
+            # future.result did (e.g. while queued behind another
+            # compute): same outcome, same reply
             self.engine.stats.bump("request_timeouts")
             return error_reply(
                 "timeout",
@@ -262,16 +281,17 @@ class ServeDaemon:
             self.engine.stats.bump("internal_errors")
             return error_reply("internal-error", str(exc))
 
-    def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    def _dispatch(self, request: Dict[str, Any],
+                  deadline: Optional[float] = None) -> Dict[str, Any]:
         op = request["op"]
         try:
             if op == "ping":
                 return {"ok": True, "op": "ping",
                         "protocol": PROTOCOL_VERSION}
             if op == "query":
-                return self._op_query(request)
+                return self._op_query(request, deadline)
             if op == "batch":
-                return self._op_batch(request)
+                return self._op_batch(request, deadline)
             if op == "price":
                 return self._op_price(request)
             if op == "stats":
@@ -287,16 +307,18 @@ class ServeDaemon:
             self.engine.stats.bump("protocol_errors")
             return error_reply("bad-query", str(exc))
 
-    def _op_query(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    def _op_query(self, request: Dict[str, Any],
+                  deadline: Optional[float] = None) -> Dict[str, Any]:
         payload = request.get("query")
         if payload is None:
             raise ProtocolError("bad-request", "query op needs a 'query'")
         query = QuerySpec.from_dict(payload)
-        answer = self.engine.answer(query)
+        answer = self.engine.answer(query, deadline)
         self.engine.stats.bump("served")
         return {"ok": True, "answer": answer.to_dict()}
 
-    def _op_batch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    def _op_batch(self, request: Dict[str, Any],
+                  deadline: Optional[float] = None) -> Dict[str, Any]:
         payloads = request.get("queries")
         if not isinstance(payloads, list):
             raise ProtocolError("bad-request", "batch op needs 'queries'")
@@ -311,7 +333,7 @@ class ServeDaemon:
             queries = [QuerySpec.from_dict(p) for p in payloads]
         except ValueError as exc:
             raise ProtocolError("bad-query", str(exc)) from None
-        answers = self.engine.batch(queries)
+        answers = self.engine.batch(queries, deadline)
         self.engine.stats.bump("served", len(answers))
         return {"ok": True, "answers": [a.to_dict() for a in answers]}
 

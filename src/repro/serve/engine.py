@@ -25,6 +25,7 @@ memoized-vs-cold throughput ratio comes from.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from pathlib import Path
 from threading import Lock, RLock
@@ -44,6 +45,22 @@ from .query import Answer, QuerySpec, compute_answer
 
 #: Default capacity of the in-memory answer memo.
 DEFAULT_MEMO_CAPACITY = 4096
+
+
+class ComputeAbandoned(RuntimeError):
+    """A compute noticed its request's deadline had already expired.
+
+    The cooperative-cancellation signal: the daemon replies
+    ``timeout`` the moment ``future.result(timeout=...)`` expires, but
+    the worker thread it abandoned used to keep simulating the whole
+    seed pool *while holding the compute lock* — a stampede of
+    timed-out queries could wedge every later request behind work
+    nobody was waiting for.  The engine now consults the request's
+    deadline at every cheap boundary (before taking the compute lock,
+    after acquiring it, and between seed-pool members) and raises this
+    instead of continuing, bounding the stale window to one scenario
+    run.  Each abandonment bumps the ``stale_computes`` counter.
+    """
 
 
 class ServeStats:
@@ -128,15 +145,22 @@ class QueryEngine:
         # path below never constructs a cache or re-points the trace
         # directory (the hoist the syscall-free hot-path test pins)
         if cache_dir is not None:
+            from ..fleet.store import ResultStore
+
             root = Path(cache_dir)
             self.result_cache: Optional[ResultCache] = ResultCache(root)
             self.answer_cache: Optional[AnswerCache] = AnswerCache(
                 root / "answers"
             )
+            # the consolidated cross-sweep index: results computed by
+            # any fleet — or `fleet backfill`ed from any historical
+            # manifest — resolve here without re-simulating
+            self.result_store: Optional[ResultStore] = ResultStore(root)
             workloads.set_trace_cache_dir(root / "traces")
         else:
             self.result_cache = None
             self.answer_cache = None
+            self.result_store = None
         self.memo_capacity = memo_capacity
         self._memo: "OrderedDict[str, Answer]" = OrderedDict()
         self._memo_lock = RLock()
@@ -173,8 +197,27 @@ class QueryEngine:
         workloads.traces(w.app, query.n_peers, w.level, w.n, w.nit)
 
     # -- the answer path ----------------------------------------------------
-    def answer(self, query: QuerySpec) -> Answer:
-        """Answer one query (memo → disk tier → compute)."""
+    def _check_deadline(self, deadline: Optional[float]) -> None:
+        """Raise :class:`ComputeAbandoned` (and count it) when the
+        request's deadline has already passed — nobody is waiting for
+        this answer any more."""
+        if deadline is not None and time.monotonic() >= deadline:
+            self.stats.bump("stale_computes")
+            raise ComputeAbandoned(
+                "request deadline expired; compute abandoned"
+            )
+
+    def answer(self, query: QuerySpec,
+               deadline: Optional[float] = None) -> Answer:
+        """Answer one query (memo → disk tier → compute).
+
+        ``deadline`` is a ``time.monotonic()`` instant after which the
+        caller has stopped waiting (the daemon's request timeout); an
+        expired deadline abandons the compute with
+        :class:`ComputeAbandoned` instead of holding the compute lock
+        for an answer nobody will read.  Cache hits always answer —
+        they're free.
+        """
         self.stats.bump("queries")
         qh = query.query_hash()
         with self._memo_lock:
@@ -189,7 +232,11 @@ class QueryEngine:
                 self.stats.bump("answer_disk_hits")
                 self._memo_insert(qh, answer)
                 return answer
+        self._check_deadline(deadline)
         with self._compute_lock:
+            # the deadline may have expired while we queued on the
+            # lock behind another compute — bail before simulating
+            self._check_deadline(deadline)
             # double-checked: a concurrent thread may have computed
             # this exact query while we waited on the lock
             with self._memo_lock:
@@ -198,23 +245,28 @@ class QueryEngine:
                     self._memo.move_to_end(qh)
                     self.stats.bump("memo_hits")
                     return hit
-            answer = self._compute(query)
+            answer = self._compute(query, deadline)
         if self.answer_cache is not None:
             self.answer_cache.put(query, answer)
         self._memo_insert(qh, answer)
         return answer
 
-    def batch(self, queries: Sequence[QuerySpec]) -> List[Answer]:
+    def batch(self, queries: Sequence[QuerySpec],
+              deadline: Optional[float] = None) -> List[Answer]:
         """Answer a batch in order (amortizes warm state across it)."""
-        return [self.answer(q) for q in queries]
+        return [self.answer(q, deadline) for q in queries]
 
-    def _compute(self, query: QuerySpec) -> Answer:
+    def _compute(self, query: QuerySpec,
+                 deadline: Optional[float] = None) -> Answer:
         """Price the seed pool (each level of the scenario stack
-        counted: memo probe free, disk probe counted by the cache,
-        simulation bumps ``scenario_runs``)."""
+        counted: memo probe free, disk probes counted by the caches,
+        store probe bumps ``store_hits``, simulation bumps
+        ``scenario_runs``).  The deadline is consulted between pool
+        members: one scenario run is the staleness bound."""
         self.stats.bump("computed")
         results = []
         for spec in query.scenario_specs():
+            self._check_deadline(deadline)
             key = spec.spec_hash()
             result = memo_get(key)
             if result is None and self.result_cache is not None:
@@ -222,6 +274,15 @@ class QueryEngine:
                 if result is not None:
                     self.stats.bump("result_disk_hits")
                     memo_put(key, result)
+            if result is None and self.result_store is not None:
+                result = self.result_store.get_result(key)
+                if result is not None:
+                    # promote the store hit into the faster tiers so
+                    # the next probe never re-scans the index
+                    self.stats.bump("store_hits")
+                    memo_put(key, result)
+                    if self.result_cache is not None:
+                        self.result_cache.put(spec, result)
             if result is None:
                 self.stats.bump("scenario_runs")
                 result = run_scenario(spec)
@@ -294,9 +355,13 @@ class QueryEngine:
         if self.result_cache is not None:
             snap["result_cache_disk_reads"] = self.result_cache.disk_reads
             snap["result_cache_disk_writes"] = self.result_cache.disk_writes
+            snap["result_cache_read_errors"] = \
+                self.result_cache.cache_read_errors
         if self.answer_cache is not None:
             snap["answer_cache_disk_reads"] = self.answer_cache.disk_reads
             snap["answer_cache_disk_writes"] = self.answer_cache.disk_writes
+            snap["answer_cache_read_errors"] = \
+                self.answer_cache.cache_read_errors
         return snap
 
     def disk_io(self) -> int:

@@ -1,0 +1,433 @@
+"""The work-stealing fleet and the consolidated results store.
+
+Contracts pinned here:
+
+- **claims are exclusive** — the atomic-rename steal has exactly one
+  winner per point;
+- **store appends are deduplicated and torn-tolerant** — one record
+  per (label, spec hash), readers skip a killed writer's trailing
+  line, ``backfill`` absorbs only complete non-shard manifests;
+- **byte-identity** — a fleet run's manifest is byte-for-byte the
+  manifest a serial unsharded sweep writes;
+- **fault paths** — a worker SIGKILLed mid-point is detected and its
+  point reassigned *exactly once* with no duplicate store/cache
+  writes; a point that keeps killing workers is quarantined as poison
+  after its retry budget, with a monotone backoff trail, while every
+  other point still completes.
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.fleet import (
+    FleetDirs,
+    FleetDispatcher,
+    ResultStore,
+    backoff_delay,
+    requeue_task,
+)
+from repro.fleet.cli import main as fleet_main
+from repro.scenarios import SCENARIOS, expand_grid, run_scenario
+from repro.scenarios.cli import main as scenarios_main
+from repro.scenarios.runner import ResultCache, clear_memo
+from repro.scenarios.spec import PlatformPlan, ScenarioSpec
+
+#: The cheap all-deploy grid of test_sharding.py: 12 points, each only
+#: builds and settles a small overlay (~tens of ms).
+DEPLOY_ARGS = [
+    "--set", "platform.n_hosts=32", "--set", "n_peers=4,6,8",
+    "--set", "n_zones=1,2", "--set", "seed=2011,2013",
+]
+DEPLOY_GRID = {
+    "platform.n_hosts": (32,), "n_peers": (4, 6, 8),
+    "n_zones": (1, 2), "seed": (2011, 2013),
+}
+SCENARIO = "large-overlay-512"
+
+
+def _specs():
+    return expand_grid(SCENARIOS[SCENARIO].base, DEPLOY_GRID)
+
+
+def _spawn_env(**extra):
+    """Worker-subprocess env with the repo's src on PYTHONPATH, so the
+    fleet tests pass regardless of how pytest itself was launched."""
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_FLEET_FAULT", None)
+    env.update(extra)
+    return env
+
+
+def _serial_manifest(cache: Path) -> Path:
+    assert scenarios_main(
+        ["sweep", SCENARIO, "--serial", "--label", "g",
+         "--cache-dir", str(cache)] + DEPLOY_ARGS
+    ) == 0
+    return cache / "sweeps" / "g.json"
+
+
+def _probe_result(seed=1):
+    spec = ScenarioSpec(
+        name="store-probe", kind="deploy", seed=seed,
+        platform=PlatformPlan(kind="cluster", n_hosts=8), n_peers=4,
+    )
+    return spec, run_scenario(spec)
+
+
+# -- the consolidated store ---------------------------------------------------
+
+class TestResultStore:
+    def test_record_dedups_on_label_and_hash(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec, result = _probe_result()
+        assert store.record(spec, result, "a", SCENARIO) is True
+        assert store.record(spec, result, "a", SCENARIO) is False
+        # same hash under a different label is a distinct record
+        assert store.record(spec, result, "b", SCENARIO) is True
+        assert len(store) == 2
+        assert store.labels() == {"a": 1, "b": 1}
+        assert store.skipped == 1
+
+    def test_dedup_survives_reopening(self, tmp_path):
+        spec, result = _probe_result()
+        ResultStore(tmp_path).record(spec, result, "a", SCENARIO)
+        again = ResultStore(tmp_path)  # _seen loaded from disk
+        assert again.record(spec, result, "a", SCENARIO) is False
+        assert len(again) == 1
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec, result = _probe_result()
+        store.record(spec, result, "a", SCENARIO)
+        with open(store.index_path, "a") as fh:
+            fh.write('{"label": "a", "spec_hash": "beef", "trunc')
+        entries = list(ResultStore(tmp_path).entries())
+        assert len(entries) == 1
+        assert entries[0]["label"] == "a"
+
+    def test_sweep_points_dedups_per_hash_newest_wins(self, tmp_path):
+        spec, result = _probe_result()
+        old = dict(name=spec.name, spec_hash=result.spec_hash,
+                   label="a", scenario=SCENARIO,
+                   result=dict(result.to_dict(), t=1.0))
+        new = dict(old, result=dict(result.to_dict(), t=2.0))
+        # two appends of the same (label, hash) — the double-index a
+        # reassignment race could produce; bypass one instance's dedup
+        ResultStore(tmp_path).record_raw(old)
+        racer = ResultStore(tmp_path)
+        racer._seen.clear()  # noqa: SLF001 — simulate the blind racer
+        racer.record_raw(new)
+        points = ResultStore(tmp_path).sweep_points("a")
+        assert len(points) == 1
+        assert points[0]["result"]["t"] == 2.0
+
+    def test_get_result_returns_newest(self, tmp_path):
+        spec, result = _probe_result()
+        store = ResultStore(tmp_path)
+        store.record(spec, result, "a", SCENARIO)
+        assert store.get_result(result.spec_hash).canonical_json() \
+            == result.canonical_json()
+        assert store.get_result("nope") is None
+
+    def test_backfill_absorbs_only_complete_sweeps(self, tmp_path):
+        sweeps = tmp_path / "sweeps"
+        sweeps.mkdir()
+        spec, result = _probe_result()
+        point = {"name": spec.name, "spec_hash": result.spec_hash,
+                 "result": result.to_dict()}
+        (sweeps / "good.json").write_text(json.dumps(
+            {"label": "good", "scenario": SCENARIO, "points": [point]}
+        ))
+        (sweeps / "killed.json").write_text(json.dumps(
+            {"label": "killed", "scenario": SCENARIO,
+             "points": [point], "partial": True}
+        ))
+        (sweeps / "g.shard0of2.json").write_text(json.dumps(
+            {"label": "g", "scenario": SCENARIO, "points": [point],
+             "shard": {"index": 0, "count": 2, "n_points": 2}}
+        ))
+        (sweeps / "junk.json").write_text("{not json")
+        store = ResultStore(tmp_path)
+        stats = store.backfill(sweeps)
+        assert stats == {"manifests": 1, "points": 1,
+                         "skipped_manifests": 3}
+        assert store.labels() == {"good": 1}
+        # idempotent: a second backfill appends nothing
+        assert store.backfill(sweeps)["points"] == 0
+
+    def test_backfill_missing_dir_is_noop(self, tmp_path):
+        stats = ResultStore(tmp_path).backfill(tmp_path / "nope")
+        assert stats["manifests"] == 0
+
+
+# -- the steal protocol -------------------------------------------------------
+
+class TestProtocol:
+    def test_claim_has_exactly_one_winner(self, tmp_path):
+        dirs = FleetDirs(tmp_path / "f").create()
+        dirs.enqueue({"index": 0, "name": "p", "spec_hash": "h",
+                      "attempt": 1})
+        first = dirs.claim(0, "w0")
+        second = dirs.claim(0, "w1")
+        assert first is not None
+        assert second is None
+        claims = dirs.active_claims()
+        assert [c["worker"] for c in claims] == ["w0"]
+
+    def test_backoff_is_monotone_exponential(self):
+        delays = [backoff_delay(a, 0.5) for a in range(1, 6)]
+        assert delays == [0.5, 1.0, 2.0, 4.0, 8.0]
+
+    def test_requeue_exhausts_into_poison_with_history(self, tmp_path):
+        dirs = FleetDirs(tmp_path / "f").create()
+        task = {"index": 3, "name": "p", "spec_hash": "h", "attempt": 1}
+        assert requeue_task(dirs, task, max_retries=2,
+                            backoff_base=0.01, reason="first") is True
+        requeued = dirs.queued_tasks()[0]
+        assert requeued["attempt"] == 2
+        assert requeued["not_before"] > 0
+        assert requeue_task(dirs, requeued, max_retries=2,
+                            backoff_base=0.01, reason="second") is False
+        assert dirs.queued_tasks() == []
+        poison = dirs.poison_records()[3]
+        history = poison["attempts"]
+        assert [h["attempt"] for h in history] == [2, 3]
+        assert "second" in poison["reason"]
+        # monotone backoff: each retry waits strictly longer
+        gaps = [h["not_before"] - h["at"] for h in history]
+        assert gaps == sorted(gaps) and gaps[1] > gaps[0]
+
+    def test_heartbeats_roundtrip(self, tmp_path):
+        dirs = FleetDirs(tmp_path / "f").create()
+        dirs.beat("w0", 7, points_done=3)
+        beat = dirs.heartbeats()["w0"]
+        assert beat["point"] == 7 and beat["points_done"] == 3
+        assert beat["pid"] == os.getpid()
+
+
+# -- the dispatcher -----------------------------------------------------------
+
+class TestFleetRuns:
+    def test_fleet_manifest_byte_identical_to_serial_sweep(self, tmp_path):
+        serial = _serial_manifest(tmp_path / "serial")
+        clear_memo()  # the fleet must earn its points, not inherit them
+        outcome = FleetDispatcher(
+            _specs(), label="g", scenario=SCENARIO,
+            cache_dir=tmp_path / "fleet", workers=2,
+            heartbeat_interval=0.1, poll_interval=0.05,
+            wall_timeout=120.0, spawn_env=_spawn_env(),
+        ).run()
+        assert outcome.complete
+        assert outcome.computed == 12 and outcome.cached == 0
+        # at least two workers actually stole work
+        assert len(outcome.worker_points) >= 2
+        assert outcome.manifest_path.read_bytes() == serial.read_bytes()
+        # every computed point was indexed exactly once
+        assert len(ResultStore(tmp_path / "fleet")) == 12
+
+    def test_fleet_resolves_from_shared_cache_without_workers(
+            self, tmp_path):
+        cache = tmp_path / "shared"
+        serial = _serial_manifest(cache)
+        # same cache dir: every point is already answered on disk, so
+        # zero workers is enough and nothing recomputes
+        outcome = FleetDispatcher(
+            _specs(), label="g", scenario=SCENARIO, cache_dir=cache,
+            workers=0, wall_timeout=60.0,
+        ).run()
+        assert outcome.complete
+        assert outcome.cached == 12 and outcome.computed == 0
+        assert outcome.manifest_path.read_bytes() == serial.read_bytes()
+
+    def test_rerun_resumes_from_done_records(self, tmp_path):
+        cache = tmp_path / "fleet"
+        specs = _specs()
+        clear_memo()
+        first = FleetDispatcher(
+            specs, label="g", scenario=SCENARIO, cache_dir=cache,
+            workers=2, heartbeat_interval=0.1, poll_interval=0.05,
+            wall_timeout=120.0, spawn_env=_spawn_env(),
+        ).run()
+        assert first.complete
+        again = FleetDispatcher(
+            specs, label="g", scenario=SCENARIO, cache_dir=cache,
+            workers=0, wall_timeout=60.0,
+        ).run()
+        assert again.complete and again.computed == 0
+        assert again.manifest_path.read_bytes() \
+            == first.manifest_path.read_bytes()
+        # resume did not double-index the store
+        assert len(ResultStore(cache)) == 12
+
+
+class TestFleetFaults:
+    def test_sigkilled_worker_point_reassigned_exactly_once(
+            self, tmp_path):
+        """SIGKILL a worker mid-point: the dispatcher notices the dead
+        process, requeues its claimed point once, a surviving worker
+        computes it, and the sweep still lands byte-identical with no
+        duplicate store writes."""
+        serial = _serial_manifest(tmp_path / "serial")
+        clear_memo()
+        specs = _specs()
+        victim = specs[5].spec_hash()
+        dispatcher = FleetDispatcher(
+            specs, label="g", scenario=SCENARIO,
+            cache_dir=tmp_path / "fleet", workers=2,
+            heartbeat_interval=0.1, poll_interval=0.05,
+            backoff_base=0.05, wall_timeout=120.0,
+            spawn_env=_spawn_env(
+                REPRO_FLEET_FAULT=f"{victim[:16]}=hang"
+            ),
+        )
+        box = {}
+
+        def drive():
+            box["outcome"] = dispatcher.run()
+
+        thread = threading.Thread(target=drive)
+        thread.start()
+        try:
+            # wait for a worker to claim the victim point (it hangs
+            # there, heartbeating, simulating a wedged machine)
+            claim = None
+            deadline = time.monotonic() + 60.0
+            while claim is None and time.monotonic() < deadline:
+                for c in dispatcher.dirs.active_claims():
+                    if c["spec_hash"] == victim:
+                        claim = c
+                time.sleep(0.02)
+            assert claim is not None, "victim point never claimed"
+            proc = dispatcher._procs[claim["worker"]]  # noqa: SLF001
+            os.kill(proc.pid, signal.SIGKILL)
+            while proc.poll() is None:
+                time.sleep(0.02)
+            # only now disarm: the requeued point must compute cleanly
+            (dispatcher.dirs.root / "fault-disarmed").write_text("")
+        finally:
+            thread.join(timeout=120.0)
+        assert not thread.is_alive()
+        outcome = box["outcome"]
+        assert outcome.complete
+        assert outcome.reassignments == {5: 1}
+        # exactly one done record per grid index, one store record per
+        # point: the reassignment produced no duplicate writes
+        done = dispatcher.dirs.done_records()
+        assert sorted(done) == list(range(12))
+        assert len(ResultStore(tmp_path / "fleet")) == 12
+        assert outcome.manifest_path.read_bytes() == serial.read_bytes()
+
+    def test_poison_point_quarantined_after_retry_budget(self, tmp_path):
+        """A point that crashes every worker that touches it burns its
+        retry budget (with monotone backoff), lands in poison/, and the
+        rest of the grid still completes — reported, never retried
+        forever."""
+        clear_memo()
+        specs = _specs()
+        victim = specs[3].spec_hash()
+        outcome = FleetDispatcher(
+            specs, label="g", scenario=SCENARIO,
+            cache_dir=tmp_path / "fleet", workers=1,
+            heartbeat_interval=0.1, poll_interval=0.05,
+            max_retries=2, backoff_base=0.05, wall_timeout=120.0,
+            spawn_env=_spawn_env(
+                REPRO_FLEET_FAULT=f"{victim[:16]}=exit"
+            ),
+        ).run()
+        assert not outcome.complete
+        assert sorted(outcome.poisoned) == [3]
+        assert len(outcome.points) == 11
+        record = outcome.poisoned[3]
+        assert record["spec_hash"] == victim
+        history = record["attempts"]
+        assert [h["attempt"] for h in history] == [2, 3]
+        # monotone backoff timestamps: attempts in order, each waiting
+        # strictly longer than the last
+        ats = [h["at"] for h in history]
+        assert ats == sorted(ats)
+        gaps = [h["not_before"] - h["at"] for h in history]
+        assert gaps[1] > gaps[0] > 0
+        # the manifest is partial — and compare refuses it, same as a
+        # killed sweep's
+        payload = json.loads(outcome.manifest_path.read_text())
+        assert payload["partial"] is True
+        assert scenarios_main(
+            ["compare", "g", "g", "--cache-dir",
+             str(tmp_path / "fleet")]
+        ) == 2
+
+
+# -- the fleet CLI ------------------------------------------------------------
+
+class TestFleetCli:
+    def test_run_rejects_path_labels(self, tmp_path, capsys):
+        assert fleet_main(
+            ["run", SCENARIO, "--label", "../evil",
+             "--cache-dir", str(tmp_path)]
+        ) == 2
+        assert "plain file name" in capsys.readouterr().err
+
+    def test_run_rejects_unknown_scenario(self, tmp_path, capsys):
+        assert fleet_main(
+            ["run", "no-such", "--cache-dir", str(tmp_path)]
+        ) == 2
+
+    def test_store_empty_listing(self, tmp_path, capsys):
+        assert fleet_main(["store", "--cache-dir", str(tmp_path)]) == 0
+        assert "store is empty" in capsys.readouterr().out
+
+    def test_backfill_then_compare_html_from_store(self, tmp_path,
+                                                   capsys):
+        """The history-to-report path: absorb two manifests into the
+        store, then render the HTML regression report straight from
+        the index — no manifest re-reads, regressions highlighted."""
+        sweeps = tmp_path / "sweeps"
+        sweeps.mkdir()
+        spec, result = _probe_result()
+
+        def manifest(label, t):
+            return {
+                "label": label, "scenario": SCENARIO,
+                "points": [
+                    {"name": f"p[x={x}]",
+                     "spec_hash": f"{result.spec_hash[:-2]}{x:02d}",
+                     "result": dict(result.to_dict(), t=t * (1 + x))}
+                    for x in range(3)
+                ],
+            }
+
+        (sweeps / "base.json").write_text(json.dumps(manifest("base", 1.0)))
+        (sweeps / "slow.json").write_text(json.dumps(manifest("slow", 2.0)))
+        assert fleet_main(["backfill", "--cache-dir", str(tmp_path)]) == 0
+        assert "6 points indexed" in capsys.readouterr().out
+        # the manifests are now redundant: compare reads the store
+        (sweeps / "base.json").unlink()
+        (sweeps / "slow.json").unlink()
+        out = tmp_path / "report.html"
+        assert fleet_main(
+            ["compare", "base", "slow", "--cache-dir", str(tmp_path),
+             "--html", str(out)]
+        ) == 0
+        html = out.read_text()
+        assert "<!DOCTYPE html>" in html
+        assert 'class="regression"' in html  # every row doubled
+        assert "base" in html and "slow" in html
+
+    def test_compare_markdown_falls_back_to_manifests(self, tmp_path,
+                                                      capsys):
+        _serial_manifest(tmp_path)
+        assert fleet_main(
+            ["compare", "g", "g", "--cache-dir", str(tmp_path),
+             "--over", "seed"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Sweep comparison" in out

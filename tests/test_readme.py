@@ -95,3 +95,24 @@ def test_readme_serve_examples_stay_parseable():
         for pair in getattr(args, "set", None) or []:
             path, _, value = pair.partition("=")
             probe.with_override(path, _parse_value(value))  # KeyError = stale
+
+
+def test_readme_fleet_examples_stay_parseable():
+    """Every fleet-CLI example parses against the real parser; `run`
+    examples name a real scenario and real spec fields."""
+    from repro.fleet.cli import build_parser
+    from repro.params import parse_grid_sets
+    from repro.scenarios import get_scenario
+
+    lines = _readme_cli_lines(module="repro.fleet")
+    assert lines, "README lost its fleet-CLI examples"
+    parser = build_parser()
+    for line in lines:
+        argv = shlex.split(line)[3:]  # drop `python -m repro.fleet`
+        args = parser.parse_args(argv)  # SystemExit(2) = stale example
+        if args.command == "run":
+            entry = get_scenario(args.name)  # KeyError = stale name
+            for path, values in parse_grid_sets(
+                getattr(args, "set", None) or []
+            ).items():
+                entry.base.with_override(path, values[0])  # KeyError

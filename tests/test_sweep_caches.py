@@ -139,3 +139,70 @@ class TestDeployTemplateCache:
         first = run_scenario(spec)
         second = run_scenario(spec)
         assert first.canonical_json() == second.canonical_json()
+
+
+class TestReadErrorTaxonomy:
+    """``JsonCache.load``'s error discipline: a missing or torn entry
+    is a legitimate miss (concurrent writers produce those), but an
+    *environmental* read error (permissions, I/O, a directory where a
+    file should be) is counted, logged once per path, and re-raised on
+    the second consecutive failure of the same entry — silent
+    recompute storms must not masquerade as cache misses."""
+
+    def _entry_as_directory(self, cache, spec):
+        """Turn the entry into a directory: ``read_text`` then raises
+        IsADirectoryError — an OSError that is *not* FileNotFoundError
+        (chmod tricks don't work for root, which CI runs as)."""
+        path = cache._path(spec.spec_hash())
+        path.unlink()
+        path.mkdir()
+        return path
+
+    def test_missing_entry_is_a_silent_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for _ in range(3):
+            assert cache.get(_spec()) is None
+        assert cache.cache_read_errors == 0
+
+    def test_torn_entry_is_a_silent_miss_forever(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        cache._path(spec.spec_hash()).write_text('{"torn": ')
+        for _ in range(3):
+            assert cache.get(spec) is None  # never escalates
+        assert cache.cache_read_errors == 0
+
+    def test_env_error_counts_then_reraises_on_second_failure(
+            self, tmp_path, caplog):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        cache.put(spec, run_scenario(spec))
+        self._entry_as_directory(cache, spec)
+        with caplog.at_level("WARNING", logger="repro.scenarios.cache"):
+            assert cache.get(spec) is None  # first failure: a miss
+        assert cache.cache_read_errors == 1
+        assert len(caplog.records) == 1
+        assert "treating as a miss" in caplog.records[0].getMessage()
+        with caplog.at_level("WARNING", logger="repro.scenarios.cache"):
+            with pytest.raises(OSError):
+                cache.get(spec)  # second consecutive failure: raise
+        assert cache.cache_read_errors == 2
+        # the path is logged once, not once per failure
+        assert len(caplog.records) == 1
+
+    def test_successful_read_resets_the_failure_streak(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        result = run_scenario(spec)
+        cache.put(spec, result)
+        path = self._entry_as_directory(cache, spec)
+        assert cache.get(spec) is None
+        assert cache.cache_read_errors == 1
+        # the entry heals (the flaky-mount scenario): a good read
+        # resets the streak, so the next failure is "first" again
+        path.rmdir()
+        cache.put(spec, result)
+        assert cache.get(spec) is not None
+        self._entry_as_directory(cache, spec)
+        assert cache.get(spec) is None  # a miss again, not a raise
+        assert cache.cache_read_errors == 2
