@@ -318,7 +318,10 @@ class SweepComparison:
     #: B/A ratio leaves this band (5% either way).
     HTML_RATIO_BAND = 0.05
 
-    def to_html(self) -> str:
+    def to_html(
+        self,
+        worker_stats: Optional[Sequence[Mapping[str, Any]]] = None,
+    ) -> str:
         """Self-contained static HTML regression report.
 
         One file, inline CSS, no scripts or external assets — safe to
@@ -327,6 +330,12 @@ class SweepComparison:
         regressions (B slower/worse on an increasing metric), rows
         below ``1 - HTML_RATIO_BAND`` as improvements; rows missing
         from one side are flagged unmatched.
+
+        ``worker_stats`` (rows shaped like
+        :meth:`repro.fleet.telemetry.WorkerStat.to_dict`) appends a
+        fleet-workers section: per-worker throughput with straggler
+        rows shaded — how a slow machine on the shared mount shows up
+        in the same artifact as the regression it caused.
         """
         esc = _html.escape
         show_completion = any(
@@ -392,6 +401,8 @@ class SweepComparison:
         pct_note = (" Percentile columns use the serve-tier estimator "
                     "over the same per-row pools the means aggregate."
                     if self.percentiles else "")
+        workers_section = _worker_stats_section(worker_stats) \
+            if worker_stats else ""
         return f"""<!DOCTYPE html>
 <html lang="en">
 <head>
@@ -412,6 +423,8 @@ class SweepComparison:
  tr.regression td {{ background: #fdecea; }}
  tr.improvement td {{ background: #e9f7ef; }}
  tr.unmatched td {{ background: #fff8e1; color: #7a6a1f; }}
+ tr.straggler td {{ background: #fdf1e6; color: #7a4a1f; }}
+ h2 {{ font-size: 1.1rem; margin-top: 2rem; }}
  .badge {{ font-size: .8em; border-radius: 3px; padding: 0 .35em;
           background: rgba(0,0,0,.08); white-space: nowrap; }}
  footer {{ margin-top: 1.5rem; color: #8a95a1; font-size: .85em; }}
@@ -432,10 +445,60 @@ class SweepComparison:
 {chr(10).join(body_rows)}
 </tbody>
 </table>
-<footer>Static report rendered by repro.analysis — no scripts, no
- external assets.</footer>
+{workers_section}<footer>Static report rendered by repro.analysis — no
+ scripts, no external assets.</footer>
 </body>
 </html>
+"""
+
+
+def _worker_stats_section(
+    worker_stats: Sequence[Mapping[str, Any]],
+) -> str:
+    """The fleet-workers/stragglers HTML block appended by
+    :meth:`SweepComparison.to_html` (rows shaped like
+    ``repro.fleet.telemetry.WorkerStat.to_dict``)."""
+    esc = _html.escape
+    header = ["worker", "points done", "pt/min", "mean s", "last s",
+              "in flight", "point age s", "last beat s", "flags"]
+    rows: List[str] = []
+    stragglers = 0
+    for stat in worker_stats:
+        straggler = bool(stat.get("straggler"))
+        stragglers += straggler
+        point = stat.get("point")
+        flags = "; ".join(str(r) for r in stat.get("reasons", ())) \
+            if straggler else ""
+        cells = [
+            esc(str(stat.get("worker", "?"))),
+            str(stat.get("points_done", 0)),
+            _fmt(stat.get("points_per_min")),
+            _fmt(stat.get("mean_latency")),
+            _fmt(stat.get("last_latency")),
+            "—" if point is None else esc(f"p{point}"),
+            _fmt(stat.get("point_age")),
+            _fmt(stat.get("beat_age")),
+            esc(flags) or "",
+        ]
+        tds = "".join(
+            f"<td>{c}</td>" if i in (0, 8) else f'<td class="num">{c}</td>'
+            for i, c in enumerate(cells)
+        )
+        cls = ' class="straggler"' if straggler else ""
+        rows.append(f"<tr{cls}>{tds}</tr>")
+    ths = "".join(f"<th>{esc(h)}</th>" for h in header)
+    note = (f"{stragglers} straggler{'s' if stragglers != 1 else ''} "
+            f"flagged" if stragglers else "no stragglers flagged")
+    return f"""<h2>Fleet workers</h2>
+<p class="meta">per-worker throughput from the fleet's heartbeat
+ telemetry · {esc(note)} · shaded rows fell below half the fleet-median
+ rate or stalled past 3× their mean claim-to-done latency.</p>
+<table>
+<thead><tr>{ths}</tr></thead>
+<tbody>
+{chr(10).join(rows)}
+</tbody>
+</table>
 """
 
 

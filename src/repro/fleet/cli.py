@@ -6,8 +6,10 @@
     python -m repro.fleet run fig10-cluster-o3 \
         --set n_peers=2,4,8 --set seed=2011,2013 --label churn-b
     python -m repro.fleet worker --fleet-dir .scenario-cache/fleet/churn-b
+    python -m repro.fleet stats churn-b
     python -m repro.fleet backfill
     python -m repro.fleet store
+    python -m repro.fleet store compact
     python -m repro.fleet compare churn-a churn-b --html report.html
 
 ``run`` is the dispatcher: it expands the grid exactly like
@@ -19,10 +21,12 @@ mount.  The resulting manifest is byte-identical to an unsharded
 serial sweep of the same grid.
 
 ``backfill`` absorbs pre-store sweep manifests into the consolidated
-``<cache>/store/index.jsonl``; ``store`` lists what the index holds;
-``compare`` diffs two labels **from the store** (falling back to
-sweep manifests for labels never indexed) and can render a static
-HTML regression report with ``--html``.
+``<cache>/store/index.jsonl``; ``store`` lists what the index holds
+and ``store compact`` rewrites it newest-per-key; ``stats`` prints a
+live per-worker throughput view of a fleet directory with stragglers
+flagged; ``compare`` diffs two labels **from the store** (falling
+back to sweep manifests for labels never indexed) and can render a
+static HTML regression report with ``--html``.
 """
 
 from __future__ import annotations
@@ -47,6 +51,7 @@ from .protocol import (
     HEARTBEAT_INTERVAL,
 )
 from .store import ResultStore
+from .telemetry import fleet_stats, format_stats
 from .worker import FleetWorker
 
 
@@ -74,6 +79,10 @@ def _print_outcome(outcome: FleetOutcome) -> None:
                   f"{record.get('reason', 'retry budget exhausted')}")
         print(f"# manifest is PARTIAL ({len(outcome.poisoned)} poisoned "
               f"points); compare will refuse it until they resolve")
+    for stat in outcome.worker_stats:
+        if stat.get("straggler"):
+            reasons = "; ".join(stat.get("reasons") or ())
+            print(f"# STRAGGLER {stat['worker']}: {reasons}")
     if outcome.manifest_path is not None:
         print(f"# sweep manifest: {outcome.manifest_path}")
 
@@ -126,8 +135,9 @@ def cmd_backfill(args: argparse.Namespace) -> int:
     store = ResultStore(args.cache_dir)
     stats = store.backfill(sweeps_dir(args.cache_dir))
     print(f"# backfill: {stats['points']} points indexed from "
-          f"{stats['manifests']} manifests "
-          f"({stats['skipped_manifests']} skipped, "
+          f"{stats['absorbed']} manifests "
+          f"({stats['already_indexed']} already indexed, "
+          f"{stats['skipped_manifests']} skipped, "
           f"{store.skipped} duplicate points)")
     print(f"# store: {len(store)} records at {store.index_path}")
     return 0
@@ -135,6 +145,14 @@ def cmd_backfill(args: argparse.Namespace) -> int:
 
 def cmd_store(args: argparse.Namespace) -> int:
     store = ResultStore(args.cache_dir)
+    if args.action == "compact":
+        stats = store.compact()
+        print(f"# store compacted: {stats['records_before']} -> "
+              f"{stats['records_after']} records "
+              f"({stats['dropped']} superseded dropped, "
+              f"{stats['bytes_after']} bytes, "
+              f"generation {stats['generation']})")
+        return 0
     labels = store.labels()
     if not labels:
         print(f"# store is empty ({store.index_path}); run a fleet or "
@@ -147,6 +165,17 @@ def cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    from .protocol import FleetDirs
+
+    fleet_dir = Path(args.cache_dir) / "fleet" / args.label
+    if not fleet_dir.is_dir():
+        raise _UsageError(f"no fleet directory for label {args.label!r} "
+                          f"under {args.cache_dir!r}")
+    print(format_stats(fleet_stats(FleetDirs(fleet_dir))), end="")
+    return 0
+
+
 def _sweep_data(ref: str, store: ResultStore, cache_dir: str):
     """A label's points — store-first, manifests as the fallback."""
     from ..analysis import SweepData
@@ -155,6 +184,20 @@ def _sweep_data(ref: str, store: ResultStore, cache_dir: str):
     if points:
         return SweepData(label=ref, points=points)
     return SweepData.from_manifest(_load_manifest(ref, cache_dir))
+
+
+def _html_worker_stats(label: str, cache_dir: str):
+    """Worker throughput rows for the HTML report's stragglers
+    section — from the candidate label's fleet directory, when one
+    exists and has heartbeats."""
+    from .protocol import FleetDirs
+    from .telemetry import worker_stats
+
+    fleet_dir = Path(cache_dir) / "fleet" / label
+    if not fleet_dir.is_dir():
+        return None
+    stats = worker_stats(FleetDirs(fleet_dir))
+    return [s.to_dict() for s in stats] or None
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -181,7 +224,11 @@ def cmd_compare(args: argparse.Namespace) -> int:
     except ValueError as exc:
         raise _UsageError(str(exc)) from None
     if args.html:
-        Path(args.html).write_text(comparison.to_html())
+        # worker rows come from the candidate label's fleet dir,
+        # falling back to the baseline's (whichever was fleet-run)
+        stats = _html_worker_stats(args.b, args.cache_dir) \
+            or _html_worker_stats(args.a, args.cache_dir)
+        Path(args.html).write_text(comparison.to_html(worker_stats=stats))
         print(f"# HTML report written to {args.html}")
         return 0
     text = (comparison.to_json() if args.format == "json"
@@ -256,9 +303,21 @@ def build_parser() -> argparse.ArgumentParser:
     add_cache_dir(backfill)
 
     store = sub.add_parser(
-        "store", help="list the consolidated store's labels"
+        "store", help="list the consolidated store's labels, or "
+                      "compact its index"
     )
+    store.add_argument("action", nargs="?", default="list",
+                       choices=("list", "compact"),
+                       help="'list' labels (default) or 'compact' the "
+                            "index to the newest record per point")
     add_cache_dir(store)
+
+    stats = sub.add_parser(
+        "stats", help="per-worker throughput for a fleet directory, "
+                      "stragglers flagged"
+    )
+    stats.add_argument("label", help="fleet label (<cache>/fleet/<label>)")
+    add_cache_dir(stats)
 
     compare = sub.add_parser(
         "compare",
@@ -296,6 +355,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "worker": cmd_worker,
         "backfill": cmd_backfill,
         "store": cmd_store,
+        "stats": cmd_stats,
         "compare": cmd_compare,
     }[args.command]
     try:

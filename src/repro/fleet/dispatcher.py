@@ -49,6 +49,7 @@ from .protocol import (
     requeue_task,
 )
 from .store import ResultStore
+from .telemetry import worker_stats as snapshot_worker_stats
 
 
 class FleetError(RuntimeError):
@@ -70,6 +71,10 @@ class FleetOutcome:
     reassignments: Dict[int, int] = field(default_factory=dict)
     #: Worker id → points it completed (stragglers are visible).
     worker_points: Dict[str, int] = field(default_factory=dict)
+    #: Final per-worker throughput rows (see
+    #: :mod:`repro.fleet.telemetry`): points/min, claim-to-done
+    #: latency, straggler flags — the end-of-run straggler report.
+    worker_stats: List[Dict[str, Any]] = field(default_factory=list)
     cached: int = 0
     computed: int = 0
     store_records: int = 0
@@ -205,7 +210,7 @@ class FleetDispatcher:
         sweep, another fleet) never reaches a worker — the same
         cache-first contract ``SweepRunner.run`` has.
         """
-        done = self.dirs.done_records()
+        done = self.dirs.done_indices()
         hits = 0
         for i, spec in enumerate(self.specs):
             if i in done:
@@ -284,6 +289,7 @@ class FleetDispatcher:
         """Requeue (or poison) every claim owned by a dead worker."""
         now = time.time()
         dead_cache: Dict[str, bool] = {}
+        done_indices: Optional[set] = None
         for claim in self.dirs.active_claims():
             wid = claim["worker"]
             if wid not in dead_cache:
@@ -291,7 +297,11 @@ class FleetDispatcher:
             if not dead_cache[wid]:
                 continue
             index = claim["index"]
-            if index in self.dirs.done_records():
+            if done_indices is None:
+                # listed once per reap, filename-only — not one full
+                # record parse per dead claim
+                done_indices = self.dirs.done_indices()
+            if index in done_indices:
                 # finished but died before releasing the claim: the
                 # done record is authoritative, just drop the claim
                 try:
@@ -323,27 +333,28 @@ class FleetDispatcher:
         cache = ResultCache(self.cache_dir)
         cached = self._seed_from_cache(cache)
         reassignments: Dict[int, int] = {}
-        unresolved = len(self.specs) - len(self.dirs.done_records())
+        unresolved = len(self.specs) - len(self.dirs.done_indices())
         if unresolved > 0:
             self._prime_traces()
             for _ in range(min(self.workers, unresolved)):
                 self._spawn_worker()
         try:
             while True:
-                done = self.dirs.done_records()
-                poison = self.dirs.poison_records()
-                if len(done) + len(poison) >= len(self.specs):
+                # filename-only progress listing: the supervision loop
+                # never parses record payloads, only `_reap` (for dead
+                # claims) and `_finalize` do
+                resolved = len(self.dirs.done_indices()) + \
+                    len(self.dirs.poison_indices())
+                if resolved >= len(self.specs):
                     break
                 self._reap(reassignments)
-                self._keep_staffed(
-                    len(self.specs) - len(done) - len(poison)
-                )
+                self._keep_staffed(len(self.specs) - resolved)
                 if self.wall_timeout is not None and \
                         time.monotonic() - started > self.wall_timeout:
                     raise FleetError(
                         f"fleet {self.label!r} exceeded its "
                         f"{self.wall_timeout}s wall timeout with "
-                        f"{len(self.specs) - len(done) - len(poison)} "
+                        f"{len(self.specs) - resolved} "
                         f"points unresolved"
                     )
                 time.sleep(self.poll_interval)
@@ -418,6 +429,10 @@ class FleetDispatcher:
             poisoned=dict(sorted(poison.items())),
             reassignments=reassignments,
             worker_points=dict(sorted(worker_points.items())),
+            # final heartbeats survive worker exit: the end-of-run
+            # throughput/straggler rows ride on the outcome
+            worker_stats=[s.to_dict()
+                          for s in snapshot_worker_stats(self.dirs)],
             cached=cached,
             # points resolved by workers *this run* (resumed and
             # cache-hit points count as cached, poison as neither)

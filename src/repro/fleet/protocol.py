@@ -94,18 +94,33 @@ class FleetDirs:
 
         Returns the task payload on success, None when another worker
         won the rename race (or the task left the queue meanwhile).
+
+        **Rename first, read second.**  The payload is read from the
+        claimed file in ``active/`` — the exact bytes the rename moved
+        — never from ``queue/`` beforehand.  Reading before the rename
+        opened a race with :func:`requeue_task`: a re-enqueue landing
+        between read and rename handed the winner the *stale* payload
+        (attempt counter and ``not_before`` backoff trail reset),
+        which could defeat the retry budget and un-quarantine a
+        poison-bound point.
         """
         src = self.queue / self.task_name(index)
         dst = self.active / f"p{index:06d}.{worker_id}.json"
         try:
-            payload = json.loads(src.read_text())
-        except (OSError, ValueError):
-            return None
-        try:
             os.rename(src, dst)
         except FileNotFoundError:
             return None  # lost the race: someone else owns it now
-        return payload
+        try:
+            return json.loads(dst.read_text())
+        except (OSError, ValueError):
+            # we own an unreadable claim (shared-mount hiccup: enqueue
+            # itself is atomic) — hand the file back untouched so the
+            # point stays claimable with its history intact
+            try:
+                os.rename(dst, src)
+            except OSError:
+                pass
+            return None
 
     def queued_tasks(self) -> List[Dict[str, Any]]:
         """Claimable tasks in index order (unreadable files skipped)."""
@@ -156,6 +171,31 @@ class FleetDirs:
             out[record["index"]] = record
         return out
 
+    def done_indices(self) -> set:
+        """Finished grid indices, parsed from *filenames only* — no
+        file is opened, so this is safe to poll at scale."""
+        return self._indices(self.done)
+
+    def poison_indices(self) -> set:
+        """Quarantined grid indices (filename-only, like
+        :meth:`done_indices`)."""
+        return self._indices(self.poison)
+
+    @staticmethod
+    def _indices(directory: Path) -> set:
+        out = set()
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            return out
+        for name in names:
+            if name.startswith("p") and name.endswith(".json"):
+                try:
+                    out.add(int(name[1:-len(".json")]))
+                except ValueError:
+                    continue
+        return out
+
     def mark_poison(self, task: Dict[str, Any], reason: str) -> None:
         payload = dict(task)
         payload.pop("_path", None)
@@ -175,12 +215,23 @@ class FleetDirs:
 
     # -- liveness -----------------------------------------------------------
     def beat(self, worker_id: str, point: Optional[int],
-             points_done: int = 0) -> None:
-        """Rewrite a worker's heartbeat (atomic)."""
-        atomic_write_text(self.workers / f"{worker_id}.json", json.dumps({
+             points_done: int = 0,
+             telemetry: Optional[Dict[str, Any]] = None) -> None:
+        """Rewrite a worker's heartbeat (atomic).
+
+        ``telemetry`` merges extra throughput fields into the record
+        (``points_per_min``, ``mean_latency``, ``last_latency``,
+        ``point_age``, ``uptime`` — see
+        :mod:`repro.fleet.telemetry`); the core liveness fields always
+        win a key collision.
+        """
+        payload: Dict[str, Any] = dict(telemetry or {})
+        payload.update({
             "worker": worker_id, "ts": time.time(), "pid": os.getpid(),
             "point": point, "points_done": points_done,
-        }, sort_keys=True))
+        })
+        atomic_write_text(self.workers / f"{worker_id}.json",
+                          json.dumps(payload, sort_keys=True))
 
     def heartbeats(self) -> Dict[str, Dict[str, Any]]:
         out: Dict[str, Dict[str, Any]] = {}
@@ -214,6 +265,57 @@ class Requeue:
 
     requeued: List[int]
     poisoned: List[int]
+
+
+class ResolvedCounter:
+    """Monotone count of resolved (done + poison) points, cheap to poll.
+
+    The worker's steal loop asks "is the fleet resolved?" every poll
+    interval; globbing *and parsing* every ``done/`` + ``poison/``
+    file each time is O(points) JSON decodes at 10 Hz — the full-file
+    scan the store just shed, re-grown in the fleet dir.  This counter
+    re-lists (filenames only, no file opened) only when either
+    directory's mtime moved, and otherwise returns the cached count.
+
+    The count is **monotone**: resolved files are never removed while
+    a fleet runs, so the counter only ratchets up — a racing listing
+    that catches a directory mid-rename can undercount a snapshot but
+    never walk the counter backwards.  Because directory-mtime
+    granularity is filesystem-dependent, a cached value older than
+    ``recheck_interval`` seconds is re-verified even with unchanged
+    mtimes, so a same-tick landing can never stall resolution
+    (the dispatcher's ``stop`` flag is the belt to this suspender).
+    """
+
+    def __init__(self, dirs: FleetDirs,
+                 recheck_interval: float = 2.0) -> None:
+        self.dirs = dirs
+        self.recheck_interval = recheck_interval
+        self._count = 0
+        self._signature: Optional[tuple] = None
+        self._checked_at = 0.0
+
+    @staticmethod
+    def _mtime(path: Path) -> int:
+        try:
+            return os.stat(path).st_mtime_ns
+        except OSError:
+            return -1
+
+    def count(self) -> int:
+        """Resolved points right now (cached between mtime changes)."""
+        now = time.monotonic()
+        signature = (self._mtime(self.dirs.done),
+                     self._mtime(self.dirs.poison))
+        if signature == self._signature and \
+                now - self._checked_at < self.recheck_interval:
+            return self._count
+        fresh = len(self.dirs.done_indices()) + \
+            len(self.dirs.poison_indices())
+        self._count = max(self._count, fresh)
+        self._signature = signature
+        self._checked_at = now
+        return self._count
 
 
 def backoff_delay(attempt: int, base: float) -> float:

@@ -46,6 +46,7 @@ from .protocol import (
     DEFAULT_MAX_RETRIES,
     HEARTBEAT_INTERVAL,
     FleetDirs,
+    ResolvedCounter,
     requeue_task,
 )
 from .store import ResultStore
@@ -106,11 +107,43 @@ class FleetWorker:
         self.points_done = 0
         self._current: Optional[int] = None
         self._beat_stop = threading.Event()
+        self._resolved_counter = ResolvedCounter(self.dirs)
+        # throughput telemetry (read by the beat thread — plain float
+        # reads, no lock needed)
+        self._started = time.monotonic()
+        self._claim_started: Optional[float] = None
+        self._latency_sum = 0.0
+        self._latency_count = 0
+        self._last_latency: Optional[float] = None
 
     # -- liveness -----------------------------------------------------------
+    def _telemetry(self) -> dict:
+        """Throughput fields riding along in each heartbeat (the
+        dispatcher's and ``fleet stats``' straggler view)."""
+        elapsed = max(time.monotonic() - self._started, 1e-9)
+        out: dict = {
+            "points_per_min": round(60.0 * self.points_done / elapsed, 4),
+            "uptime": round(elapsed, 3),
+        }
+        if self._latency_count:
+            out["mean_latency"] = round(
+                self._latency_sum / self._latency_count, 4
+            )
+            out["last_latency"] = round(self._last_latency, 4)
+        claim_started = self._claim_started
+        if claim_started is not None:
+            out["point_age"] = round(
+                max(0.0, time.monotonic() - claim_started), 3
+            )
+        return out
+
+    def _beat(self) -> None:
+        self.dirs.beat(self.worker_id, self._current, self.points_done,
+                       telemetry=self._telemetry())
+
     def _beat_loop(self) -> None:
         while not self._beat_stop.wait(self.heartbeat_interval):
-            self.dirs.beat(self.worker_id, self._current, self.points_done)
+            self._beat()
 
     # -- fault injection (tests only) ---------------------------------------
     def _fault_action(self, spec_hash: str) -> Optional[str]:
@@ -138,17 +171,30 @@ class FleetWorker:
             if task.get("not_before", 0.0) > now:
                 continue  # backing off: not eligible yet
             claimed = self.dirs.claim(task["index"], self.worker_id)
-            if claimed is not None:
-                return claimed
+            if claimed is None:
+                continue
+            if claimed.get("not_before", 0.0) > now:
+                # a fresher requeue raced our claim: the payload we
+                # renamed carries a bumped backoff — honor it.  Hand
+                # the task back verbatim (enqueue before releasing the
+                # claim, so the point is never owner-less)
+                self.dirs.enqueue(claimed)
+                self.dirs.release(task["index"], self.worker_id)
+                continue
+            return claimed
         return None
 
     def _resolved(self) -> int:
-        return len(self.dirs.done_records()) + len(self.dirs.poison_records())
+        """Resolved (done + poison) points — the cached monotone
+        counter, not a per-poll parse of every record file."""
+        return self._resolved_counter.count()
 
     def _run_task(self, task: Dict[str, Any]) -> None:
         index = task["index"]
+        claimed_at = time.monotonic()
         self._current = index
-        self.dirs.beat(self.worker_id, index, self.points_done)
+        self._claim_started = claimed_at
+        self._beat()
         spec = ScenarioSpec.from_dict(task["spec"])
         self._inject_fault(spec.spec_hash())
         try:
@@ -168,6 +214,7 @@ class FleetWorker:
             return
         finally:
             self._current = None
+            self._claim_started = None
         # durability order: the cache write (inside run_cached)
         # happened first, the done record second, the claim release
         # last — dying between any two steps is recoverable
@@ -178,12 +225,17 @@ class FleetWorker:
         })
         self.dirs.release(index, self.worker_id)
         self.points_done += 1
+        # claim-to-done latency feeds the straggler telemetry
+        latency = max(0.0, time.monotonic() - claimed_at)
+        self._latency_sum += latency
+        self._latency_count += 1
+        self._last_latency = latency
 
     def run(self) -> int:
         """Steal until the fleet is resolved; returns points computed."""
         beat = threading.Thread(target=self._beat_loop,
                                 name=f"beat-{self.worker_id}", daemon=True)
-        self.dirs.beat(self.worker_id, None, 0)
+        self._beat()
         beat.start()
         try:
             while True:
@@ -199,5 +251,5 @@ class FleetWorker:
         finally:
             self._beat_stop.set()
             beat.join(timeout=2 * self.heartbeat_interval + 1.0)
-            self.dirs.beat(self.worker_id, None, self.points_done)
+            self._beat()
         return self.points_done

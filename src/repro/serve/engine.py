@@ -362,6 +362,13 @@ class QueryEngine:
             snap["answer_cache_disk_writes"] = self.answer_cache.disk_writes
             snap["answer_cache_read_errors"] = \
                 self.answer_cache.cache_read_errors
+        if self.result_store is not None:
+            snap["store_sidecar_rebuilds"] = \
+                self.result_store.sidecar_rebuilds
+            snap["store_sidecar_tail_refreshes"] = \
+                self.result_store.sidecar_tail_refreshes
+            snap["store_sidecar_persists"] = \
+                self.result_store.sidecar_persists
         return snap
 
     def disk_io(self) -> int:

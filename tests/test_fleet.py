@@ -29,11 +29,16 @@ import repro
 from repro.fleet import (
     FleetDirs,
     FleetDispatcher,
+    FleetWorker,
     ResultStore,
     backoff_delay,
+    fleet_stats,
+    format_stats,
     requeue_task,
+    worker_stats,
 )
 from repro.fleet.cli import main as fleet_main
+from repro.fleet.telemetry import WorkerStat, flag_stragglers
 from repro.scenarios import SCENARIOS, expand_grid, run_scenario
 from repro.scenarios.cli import main as scenarios_main
 from repro.scenarios.runner import ResultCache, clear_memo
@@ -83,6 +88,14 @@ def _probe_result(seed=1):
     return spec, run_scenario(spec)
 
 
+def _append_line(store, record):
+    """A concurrent writer's raw append: lands a physical line past
+    this process's dedup (the two-process refresh→write window)."""
+    with open(store.index_path, "a") as fh:
+        fh.write(json.dumps(record, sort_keys=True,
+                            separators=(",", ":")) + "\n")
+
+
 # -- the consolidated store ---------------------------------------------------
 
 class TestResultStore:
@@ -121,14 +134,31 @@ class TestResultStore:
                    result=dict(result.to_dict(), t=1.0))
         new = dict(old, result=dict(result.to_dict(), t=2.0))
         # two appends of the same (label, hash) — the double-index a
-        # reassignment race could produce; bypass one instance's dedup
-        ResultStore(tmp_path).record_raw(old)
-        racer = ResultStore(tmp_path)
-        racer._seen.clear()  # noqa: SLF001 — simulate the blind racer
-        racer.record_raw(new)
+        # reassignment race could produce; the second lands as a raw
+        # duplicate line, past any single instance's dedup
+        store = ResultStore(tmp_path)
+        store.record_raw(old)
+        _append_line(store, new)
         points = ResultStore(tmp_path).sweep_points("a")
         assert len(points) == 1
         assert points[0]["result"]["t"] == 2.0
+
+    def test_len_and_labels_dedup_duplicate_lines(self, tmp_path):
+        """Accounting must match what readers actually return: a
+        duplicate physical line from a concurrent writer counts
+        once in ``len``/``labels``, like it reads once."""
+        spec, result = _probe_result()
+        store = ResultStore(tmp_path)
+        store.record(spec, result, "a", SCENARIO)
+        _append_line(store, {
+            "spec_hash": result.spec_hash, "name": spec.name,
+            "label": "a", "scenario": SCENARIO,
+            "result": result.to_dict(),
+        })
+        assert store.index_path.read_text().count('"label":"a"') == 2
+        fresh = ResultStore(tmp_path)
+        assert len(fresh) == 1
+        assert fresh.labels() == {"a": 1}
 
     def test_get_result_returns_newest(self, tmp_path):
         spec, result = _probe_result()
@@ -137,6 +167,110 @@ class TestResultStore:
         assert store.get_result(result.spec_hash).canonical_json() \
             == result.canonical_json()
         assert store.get_result("nope") is None
+
+    def test_persisted_sidecar_is_adopted_not_rebuilt(self, tmp_path):
+        pairs = [_probe_result(seed=s) for s in (1, 2, 3)]
+        store = ResultStore(tmp_path)
+        for spec, result in pairs:
+            store.record(spec, result, "a", SCENARIO)
+        store.compact()  # persists a snapshot covering every record
+        assert store.offsets_path.exists()
+        fresh = ResultStore(tmp_path)
+        for _spec, result in pairs:
+            assert fresh.get_result(result.spec_hash).canonical_json() \
+                == result.canonical_json()
+        # the lookups went through the adopted sidecar: no full scan
+        assert fresh.sidecar_rebuilds == 0
+
+    def test_torn_sidecar_is_rebuilt_from_the_index(self, tmp_path):
+        spec, result = _probe_result()
+        store = ResultStore(tmp_path)
+        store.record(spec, result, "a", SCENARIO)
+        store.offsets_path.write_text('{"generation": 0, "cov')
+        fresh = ResultStore(tmp_path)
+        assert fresh.get_result(result.spec_hash).canonical_json() \
+            == result.canonical_json()
+        assert fresh.sidecar_rebuilds == 1
+        # the rebuild repaired the on-disk sidecar too
+        payload = json.loads(store.offsets_path.read_text())
+        assert payload["offsets"][result.spec_hash] == 0
+        assert payload["covers"] == store.index_path.stat().st_size
+
+    def test_lying_offsets_caught_by_hash_check(self, tmp_path):
+        """A sidecar with the right generation but wrong offsets (the
+        compaction-swap window) is caught by the read-back hash
+        mismatch and rebuilt — the sidecar can be stale, never
+        wrong."""
+        (s1, r1), (s2, r2) = _probe_result(seed=1), _probe_result(seed=2)
+        store = ResultStore(tmp_path)
+        store.record(s1, r1, "a", SCENARIO)
+        store.record(s2, r2, "a", SCENARIO)
+        store.compact()
+        payload = json.loads(store.offsets_path.read_text())
+        payload["offsets"][r1.spec_hash] = \
+            payload["offsets"][r2.spec_hash]
+        store.offsets_path.write_text(json.dumps(payload))
+        fresh = ResultStore(tmp_path)
+        assert fresh.get_result(r1.spec_hash).canonical_json() \
+            == r1.canonical_json()
+        assert fresh.sidecar_rebuilds == 1
+
+    def test_compaction_invalidates_warm_readers(self, tmp_path):
+        """A reader holding pre-compaction offsets sees the generation
+        bump on its next refresh and rebuilds instead of seeking into
+        the rewritten file."""
+        spec, result = _probe_result()
+        old = {"spec_hash": result.spec_hash, "name": spec.name,
+               "label": "a", "scenario": SCENARIO,
+               "result": dict(result.to_dict(), t=1.0)}
+        writer = ResultStore(tmp_path)
+        writer.record_raw(old)
+        reader = ResultStore(tmp_path)
+        assert reader.get_result(result.spec_hash).t == 1.0
+        # a concurrent writer lands a newer duplicate, then compacts
+        _append_line(writer, dict(old, result=dict(result.to_dict(),
+                                                   t=2.0)))
+        writer.compact()
+        assert reader.get_result(result.spec_hash).t == 2.0
+        assert reader.sidecar_rebuilds >= 1
+
+    def test_compaction_preserves_every_read(self, tmp_path):
+        """Compacted and uncompacted stores answer identically:
+        ``sweep_points`` (order included), ``labels``, ``len``, and
+        per-hash ``get_result`` — pinned via canonical JSON."""
+        pairs = [_probe_result(seed=s) for s in (1, 2, 3)]
+        store = ResultStore(tmp_path)
+        for spec, result in pairs:
+            store.record(spec, result, "a", SCENARIO)
+        store.record(pairs[0][0], pairs[0][1], "b", SCENARIO)
+        # a newer duplicate for one key: compaction must keep it
+        s1, r1 = pairs[1]
+        _append_line(store, {
+            "spec_hash": r1.spec_hash, "name": s1.name, "label": "a",
+            "scenario": SCENARIO,
+            "result": dict(r1.to_dict(), t=99.0),
+        })
+
+        def snapshot(view):
+            return (
+                json.dumps(view.sweep_points("a"), sort_keys=True),
+                json.dumps(view.sweep_points("b"), sort_keys=True),
+                view.labels(), len(view),
+                {r.spec_hash: view.get_result(r.spec_hash)
+                               .canonical_json()
+                 for _s, r in pairs},
+            )
+
+        before = snapshot(ResultStore(tmp_path))
+        stats = store.compact()
+        assert stats["records_before"] == 5
+        assert stats["records_after"] == 4 and stats["dropped"] == 1
+        assert stats["generation"] == 1
+        assert snapshot(ResultStore(tmp_path)) == before
+        # compaction is idempotent (apart from the generation bump)
+        again = store.compact()
+        assert again["dropped"] == 0 and again["generation"] == 2
+        assert snapshot(ResultStore(tmp_path)) == before
 
     def test_backfill_absorbs_only_complete_sweeps(self, tmp_path):
         sweeps = tmp_path / "sweeps"
@@ -158,11 +292,15 @@ class TestResultStore:
         (sweeps / "junk.json").write_text("{not json")
         store = ResultStore(tmp_path)
         stats = store.backfill(sweeps)
-        assert stats == {"manifests": 1, "points": 1,
+        assert stats == {"manifests": 1, "absorbed": 1,
+                         "already_indexed": 0, "points": 1,
                          "skipped_manifests": 3}
         assert store.labels() == {"good": 1}
-        # idempotent: a second backfill appends nothing
-        assert store.backfill(sweeps)["points"] == 0
+        # idempotent: a second backfill appends nothing — and reports
+        # the manifest as already indexed, not as fresh work
+        again = store.backfill(sweeps)
+        assert again["points"] == 0 and again["absorbed"] == 0
+        assert again["already_indexed"] == 1
 
     def test_backfill_missing_dir_is_noop(self, tmp_path):
         stats = ResultStore(tmp_path).backfill(tmp_path / "nope")
@@ -182,6 +320,59 @@ class TestProtocol:
         assert second is None
         claims = dirs.active_claims()
         assert [c["worker"] for c in claims] == ["w0"]
+
+    def test_claim_returns_the_payload_it_renamed(self, tmp_path,
+                                                  monkeypatch):
+        """The requeue/claim interleave: a bumped payload re-enqueued
+        in the window just before the claim's rename must be what the
+        winner receives.  Read-then-rename handed back the *stale*
+        payload — attempt counter and backoff trail reset — which
+        could defeat the retry budget."""
+        dirs = FleetDirs(tmp_path / "f").create()
+        v1 = {"index": 0, "name": "p", "spec_hash": "h", "attempt": 1}
+        dirs.enqueue(v1)
+        real_rename = os.rename
+
+        def racing_rename(src, dst):
+            # the requeue lands its bumped payload first (enqueue is
+            # os.replace-based, so no recursion), then the claim's
+            # rename moves that fresh file
+            dirs.enqueue(dict(v1, attempt=2, not_before=123.0,
+                              attempts=[{"attempt": 2}]))
+            return real_rename(src, dst)
+
+        monkeypatch.setattr(os, "rename", racing_rename)
+        claimed = dirs.claim(0, "w0")
+        assert claimed is not None
+        assert claimed["attempt"] == 2
+        assert claimed["not_before"] == 123.0
+
+    def test_worker_hands_back_a_raced_backoff(self, tmp_path,
+                                               monkeypatch):
+        """A claim that comes back carrying a future ``not_before``
+        (the requeue raced us) is re-enqueued verbatim and the claim
+        released — the worker must not compute through a backoff."""
+        cache = tmp_path / "cache"
+        dirs = FleetDirs(cache / "fleet" / "g").create()
+        dirs.write_grid({"label": "g", "scenario": SCENARIO,
+                         "n_points": 1})
+        worker = FleetWorker(dirs.root, cache_dir=cache,
+                             worker_id="w0")
+        dirs.enqueue({"index": 0, "name": "p", "spec_hash": "h",
+                      "attempt": 1})
+        future = time.time() + 60.0
+        real_claim = FleetDirs.claim
+
+        def racing_claim(self, index, worker_id):
+            claimed = real_claim(self, index, worker_id)
+            return None if claimed is None \
+                else dict(claimed, attempt=2, not_before=future)
+
+        monkeypatch.setattr(FleetDirs, "claim", racing_claim)
+        assert worker._try_claim() is None  # noqa: SLF001
+        (task,) = worker.dirs.queued_tasks()
+        assert task["attempt"] == 2 and task["not_before"] == future
+        assert worker.dirs.active_claims() == []
 
     def test_backoff_is_monotone_exponential(self):
         delays = [backoff_delay(a, 0.5) for a in range(1, 6)]
@@ -212,6 +403,114 @@ class TestProtocol:
         beat = dirs.heartbeats()["w0"]
         assert beat["point"] == 7 and beat["points_done"] == 3
         assert beat["pid"] == os.getpid()
+
+    def test_resolved_counter_tracks_and_never_regresses(self, tmp_path):
+        dirs = FleetDirs(tmp_path / "f").create()
+        from repro.fleet import ResolvedCounter
+
+        counter = ResolvedCounter(dirs, recheck_interval=0.0)
+        assert counter.count() == 0
+        dirs.mark_done({"index": 0, "name": "p", "spec_hash": "h"})
+        dirs.mark_poison({"index": 1, "name": "q", "spec_hash": "i"},
+                         reason="bad")
+        assert counter.count() == 2
+        # resolved files never disappear mid-fleet, so a (simulated)
+        # racy undercount must not walk the counter backwards
+        os.unlink(dirs.done / dirs.task_name(0))
+        assert counter.count() == 2
+
+    def test_resolved_counter_caches_between_mtime_changes(
+            self, tmp_path):
+        dirs = FleetDirs(tmp_path / "f").create()
+        from repro.fleet import ResolvedCounter
+
+        counter = ResolvedCounter(dirs, recheck_interval=3600.0)
+        dirs.mark_done({"index": 0, "name": "p", "spec_hash": "h"})
+        assert counter.count() == 1
+        calls = {"n": 0}
+        real = dirs.done_indices
+
+        def counted():
+            calls["n"] += 1
+            return real()
+
+        dirs.done_indices = counted
+        # unchanged directories + a fresh check: the cache answers
+        assert counter.count() == 1
+        assert calls["n"] == 0
+        dirs.mark_done({"index": 1, "name": "q", "spec_hash": "i"})
+        # force the mtime tick (filesystem granularity can be coarse)
+        stat = os.stat(dirs.done)
+        os.utime(dirs.done, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1))
+        assert counter.count() == 2
+        assert calls["n"] == 1
+
+
+# -- straggler telemetry ------------------------------------------------------
+
+class TestTelemetry:
+    def test_rate_rule_flags_slow_worker(self):
+        fast = [WorkerStat(worker=f"w{i}", points_done=10,
+                           points_per_min=10.0) for i in range(2)]
+        slow = WorkerStat(worker="slow", points_done=1,
+                          points_per_min=2.0)
+        workers = fast + [slow]
+        flag_stragglers(workers)
+        assert slow.straggler
+        assert "median" in slow.reasons[0]
+        assert not any(w.straggler for w in fast)
+
+    def test_rate_rule_needs_two_productive_workers(self):
+        # one productive worker has no fleet to be slower than; an
+        # idle worker is not a straggler, it just hasn't stolen yet
+        only = WorkerStat(worker="w0", points_done=1,
+                          points_per_min=0.01)
+        idle = WorkerStat(worker="w1", points_done=0,
+                          points_per_min=0.0)
+        workers = [only, idle]
+        flag_stragglers(workers)
+        assert not any(w.straggler for w in workers)
+
+    def test_stall_rule_flags_wedged_point(self):
+        stuck = WorkerStat(worker="w0", points_done=5,
+                           points_per_min=5.0, mean_latency=1.0,
+                           point=7, point_age=10.0)
+        flag_stragglers([stuck])
+        assert stuck.straggler
+        assert "in flight" in stuck.reasons[0]
+
+    def test_worker_stats_reads_heartbeat_telemetry(self, tmp_path):
+        dirs = FleetDirs(tmp_path / "f").create()
+        dirs.beat("w0", 3, points_done=4, telemetry={
+            "points_per_min": 8.0, "mean_latency": 0.5,
+            "last_latency": 0.4, "point_age": 0.2, "uptime": 30.0,
+        })
+        (stat,) = worker_stats(dirs, now=time.time() + 1.0)
+        assert stat.worker == "w0" and stat.points_done == 4
+        assert stat.points_per_min == 8.0
+        assert stat.point == 3 and stat.point_age == 0.2
+        assert stat.beat_age >= 1.0
+
+    def test_fleet_stats_snapshot_and_format(self, tmp_path):
+        dirs = FleetDirs(tmp_path / "f").create()
+        dirs.write_grid({"label": "g", "scenario": SCENARIO,
+                         "n_points": 4})
+        dirs.enqueue({"index": 2, "name": "p", "spec_hash": "h",
+                      "attempt": 1})
+        dirs.mark_done({"index": 0, "name": "p", "spec_hash": "h0"})
+        dirs.beat("fast", None, points_done=2,
+                  telemetry={"points_per_min": 10.0})
+        dirs.beat("slow", None, points_done=1,
+                  telemetry={"points_per_min": 1.0})
+        stats = fleet_stats(dirs)
+        assert stats.label == "g" and stats.n_points == 4
+        assert stats.done == 1 and stats.queued == 1
+        assert stats.active == 0
+        assert [w.worker for w in stats.stragglers] == ["slow"]
+        text = format_stats(stats)
+        assert "1/4 done" in text
+        assert "fast" in text and "slow" in text
+        assert "STRAGGLER" in text
 
 
 # -- the dispatcher -----------------------------------------------------------
@@ -384,6 +683,35 @@ class TestFleetCli:
     def test_store_empty_listing(self, tmp_path, capsys):
         assert fleet_main(["store", "--cache-dir", str(tmp_path)]) == 0
         assert "store is empty" in capsys.readouterr().out
+
+    def test_store_compact_reports_the_rewrite(self, tmp_path, capsys):
+        spec, result = _probe_result()
+        ResultStore(tmp_path).record(spec, result, "a", SCENARIO)
+        assert fleet_main(["store", "compact",
+                           "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "store compacted: 1 -> 1 records" in out
+        assert "generation 1" in out
+
+    def test_stats_unknown_label(self, tmp_path, capsys):
+        assert fleet_main(["stats", "nope",
+                           "--cache-dir", str(tmp_path)]) == 2
+        assert "no fleet directory" in capsys.readouterr().err
+
+    def test_stats_lists_workers_and_stragglers(self, tmp_path, capsys):
+        dirs = FleetDirs(tmp_path / "fleet" / "g").create()
+        dirs.write_grid({"label": "g", "scenario": SCENARIO,
+                         "n_points": 3})
+        dirs.beat("fast", None, points_done=2,
+                  telemetry={"points_per_min": 10.0})
+        dirs.beat("slow", None, points_done=1,
+                  telemetry={"points_per_min": 1.0})
+        assert fleet_main(["stats", "g",
+                           "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fleet 'g'" in out
+        assert "fast" in out and "slow" in out
+        assert "STRAGGLER" in out
 
     def test_backfill_then_compare_html_from_store(self, tmp_path,
                                                    capsys):

@@ -616,6 +616,11 @@ def test_daemon_shutdown_op_drains(tmp_path):
 
 
 def test_daemon_no_thread_leak(tmp_path):
+    # settle first: a preceding test's daemon thread may still be
+    # exiting, and a baseline that counts it can never be reached again
+    deadline = time.time() + 5.0
+    while threading.active_count() > 1 and time.time() < deadline:
+        time.sleep(0.05)
     baseline = threading.active_count()
     engine = QueryEngine(cache_dir=tmp_path / "cache")
     # workers bounds concurrent *open* connections: six parked clients
