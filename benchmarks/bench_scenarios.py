@@ -220,6 +220,54 @@ def test_prediction_grid_smoke():
     assert int(rows[0][4]) > 0 and int(rows[2][4]) == 0
 
 
+def test_partition_grid_smoke():
+    """One representative point per lossy-network regime, timed — so
+    the cost of the reliability hardening (envelopes, acks, retry
+    timers, dedup sets) is tracked from day one.  The full 24-point
+    grid is the registered scenario; this smoke covers the regimes
+    without paying the whole grid in CI.
+    """
+    base = SCENARIOS["partition-grid"].base
+    faulty = (base.with_override("fault_plan.loss", 0.05)
+                  .with_override("fault_plan.partition_duration", 8.0))
+    cases = [
+        ("baseline (clean network)", base),
+        ("loss + partition, hardened", faulty),
+        ("loss + partition, unhardened",
+         faulty.with_override("fault_plan.retries", False)),
+    ]
+    rows = []
+    for label, spec in cases:
+        t0 = time.perf_counter()
+        result = run_scenario(spec)
+        wall = time.perf_counter() - t0
+        rows.append([
+            label, f"{wall:.2f}", f"{result.t:.2f}",
+            f"{result.metrics['completed']:.0f}",
+            f"{result.metrics.get('messages_lost', 0.0):.0f}",
+            f"{result.metrics.get('reliable_retries', 0.0):.0f}",
+            f"{result.metrics['sim_events']:.0f}",
+        ])
+    print(format_table(
+        ["regime", "wall [s]", "sim t [s]", "completed",
+         "lost", "retries", "sim events"],
+        rows,
+    ))
+    append_bench_record("partition_grid_smoke", {
+        "regimes": [
+            {"regime": r[0], "wall_s": float(r[1]), "sim_t_s": float(r[2]),
+             "completed": int(r[3]), "messages_lost": int(r[4]),
+             "reliable_retries": int(r[5]), "sim_events": int(r[6])}
+            for r in rows
+        ],
+    })
+    # the hardening contrast must hold or this bench times the wrong
+    # thing: the hardened point completes through the faults, the
+    # unhardened ablation does not
+    assert rows[0][3] == "1" and rows[1][3] == "1" and rows[2][3] == "0"
+    assert int(rows[1][5]) > 0 and int(rows[2][5]) == 0
+
+
 # ---------------------------------------------------------------------------
 # replay hot path (the churn-grid inner loop)
 # ---------------------------------------------------------------------------

@@ -181,6 +181,22 @@ CHURN_METRICS = frozenset(
      "coordinator_crashes", "elections", "handoff_latency"}
 )
 
+#: Fault-injection telemetry (what the injector did, and the
+#: reliability hardening's response): meaningful on non-completed
+#: points for the same reason — an unhardened run that deadlocked
+#: *because of* 37 lost messages is the row that explains the
+#: P(complete) contrast.  Aggregated over all ``ok`` points, exactly
+#: like :data:`CHURN_METRICS`.
+FAULT_METRICS = frozenset(
+    {"messages_lost", "messages_duplicated", "messages_delayed",
+     "partition_blocked", "reliable_retries", "reliable_abandoned",
+     "duplicate_deliveries"}
+)
+
+#: Every metric that aggregates over all ``ok`` points (not only the
+#: completed ones).
+_ALL_OK_METRICS = CHURN_METRICS | FAULT_METRICS
+
 
 def _aggregate(points: Sequence[Mapping[str, Any]], metric: str,
                percentiles: Sequence[float] = ()):
@@ -192,7 +208,8 @@ def _aggregate(points: Sequence[Mapping[str, Any]], metric: str,
     count, matching the runner's contract that an engine error is
     never a completion-probability datum.  Timing metrics average over
     completed points only (a timed-out run has no makespan);
-    :data:`CHURN_METRICS` average over all ``ok`` points.  Requested
+    :data:`CHURN_METRICS` and :data:`FAULT_METRICS` average over all
+    ``ok`` points.  Requested
     ``percentiles`` are estimated over the same value pool the mean
     aggregates, by the shared :func:`~repro.analysis.percentiles
     .percentile` estimator — so a sweep report's P99 is definitionally
@@ -208,7 +225,7 @@ def _aggregate(points: Sequence[Mapping[str, Any]], metric: str,
         done = metrics.get("completed")
         if done is not None:
             completed.append(done)
-        if done == 0.0 and metric not in CHURN_METRICS:
+        if done == 0.0 and metric not in _ALL_OK_METRICS:
             continue
         value = result.get(metric)
         if value is None:

@@ -83,6 +83,11 @@ def _print_outcome(outcome: FleetOutcome) -> None:
         if stat.get("straggler"):
             reasons = "; ".join(stat.get("reasons") or ())
             print(f"# STRAGGLER {stat['worker']}: {reasons}")
+    if outcome.compaction is not None:
+        c = outcome.compaction
+        print(f"# store compacted at finalize: {c['records_before']} -> "
+              f"{c['records_after']} records ({c['dropped']} dropped, "
+              f"generation {c['generation']})")
     if outcome.manifest_path is not None:
         print(f"# sweep manifest: {outcome.manifest_path}")
 
@@ -107,6 +112,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             max_retries=args.max_retries,
             backoff_base=args.backoff_base,
             wall_timeout=args.wall_timeout,
+            compact_threshold=args.compact_threshold,
         )
         outcome = dispatcher.run()
     except FleetError as exc:
@@ -279,6 +285,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="exponential requeue backoff base (seconds)")
     run.add_argument("--wall-timeout", type=float, default=None,
                      help="abort the fleet after this many seconds")
+    run.add_argument("--compact-threshold", type=float, default=0.5,
+                     help="compact the consolidated store at finalize "
+                          "once this fraction of its records is "
+                          "superseded history (default 0.5; 1.0 "
+                          "disables auto-compaction)")
     add_cache_dir(run)
 
     worker = sub.add_parser(

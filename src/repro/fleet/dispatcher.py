@@ -78,6 +78,9 @@ class FleetOutcome:
     cached: int = 0
     computed: int = 0
     store_records: int = 0
+    #: ``store.compact()`` stats when the finalize-time auto-compaction
+    #: fired (superseded fraction above the threshold), else None.
+    compaction: Optional[Dict[str, int]] = None
     wall: float = 0.0
 
     @property
@@ -112,6 +115,13 @@ class FleetDispatcher:
     wall_timeout:
         Optional overall ceiling (seconds); exceeding it raises
         :class:`FleetError` after stopping the fleet.
+    compact_threshold:
+        Superseded-record fraction above which the consolidated store
+        is compacted at finalize (default 0.5 — compact once more than
+        half the index is shadowed history).  ``1.0`` disables the
+        auto-compaction (the fraction can never exceed 1).  Finalize
+        is the one moment the dispatcher knows no fleet worker is
+        appending, which is compaction's safety precondition.
     """
 
     def __init__(
@@ -128,6 +138,7 @@ class FleetDispatcher:
         heartbeat_interval: float = HEARTBEAT_INTERVAL,
         poll_interval: float = 0.1,
         wall_timeout: Optional[float] = None,
+        compact_threshold: float = 0.5,
         spawn_env: Optional[Dict[str, str]] = None,
     ) -> None:
         if not specs:
@@ -138,6 +149,10 @@ class FleetDispatcher:
             raise FleetError("liveness_timeout must be > 0")
         if max_retries < 1:
             raise FleetError("max_retries must be >= 1")
+        if not 0.0 <= compact_threshold <= 1.0:
+            raise FleetError(
+                f"compact_threshold must be in [0, 1], "
+                f"got {compact_threshold!r}")
         self.specs = list(specs)
         self.label = label
         self.scenario = scenario
@@ -149,6 +164,7 @@ class FleetDispatcher:
         self.heartbeat_interval = heartbeat_interval
         self.poll_interval = poll_interval
         self.wall_timeout = wall_timeout
+        self.compact_threshold = compact_threshold
         self.spawn_env = spawn_env
         self.dirs = FleetDirs(self.cache_dir / "fleet" / label)
         self._procs: Dict[str, subprocess.Popen] = {}
@@ -423,6 +439,14 @@ class FleetDispatcher:
         manifest_path = sweep_manifest.sweeps_dir(self.cache_dir) / \
             f"{self.label}.json"
         sweep_manifest.dump_manifest(payload, manifest_path)
+        # auto-compaction: reassignment races and resumed fleets leave
+        # superseded records behind; once they dominate the index,
+        # every streaming read pays for history.  Finalize is safe —
+        # the workers are joined, nobody is appending.
+        compaction = None
+        if self.compact_threshold < 1.0 and \
+                store.superseded_fraction() > self.compact_threshold:
+            compaction = store.compact()
         return FleetOutcome(
             label=self.label, scenario=self.scenario,
             manifest_path=manifest_path, points=points,
@@ -438,4 +462,5 @@ class FleetDispatcher:
             # cache-hit points count as cached, poison as neither)
             computed=max(0, len(points) - cached),
             store_records=store_records,
+            compaction=compaction,
         )

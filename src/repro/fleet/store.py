@@ -371,6 +371,17 @@ class ResultStore:
         self._refresh_sidecar()
         return sum(len(hashes) for hashes in self._keys.values())
 
+    def superseded_fraction(self) -> float:
+        """Fraction of physical records shadowed by a newer record of
+        the same ``(label, spec_hash)`` — what :meth:`compact` would
+        drop, as a ratio.  The dispatcher's auto-compaction trigger
+        compares this against its threshold at finalize; an empty
+        store is 0.0 (nothing to reclaim)."""
+        total = sum(1 for _ in self.entries())
+        if total == 0:
+            return 0.0
+        return (total - len(self)) / total
+
     # -- compaction ---------------------------------------------------------
     def compact(self) -> Dict[str, int]:
         """Rewrite the index keeping the newest record per

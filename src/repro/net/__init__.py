@@ -1,6 +1,7 @@
 """Flow-level network substrate (SimGrid-style fluid model)."""
 
 from .engine import FluidNetwork, TransferInfo
+from .faults import FaultInjector, FaultStats
 from .links import GBPS, KBPS, MBPS, MS, US, Link, TcpModel
 from .nodes import Dslam, Host, NetNode, Router
 from .sharing import maxmin_allocation, validate_allocation
@@ -8,6 +9,8 @@ from .topology import Topology
 
 __all__ = [
     "Dslam",
+    "FaultInjector",
+    "FaultStats",
     "FluidNetwork",
     "GBPS",
     "Host",

@@ -1,0 +1,135 @@
+"""Seeded network-fault injection: loss, duplication, jitter, partitions.
+
+A :class:`FaultInjector` sits at the message-transmission boundary
+(``Overlay.transport`` for the p2pdc control plane,
+``p2psap.Channel`` for the data plane) and decides, per message,
+whether to drop it, deliver it twice, delay it, or block it behind a
+scheduled zone partition.  Every decision is a draw from a *derived*
+seed stream (one per fault type), so enabling one fault never shifts
+another's draws and fault schedules never perturb the churn/rejoin
+streams the overlay owns — the same substream discipline the churn
+planner uses.
+
+The partition is a pure function of simulated time: while the window
+``[start, start + duration)`` is open, messages between hosts whose
+zones fall in different *groups* are blocked (and counted), and
+intra-group traffic flows normally.  No events are scheduled for it —
+an injector with nothing active has zero footprint on the agenda.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..desim.rng import derive_seed
+
+
+@dataclass
+class FaultStats:
+    """What the injector did to the message flow (per overlay)."""
+
+    messages_lost: int = 0
+    messages_duplicated: int = 0
+    messages_delayed: int = 0
+    partition_blocked: int = 0
+
+    def as_metrics(self) -> Dict[str, float]:
+        return {
+            "messages_lost": float(self.messages_lost),
+            "messages_duplicated": float(self.messages_duplicated),
+            "messages_delayed": float(self.messages_delayed),
+            "partition_blocked": float(self.partition_blocked),
+        }
+
+
+class FaultInjector:
+    """Per-message fault decisions from seeded substreams.
+
+    Parameters mirror ``repro.scenarios.spec.NetworkFaultPlan`` (this
+    module stays spec-free so the net layer keeps its import purity):
+    ``loss``/``duplication``/``jitter`` are Bernoulli probabilities,
+    ``jitter_delay`` the mean of the exponential extra delay, the
+    ``partition_*`` trio one scheduled zone partition, and ``zone_of``
+    the host-name → zone-index map the deployment derived.
+    """
+
+    def __init__(
+        self,
+        sim,
+        *,
+        loss: float = 0.0,
+        duplication: float = 0.0,
+        jitter: float = 0.0,
+        jitter_delay: float = 0.05,
+        partition_start: float = 0.0,
+        partition_duration: float = 0.0,
+        partition_zones: Sequence[Sequence[int]] = (),
+        zone_of: Optional[Dict[str, int]] = None,
+        seed: int = 2011,
+    ) -> None:
+        self.sim = sim
+        self.loss = loss
+        self.duplication = duplication
+        self.jitter = jitter
+        self.jitter_delay = jitter_delay
+        self.partition_start = partition_start
+        self.partition_end = partition_start + partition_duration
+        self.partitioned = partition_duration > 0
+        self.zone_of = dict(zone_of or {})
+        # zone → group id; zones in no declared group are singletons
+        # (and with no groups declared, every zone is its own island)
+        self._group: Dict[int, int] = {}
+        for gid, group in enumerate(partition_zones):
+            for zone in group:
+                self._group[int(zone)] = gid
+        self.stats = FaultStats()
+        # one independent stream per fault type: sweeping one
+        # probability never shifts another fault's draws
+        self._loss_rng = random.Random(derive_seed(seed, "fault-loss"))
+        self._dup_rng = random.Random(derive_seed(seed, "fault-dup"))
+        self._jitter_rng = random.Random(derive_seed(seed, "fault-jitter"))
+
+    # -- partition ----------------------------------------------------------
+    def _group_of(self, host_name: str) -> Tuple[int, int]:
+        """(group id, zone) — ungrouped zones are singleton groups,
+        encoded as (-1, zone) so two of them never compare equal."""
+        zone = self.zone_of.get(host_name, -1)
+        gid = self._group.get(zone)
+        return (gid, 0) if gid is not None else (-1, zone)
+
+    def blocked(self, src_host, dst_host) -> bool:
+        """Whether the partition window currently severs this pair."""
+        if not self.partitioned:
+            return False
+        now = self.sim.now
+        if not self.partition_start <= now < self.partition_end:
+            return False
+        if self._group_of(src_host.name) == self._group_of(dst_host.name):
+            return False
+        self.stats.partition_blocked += 1
+        return True
+
+    # -- per-message draws --------------------------------------------------
+    def drop(self) -> bool:
+        """Whether this message is lost in flight (counted)."""
+        if self.loss <= 0 or self._loss_rng.random() >= self.loss:
+            return False
+        self.stats.messages_lost += 1
+        return True
+
+    def duplicate(self) -> bool:
+        """Whether a second copy is delivered (counted)."""
+        if (self.duplication <= 0
+                or self._dup_rng.random() >= self.duplication):
+            return False
+        self.stats.messages_duplicated += 1
+        return True
+
+    def delay(self) -> float:
+        """Extra delivery delay in seconds (0.0 = undisturbed)."""
+        if self.jitter <= 0 or self._jitter_rng.random() >= self.jitter:
+            return 0.0
+        self.stats.messages_delayed += 1
+        return self._jitter_rng.expovariate(1.0 / self.jitter_delay)

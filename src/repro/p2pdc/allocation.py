@@ -165,7 +165,7 @@ class Submitter(Peer):
             right=ranks[rank + 1] if rank < n - 1 else None,
             catch_up=catch_up,
         )
-        self.send(via if via is not None else coord, SubtaskMsg(
+        self.send_critical(via if via is not None else coord, SubtaskMsg(
             self.ref, task_id=task_id, rank=rank, final_dst=ref,
             payload_bytes=workload.subtask_bytes, spec=assignment,
         ))
@@ -359,8 +359,9 @@ class Submitter(Peer):
                 sig = Signal(f"{self.name}:ready:{task_id}:{gi}:{attempt}")
                 self._group_ready[(task_id, gi)] = sig
                 ready_sigs.append(sig)
-                self.send(coord, GroupAssign(self.ref, task_id=task_id,
-                                             group_index=gi, peers=group))
+                self.send_critical(coord,
+                                   GroupAssign(self.ref, task_id=task_id,
+                                               group_index=gi, peers=group))
             readies = yield _all_of_with_timeout(
                 self.sim, ready_sigs, self.overlay.config.reserve_timeout * 3
             )
@@ -380,7 +381,7 @@ class Submitter(Peer):
                             # stand the replaced coordinator down: if
                             # it was merely slow (not dead) it drops
                             # its duty and rejoins as a plain member
-                            self.send(old, CoordHandoff(
+                            self.send_critical(old, CoordHandoff(
                                 self.ref, task_id=task_id, group_index=gi,
                                 old=old, new=coordinators[gi],
                                 demoted=True,
@@ -483,8 +484,8 @@ class Submitter(Peer):
         for ref in ranks:
             sig = Signal(f"{self.name}:flatrsv:{ref.name}")
             self._reserve_sigs[(task_id, ref.name)] = sig
-            self.send(ref, Reserve(self.ref, task_id=task_id,
-                                   coordinator=self.ref))
+            self.send_critical(ref, Reserve(self.ref, task_id=task_id,
+                                            coordinator=self.ref))
             result = yield AnyOf([
                 sig,
                 self.sim.timeout(self.overlay.config.reserve_timeout, "t/o"),
@@ -553,7 +554,7 @@ class Submitter(Peer):
             # a stand-in coordinator re-reporting a check its
             # predecessor already carried: replay the recorded verdict
             # to it directly instead of waiting on a stalled bucket
-            self.send(msg.sender, ConvergenceDecision(
+            self.send_critical(msg.sender, ConvergenceDecision(
                 self.ref, task_id=msg.task_id, check_index=msg.check_index,
                 stop=verdict, final_dst=None,
             ))
@@ -573,13 +574,13 @@ class Submitter(Peer):
                 duty = self._duties.get(msg.task_id)
                 if duty is not None:
                     for ref in duty.reserved:
-                        self.send(ref, ConvergenceDecision(
+                        self.send_critical(ref, ConvergenceDecision(
                             self.ref, task_id=msg.task_id,
                             check_index=msg.check_index, stop=stop,
                             final_dst=ref,
                         ))
             else:
-                self.send(coord, ConvergenceDecision(
+                self.send_critical(coord, ConvergenceDecision(
                     self.ref, task_id=msg.task_id,
                     check_index=msg.check_index, stop=stop, final_dst=None,
                 ))
@@ -653,7 +654,7 @@ class Submitter(Peer):
         # get instant decisions instead of stalling a bucket forever
         for check_index, stop in sorted(
                 self._decided_checks.get(msg.task_id, {}).items()):
-            self.send(msg.new, ConvergenceDecision(
+            self.send_critical(msg.new, ConvergenceDecision(
                 self.ref, task_id=msg.task_id, check_index=check_index,
                 stop=stop, final_dst=None,
             ))
@@ -761,8 +762,8 @@ class Submitter(Peer):
                     return  # task ended mid-hunt: stop reserving
                 sig = Signal(f"{self.name}:redsv:{task_id}:{rank}:{ref.name}")
                 self._reserve_sigs[(task_id, ref.name)] = sig
-                self.send(ref, Reserve(self.ref, task_id=task_id,
-                                       coordinator=coord))
+                self.send_critical(ref, Reserve(self.ref, task_id=task_id,
+                                                coordinator=coord))
                 result = yield AnyOf([
                     sig, self.sim.timeout(cfg.reserve_timeout, "timeout"),
                 ])
@@ -772,7 +773,9 @@ class Submitter(Peer):
                         self._dispatch_replacement(task_id, rank, coord, ref)
                         return
                     # reserved, but the task ended while we waited: undo
-                    self.send(ref, ReserveCancel(self.ref, task_id=task_id))
+                    self.send_critical(ref,
+                                       ReserveCancel(self.ref,
+                                                     task_id=task_id))
                     return
                 elif result[1] == "timeout":
                     # leave the signal registered: a positive ack past
@@ -796,7 +799,8 @@ class Submitter(Peer):
         if self._reserve_sigs.get((task_id, ref.name)) is sig:
             self._reserve_sigs.pop((task_id, ref.name), None)
             if sig._value is True:
-                self.send(ref, ReserveCancel(self.ref, task_id=task_id))
+                self.send_critical(ref,
+                                   ReserveCancel(self.ref, task_id=task_id))
 
     def _dispatch_replacement(self, task_id: int, rank: int,
                               coord: NodeRef, ref: NodeRef) -> None:
@@ -816,8 +820,9 @@ class Submitter(Peer):
             if 0 <= nb < n:
                 recipients.setdefault(ranks[nb].name, ranks[nb])
         for dst in recipients.values():
-            self.send(dst, RankUpdate(self.ref, task_id=task_id, rank=rank,
-                                      new_ref=ref))
+            self.send_critical(dst,
+                               RankUpdate(self.ref, task_id=task_id,
+                                          rank=rank, new_ref=ref))
         self._send_subtask(task_id, rank, ranks, task.workload, coord, ref,
                            catch_up=True)
         self.overlay.stats.count("redispatched_subtasks")

@@ -78,7 +78,7 @@ def _request_peers(submitter, tracker: NodeRef, want: int,
                    requirements: Dict[str, float], task_id: int,
                    log: CollectionLog):
     req_id, sig = submitter.new_request()
-    submitter.send(
+    submitter.send_critical(
         tracker,
         PeerRequest(
             submitter.ref, req_id=req_id, requirements=dict(requirements),
@@ -95,7 +95,7 @@ def _request_peers(submitter, tracker: NodeRef, want: int,
 
 def _ask_more_trackers(submitter, tracker: NodeRef, side: str):
     req_id, sig = submitter.new_request()
-    submitter.send(
+    submitter.send_critical(
         tracker,
         MoreTrackersRequest(submitter.ref, req_id=req_id, side=side),
     )

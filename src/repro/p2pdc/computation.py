@@ -244,7 +244,10 @@ class SubtaskExecution:
         # remembered so that, if the coordinator dies while we block on
         # the decision, the report can be re-sent to its stand-in
         self.peer.note_report(report)
-        self.peer.send(a.coordinator, report)
+        # a lost report (or a lost decision) blocks this generator on
+        # ``sig`` forever — the canonical lossy-network deadlock the
+        # reliability hardening exists to prevent
+        self.peer.send_critical(a.coordinator, report)
         decision = yield sig
         return bool(decision)
 

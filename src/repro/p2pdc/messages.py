@@ -436,3 +436,33 @@ class ConvergenceDecision(Message):
     stop: bool = False
     final_dst: Optional[NodeRef] = None
     SIZE = 96
+
+
+# -- reliable delivery (lossy-network hardening) ------------------------------
+
+@dataclass
+class Reliable(Message):
+    """Envelope for a critical control message under lossy networks.
+
+    Carries a per-sender monotone ``msg_id``; the receiver acks every
+    copy and dispatches the inner message exactly once (dedup on
+    ``(sender name, msg_id)``).  One envelope per hop: a relay wraps
+    the inner message in its *own* envelope for the next leg, so
+    concurrent retries on different hops never share identity.
+    """
+
+    inner: Message = None  # type: ignore[assignment]
+    msg_id: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        # envelope header on top of the wrapped message's wire size
+        return 32 + self.inner.size_bytes
+
+
+@dataclass
+class MsgAck(Message):
+    """Receiver's acknowledgement of one :class:`Reliable` envelope."""
+
+    ack_of: int = 0
+    SIZE = 64

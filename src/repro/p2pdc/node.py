@@ -14,7 +14,7 @@ from typing import Any, Dict, Optional
 from ..desim import Interrupt, Mailbox, Signal
 from ..net import Host
 from .ip import IPv4
-from .messages import Message, NodeRef, TimerFire
+from .messages import Message, MsgAck, NodeRef, Reliable, TimerFire
 
 
 class NodeActor:
@@ -44,6 +44,13 @@ class NodeActor:
         #: reusable ScheduledCall per timer tag — a chain that re-arms
         #: from its own firing reuses one handle for its whole life
         self._timer_calls: Dict[str, Any] = {}
+        #: reliable-delivery state (only touched when the overlay's
+        #: reliability hardening is on): per-node monotone envelope
+        #: ids, unacked sends awaiting retry, and the receiver-side
+        #: dedup set of (sender name, msg_id) pairs already dispatched
+        self._rel_counter = 0
+        self._rel_pending: Dict[int, Any] = {}
+        self._rel_seen: set = set()
         overlay.register(self)
 
     # -- identity ------------------------------------------------------------
@@ -71,6 +78,10 @@ class NodeActor:
         self.alive = False
         self._timer_epoch += 1
         self.mailbox.clear()
+        # unacked reliable sends die with the incarnation (the epoch
+        # guard already silences their retry timers); the dedup set
+        # survives, so a revived node still drops late duplicates
+        self._rel_pending.clear()
         if self.process is not None:
             self.process.interrupt("crash")
         self.overlay.stats.count("crashes")
@@ -107,6 +118,20 @@ class NodeActor:
                 raise RuntimeError(f"{self.name}: no timer handler {msg.tag!r}")
             handler(msg.payload)
             return
+        if cls is Reliable:
+            # every copy is re-acked (the ack itself may have been
+            # lost), the inner message dispatched exactly once
+            self.send(msg.sender, MsgAck(self._ref, ack_of=msg.msg_id))
+            key = (msg.sender.name, msg.msg_id)
+            if key in self._rel_seen:
+                self.overlay.stats.count("duplicate_deliveries")
+                return
+            self._rel_seen.add(key)
+            self._dispatch(msg.inner)
+            return
+        if cls is MsgAck:
+            self._rel_pending.pop(msg.ack_of, None)
+            return
         try:
             handler = self._handlers[cls]
         except KeyError:
@@ -121,6 +146,51 @@ class NodeActor:
     def send(self, dst: NodeRef, msg: Message) -> None:
         """Asynchronous control-plane send over the network."""
         self.overlay.transport(self, dst, msg)
+
+    def send_critical(self, dst: NodeRef, msg: Message) -> None:
+        """A send the protocol cannot afford to lose.
+
+        With the overlay's ``reliability`` hardening off (the
+        default) this is exactly :meth:`send` — no envelope, no
+        timers, bit-identical dynamics.  With it on, the message
+        travels in a :class:`Reliable` envelope with a per-node
+        monotone id: the receiver acks every copy and dispatches
+        exactly once, while this side retries under bounded
+        exponential backoff until acked or out of budget.  One
+        envelope per hop — a relay re-wraps for its own leg.
+        """
+        if not self.overlay.config.reliability:
+            self.send(dst, msg)
+            return
+        self._rel_counter += 1
+        msg_id = self._rel_counter
+        envelope = Reliable(self._ref, inner=msg, msg_id=msg_id)
+        self._rel_pending[msg_id] = (dst, envelope)
+        self.send(dst, envelope)
+        self._arm_rel_retry(msg_id, 0)
+
+    def _arm_rel_retry(self, msg_id: int, attempt: int) -> None:
+        # direct call_later with the incarnation guard: set_timer's
+        # per-tag handle reuse would collide for concurrent retries
+        cfg = self.overlay.config
+        delay = min(cfg.ack_timeout * 2.0 ** attempt, cfg.retry_backoff_cap)
+        self.sim.call_later(delay, self._rel_retry, self._timer_epoch,
+                            msg_id, attempt)
+
+    def _rel_retry(self, epoch: int, msg_id: int, attempt: int) -> None:
+        if not self.alive or self._timer_epoch != epoch:
+            return
+        entry = self._rel_pending.get(msg_id)
+        if entry is None:
+            return  # acked
+        if attempt >= self.overlay.config.max_send_retries:
+            del self._rel_pending[msg_id]
+            self.overlay.stats.count("reliable_abandoned")
+            return
+        dst, envelope = entry
+        self.overlay.stats.count("reliable_retries")
+        self.send(dst, envelope)
+        self._arm_rel_retry(msg_id, attempt + 1)
 
     def _timer_fire(self, epoch: int, tag: str, payload: Any) -> None:
         if self.alive and self._timer_epoch == epoch:

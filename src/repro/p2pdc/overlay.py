@@ -74,6 +74,16 @@ class OverlayConfig:
     #: makespan prediction, so a configured corruption would silently
     #: do nothing.
     prediction_error: PredictionError = PredictionError()
+    #: Control-plane hardening for lossy networks: critical messages
+    #: (dispatch, results, checkpoints, handoffs, registrations) are
+    #: wrapped in reliable envelopes with monotone ids, receiver-side
+    #: dedup, and ack/retry under bounded exponential backoff.  Off by
+    #: default: with reliability disabled the protocol behaves exactly
+    #: as before (no envelopes, no acks, no retry timers).
+    reliability: bool = False
+    ack_timeout: float = 1.0       # first reliable retry after this silence
+    max_send_retries: int = 6      # retries before a send is abandoned
+    retry_backoff_cap: float = 8.0  # ceiling on the doubling backoff
 
     def __post_init__(self) -> None:
         if self.grouping not in ("proximity", "random"):
@@ -116,6 +126,30 @@ class OverlayConfig:
             )
         if self.election_backoff <= 0:
             raise ValueError("election_backoff must be > 0")
+        if not isinstance(self.reliability, bool):
+            raise ValueError(
+                f"reliability must be a bool, got {self.reliability!r}"
+            )
+        if self.ack_timeout <= 0:
+            raise ValueError("ack_timeout must be > 0")
+        if self.max_send_retries < 1:
+            raise ValueError("max_send_retries must be >= 1")
+        if self.retry_backoff_cap < self.ack_timeout:
+            raise ValueError(
+                "retry_backoff_cap must be >= ack_timeout "
+                "(the cap bounds the doubling backoff from above)"
+            )
+
+    def retry_horizon(self) -> float:
+        """Worst-case seconds a reliable send keeps retrying before it
+        is abandoned: the sum of the capped doubling backoff delays.
+        Liveness monitors add this to their silence timeouts when
+        reliability is on, so a partition shorter than the retry
+        budget heals instead of being declared a crash."""
+        return sum(
+            min(self.ack_timeout * 2.0 ** k, self.retry_backoff_cap)
+            for k in range(self.max_send_retries)
+        )
 
 
 class Overlay:
@@ -151,6 +185,10 @@ class Overlay:
         #: runner); the submitter draws and arms the schedule at
         #: dispatch time, once the coordinators exist.
         self.coordinator_churn = None
+        #: Network-fault injector (:class:`repro.net.FaultInjector`),
+        #: attached by the deployment when a fault plan is active.
+        #: None keeps every send on the exact pre-fault code path.
+        self.faults = None
         self.registry: Dict[str, NodeActor] = {}
         self.server = None
         self.trackers: List = []
@@ -182,8 +220,23 @@ class Overlay:
             else:
                 self.stats.count("dropped_to_dead")
 
+        send_cb = deliver
+        faults = self.faults
+        if faults is not None:
+            # fixed draw order (partition → loss → jitter → dup), so
+            # the same spec always injects the same fault schedule
+            if faults.blocked(src.host, target.host) or faults.drop():
+                return
+            extra = faults.delay()
+            if extra > 0.0:
+                def send_cb(info, _extra=extra):
+                    self.sim.call_later(_extra, deliver, info)
+            if faults.duplicate():
+                # the second copy takes its own trip over the network
+                self.net.send(src.host, target.host, size, tag=type_name,
+                              callback=send_cb)
         self.net.send(src.host, target.host, size, tag=type_name,
-                      callback=deliver)
+                      callback=send_cb)
 
     # -- factories ---------------------------------------------------------------
     def create_server(self, host: Host, ip: str | IPv4, name: str = "server"):
@@ -250,7 +303,8 @@ class Overlay:
         if channel is None:
             other = self.registry[neighbor.name]
             context = channel_context_for(peer, other, scheme)
-            channel = Channel(self.sim, self.net, peer.host, other.host, context)
+            channel = Channel(self.sim, self.net, peer.host, other.host,
+                              context, faults=self.faults)
             self._data_channels[key] = channel
         return channel
 

@@ -150,7 +150,7 @@ class Peer(NodeActor):
         if self._join_attempt < len(self._join_candidates):
             target = self._join_candidates[self._join_attempt]
             self._join_attempt += 1
-            self.send(
+            self.send_critical(
                 target,
                 PeerJoin(self.ref, peer=self.ref, resources=self.resources),
             )
@@ -158,7 +158,8 @@ class Peer(NodeActor):
             server = self.overlay.server
             if server is not None:
                 req_id, _ = self.new_request()
-                self.send(server.ref, GetTrackers(self.ref, req_id=req_id))
+                self.send_critical(server.ref,
+                                   GetTrackers(self.ref, req_id=req_id))
         self.set_timer(self.overlay.config.update_ack_timeout, "join_retry")
 
     def timer_join_retry(self, _payload) -> None:
@@ -213,16 +214,20 @@ class Peer(NodeActor):
     # -- reservation ("reverse") ----------------------------------------------------------
     def handle_Reserve(self, msg: Reserve) -> None:
         if self.busy and self.current_task != msg.task_id:
-            self.send(msg.sender, ReserveAck(self.ref, task_id=msg.task_id,
-                                             accepted=False))
+            self.send_critical(msg.sender,
+                               ReserveAck(self.ref, task_id=msg.task_id,
+                                          accepted=False))
             return
         self.busy = True
         self.current_task = msg.task_id
         self.current_coordinator = msg.coordinator
         if self.tracker is not None:
             self.send(self.tracker, PeerBusy(self.ref, task_id=msg.task_id))
-        self.send(msg.sender, ReserveAck(self.ref, task_id=msg.task_id,
-                                         accepted=True))
+        # a lost positive ack would leave this peer reserved for a
+        # coordinator that counted it failed — busy for the whole run
+        self.send_critical(msg.sender,
+                           ReserveAck(self.ref, task_id=msg.task_id,
+                                      accepted=True))
 
     def _release(self) -> None:
         task_id = self.current_task
@@ -252,8 +257,9 @@ class Peer(NodeActor):
             duty.ranks.add(msg.rank)
             duty.version += 1
         if msg.final_dst is not None and msg.final_dst.name != self.name:
-            # coordinator relay toward the computing peer
-            self.send(msg.final_dst, msg)
+            # coordinator relay toward the computing peer (per-hop
+            # reliability: the relay leg gets its own envelope)
+            self.send_critical(msg.final_dst, msg)
             return
         if msg.task_id in self._executions:
             # duplicate dispatch (e.g. a DispatchGap re-relay racing
@@ -268,7 +274,7 @@ class Peer(NodeActor):
             # re-send it instead of recomputing, and free the
             # reservation so the peer can serve other lost ranks
             self.overlay.stats.count("resent_completed_results")
-            self.send(msg.spec.coordinator, done)
+            self.send_critical(msg.spec.coordinator, done)
             if self.current_task == msg.task_id:
                 self._release()
             return
@@ -311,7 +317,7 @@ class Peer(NodeActor):
             self._release()
             return
         self.completed_subtasks.append(result)
-        self.send(assignment.coordinator, result)
+        self.send_critical(assignment.coordinator, result)
         self._executions.pop(assignment.task_id, None)
         self._release()
 
@@ -338,7 +344,7 @@ class Peer(NodeActor):
             duty.version += 1
             for ref in duty.reserved:
                 if ref.name != self.name:
-                    self.send(
+                    self.send_critical(
                         ref,
                         ConvergenceDecision(
                             self.ref, task_id=msg.task_id,
@@ -376,8 +382,8 @@ class Peer(NodeActor):
                 continue
             sig = Signal(f"{self.name}:rsv:{duty.task_id}:{ref.name}")
             self._reserve_sigs[(duty.task_id, ref.name)] = sig
-            self.send(ref, Reserve(self.ref, task_id=duty.task_id,
-                                   coordinator=self.ref))
+            self.send_critical(ref, Reserve(self.ref, task_id=duty.task_id,
+                                            coordinator=self.ref))
             pending.append((ref, sig))
         if pending:
             yield AnyOf([  # wait for all acks or the timeout, whichever first
@@ -392,7 +398,7 @@ class Peer(NodeActor):
             self._reserve_sigs.pop((duty.task_id, ref.name), None)
         duty.reserved.sort(key=lambda r: int(r.ip))
         duty.expected_results = len(duty.reserved)
-        self.send(
+        self.send_critical(
             duty.submitter,
             GroupReady(
                 self.ref, task_id=duty.task_id, group_index=duty.group_index,
@@ -422,6 +428,13 @@ class Peer(NodeActor):
             return  # group done: let the monitor chain die
         cfg = self.overlay.config
         now = self.sim.now
+        # partition-aware silence: with the reliability hardening on, a
+        # member behind a healing partition answers once the retry
+        # budget delivers — don't declare it dead before that window
+        # has provably closed
+        silence = cfg.compute_ping_timeout
+        if cfg.reliability:
+            silence += cfg.retry_horizon()
         done_ranks = {r.rank for r in duty.results}
         for ref in list(duty.reserved):
             if ref.name == self.name:
@@ -430,7 +443,7 @@ class Peer(NodeActor):
             if rank is not None and rank in done_ranks:
                 continue  # result already in: nothing left to lose
             last = duty.last_heard.setdefault(ref.name, now)
-            if now - last > cfg.compute_ping_timeout and rank is not None:
+            if now - last > silence and rank is not None:
                 # silent past the timeout: its unfinished subtask goes
                 # back to the submitter's pending pool.  A member whose
                 # rank is not known yet (died between reservation and
@@ -441,7 +454,7 @@ class Peer(NodeActor):
                 duty.last_heard.pop(ref.name, None)
                 duty.version += 1
                 self.overlay.stats.count("subtasks_lost")
-                self.send(duty.submitter, SubtaskLost(
+                self.send_critical(duty.submitter, SubtaskLost(
                     self.ref, task_id=task_id, rank=rank, peer=ref,
                 ))
             else:
@@ -476,7 +489,7 @@ class Peer(NodeActor):
         duty.checkpointed = duty.version
         for ref in duty.reserved:
             if ref.name != self.name:
-                self.send(ref, checkpoint)
+                self.send_critical(ref, checkpoint)
 
     def handle_CoordPing(self, msg: CoordPing) -> None:
         # pong only while actually holding the duty — a coordinator
@@ -512,7 +525,13 @@ class Peer(NodeActor):
             return
         now = self.sim.now
         heard = self._coord_heard.setdefault(task_id, now)
-        if now - heard > cfg.coord_ping_timeout:
+        silence = cfg.coord_ping_timeout
+        if cfg.reliability:
+            # same partition-aware margin as the compute monitor: a
+            # coordinator sealed behind a healing partition is slow,
+            # not dead — electing over it would fork the group
+            silence += cfg.retry_horizon()
+        if now - heard > silence:
             dead = self._dead_coords.setdefault(task_id, set())
             if coord.name not in dead:
                 dead.add(coord.name)
@@ -610,15 +629,15 @@ class Peer(NodeActor):
                                old=dead_coord, new=self.ref)
         for ref in duty.reserved:
             if ref.name not in (self.name, dead_coord.name):
-                self.send(ref, handoff)
-        self.send(duty.submitter, handoff)
+                self.send_critical(ref, handoff)
+        self.send_critical(duty.submitter, handoff)
         if self.tracker is not None:
             # re-register the duty with the zone: the stand-in stays
             # busy and the dead coordinator's record is dropped early
-            self.send(self.tracker, handoff)
+            self.send_critical(self.tracker, handoff)
         # dispatches that died in flight with the old coordinator: ask
         # the submitter to re-relay every group rank we have never seen
-        self.send(duty.submitter, DispatchGap(
+        self.send_critical(duty.submitter, DispatchGap(
             self.ref, task_id=task_id, group_index=checkpoint.group_index,
             known_ranks=tuple(sorted(duty.ranks)),
         ))
@@ -645,7 +664,7 @@ class Peer(NodeActor):
         # coordinator's duty state: re-send (the stand-in dedups by rank)
         for result in self.completed_subtasks:
             if result.task_id == msg.task_id and new.name != self.name:
-                self.send(new, result)
+                self.send_critical(new, result)
         duty = self._duties.get(msg.task_id)
         if duty is not None and new.name != self.name:
             # duelling claims (detection skew beat the backoff grid):
@@ -667,9 +686,9 @@ class Peer(NodeActor):
                     demoted=True)
                 for ref in duty.reserved:
                     if ref.name not in (self.name, new.name):
-                        self.send(ref, reannounce)
-                self.send(new, reannounce)
-                self.send(duty.submitter, reannounce)
+                        self.send_critical(ref, reannounce)
+                self.send_critical(new, reannounce)
+                self.send_critical(duty.submitter, reannounce)
                 return
             del self._duties[msg.task_id]
             if (self.current_task == msg.task_id
@@ -692,7 +711,7 @@ class Peer(NodeActor):
         report = self._last_reports.get(msg.task_id)
         if (report is not None
                 and (msg.task_id, report.check_index) in self._decisions):
-            self.send(new, report)
+            self.send_critical(new, report)
 
     def handle_RankUpdate(self, msg: RankUpdate) -> None:
         duty = self._duties.get(msg.task_id)
@@ -737,7 +756,7 @@ class Peer(NodeActor):
         if msg.check_index in duty.decided:
             # a re-dispatched subtask catching up through an already-
             # decided check: replay the verdict so it keeps iterating
-            self.send(msg.sender, ConvergenceDecision(
+            self.send_critical(msg.sender, ConvergenceDecision(
                 self.ref, task_id=msg.task_id, check_index=msg.check_index,
                 stop=duty.decided[msg.check_index], final_dst=msg.sender,
             ))
@@ -747,7 +766,7 @@ class Peer(NodeActor):
         if (len(bucket) == duty.expected_results
                 and msg.check_index not in duty.reported_checks):
             duty.reported_checks.add(msg.check_index)
-            self.send(
+            self.send_critical(
                 duty.submitter,
                 GroupConvergence(
                     self.ref, task_id=msg.task_id,
@@ -769,7 +788,7 @@ class Peer(NodeActor):
         duty.results.append(msg)
         if len(duty.results) >= duty.expected_results and not duty.batch_sent:
             duty.batch_sent = True
-            self.send(
+            self.send_critical(
                 duty.submitter,
                 ResultBatch(
                     self.ref, task_id=msg.task_id,

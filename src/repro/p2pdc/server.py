@@ -58,7 +58,7 @@ class Server(NodeActor):
                 msg.sender.ip, self.overlay.config.bootstrap_tracker_count
             ),
         )
-        self.send(msg.sender, reply)
+        self.send_critical(msg.sender, reply)
 
     def handle_TrackerConnect(self, msg: TrackerConnect) -> None:
         self._trackers[msg.tracker.name] = msg.tracker

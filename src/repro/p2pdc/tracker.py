@@ -149,13 +149,15 @@ class Tracker(NodeActor):
         if self._join_attempt < len(self._join_candidates):
             target = self._join_candidates[self._join_attempt]
             self._join_attempt += 1
-            self.send(target, TrackerJoin(self.ref, new_tracker=self.ref))
+            self.send_critical(target,
+                               TrackerJoin(self.ref, new_tracker=self.ref))
             self.set_timer(self.overlay.config.update_ack_timeout, "join_retry")
         else:
             server = self.overlay.server
             if server is not None:
                 req_id, _sig = self.new_request()
-                self.send(server.ref, GetTrackers(self.ref, req_id=req_id))
+                self.send_critical(server.ref,
+                                   GetTrackers(self.ref, req_id=req_id))
                 self.set_timer(self.overlay.config.update_ack_timeout, "join_retry")
 
     def timer_join_retry(self, _payload) -> None:
@@ -174,14 +176,15 @@ class Tracker(NodeActor):
         new = msg.new_tracker
         closer = self._closest_to(new.ip)
         if closer is not None:
-            self.send(closer, msg)  # not mine: route toward the closest
+            # not mine: route toward the closest
+            self.send_critical(closer, msg)
             return
         # I am the closest tracker in the overlay.
         for ref in list(self.neighbors):
-            self.send(ref, NeighborAdd(self.ref, new_tracker=new))
+            self.send_critical(ref, NeighborAdd(self.ref, new_tracker=new))
         welcome_set = [self.ref] + list(self.neighbors)
         self.insert_neighbor(new)
-        self.send(new, TrackerWelcome(self.ref, neighbors=welcome_set))
+        self.send_critical(new, TrackerWelcome(self.ref, neighbors=welcome_set))
 
     def handle_NeighborAdd(self, msg: NeighborAdd) -> None:
         self.insert_neighbor(msg.new_tracker)
@@ -223,13 +226,14 @@ class Tracker(NodeActor):
         self._last_heard.pop(dead.name, None)
         server = self.overlay.server
         if server is not None:
-            self.send(server.ref, TrackerDisconnect(self.ref, ip=dead.ip))
+            self.send_critical(server.ref,
+                               TrackerDisconnect(self.ref, ip=dead.ip))
         # Inform my own side of the loss, handing them my far side so
         # they can refill their sets.
         my_side = self._below() if was_right else self._above()
         far_side = self._above() if was_right else self._below()
         for ref in my_side:
-            self.send(
+            self.send_critical(
                 ref,
                 NeighborsRepair(
                     self.ref, lost_ip=dead.ip,
@@ -240,7 +244,7 @@ class Tracker(NodeActor):
         # far lists so both ends rebuild their sets.
         survivor = self.right_adjacent if was_right else self.left_adjacent
         if survivor is not None:
-            self.send(
+            self.send_critical(
                 survivor,
                 NeighborsRepair(
                     self.ref, lost_ip=dead.ip,
@@ -273,12 +277,13 @@ class Tracker(NodeActor):
         peer = msg.peer
         closer = self._closest_to(peer.ip)
         if closer is not None and closer.role == "tracker":
-            self.send(closer, msg)
+            # registration routes hop by hop: each leg re-wrapped
+            self.send_critical(closer, msg)
             return
         self.zone[peer.name] = PeerRecord(
             ref=peer, resources=dict(msg.resources), last_update=self.sim.now
         )
-        self.send(
+        self.send_critical(
             peer,
             PeerAccept(self.ref, tracker=self.ref,
                        tracker_list=[self.ref] + list(self.neighbors)),
@@ -340,14 +345,14 @@ class Tracker(NodeActor):
                 matching.append(record.ref)
             if len(matching) >= msg.max_peers:
                 break
-        self.send(
+        self.send_critical(
             msg.sender,
             PeerListReply(self.ref, req_id=msg.req_id, peers=matching),
         )
 
     def handle_MoreTrackersRequest(self, msg: MoreTrackersRequest) -> None:
         trackers = self._above() if msg.side == "right" else self._below()
-        self.send(
+        self.send_critical(
             msg.sender,
             MoreTrackersReply(self.ref, req_id=msg.req_id, trackers=trackers),
         )

@@ -78,12 +78,17 @@ class Channel:
         host_b: Host,
         context: ChannelContext = ChannelContext(),
         mode: Optional[ProtocolMode] = None,
+        faults: object = None,
     ) -> None:
         self.cid = next(_ids)
         self.sim = sim
         self.net = net
         self.context = context
         self.mode = mode if mode is not None else select_mode(context)
+        #: Network-fault injector (:class:`repro.net.FaultInjector`)
+        #: shared with the overlay; None keeps every transfer on the
+        #: exact pre-fault code path.
+        self.faults = faults
         self.stats = ChannelStats()
         self.a = ChannelEndpoint(self, host_a, host_b)
         self.b = ChannelEndpoint(self, host_b, host_a)
@@ -148,13 +153,62 @@ class Channel:
 
     def _start_transfer(self, src, dst, mode, wire, payload_bytes,
                         data, done) -> None:
+        delay = 0.0
+        duplicate = False
+        faults = self.faults
+        if faults is not None:
+            verdict = self._apply_faults(faults, src, dst, mode)
+            if verdict is None:
+                # genuinely dropped (non-acked mode only: the sender
+                # was already released after local processing)
+                return
+            delay, duplicate = verdict
+        if delay > 0.0:
+            self.sim.call_later(delay, self._wire_send, src, dst, mode,
+                                wire, payload_bytes, data, done, duplicate)
+        else:
+            self._wire_send(src, dst, mode, wire, payload_bytes, data,
+                            done, duplicate)
+
+    def _apply_faults(self, faults, src, dst, mode):
+        """Per-transfer fault verdict: None = dropped, else
+        ``(extra delay, deliver a duplicate)``.
+
+        Mode-aware: acked (TCP-like) modes never lose or duplicate at
+        the application boundary — retransmission and sequence numbers
+        live below the abstraction — so a loss draw (or a partition
+        window) costs *delay* instead of the message, while the
+        non-acked drop-stale modes genuinely drop and duplicate.
+        """
+        delay = 0.0
+        if faults.blocked(src.host, dst.host):
+            if not mode.acked:
+                return None
+            # TCP retransmits until the partition heals
+            delay += max(0.0, faults.partition_end - self.sim.now)
+        if faults.drop():
+            if not mode.acked:
+                return None
+            # lost on the wire, recovered by retransmission: the
+            # jitter-delay scale stands in for the RTO cost
+            delay += faults.jitter_delay
+        delay += faults.delay()
+        duplicate = False if mode.acked else faults.duplicate()
+        return delay, duplicate
+
+    def _wire_send(self, src, dst, mode, wire, payload_bytes, data,
+                   done, duplicate=False) -> None:
         # receiver-side protocol processing after arrival, then enqueue
-        self.net.send(
-            src.host, dst.host, wire, tag=self._tag,
-            callback=lambda _info: self.sim.call_later(
-                mode.per_message_overhead, self._enqueue, src, dst, mode,
-                payload_bytes, data, done),
-        )
+        def arrived(_info) -> None:
+            self.sim.call_later(mode.per_message_overhead, self._enqueue,
+                                src, dst, mode, payload_bytes, data, done)
+
+        self.net.send(src.host, dst.host, wire, tag=self._tag,
+                      callback=arrived)
+        if duplicate:
+            # the second copy takes its own trip over the network
+            self.net.send(src.host, dst.host, wire, tag=self._tag,
+                          callback=arrived)
 
     def _enqueue(self, src, dst, mode, payload_bytes, data, done) -> None:
         if mode.drop_stale and len(dst.inbox) > 0:

@@ -34,6 +34,7 @@ from .runner import (
 from .spec import (
     ChurnEventSpec,
     ChurnProfile,
+    NetworkFaultPlan,
     PlatformPlan,
     ProtocolPlan,
     ScenarioSpec,
@@ -44,6 +45,7 @@ __all__ = [
     "ChurnEventSpec",
     "ChurnProfile",
     "NamedScenario",
+    "NetworkFaultPlan",
     "PEER_COUNTS",
     "PlatformPlan",
     "ProtocolPlan",

@@ -29,6 +29,7 @@ from .runner import expand_grid
 from .spec import (
     ChurnEventSpec,
     ChurnProfile,
+    NetworkFaultPlan,
     PlatformPlan,
     ProtocolPlan,
     RecoveryPlan,
@@ -296,6 +297,43 @@ SCENARIOS: Dict[str, NamedScenario] = {
                 ("churn_profile.coordinator_churn_rate", (0.0, 0.6, 1.5)),
                 ("selection_policy",
                  ("proximity", "random", "failure_aware")),
+                ("seed", (2011, 2013)),
+            ),
+        ),
+        _named(
+            "partition-grid",
+            "Lossy networks: loss rate × partition window × hardening × seed",
+            ScenarioSpec(
+                name="partition-grid", kind="reference",
+                platform=CLUSTER_PLAN,
+                workload=WorkloadPlan(app="obstacle", n=1024, nit=100),
+                n_peers=8, deploy_peers=16, n_zones=2, spares=4,
+                # cmax=4 → two groups, so the hierarchy (submitter ↔
+                # coordinators ↔ members) spans the partition boundary
+                protocol=ProtocolPlan(cmax=4),
+                # recovery + election stay on across the grid: the
+                # contrast axis is the reliability hardening alone
+                # (fault_plan.retries), measured with the full
+                # crash-recovery machinery present in both columns
+                churn_profile=ChurnProfile(rate=0.0, horizon=4.0,
+                                           rejoin_rate=1.0),
+                recovery=RecoveryPlan(election=True),
+                # the partition window opens mid-run; partition_zones
+                # stays at the default (every zone its own island), so
+                # an open window severs the two deployment zones.  The
+                # loss=0, duration=0, retries=False corner is an
+                # *inactive* plan — the clean v5-dynamics baseline
+                # column of the grid.
+                fault_plan=NetworkFaultPlan(partition_start=1.0),
+                # lost decisions stall convergence generators forever
+                # in unhardened runs: the limit turns that deadlock
+                # into a bounded "did not complete" verdict
+                time_limit=600.0,
+            ),
+            (
+                ("fault_plan.loss", (0.0, 0.02, 0.05)),
+                ("fault_plan.partition_duration", (0.0, 8.0)),
+                ("fault_plan.retries", (True, False)),
                 ("seed", (2011, 2013)),
             ),
         ),

@@ -227,12 +227,40 @@ def _deploy(spec: ScenarioSpec):
             level=spec.prediction_error.level,
             seed=spec.prediction_error.seed,
         ),
+        # the lossy-network hardening rides the fault axis: with no
+        # active fault plan (or retries ablated off) every send stays
+        # on the plain path — v5 dynamics bit for bit
+        reliability=spec.fault_plan.active and spec.fault_plan.retries,
     )
     dep = deploy_overlay(
         template.platform, n_peers=deploy_n, n_zones=n_zones, config=config,
         seed=spec.seed, tcp=template.tcp, plan=template.plan,
         route_intern=template.route_intern,
     )
+    plan = spec.fault_plan
+    if plan.active:
+        from ..net import FaultInjector
+
+        # host name → zone index, from the same layout the deployment
+        # realized (trackers are co-located on their zone's first peer
+        # host; server and submitter share zone 0's first host)
+        zone_of = {
+            host.name: z
+            for z, (_tname, _tip, zone_peers) in enumerate(template.plan.zones)
+            for _pname, _pip, host in zone_peers
+        }
+        # the injector draws from plan.seed's derived streams, never
+        # spec.seed: sweeping fault probabilities cannot perturb the
+        # churn/rejoin/selection draws (and vice versa)
+        dep.overlay.faults = FaultInjector(
+            dep.sim,
+            loss=plan.loss, duplication=plan.duplication,
+            jitter=plan.jitter, jitter_delay=plan.jitter_delay,
+            partition_start=plan.partition_start,
+            partition_duration=plan.partition_duration,
+            partition_zones=plan.partition_zones,
+            zone_of=zone_of, seed=plan.seed,
+        )
     if spec.failure_history:
         # failure-history seeding: the reputation store rides the spec
         # across runs, so a single-task scenario starts with informed
@@ -344,6 +372,17 @@ def _recovery_metrics(dep) -> Dict[str, float]:
         metrics["prediction_candidates"] = float(
             counters["prediction_candidates"]
         )
+    if dep.overlay.faults is not None:
+        # fault-injection telemetry: what the injector actually did,
+        # plus the hardening's response.  Present exactly when a fault
+        # plan is active (absent-when-idle, like handoff_latency).
+        metrics.update(dep.overlay.faults.stats.as_metrics())
+        metrics["reliable_retries"] = float(
+            counters.get("reliable_retries", 0))
+        metrics["reliable_abandoned"] = float(
+            counters.get("reliable_abandoned", 0))
+        metrics["duplicate_deliveries"] = float(
+            counters.get("duplicate_deliveries", 0))
     return metrics
 
 
@@ -366,9 +405,10 @@ def _run_reference(spec: ScenarioSpec) -> ScenarioResult:
     outcome = sig.value
     timings = outcome.timings
     if not outcome.ok:
-        # Under failure injection a protocol-level non-completion is
-        # the measured outcome (completion probability), not an error.
-        return failed(outcome.reason, ok=spec.has_churn,
+        # Under failure injection (churn or network faults) a
+        # protocol-level non-completion is the measured outcome
+        # (completion probability), not an error.
+        return failed(outcome.reason, ok=spec.has_churn or spec.has_faults,
                       sim_events=float(dep.sim.event_count))
     metrics = {
         "completed": 1.0,

@@ -60,7 +60,15 @@ from .. import __version__ as _ENGINE_VERSION
 #: failure_history seeding of the reputation store, and reference
 #: compute bursts now scale with heterogeneous node clocks
 #: (reference_speed pricing; homogeneous dynamics are bit-identical).
-SCHEMA_VERSION = 5
+#: 6: network-fault injection — the fault_plan axis (seeded
+#: per-message loss/duplication/jitter draws plus scheduled
+#: zone-level partitions), the reliability hardening it enables
+#: (acked control messages with dedup + bounded retry), and the
+#: fault counters (messages_lost, messages_duplicated,
+#: messages_delayed, partition_blocked, reliable_retries,
+#: duplicate_deliveries) in reference result payloads.  An inactive
+#: fault_plan keeps dynamics bit-identical to v5.
+SCHEMA_VERSION = 6
 
 PLATFORM_KINDS = ("cluster", "lan", "xdsl", "multisite")
 SCENARIO_KINDS = ("reference", "predict", "deploy")
@@ -346,6 +354,97 @@ class PredictionErrorPlan:
 
 
 @dataclass(frozen=True)
+class NetworkFaultPlan:
+    """Seeded network-fault injection (the lossy-network axis).
+
+    Per-message faults are Bernoulli draws from derived seed streams
+    (``fault-loss``, ``fault-dup``, ``fault-jitter`` off ``seed`` —
+    its own field, not ``ScenarioSpec.seed``, so sweeping fault rates
+    never perturbs churn/rejoin/selection draws):
+
+    - ``loss``: probability a control/data message is silently
+      dropped in flight;
+    - ``duplication``: probability a message is delivered twice
+      (the second copy takes its own trip over the network);
+    - ``jitter``: probability a message is delayed by an extra
+      ``jitter_delay``-mean exponential draw on delivery.
+
+    ``partition_start``/``partition_duration`` schedule one
+    deterministic zone-level partition window: while it is open,
+    messages between hosts of different zone *groups* are blocked
+    (and counted), intra-group traffic flows normally.
+    ``partition_zones`` lists the groups as tuples of zone indices —
+    empty (the default) isolates every zone from every other.
+    ``partition_duration == 0`` disables the partition.
+
+    ``retries`` is the hardening toggle: with it on (the default)
+    critical control messages get monotone ids, receiver-side dedup
+    and ack/retry with bounded exponential backoff, so loss degrades
+    makespan instead of deadlocking; with it off the grid measures
+    the *unhardened* protocol under the same fault schedule (the
+    ablation the partition-grid's P(complete) contrast is built on).
+    """
+
+    loss: float = 0.0
+    duplication: float = 0.0
+    jitter: float = 0.0
+    jitter_delay: float = 0.05
+    partition_start: float = 0.0
+    partition_duration: float = 0.0
+    partition_zones: Tuple[Tuple[int, ...], ...] = ()
+    retries: bool = True
+    seed: int = 2011
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "duplication", "jitter"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(
+                    f"fault_plan.{name} must be a probability in [0, 1], "
+                    f"got {p!r}"
+                )
+        if self.jitter_delay <= 0:
+            raise ValueError(
+                f"fault_plan.jitter_delay must be > 0, "
+                f"got {self.jitter_delay!r}"
+            )
+        if self.partition_start < 0:
+            raise ValueError(
+                f"fault_plan.partition_start must be >= 0, "
+                f"got {self.partition_start!r}"
+            )
+        if self.partition_duration < 0:
+            raise ValueError(
+                f"fault_plan.partition_duration must be >= 0 "
+                f"(0 disables the partition), "
+                f"got {self.partition_duration!r}"
+            )
+        if not isinstance(self.retries, bool):
+            raise ValueError(
+                f"fault_plan.retries must be a bool, got {self.retries!r}"
+            )
+        if self.partition_zones and self.partition_duration <= 0:
+            raise ValueError(
+                "fault_plan.partition_zones without a partition window: "
+                "set partition_duration > 0, or drop the zone groups"
+            )
+        # canonical tuple-of-tuples form, so JSON round-trips (lists
+        # of lists) hash and compare identically to native construction
+        groups = tuple(
+            tuple(int(z) for z in group) for group in self.partition_zones
+        )
+        if any(z < 0 for group in groups for z in group):
+            raise ValueError("fault_plan.partition_zones must be >= 0")
+        object.__setattr__(self, "partition_zones", groups)
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault injection is configured."""
+        return (self.loss > 0 or self.duplication > 0 or self.jitter > 0
+                or self.partition_duration > 0)
+
+
+@dataclass(frozen=True)
 class ChurnEventSpec:
     """One failure-injection event at an absolute simulated time."""
 
@@ -391,6 +490,10 @@ class ScenarioSpec:
     churn: Tuple[ChurnEventSpec, ...] = ()
     churn_profile: ChurnProfile = ChurnProfile()
     recovery: RecoveryPlan = RecoveryPlan()
+    #: Seeded network-fault injection (loss/duplication/jitter draws
+    #: plus a scheduled zone partition); inactive by default, and an
+    #: inactive plan keeps dynamics bit-identical to SCHEMA_VERSION 5.
+    fault_plan: NetworkFaultPlan = NetworkFaultPlan()
     n_peers: int = 4
     deploy_peers: int = 0
     n_zones: int = 0
@@ -447,6 +550,11 @@ class ScenarioSpec:
                 or self.churn_profile.tracker_churn_rate > 0
                 or self.churn_profile.coordinator_churn_rate > 0)
 
+    @property
+    def has_faults(self) -> bool:
+        """Whether any network-fault injection is configured."""
+        return self.fault_plan.active
+
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """Plain-data form (JSON-safe, round-trips via from_dict)."""
@@ -454,6 +562,11 @@ class ScenarioSpec:
         d["churn"] = [asdict(e) for e in self.churn]
         d["failure_history"] = [
             [name, count] for name, count in self.failure_history
+        ]
+        # lists, not tuples: the dict must equal its own JSON round-trip
+        # (cache payload comparison is plain dict equality)
+        d["fault_plan"]["partition_zones"] = [
+            list(group) for group in self.fault_plan.partition_zones
         ]
         return d
 
@@ -473,6 +586,8 @@ class ScenarioSpec:
         d["prediction_error"] = PredictionErrorPlan(
             **d.get("prediction_error", {})
         )
+        # absent in pre-v6 dicts: default to no faults
+        d["fault_plan"] = NetworkFaultPlan(**d.get("fault_plan", {}))
         d["failure_history"] = tuple(
             (str(name), int(count))
             for name, count in d.get("failure_history", ())

@@ -43,6 +43,7 @@ from ..scenarios.spec import (
     SCHEMA_VERSION,
     ChurnEventSpec,
     ChurnProfile,
+    NetworkFaultPlan,
     PlatformPlan,
     PredictionErrorPlan,
     ProtocolPlan,
@@ -96,6 +97,7 @@ class QuerySpec:
     host_policy: str = "pack"
     selection_policy: str = "proximity"
     prediction_error: PredictionErrorPlan = PredictionErrorPlan()
+    fault_plan: NetworkFaultPlan = NetworkFaultPlan()
     failure_history: Tuple[Tuple[str, int], ...] = ()
     time_limit: float = 0.0
 
@@ -146,6 +148,7 @@ class QuerySpec:
             host_policy=self.host_policy,
             selection_policy=self.selection_policy,
             prediction_error=self.prediction_error,
+            fault_plan=self.fault_plan,
             failure_history=self.failure_history,
             time_limit=self.time_limit,
             seed=self.seed_base if seed is None else seed,
@@ -175,6 +178,10 @@ class QuerySpec:
         d["failure_history"] = [
             [name, count] for name, count in self.failure_history
         ]
+        # lists, not tuples: the dict must equal its own JSON round-trip
+        d["fault_plan"]["partition_zones"] = [
+            list(group) for group in self.fault_plan.partition_zones
+        ]
         return d
 
     @classmethod
@@ -199,6 +206,7 @@ class QuerySpec:
             "protocol": ProtocolPlan, "tcp": TcpPlan, "timers": TimerPlan,
             "churn_profile": ChurnProfile, "recovery": RecoveryPlan,
             "prediction_error": PredictionErrorPlan,
+            "fault_plan": NetworkFaultPlan,
         }
         for name, plan_cls in plans.items():
             if name in d:

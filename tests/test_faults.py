@@ -1,0 +1,316 @@
+"""Lossy-network fault injection and control-plane hardening tests.
+
+Four invariant families over the ``partition-grid`` base:
+
+* **spec surface** — ``NetworkFaultPlan`` validation, canonical forms
+  and the JSON round-trip stability the result cache's payload
+  comparison depends on;
+* **injector unit behaviour** — seeded substream independence, the
+  partition as a pure function of simulated time, and counter
+  accounting;
+* **no-drift** — an *inactive* fault plan leaves the v5 dynamics bit
+  for bit: identical sim_events/makespan to the default plan, and no
+  fault metrics in the result (absent-when-idle);
+* **hardening contrast** — under loss plus a healing partition the
+  hardened protocol (acks + retries + dedup) completes while the
+  unhardened ablation times out, and duplicated deliveries never
+  violate exactly-once rank conservation.
+
+The grid points reuse the registered ``partition-grid`` base (same
+app/peers/level instance as the churn grids), so the in-process
+calibration cache is shared across the fault/churn test files.
+"""
+
+import json
+import types
+
+import pytest
+
+from repro.net import FaultInjector
+from repro.scenarios import SCENARIOS, run_scenario
+from repro.scenarios.runner import execute_reference
+from repro.scenarios.spec import NetworkFaultPlan, ScenarioSpec
+
+PARTITION_GRID = SCENARIOS["partition-grid"]
+
+# the documented contrast cell of the grid (docs/fault-grid.md)
+LOSS = 0.05
+PARTITION = 8.0
+
+
+def fault_point(seed: int = 2011, **overrides) -> ScenarioSpec:
+    spec = PARTITION_GRID.base.with_override("seed", seed)
+    for path, value in overrides.items():
+        spec = spec.with_override(path.replace("__", "."), value)
+    return spec
+
+
+# -- spec surface ---------------------------------------------------------
+class TestFaultPlanSpec:
+    def test_defaults_inactive(self):
+        plan = NetworkFaultPlan()
+        assert not plan.active
+        assert plan.retries  # hardening is the default posture
+
+    @pytest.mark.parametrize("field", ["loss", "duplication", "jitter"])
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_probability_ranges(self, field, bad):
+        with pytest.raises(ValueError, match=field):
+            NetworkFaultPlan(**{field: bad})
+
+    def test_jitter_delay_positive(self):
+        with pytest.raises(ValueError, match="jitter_delay"):
+            NetworkFaultPlan(jitter_delay=0.0)
+
+    def test_partition_window_validation(self):
+        with pytest.raises(ValueError, match="partition_start"):
+            NetworkFaultPlan(partition_start=-1.0)
+        with pytest.raises(ValueError, match="partition_duration"):
+            NetworkFaultPlan(partition_duration=-1.0)
+        # zone groups without a window would silently never fire
+        with pytest.raises(ValueError, match="partition_zones"):
+            NetworkFaultPlan(partition_zones=((0, 1),))
+        with pytest.raises(ValueError, match=">= 0"):
+            NetworkFaultPlan(partition_duration=1.0,
+                             partition_zones=((-1,),))
+
+    def test_retries_must_be_bool(self):
+        with pytest.raises(ValueError, match="retries"):
+            NetworkFaultPlan(retries=1)
+
+    def test_zone_groups_canonicalized(self):
+        """Lists of lists (the JSON wire form) hash and compare
+        identically to native tuple construction."""
+        wire = NetworkFaultPlan(partition_duration=2.0,
+                                partition_zones=[[0, 1], [2]])
+        native = NetworkFaultPlan(partition_duration=2.0,
+                                  partition_zones=((0, 1), (2,)))
+        assert wire == native
+        assert wire.partition_zones == ((0, 1), (2,))
+
+    def test_each_fault_activates_the_plan(self):
+        assert NetworkFaultPlan(loss=0.01).active
+        assert NetworkFaultPlan(duplication=0.01).active
+        assert NetworkFaultPlan(jitter=0.01).active
+        assert NetworkFaultPlan(partition_duration=1.0).active
+        # retries alone is a posture, not a fault
+        assert not NetworkFaultPlan(retries=False).active
+
+    def test_spec_round_trips_through_dict(self):
+        spec = fault_point(fault_plan__loss=0.02,
+                           fault_plan__partition_duration=4.0)
+        again = ScenarioSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.spec_hash() == spec.spec_hash()
+
+    def test_pre_v6_dict_parses_with_no_faults(self):
+        d = PARTITION_GRID.base.to_dict()
+        del d["fault_plan"]
+        spec = ScenarioSpec.from_dict(d)
+        assert spec.fault_plan == NetworkFaultPlan()
+        assert not spec.has_faults
+
+    def test_hash_payload_is_json_stable(self):
+        """The cache compares the stored payload against a fresh one
+        with plain dict equality: the payload must equal its own JSON
+        round-trip, or every disk cache read becomes a miss."""
+        spec = fault_point(
+            fault_plan__partition_duration=4.0,
+            fault_plan__partition_zones=((0,), (1,)),
+        )
+        payload = spec.hash_payload()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+# -- injector unit behaviour ----------------------------------------------
+def _injector(**kwargs) -> FaultInjector:
+    sim = types.SimpleNamespace(now=0.0)
+    return FaultInjector(sim, **kwargs)
+
+
+def _host(name: str):
+    return types.SimpleNamespace(name=name)
+
+
+class TestFaultInjector:
+    def test_deterministic_per_seed(self):
+        a = _injector(loss=0.3, seed=7)
+        b = _injector(loss=0.3, seed=7)
+        assert [a.drop() for _ in range(200)] \
+            == [b.drop() for _ in range(200)]
+        c = _injector(loss=0.3, seed=8)
+        assert [a.drop() for _ in range(200)] \
+            != [c.drop() for _ in range(200)]
+
+    def test_streams_are_independent(self):
+        """Enabling duplication must not shift the loss draws — each
+        fault type owns a derived substream."""
+        loss_only = _injector(loss=0.3, seed=7)
+        both = _injector(loss=0.3, duplication=0.5, seed=7)
+        drops = []
+        for _ in range(200):
+            drops.append(both.drop())
+            both.duplicate()  # interleaved draws on the other stream
+        assert drops == [loss_only.drop() for _ in range(200)]
+
+    def test_zero_probability_never_draws(self):
+        inj = _injector()
+        assert not any(inj.drop() for _ in range(50))
+        assert not any(inj.duplicate() for _ in range(50))
+        assert all(inj.delay() == 0.0 for _ in range(50))
+        assert inj.stats.as_metrics() == {
+            "messages_lost": 0.0, "messages_duplicated": 0.0,
+            "messages_delayed": 0.0, "partition_blocked": 0.0,
+        }
+
+    def test_counters_track_decisions(self):
+        inj = _injector(loss=1.0, duplication=1.0, jitter=1.0)
+        for _ in range(5):
+            assert inj.drop()
+            assert inj.duplicate()
+            assert inj.delay() > 0.0
+        m = inj.stats.as_metrics()
+        assert m["messages_lost"] == 5.0
+        assert m["messages_duplicated"] == 5.0
+        assert m["messages_delayed"] == 5.0
+
+    def test_partition_is_pure_function_of_time(self):
+        zone_of = {"h0": 0, "h1": 1}
+        inj = _injector(partition_start=1.0, partition_duration=2.0,
+                        zone_of=zone_of)
+        h0, h1 = _host("h0"), _host("h1")
+        inj.sim.now = 0.5
+        assert not inj.blocked(h0, h1)   # before the window
+        inj.sim.now = 1.0
+        assert inj.blocked(h0, h1)       # window open (inclusive start)
+        inj.sim.now = 2.9
+        assert inj.blocked(h0, h1)
+        inj.sim.now = 3.0
+        assert not inj.blocked(h0, h1)   # healed (exclusive end)
+        assert inj.stats.partition_blocked == 2
+
+    def test_default_partition_isolates_every_zone(self):
+        zone_of = {"h0": 0, "h1": 1, "h2": 0}
+        inj = _injector(partition_start=0.0, partition_duration=10.0,
+                        zone_of=zone_of)
+        assert inj.blocked(_host("h0"), _host("h1"))   # cross-zone
+        assert not inj.blocked(_host("h0"), _host("h2"))  # same zone
+
+    def test_zone_groups_keep_intra_group_traffic(self):
+        zone_of = {"h0": 0, "h1": 1, "h2": 2}
+        inj = _injector(partition_start=0.0, partition_duration=10.0,
+                        partition_zones=((0, 1),), zone_of=zone_of)
+        assert not inj.blocked(_host("h0"), _host("h1"))  # same group
+        assert inj.blocked(_host("h0"), _host("h2"))      # cross-group
+        assert inj.blocked(_host("h1"), _host("h2"))
+
+    def test_no_partition_never_blocks(self):
+        inj = _injector(loss=0.5)
+        assert not inj.blocked(_host("a"), _host("b"))
+        assert inj.stats.partition_blocked == 0
+
+
+# -- no-drift: an inactive plan is invisible ------------------------------
+class TestInactivePlanNoDrift:
+    def test_inactive_plan_is_bit_identical_to_default(self):
+        """The gating contract: a fault plan with every fault off (even
+        with retries toggled, which only matters when active) leaves
+        the event stream untouched — same sim_events, same makespan."""
+        default = run_scenario(fault_point())
+        inactive = run_scenario(fault_point(fault_plan__seed=999))
+        ablated = run_scenario(fault_point(fault_plan__retries=False))
+        for other in (inactive, ablated):
+            assert other.metrics["sim_events"] \
+                == default.metrics["sim_events"]
+            assert other.metrics["makespan"] == default.metrics["makespan"]
+        assert default.metrics["completed"] == 1.0
+
+    def test_inactive_plan_reports_no_fault_metrics(self):
+        """Absent-when-idle: fault telemetry appears exactly when the
+        plan is active, never as diluting zeros."""
+        m = run_scenario(fault_point()).metrics
+        for key in ("messages_lost", "messages_duplicated",
+                    "messages_delayed", "partition_blocked",
+                    "reliable_retries", "reliable_abandoned",
+                    "duplicate_deliveries"):
+            assert key not in m
+
+    def test_active_plan_reports_fault_metrics(self):
+        m = run_scenario(
+            fault_point(fault_plan__loss=0.02,
+                        fault_plan__partition_duration=PARTITION)
+        ).metrics
+        for key in ("messages_lost", "messages_duplicated",
+                    "messages_delayed", "partition_blocked",
+                    "reliable_retries", "reliable_abandoned",
+                    "duplicate_deliveries"):
+            assert key in m
+        assert m["messages_lost"] > 0
+        assert m["partition_blocked"] > 0
+
+
+# -- the hardening contrast ------------------------------------------------
+class TestHardeningContrast:
+    @pytest.mark.parametrize("seed", PARTITION_GRID.grid_dict()["seed"])
+    def test_hardened_completes_under_loss_and_partition(self, seed):
+        """The acceptance criterion, hardened half: ≤5% loss plus a
+        healing partition degrade the makespan, never the outcome."""
+        result = run_scenario(
+            fault_point(seed,
+                        fault_plan__loss=LOSS,
+                        fault_plan__partition_duration=PARTITION))
+        assert result.ok, result.reason
+        assert result.metrics["completed"] == 1.0
+        assert result.metrics["reliable_retries"] > 0
+        assert result.metrics["reliable_abandoned"] == 0.0
+        baseline = run_scenario(fault_point(seed))
+        assert result.metrics["makespan"] > baseline.metrics["makespan"]
+
+    def test_unhardened_ablation_fails_the_same_cell(self):
+        """The acceptance criterion, unhardened half: the identical
+        fault schedule with retries off deadlocks into the time limit
+        (reported as non-completion, not an engine error)."""
+        result = run_scenario(
+            fault_point(fault_plan__loss=LOSS,
+                        fault_plan__partition_duration=PARTITION,
+                        fault_plan__retries=False))
+        assert result.ok  # non-completion under faults is a data point
+        assert result.metrics["completed"] == 0.0
+        assert result.reason
+        assert result.metrics["reliable_retries"] == 0.0
+
+    def test_duplication_never_double_counts_a_rank(self):
+        """Exactly-once under duplication: receiver-side dedup absorbs
+        every duplicate control message — each rank completes once."""
+        spec = fault_point(fault_plan__duplication=0.2)
+        dep, outcome = execute_reference(spec)
+        assert outcome.ok, outcome.reason
+        ranks = [r.rank for r in outcome.results]
+        assert len(ranks) == len(set(ranks)), "a rank completed twice"
+        assert sorted(ranks) == list(range(spec.n_peers))
+        counters = dep.overlay.stats.counters
+        assert dep.overlay.faults.stats.messages_duplicated > 0
+        assert counters.get("duplicate_deliveries", 0) > 0
+
+    def test_rank_conservation_under_loss_with_retries(self):
+        """Retransmissions can themselves manufacture duplicates (a
+        slow ack crosses a retry): conservation must hold under loss
+        exactly as under injected duplication."""
+        spec = fault_point(fault_plan__loss=LOSS,
+                           fault_plan__partition_duration=PARTITION)
+        dep, outcome = execute_reference(spec)
+        assert outcome.ok, outcome.reason
+        ranks = [r.rank for r in outcome.results]
+        assert len(ranks) == len(set(ranks))
+        assert sorted(ranks) == list(range(spec.n_peers))
+
+    def test_registered_grid_shape(self):
+        assert PARTITION_GRID.n_points == 24
+        points = PARTITION_GRID.points()
+        assert len({p.spec_hash() for p in points}) == len(points)
+        # the clean corner: no loss, no partition — an inactive plan,
+        # i.e. the v5 baseline rides inside the grid itself
+        corners = [p for p in points if not p.fault_plan.active]
+        assert corners
+        assert {p.fault_plan.retries for p in points} == {True, False}
+        assert {p.fault_plan.loss for p in points} == {0.0, 0.02, LOSS}

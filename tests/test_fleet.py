@@ -158,6 +158,25 @@ class TestResultStore:
         assert store.index_path.read_text().count('"label":"a"') == 2
         fresh = ResultStore(tmp_path)
         assert len(fresh) == 1
+
+    def test_superseded_fraction_counts_shadowed_records(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.superseded_fraction() == 0.0  # empty: nothing to do
+        spec, result = _probe_result()
+        store.record(spec, result, "a", SCENARIO)
+        assert store.superseded_fraction() == 0.0  # all live
+        record = {
+            "spec_hash": result.spec_hash, "name": spec.name,
+            "label": "a", "scenario": SCENARIO,
+            "result": result.to_dict(),
+        }
+        _append_line(store, record)
+        _append_line(store, record)
+        # 3 physical records, 1 live key: two thirds are history
+        fresh = ResultStore(tmp_path)
+        assert fresh.superseded_fraction() == pytest.approx(2 / 3)
+        fresh.compact()
+        assert ResultStore(tmp_path).superseded_fraction() == 0.0
         assert fresh.labels() == {"a": 1}
 
     def test_get_result_returns_newest(self, tmp_path):
@@ -566,6 +585,55 @@ class TestFleetRuns:
             == first.manifest_path.read_bytes()
         # resume did not double-index the store
         assert len(ResultStore(cache)) == 12
+
+    def test_finalize_compacts_a_history_heavy_store(self, tmp_path):
+        """Once superseded records cross the threshold, finalize
+        compacts — and a threshold of 1.0 never does."""
+        cache = tmp_path / "shared"
+        _serial_manifest(cache)
+        specs = _specs()
+        first = FleetDispatcher(
+            specs, label="g", scenario=SCENARIO, cache_dir=cache,
+            workers=0, wall_timeout=60.0,
+        ).run()
+        assert first.complete and first.compaction is None  # all live
+        # shadow every record once (the double-index a reassignment
+        # race leaves behind): half the index is now history
+        store = ResultStore(cache)
+        for record in list(store.entries()):
+            _append_line(store, record)
+        polluted = ResultStore(cache)
+        assert polluted.superseded_fraction() == pytest.approx(0.5)
+        # threshold 1.0: auto-compaction is off, history survives
+        off = FleetDispatcher(
+            specs, label="g", scenario=SCENARIO, cache_dir=cache,
+            workers=0, wall_timeout=60.0, compact_threshold=1.0,
+        ).run()
+        assert off.complete and off.compaction is None
+        assert ResultStore(cache).superseded_fraction() \
+            == pytest.approx(0.5)
+        # a threshold under the fraction: finalize rewrites the index
+        outcome = FleetDispatcher(
+            specs, label="g", scenario=SCENARIO, cache_dir=cache,
+            workers=0, wall_timeout=60.0, compact_threshold=0.4,
+        ).run()
+        assert outcome.complete
+        assert outcome.compaction is not None
+        assert outcome.compaction["records_before"] == 24
+        assert outcome.compaction["records_after"] == 12
+        assert outcome.compaction["dropped"] == 12
+        compacted = ResultStore(cache)
+        assert compacted.superseded_fraction() == 0.0
+        assert len(compacted.sweep_points("g")) == 12
+
+    def test_compact_threshold_validated(self, tmp_path):
+        from repro.fleet.dispatcher import FleetError
+
+        with pytest.raises(FleetError, match="compact_threshold"):
+            FleetDispatcher(
+                _specs(), label="g", scenario=SCENARIO,
+                cache_dir=tmp_path, compact_threshold=1.5,
+            )
 
 
 class TestFleetFaults:

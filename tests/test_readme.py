@@ -32,6 +32,26 @@ def test_readme_mentions_all_deliverable_paths():
         assert path in text
 
 
+def test_docs_references_resolve_both_ways():
+    """Every `docs/<name>.md` referenced from README/EXPERIMENTS/docs
+    exists on disk, and every guide that ships is reachable from the
+    README — a renamed or orphaned workflow guide fails the docs job."""
+    root = README.parent
+    sources = [README, root / "EXPERIMENTS.md"] + \
+        sorted((root / "docs").glob("*.md"))
+    referenced = set()
+    for source in sources:
+        referenced.update(re.findall(r"docs/([\w-]+\.md)", source.read_text()))
+    assert referenced, "no docs references found anywhere"
+    for name in sorted(referenced):
+        assert (root / "docs" / name).is_file(), f"dangling link: docs/{name}"
+    shipped = {p.name for p in (root / "docs").glob("*.md")}
+    readme_refs = set(re.findall(r"docs/([\w-]+\.md)", README.read_text()))
+    assert shipped <= readme_refs, \
+        f"guides unreachable from README: {sorted(shipped - readme_refs)}"
+    assert "fault-grid.md" in readme_refs
+
+
 def _readme_cli_lines(module="repro.scenarios"):
     """`python -m <module> …` commands from README bash blocks, with
     backslash continuations joined, comments and env-var prefixes

@@ -59,7 +59,7 @@ class TestSpec:
         the deliberate acknowledgment that existing caches invalidate.
         """
         spec = ScenarioSpec(name="x")
-        assert spec.spec_hash() == "b4c8df23acfb9aec"
+        assert spec.spec_hash() == "5c8dd843d1a1a33f"
         rebuilt = ScenarioSpec.from_dict(
             json.loads(json.dumps(spec.to_dict()))
         )

@@ -616,12 +616,11 @@ def test_daemon_shutdown_op_drains(tmp_path):
 
 
 def test_daemon_no_thread_leak(tmp_path):
-    # settle first: a preceding test's daemon thread may still be
-    # exiting, and a baseline that counts it can never be reached again
-    deadline = time.time() + 5.0
-    while threading.active_count() > 1 and time.time() < deadline:
-        time.sleep(0.05)
-    baseline = threading.active_count()
+    # thread *identity* sets, not counts: an unrelated thread from a
+    # preceding test exiting (or persisting) mid-window shifts a
+    # count-based baseline and fails this test depending on suite
+    # order — only threads this daemon created can count as leaked
+    baseline = set(threading.enumerate())
     engine = QueryEngine(cache_dir=tmp_path / "cache")
     # workers bounds concurrent *open* connections: six parked clients
     # need six connection slots
@@ -629,16 +628,14 @@ def test_daemon_no_thread_leak(tmp_path):
         clients = [ServeClient(daemon.address) for _ in range(6)]
         for client in clients:
             assert client.request({"op": "ping"})["ok"] is True
-        assert threading.active_count() > baseline
+        assert set(threading.enumerate()) - baseline  # daemon threads live
         for client in clients:
             client.close()
     deadline = time.time() + 5.0
-    while threading.active_count() > baseline and time.time() < deadline:
+    while set(threading.enumerate()) - baseline and time.time() < deadline:
         time.sleep(0.05)
-    assert threading.active_count() == baseline, (
-        f"leaked threads: "
-        f"{[t.name for t in threading.enumerate()]}"
-    )
+    leaked = set(threading.enumerate()) - baseline
+    assert not leaked, f"leaked threads: {[t.name for t in leaked]}"
 
 
 def test_daemon_stats_op(daemon):
